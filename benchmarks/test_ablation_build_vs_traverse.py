@@ -1,0 +1,77 @@
+"""Ablation A2: where does the time go — graph build vs traversal?
+
+The paper's central performance finding: "The execution time is almost
+entirely dominated by the construction of the graph representation."
+This ablation times the two phases separately (dictionary encoding + CSR
+build vs one BFS traversal) and asserts that the build dominates a
+single-pair query, exactly the paper's motivation for batching and for
+the future-work graph indices.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphLibrary, bfs
+
+from conftest import SCALE_FACTORS
+
+
+@pytest.fixture(scope="module")
+def edge_arrays(networks):
+    network = networks[max(SCALE_FACTORS)]
+    src, dst, _, _ = network.directed_edges()
+    return network, src, dst
+
+
+def test_bench_graph_build(benchmark, edge_arrays):
+    """Phase 1: vertex-domain encoding + CSR construction."""
+    _, src, dst = edge_arrays
+    benchmark(lambda: GraphLibrary(src, dst))
+
+
+def test_bench_single_traversal(benchmark, edge_arrays):
+    """Phase 2: one BFS over the prepared CSR (early exit disabled)."""
+    network, src, dst = edge_arrays
+    library = GraphLibrary(src, dst)
+    rng = np.random.default_rng(23)
+    sources = library.domain.encode(rng.choice(network.person_ids, size=32))
+    state = {"i": 0}
+
+    def one_bfs():
+        source = int(sources[state["i"] % len(sources)])
+        state["i"] += 1
+        return bfs(library.csr, source)
+
+    benchmark(one_bfs)
+
+
+def test_build_dominates_single_pair_query(edge_arrays, capsys):
+    """The paper's claim, measured: build time >> one early-exit BFS."""
+    network, src, dst = edge_arrays
+    repeats = 5
+    build_total = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        library = GraphLibrary(src, dst)
+        build_total += time.perf_counter() - start
+    build = build_total / repeats
+
+    rng = np.random.default_rng(29)
+    encoded = library.domain.encode(rng.choice(network.person_ids, size=repeats * 2))
+    traverse_total = 0.0
+    for i in range(repeats):
+        source, target = int(encoded[2 * i]), int(encoded[2 * i + 1])
+        start = time.perf_counter()
+        bfs(library.csr, source, targets=np.array([target]))
+        traverse_total += time.perf_counter() - start
+    traverse = traverse_total / repeats
+
+    with capsys.disabled():
+        print(
+            f"\n=== A2 cost split (SF {max(SCALE_FACTORS)}) === "
+            f"build {build * 1000:.2f} ms vs single-pair BFS "
+            f"{traverse * 1000:.2f} ms ({build / max(traverse, 1e-9):.1f}x)"
+        )
+    assert build > traverse, "graph construction should dominate one lookup"

@@ -1,0 +1,87 @@
+"""Ablation A4: graph indices (the paper's Section 6 future work).
+
+"To mitigate this scenario, we are investigating how to expand our
+system with the option of creating special 'graph' indices.  These
+indices will store the full graph, ready to be used when a query matches
+the edge table that generated the graph."
+
+We implemented them (CREATE GRAPH INDEX); this ablation measures the
+effect on single-pair Q13 — the scenario the paper says suffers most
+from per-query graph construction.
+"""
+
+import pytest
+
+from repro.ldbc import generate, make_database, random_pairs, run_q13
+
+from conftest import BENCH_SCALE, SCALE_FACTORS
+
+INDEX_SF = max(SCALE_FACTORS)
+
+
+def _fresh_db():
+    network = generate(INDEX_SF, scale=BENCH_SCALE)
+    return network, make_database(network)
+
+
+@pytest.fixture(scope="module")
+def without_index():
+    return _fresh_db()
+
+
+@pytest.fixture(scope="module")
+def with_index():
+    network, db = _fresh_db()
+    db.execute("CREATE GRAPH INDEX knows_idx ON knows EDGE (person1, person2)")
+    return network, db
+
+
+def _runner(network, db, seed):
+    pairs = random_pairs(network, 32, seed=seed)
+    state = {"i": 0}
+
+    def one_query():
+        source, dest = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return run_q13(db, source, dest)
+
+    return one_query
+
+
+def test_bench_q13_without_index(benchmark, without_index):
+    network, db = without_index
+    benchmark(_runner(network, db, seed=71))
+
+
+def test_bench_q13_with_index(benchmark, with_index):
+    network, db = with_index
+    benchmark(_runner(network, db, seed=71))
+
+
+def test_index_gives_same_answers(without_index, with_index):
+    plain_network, plain_db = without_index
+    _, indexed_db = with_index
+    for source, dest in random_pairs(plain_network, 12, seed=72):
+        assert run_q13(plain_db, source, dest) == run_q13(indexed_db, source, dest)
+
+
+def test_index_speeds_up_single_pair(without_index, with_index, capsys):
+    import time
+
+    def average(network, db, seed, repeats=10):
+        run = _runner(network, db, seed)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            run()
+        return (time.perf_counter() - start) / repeats
+
+    plain = average(*without_index, seed=73)
+    indexed = average(*with_index, seed=73)
+    with capsys.disabled():
+        print(
+            f"\n=== A4 graph index (SF {INDEX_SF}) === "
+            f"plain {plain * 1000:.2f} ms vs indexed {indexed * 1000:.2f} ms "
+            f"({plain / max(indexed, 1e-9):.1f}x)"
+        )
+    # skipping the per-query CSR build must help substantially
+    assert indexed < plain

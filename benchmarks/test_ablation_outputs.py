@@ -1,0 +1,74 @@
+"""Ablation A5: what does each output level cost?
+
+The same REACHES predicate can be asked for (i) reachability only,
+(ii) the shortest-path cost, or (iii) cost plus the materialized path
+(nested table).  The paper notes reachability-only queries "still
+perform a BFS ... discarding the computed shortest paths"; this ablation
+quantifies the increments, including the UNNEST flattening step.
+"""
+
+import pytest
+
+from repro.ldbc import random_pairs
+
+from conftest import SCALE_FACTORS
+
+SF = max(SCALE_FACTORS)
+
+REACHABILITY_SQL = (
+    "SELECT 1 WHERE ? REACHES ? OVER knows EDGE (person1, person2)"
+)
+COST_SQL = (
+    "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER knows EDGE (person1, person2)"
+)
+PATH_SQL = (
+    "SELECT CHEAPEST SUM(k: 1) AS (c, p) "
+    "WHERE ? REACHES ? OVER knows k EDGE (person1, person2)"
+)
+UNNEST_SQL = (
+    "SELECT R.person1, R.person2 FROM ("
+    "  SELECT CHEAPEST SUM(k: 1) AS (c, p) "
+    "  WHERE ? REACHES ? OVER knows k EDGE (person1, person2)"
+    ") T, UNNEST(T.p) AS R"
+)
+
+_QUERIES = {
+    "reachability": REACHABILITY_SQL,
+    "cost": COST_SQL,
+    "cost_and_path": PATH_SQL,
+    "unnested_path": UNNEST_SQL,
+}
+
+
+@pytest.fixture(scope="module")
+def workload(networks, databases):
+    return databases[SF], random_pairs(networks[SF], 32, seed=91)
+
+
+@pytest.mark.parametrize("level", list(_QUERIES))
+def test_bench_output_level(benchmark, workload, level):
+    db, pairs = workload
+    sql = _QUERIES[level]
+    state = {"i": 0}
+
+    def one_query():
+        source, dest = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return db.execute(sql, (source, dest)).rows()
+
+    benchmark(one_query)
+
+
+def test_outputs_are_consistent(workload):
+    db, pairs = workload
+    for source, dest in pairs[:8]:
+        reach = db.execute(REACHABILITY_SQL, (source, dest)).rows()
+        cost = db.execute(COST_SQL, (source, dest)).rows()
+        both = db.execute(PATH_SQL, (source, dest)).rows()
+        assert (len(reach) > 0) == (len(cost) > 0) == (len(both) > 0)
+        if both:
+            hops, path = both[0]
+            assert cost[0][0] == hops
+            assert len(path) == hops
+            flattened = db.execute(UNNEST_SQL, (source, dest)).rows()
+            assert len(flattened) == hops

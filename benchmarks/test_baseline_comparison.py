@@ -1,0 +1,72 @@
+"""Ablation A3: the extension vs the three "customary means" (Section 1).
+
+The paper motivates the extension by the weaknesses of recursion, PSM
+and chains of joins: verbosity, broken declarativity, and performance
+("full search instead of Dijkstra", "interpretation overhead").  This
+module measures all four approaches on identical Q13 workloads.
+"""
+
+import pytest
+
+from repro.baselines import PsmShortestPath, run_q13_chain, run_q13_recursive
+from repro.ldbc import random_pairs, run_q13
+
+from conftest import SCALE_FACTORS
+
+BASELINE_SF = min(SCALE_FACTORS)
+
+
+@pytest.fixture(scope="module")
+def workload(networks, databases):
+    network = networks[BASELINE_SF]
+    db = databases[BASELINE_SF]
+    pairs = random_pairs(network, 16, seed=55)
+    return db, pairs
+
+
+def _cycle(pairs):
+    state = {"i": 0}
+
+    def next_pair():
+        pair = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return pair
+
+    return next_pair
+
+
+def test_bench_extension(benchmark, workload):
+    db, pairs = workload
+    next_pair = _cycle(pairs)
+    benchmark(lambda: run_q13(db, *next_pair()))
+
+
+def test_bench_recursive_cte(benchmark, workload):
+    db, pairs = workload
+    next_pair = _cycle(pairs)
+    benchmark(lambda: run_q13_recursive(db, *next_pair(), max_hops=6))
+
+
+def test_bench_psm(benchmark, workload):
+    db, pairs = workload
+    psm = PsmShortestPath(db)
+    next_pair = _cycle(pairs)
+    benchmark(lambda: psm(*next_pair()))
+
+
+def test_bench_chain_joins(benchmark, workload):
+    db, pairs = workload
+    next_pair = _cycle(pairs)
+    benchmark(lambda: run_q13_chain(db, *next_pair(), max_hops=2))
+
+
+def test_all_approaches_agree(workload):
+    db, pairs = workload
+    psm = PsmShortestPath(db)
+    for source, dest in pairs:
+        expected = run_q13(db, source, dest)
+        assert run_q13_recursive(db, source, dest) == expected
+        assert psm(source, dest) == expected
+        chain = run_q13_chain(db, source, dest, max_hops=3)
+        if expected is not None and expected <= 3:
+            assert chain == expected

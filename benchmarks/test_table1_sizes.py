@@ -1,0 +1,65 @@
+"""Experiment: Table 1 — size of the graph at different scale factors.
+
+Paper numbers (vertices x10^3 / edges x10^3): SF1 9.892/362, SF3 24/1132,
+SF10 65/3894, SF30 165/12115, SF100 448/39998, SF300 1128/119225.
+
+Our generator reproduces the same vertex/edge counts scaled by
+BENCH_SCALE; this module prints the regenerated table and checks the
+between-scale-factor ratios against the paper, then benchmarks the data
+generation itself.
+"""
+
+import pytest
+
+from repro.harness import format_table, table1
+from repro.ldbc import TABLE1_SIZES, generate
+
+from conftest import BENCH_SCALE, SCALE_FACTORS
+
+
+def test_table1_reproduction_report(capsys):
+    rows = table1(scale_factors=SCALE_FACTORS, scale=BENCH_SCALE)
+    with capsys.disabled():
+        print("\n=== Table 1 (scaled by %.4g) ===" % BENCH_SCALE)
+        print(
+            format_table(
+                rows,
+                columns=(
+                    "scale_factor",
+                    "vertices",
+                    "edges",
+                    "paper_vertices",
+                    "paper_edges",
+                ),
+            )
+        )
+    # the shape check: our vertex/edge counts track the paper's within 5%
+    for row in rows:
+        assert row["vertices"] == pytest.approx(
+            row["paper_vertices"] * BENCH_SCALE, rel=0.05, abs=3
+        )
+        assert row["edges"] == pytest.approx(
+            row["paper_edges"] * BENCH_SCALE, rel=0.05, abs=6
+        )
+
+
+def test_table1_edge_density_grows_like_paper():
+    # the paper's avg degree rises from ~37 (SF1) to ~106 (SF300); the
+    # scaled graphs must preserve the same density trend
+    degrees = {}
+    for sf in SCALE_FACTORS:
+        network = generate(sf, scale=BENCH_SCALE)
+        degrees[sf] = network.num_directed_edges / network.num_persons
+    paper_degrees = {
+        sf: TABLE1_SIZES[sf][1] / TABLE1_SIZES[sf][0] for sf in SCALE_FACTORS
+    }
+    ordered = sorted(SCALE_FACTORS)
+    for small, large in zip(ordered, ordered[1:]):
+        if paper_degrees[large] > paper_degrees[small]:
+            assert degrees[large] > degrees[small] * 0.9
+
+
+@pytest.mark.parametrize("sf", SCALE_FACTORS)
+def test_bench_datagen(benchmark, sf):
+    """Time to synthesize one social network per scale factor."""
+    benchmark(lambda: generate(sf, scale=BENCH_SCALE))

@@ -1,0 +1,115 @@
+"""The paper's evaluation workload on a synthetic LDBC-like social network.
+
+Run with::
+
+    python examples/ldbc_social_network.py [--sf 1] [--scale 0.01]
+    python examples/ldbc_social_network.py --table1
+
+Loads a generated friendship graph and runs the Section 4 queries — Q13
+(unweighted shortest-path cost) and the weighted Q14 variant — plus the
+appendix-style reachability/path queries, reporting latencies.
+"""
+
+import argparse
+import time
+
+from repro.harness import format_table, table1
+from repro.ldbc import (
+    generate,
+    make_database,
+    random_pairs,
+    run_q13,
+    run_q13_batch,
+    run_q14_variant,
+)
+
+
+def show_table1(scale: float) -> None:
+    rows = table1(scale=scale)
+    for row in rows:
+        row["vertices_x1000"] = round(row["vertices"] / 1000, 3)
+        row["edges_x1000"] = round(row["edges"] / 1000, 1)
+    print(f"Table 1 shape at scale={scale} (paper numbers in brackets):")
+    print(
+        format_table(
+            rows,
+            columns=(
+                "scale_factor",
+                "vertices",
+                "edges",
+                "paper_vertices",
+                "paper_edges",
+            ),
+        )
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sf", type=float, default=1, help="scale factor")
+    parser.add_argument("--scale", type=float, default=0.01, help="global shrink")
+    parser.add_argument("--pairs", type=int, default=10, help="random pairs to query")
+    parser.add_argument("--table1", action="store_true", help="print Table 1 and exit")
+    args = parser.parse_args()
+
+    if args.table1:
+        show_table1(args.scale)
+        return
+
+    print(f"generating SF {args.sf} at scale {args.scale} ...")
+    network = generate(args.sf, scale=args.scale)
+    print(f"  {network.num_persons} persons, {network.num_directed_edges} directed edges")
+
+    start = time.perf_counter()
+    db = make_database(network)
+    print(f"  loaded in {time.perf_counter() - start:.2f}s")
+
+    pairs = random_pairs(network, args.pairs)
+
+    print("\nQ13 — unweighted shortest-path cost (per pair):")
+    for source, dest in pairs[:5]:
+        start = time.perf_counter()
+        cost = run_q13(db, source, dest)
+        elapsed = (time.perf_counter() - start) * 1000
+        print(f"  {source} -> {dest}: {cost}   ({elapsed:.1f} ms)")
+
+    print("\nQ14 variant — weighted shortest path with affinity weights:")
+    for source, dest in pairs[:3]:
+        start = time.perf_counter()
+        result = run_q14_variant(db, source, dest)
+        elapsed = (time.perf_counter() - start) * 1000
+        if result is None:
+            print(f"  {source} -> {dest}: unreachable   ({elapsed:.1f} ms)")
+        else:
+            cost, path = result
+            print(
+                f"  {source} -> {dest}: cost {cost / 10.0} over {len(path)} edges"
+                f"   ({elapsed:.1f} ms)"
+            )
+
+    print(f"\nQ13 batched ({len(pairs)} pairs in one statement, Figure 1b style):")
+    start = time.perf_counter()
+    rows = run_q13_batch(db, pairs)
+    elapsed = time.perf_counter() - start
+    print(
+        f"  {len(rows)} connected pairs; {elapsed * 1000:.1f} ms total, "
+        f"{elapsed / len(pairs) * 1000:.2f} ms per pair"
+    )
+
+    print("\nfriends-of-friends within early friendships (appendix A.3 style):")
+    person = pairs[0][0]
+    rows = db.execute(
+        """
+        WITH early AS (
+            SELECT * FROM knows WHERE creationDate < '2011-07-01'
+        )
+        SELECT count(*) FROM persons
+        WHERE ? REACHES id OVER early EDGE (person1, person2)
+        """,
+        (person,),
+    ).rows()
+    print(f"  persons reachable from {person} over early friendships: {rows[0][0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Quickstart: the SQL shortest-path extension in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the paper's core constructs on a toy graph: the REACHES
+predicate, CHEAPEST SUM for unweighted and weighted shortest paths,
+paths as nested tables, and UNNEST to flatten them.
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+
+    # A graph is just an edge table (Section 2): each row is one directed
+    # edge, extra columns are edge properties.
+    db.executescript(
+        """
+        CREATE TABLE flights (
+            origin VARCHAR, destination VARCHAR, minutes INT, price DOUBLE
+        );
+        INSERT INTO flights VALUES
+            ('AMS', 'LHR',  80,  95.0),
+            ('AMS', 'CDG',  85,  70.0),
+            ('LHR', 'JFK', 490, 420.0),
+            ('CDG', 'JFK', 505, 380.0),
+            ('AMS', 'JFK', 540, 650.0),
+            ('JFK', 'SFO', 390, 210.0);
+        """
+    )
+
+    print("== reachability ==")
+    rows = db.execute(
+        "SELECT 'reachable' WHERE 'AMS' REACHES 'SFO' "
+        "OVER flights EDGE (origin, destination)"
+    ).rows()
+    print("AMS -> SFO:", rows[0][0] if rows else "unreachable")
+
+    print("\n== unweighted shortest path (hop count) ==")
+    hops = db.execute(
+        "SELECT CHEAPEST SUM(1) WHERE 'AMS' REACHES 'SFO' "
+        "OVER flights EDGE (origin, destination)"
+    ).scalar()
+    print("fewest hops AMS -> SFO:", hops)
+
+    print("\n== weighted shortest paths ==")
+    for label, weight_expr in (("fastest", "f: minutes"), ("cheapest", "f: price")):
+        cost, path = db.execute(
+            f"SELECT CHEAPEST SUM({weight_expr}) AS (cost, path) "
+            "WHERE 'AMS' REACHES 'SFO' OVER flights f EDGE (origin, destination)"
+        ).rows()[0]
+        route = " -> ".join(
+            [path.to_rows()[0][0]] + [row[1] for row in path.to_rows()]
+        )
+        print(f"{label}: cost={cost} route={route}")
+
+    print("\n== weight expressions are arbitrary (Section 2) ==")
+    cost = db.execute(
+        "SELECT CHEAPEST SUM(f: CAST(price + minutes * 0.5 AS double)) "
+        "WHERE 'AMS' REACHES 'JFK' OVER flights f EDGE (origin, destination)"
+    ).scalar()
+    print("price + 0.5*minutes objective:", cost)
+
+    print("\n== paths are nested tables; UNNEST flattens them ==")
+    rows = db.execute(
+        """
+        SELECT R.ordinality, R.origin, R.destination, R.minutes
+        FROM (
+            SELECT CHEAPEST SUM(f: minutes) AS (cost, path)
+            WHERE 'AMS' REACHES 'SFO' OVER flights f EDGE (origin, destination)
+        ) T, UNNEST(T.path) WITH ORDINALITY AS R
+        ORDER BY R.ordinality
+        """
+    ).rows()
+    for ordinal, origin, dest, minutes in rows:
+        print(f"  leg {ordinal}: {origin} -> {dest} ({minutes} min)")
+
+    print("\n== the result of a graph query is an ordinary table ==")
+    rows = db.execute(
+        """
+        SELECT t.city, t.hops
+        FROM (
+            SELECT c.city, CHEAPEST SUM(1) AS hops
+            FROM (SELECT DISTINCT destination AS city FROM flights) c
+            WHERE 'AMS' REACHES c.city OVER flights EDGE (origin, destination)
+        ) t
+        ORDER BY t.hops, t.city
+        """
+    ).rows()
+    for city, hops in rows:
+        print(f"  {city}: {hops} hop(s) from AMS")
+
+
+if __name__ == "__main__":
+    main()

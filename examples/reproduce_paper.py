@@ -1,0 +1,163 @@
+"""Regenerate the paper's full evaluation section in one run.
+
+Run with::
+
+    python examples/reproduce_paper.py [--scale 0.01] [--pairs 20] [--full]
+
+Prints Table 1, Figure 1a and Figure 1b (as data series), the cost-split
+ablation behind the paper's "graph construction dominates" claim, and
+the baseline comparison — everything EXPERIMENTS.md records, regenerated
+live.  ``--full`` includes scale factors 100 and 300 (slower).
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.baselines import PsmShortestPath, run_q13_chain, run_q13_recursive
+from repro.graph import GraphLibrary, bfs, bidirectional_distance
+from repro.harness import fig1a, fig1a_chart, fig1b, fig1b_chart, format_table, table1
+from repro.ldbc import generate, make_database, random_pairs, run_q13
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--pairs", type=int, default=20)
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args()
+
+    sfs = (1, 3, 10, 30, 100, 300) if args.full else (1, 3, 10, 30)
+
+    print("=" * 72)
+    print("Table 1 — size of the graph at different scale factors")
+    print("=" * 72)
+    rows = table1(scale_factors=sfs, scale=args.scale)
+    print(
+        format_table(
+            rows,
+            columns=(
+                "scale_factor",
+                "vertices",
+                "edges",
+                "paper_vertices",
+                "paper_edges",
+            ),
+        )
+    )
+
+    print("\nloading databases ...")
+    databases = {}
+    networks = {}
+    for sf in sfs:
+        networks[sf] = generate(sf, scale=args.scale)
+        start = time.perf_counter()
+        databases[sf] = make_database(networks[sf])
+        print(f"  SF {sf}: {time.perf_counter() - start:.2f}s")
+
+    print()
+    print("=" * 72)
+    print("Figure 1a — average latency per query")
+    print("=" * 72)
+    rows = fig1a(
+        scale_factors=sfs,
+        pairs_per_sf=args.pairs,
+        scale=args.scale,
+        databases=databases,
+    )
+    for row in rows:
+        row["avg_ms"] = round(row["avg_latency_s"] * 1000, 2)
+    print(format_table(rows, columns=("scale_factor", "query", "avg_ms")))
+    print()
+    print(fig1a_chart(rows))
+
+    print()
+    print("=" * 72)
+    print("Figure 1b — latency per pair at varying batch sizes")
+    print("=" * 72)
+    rows = fig1b(
+        scale_factors=sfs,
+        repeats=2,
+        scale=args.scale,
+        databases=databases,
+    )
+    for row in rows:
+        row["per_pair_ms"] = round(row["avg_latency_per_pair_s"] * 1000, 3)
+    print(format_table(rows, columns=("scale_factor", "batch_size", "per_pair_ms")))
+    print()
+    print(fig1b_chart(rows))
+
+    sf = max(sfs)
+    network, db = networks[sf], databases[sf]
+    print()
+    print("=" * 72)
+    print(f"A2 — cost split at SF {sf}: graph build vs one traversal")
+    print("=" * 72)
+    src, dst, _, _ = network.directed_edges()
+    start = time.perf_counter()
+    library = GraphLibrary(src, dst)
+    build = time.perf_counter() - start
+    encoded = library.domain.encode(
+        np.random.default_rng(5).choice(network.person_ids, size=20)
+    )
+    start = time.perf_counter()
+    for i in range(10):
+        bfs(library.csr, int(encoded[i]), targets=np.array([int(encoded[i + 10])]))
+    traverse = (time.perf_counter() - start) / 10
+    print(f"build:    {build * 1000:8.2f} ms  (once per query without an index)")
+    print(f"traverse: {traverse * 1000:8.2f} ms  (one early-exit BFS)")
+    print(f"-> construction is {build / max(traverse, 1e-9):.0f}x the traversal")
+
+    print()
+    print("=" * 72)
+    print(f"A6 — unidirectional vs bidirectional BFS on the prepared SF {sf} graph")
+    print("=" * 72)
+    library.reverse  # prepare the transpose once
+    pairs = [(int(encoded[i]), int(encoded[i + 10])) for i in range(10)]
+    start = time.perf_counter()
+    for s, t in pairs:
+        bfs(library.csr, s, targets=np.array([t]))
+    uni = (time.perf_counter() - start) / len(pairs)
+    start = time.perf_counter()
+    for s, t in pairs:
+        bidirectional_distance(library.csr, library.reverse, s, t)
+    bidir = (time.perf_counter() - start) / len(pairs)
+    print(f"unidirectional: {uni * 1000:8.2f} ms/pair")
+    print(f"bidirectional:  {bidir * 1000:8.2f} ms/pair  ({uni / max(bidir, 1e-9):.1f}x)")
+
+    print()
+    print("=" * 72)
+    print("A3 — the extension vs the three 'customary means' (Section 1), SF 1")
+    print("=" * 72)
+    small_db = databases[min(sfs)]
+    small_net = networks[min(sfs)]
+    sample = random_pairs(small_net, 10, seed=3)
+    psm = PsmShortestPath(small_db)
+    approaches = [
+        ("REACHES / CHEAPEST SUM", lambda s, d: run_q13(small_db, s, d)),
+        ("recursive CTE", lambda s, d: run_q13_recursive(small_db, s, d, max_hops=6)),
+        ("PSM-style procedure", psm),
+        ("chain of joins (<=2 hops)", lambda s, d: run_q13_chain(small_db, s, d, max_hops=2)),
+    ]
+    for name, runner in approaches:
+        start = time.perf_counter()
+        for s, d in sample:
+            runner(s, d)
+        avg = (time.perf_counter() - start) / len(sample)
+        print(f"{name:28s} {avg * 1000:8.2f} ms/query")
+
+    print()
+    print("=" * 72)
+    print("Per-operator profile of one Q13 (the paper's Section 4 finding)")
+    print("=" * 72)
+    s, d = random_pairs(network, 1, seed=9)[0]
+    _, report = db.profile(
+        "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER knows EDGE (person1, person2)",
+        (s, d),
+    )
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — a reproduction of De Leo & Boncz, "Extending SQL for Computing
+Shortest Paths" (GRADES'17).
+
+A from-scratch columnar SQL engine extended with the paper's REACHES
+reachability predicate, CHEAPEST SUM shortest-path function, nested-table
+paths, and UNNEST, together with the CSR/BFS/Dijkstra(radix queue) graph
+runtime, an LDBC-SNB-like workload generator, and the benchmark harness
+that regenerates the paper's tables and figures.
+"""
+
+from .api import Database, Result, connect
+from .errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    GraphRuntimeError,
+    LexError,
+    NotSupportedError,
+    ParseError,
+    ReproError,
+    SqlError,
+)
+from .nested import NestedTableValue
+from .storage import DataType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Result",
+    "connect",
+    "NestedTableValue",
+    "DataType",
+    "ReproError",
+    "SqlError",
+    "LexError",
+    "ParseError",
+    "BindError",
+    "CatalogError",
+    "ExecutionError",
+    "GraphRuntimeError",
+    "NotSupportedError",
+]

@@ -1,0 +1,391 @@
+"""Public API: an embedded database speaking the extended SQL dialect.
+
+Typical use::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("CREATE TABLE friends (src INT, dst INT, weight DOUBLE)")
+    db.execute("INSERT INTO friends VALUES (1, 2, 0.5), (2, 3, 2.0)")
+    result = db.execute(
+        "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+        (1, 3),
+    )
+    print(result.rows())   # [(2,)]
+
+Shortest-path queries follow the paper's syntax: ``REACHES ... OVER ...
+EDGE (S, D)`` in WHERE, ``CHEAPEST SUM(e: expr)`` (optionally
+``AS (cost, path)``) in SELECT, and ``UNNEST(path)`` in FROM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from .errors import CatalogError, ExecutionError
+from .exec import graph_ops  # noqa: F401 - registers the graph operators
+from .exec.batch import Batch
+from .exec.operators import ExecContext, execute_plan
+from .graph import GraphLibrary
+from .nested import NestedTableValue
+from .plan import (
+    Binder,
+    BoundCreateGraphIndex,
+    BoundCreateTable,
+    BoundCreateTableAs,
+    BoundDelete,
+    BoundDropGraphIndex,
+    BoundDropTable,
+    BoundExplain,
+    BoundInsert,
+    BoundQuery,
+    BoundUpdate,
+    explain as explain_plan,
+    rewrite,
+)
+from .sql import parse_script, parse_statement
+from .storage import Catalog, Column, DataType, Schema, Table, days_to_date
+
+
+class Result:
+    """The outcome of one statement.
+
+    Queries expose rows via :meth:`rows` / iteration; DDL/DML expose
+    ``rowcount``.  DATE values come back as :class:`datetime.date`; paths
+    come back as :class:`~repro.nested.NestedTableValue` with
+    ``to_rows()`` / ``to_dicts()`` accessors (flatten them in SQL with
+    UNNEST when you want plain tuples).
+    """
+
+    def __init__(self, batch: Optional[Batch], rowcount: int = -1):
+        self._batch = batch
+        self.rowcount = rowcount
+
+    @staticmethod
+    def from_text_lines(column_name: str, lines: list[str]) -> "Result":
+        """A single-VARCHAR-column result (used by EXPLAIN)."""
+        from .plan.logical import PlanColumn
+
+        column = Column.from_values(DataType.VARCHAR, list(lines))
+        schema = (PlanColumn(0, column_name, DataType.VARCHAR),)
+        return Result(Batch(schema, [column]))
+
+    @property
+    def is_query(self) -> bool:
+        return self._batch is not None
+
+    @property
+    def column_names(self) -> list[str]:
+        if self._batch is None:
+            return []
+        return [c.name for c in self._batch.schema]
+
+    def __len__(self) -> int:
+        return self._batch.num_rows if self._batch is not None else 0
+
+    def rows(self) -> list[tuple]:
+        """All result rows as Python tuples."""
+        if self._batch is None:
+            return []
+        decoded = []
+        for col, plan_col in zip(self._batch.columns, self._batch.schema):
+            decoded.append(col.to_pylist(decode_dates=True))
+        return [
+            tuple(col[i] for col in decoded) for i in range(self._batch.num_rows)
+        ]
+
+    fetchall = rows
+
+    def __iter__(self):
+        return iter(self.rows())
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result (None for an empty result)."""
+        rows = self.rows()
+        if not rows:
+            return None
+        if len(rows) > 1 or len(rows[0]) != 1:
+            raise ExecutionError("scalar() requires a single-row, single-column result")
+        return rows[0][0]
+
+    def to_dicts(self) -> list[dict]:
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.rows()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._batch is None:
+            return f"<Result rowcount={self.rowcount}>"
+        return f"<Result {self._batch.num_rows} rows: {', '.join(self.column_names)}>"
+
+
+class GraphIndexManager:
+    """The paper's Section-6 'graph indices': prepared CSRs keyed on the
+    edge table, invalidated by table updates via the version counter."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._specs: dict[str, tuple[str, str, str]] = {}
+        self._cache: dict[tuple[str, str, str], tuple[int, GraphLibrary]] = {}
+
+    def create(self, name: str, table: str, src_col: str, dst_col: str) -> None:
+        if name in self._specs:
+            raise CatalogError(f"graph index already exists: {name!r}")
+        schema = self._catalog.get(table).schema
+        for column in (src_col, dst_col):
+            if not schema.has(column):
+                raise CatalogError(
+                    f"table {table!r} has no column {column!r} for graph index"
+                )
+        self._specs[name] = (table, src_col, dst_col)
+
+    def drop(self, name: str) -> None:
+        try:
+            spec = self._specs.pop(name)
+        except KeyError:
+            raise CatalogError(f"unknown graph index: {name!r}") from None
+        self._cache.pop(spec, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def specs(self) -> dict[str, tuple[str, str, str]]:
+        """name -> (table, src column, dst column), for persistence."""
+        return dict(self._specs)
+
+    def lookup(self, table: str, src_col: str, dst_col: str) -> Optional[GraphLibrary]:
+        """A prepared library for (table, S, D), or None if not indexed.
+
+        Rebuilds lazily when the table changed since the cached build.
+        """
+        spec = (table, src_col, dst_col)
+        if spec not in set(self._specs.values()):
+            return None
+        table_obj = self._catalog.get(table)
+        cached = self._cache.get(spec)
+        if cached is not None and cached[0] == table_obj.version:
+            return cached[1]
+        src = table_obj.column(src_col)
+        dst = table_obj.column(dst_col)
+        valid = ~(src.null_mask() | dst.null_mask())
+        library = GraphLibrary(src.data[valid], dst.data[valid])
+        self._cache[spec] = (table_obj.version, library)
+        return library
+
+
+class Database:
+    """An in-process database instance (catalog + executor)."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.graph_indices = GraphIndexManager(self.catalog)
+
+    # ------------------------------------------------------------------
+    # SQL entry points
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """Parse, bind, rewrite and execute one SQL statement."""
+        statement = parse_statement(sql)
+        bound = Binder(self.catalog).bind_statement(statement)
+        return self._run_bound(bound, tuple(params))
+
+    def executescript(self, sql: str) -> list[Result]:
+        """Execute a semicolon-separated list of statements (no params)."""
+        return [
+            self._run_bound(Binder(self.catalog).bind_statement(stmt), ())
+            for stmt in parse_script(sql)
+        ]
+
+    def profile(self, sql: str, params: Sequence[Any] = ()) -> tuple[Result, str]:
+        """Execute a query with per-operator timing instrumentation.
+
+        Returns (result, report); the report is the plan tree annotated
+        with self/total milliseconds and output row counts per operator.
+        """
+        from .exec.profiler import Profiler
+
+        statement = parse_statement(sql)
+        bound = Binder(self.catalog).bind_statement(statement)
+        if not isinstance(bound, BoundQuery):
+            raise ExecutionError("profile() is only available for queries")
+        plan = rewrite(bound.plan)
+        profiler = Profiler()
+        ctx = ExecContext(self, tuple(params), profiler=profiler)
+        result = Result(execute_plan(plan, ctx))
+        return result, profiler.render(plan)
+
+    def explain(self, sql: str) -> str:
+        """The optimized logical plan of a query, as indented text."""
+        statement = parse_statement(sql)
+        bound = Binder(self.catalog).bind_statement(statement)
+        if not isinstance(bound, BoundQuery):
+            raise ExecutionError("EXPLAIN is only available for queries")
+        return explain_plan(rewrite(bound.plan))
+
+    # ------------------------------------------------------------------
+    # convenience (non-SQL) helpers
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, columns: list[tuple[str, DataType]]) -> Table:
+        return self.catalog.create_table(name, Schema(columns))
+
+    def insert_rows(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.catalog.get(table).insert_rows(rows)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.get(name)
+
+    def lookup_graph_index(self, table, src_col, dst_col) -> Optional[GraphLibrary]:
+        return self.graph_indices.lookup(table, src_col, dst_col)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Persist all tables and graph-index definitions to a directory."""
+        from .persist import save_database
+
+        save_database(self, directory)
+
+    @staticmethod
+    def load(directory: str) -> "Database":
+        """Load a database previously written by :meth:`save`."""
+        from .persist import load_database
+
+        return load_database(directory)
+
+    # ------------------------------------------------------------------
+    def _run_bound(self, bound, params: tuple) -> Result:
+        if isinstance(bound, BoundQuery):
+            plan = rewrite(bound.plan)
+            ctx = ExecContext(self, params)
+            return Result(execute_plan(plan, ctx))
+        if isinstance(bound, BoundExplain):
+            return Result.from_text_lines(
+                "plan", explain_plan(rewrite(bound.plan)).splitlines()
+            )
+        if isinstance(bound, BoundCreateTable):
+            self.catalog.create_table(bound.name, Schema(list(bound.columns)))
+            return Result(None, rowcount=0)
+        if isinstance(bound, BoundDropTable):
+            self.catalog.drop_table(bound.name)
+            return Result(None, rowcount=0)
+        if isinstance(bound, BoundInsert):
+            return self._run_insert(bound, params)
+        if isinstance(bound, BoundCreateTableAs):
+            return self._run_create_table_as(bound, params)
+        if isinstance(bound, BoundDelete):
+            return self._run_delete(bound, params)
+        if isinstance(bound, BoundUpdate):
+            return self._run_update(bound, params)
+        if isinstance(bound, BoundCreateGraphIndex):
+            self.graph_indices.create(
+                bound.name, bound.table, bound.src_col, bound.dst_col
+            )
+            # build eagerly so the first query benefits
+            self.graph_indices.lookup(bound.table, bound.src_col, bound.dst_col)
+            return Result(None, rowcount=0)
+        if isinstance(bound, BoundDropGraphIndex):
+            self.graph_indices.drop(bound.name)
+            return Result(None, rowcount=0)
+        raise ExecutionError(f"cannot execute {type(bound).__name__}")
+
+    def _run_create_table_as(self, bound: BoundCreateTableAs, params: tuple) -> Result:
+        ctx = ExecContext(self, params)
+        batch = execute_plan(rewrite(bound.plan), ctx)
+        # derive the schema from the materialized result so columns whose
+        # static type was unknown (host parameters) get their runtime type
+        columns = []
+        for plan_col, col in zip(batch.schema, batch.columns):
+            type_ = plan_col.type or col.type
+            if type_ == DataType.NESTED_TABLE:
+                raise ExecutionError(
+                    "nested tables cannot be stored in a physical table "
+                    "(flatten with UNNEST first)"
+                )
+            columns.append((plan_col.name, type_))
+        table = self.catalog.create_table(bound.name, Schema(columns))
+        table.insert_columns(
+            [
+                col if col.type == type_ else col.cast(type_)
+                for col, (_, type_) in zip(batch.columns, columns)
+            ]
+        )
+        return Result(None, rowcount=batch.num_rows)
+
+    def _run_delete(self, bound: BoundDelete, params: tuple) -> Result:
+        table = self.catalog.get(bound.table)
+        ctx = ExecContext(self, params)
+        batch = execute_plan(bound.scan, ctx)
+        if bound.predicate is None:
+            deleted = batch.num_rows
+            table.truncate()
+            return Result(None, rowcount=deleted)
+        import numpy as np
+
+        predicate = ctx.eval(bound.predicate, batch)
+        drop = predicate.data.astype(np.bool_)
+        if predicate.mask is not None:
+            drop = drop & ~predicate.mask
+        table.replace_columns([c.filter(~drop) for c in batch.columns])
+        return Result(None, rowcount=int(drop.sum()))
+
+    def _run_update(self, bound: BoundUpdate, params: tuple) -> Result:
+        import numpy as np
+
+        table = self.catalog.get(bound.table)
+        ctx = ExecContext(self, params)
+        batch = execute_plan(bound.scan, ctx)
+        if bound.predicate is not None:
+            predicate = ctx.eval(bound.predicate, batch)
+            hit = predicate.data.astype(np.bool_)
+            if predicate.mask is not None:
+                hit = hit & ~predicate.mask
+        else:
+            hit = np.ones(batch.num_rows, dtype=np.bool_)
+        new_columns = list(batch.columns)
+        for position, expr in bound.assignments:
+            declared = table.schema.columns[position].type
+            fresh = ctx.eval(expr, batch)
+            if fresh.type != declared:
+                fresh = fresh.cast(declared)
+            old = new_columns[position]
+            data = old.data.copy()
+            data[hit] = fresh.data[hit]
+            mask = old.null_mask().copy()
+            mask[hit] = fresh.null_mask()[hit]
+            new_columns[position] = Column(declared, data, mask if mask.any() else None)
+        table.replace_columns(new_columns)
+        return Result(None, rowcount=int(hit.sum()))
+
+    def _run_insert(self, bound: BoundInsert, params: tuple) -> Result:
+        table = self.catalog.get(bound.table)
+        ctx = ExecContext(self, params)
+        batch = execute_plan(rewrite(bound.plan), ctx)
+        incoming = batch.to_rows()
+        if bound.columns:
+            positions = [table.schema.index_of(c) for c in bound.columns]
+            width = len(table.schema)
+            rows = []
+            for row in incoming:
+                full: list[Any] = [None] * width
+                for position, value in zip(positions, row):
+                    full[position] = value
+                rows.append(tuple(full))
+        else:
+            rows = incoming
+        count = table.insert_rows(rows)
+        return Result(None, rowcount=count)
+
+
+def connect() -> Database:
+    """Create a fresh in-memory database (DB-API-flavoured spelling)."""
+    return Database()
+
+
+__all__ = [
+    "Database",
+    "Result",
+    "GraphIndexManager",
+    "connect",
+    "NestedTableValue",
+    "days_to_date",
+]

@@ -1,0 +1,16 @@
+"""The three "customary means" of computing shortest paths in standard
+SQL that Section 1 of the paper describes — used as comparison baselines
+for the extension (DESIGN.md experiment A3)."""
+
+from .chain_joins import chain_join_sql, run_q13_chain
+from .psm import PsmShortestPath
+from .recursive_cte import DEFAULT_MAX_HOPS, q13_recursive_sql, run_q13_recursive
+
+__all__ = [
+    "chain_join_sql",
+    "run_q13_chain",
+    "PsmShortestPath",
+    "DEFAULT_MAX_HOPS",
+    "q13_recursive_sql",
+    "run_q13_recursive",
+]

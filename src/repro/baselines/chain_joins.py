@@ -1,0 +1,59 @@
+"""Baseline 3: bounded chains of self-joins.
+
+The paper's third "customary means": "if the number of iterations can be
+limited by some number N, then a simple popular technique is, starting
+with a table T only containing the source node, execute N-1 self-joins
+to incrementally extend the result set with the neighbours of the nodes
+discovered at the previous step."
+
+The generated query UNIONs one N-way join branch per hop count, so the
+minimum hop count at which the destination appears is the shortest
+distance (within the bound).  Cost grows exponentially with N on dense
+graphs — the verbosity and the performance cliff are exactly the
+shortcomings Section 1 attributes to this approach.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..api import Database
+
+
+def chain_join_sql(edge_table: str, src_col: str, dst_col: str, hops: int) -> str:
+    """One UNION branch per hop count 1..hops, each a chain of joins."""
+    branches = []
+    for n in range(1, hops + 1):
+        froms = ", ".join(f"{edge_table} e{i}" for i in range(1, n + 1))
+        conditions = [f"e1.{src_col} = ?"]
+        for i in range(1, n):
+            conditions.append(f"e{i}.{dst_col} = e{i + 1}.{src_col}")
+        conditions.append(f"e{n}.{dst_col} = ?")
+        where = " AND ".join(conditions)
+        branches.append(
+            f"SELECT {n} AS hops FROM {froms} WHERE {where}"
+        )
+    return " UNION ".join(branches)
+
+
+def run_q13_chain(
+    db: Database,
+    source: int,
+    dest: int,
+    *,
+    edge_table: str = "knows",
+    src_col: str = "person1",
+    dst_col: str = "person2",
+    max_hops: int = 4,
+) -> Optional[int]:
+    """Shortest distance within ``max_hops`` via chained self-joins.
+
+    Note the parameter list repeats (source, dest) once per branch.
+    """
+    if source == dest:
+        return 0
+    sql = f"SELECT min(hops) FROM ({chain_join_sql(edge_table, src_col, dst_col, max_hops)}) u"
+    params: list[int] = []
+    for _ in range(max_hops):
+        params.extend((source, dest))
+    return db.execute(sql, tuple(params)).scalar()

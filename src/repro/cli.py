@@ -1,0 +1,171 @@
+"""Interactive SQL shell for the engine.
+
+Run with ``python -m repro [database-dir]``.  Statements end with ``;``
+and may span lines.  Meta commands:
+
+* ``\\dt`` — list tables (and graph indices)
+* ``\\d <table>`` — describe a table
+* ``\\timing`` — toggle per-statement timing
+* ``\\save <dir>`` / ``\\open <dir>`` — persist / load the database
+* ``\\q`` — quit
+
+Paths (nested tables) are rendered inline as ``<path: n edges>``; use
+UNNEST to flatten them into rows.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Iterable, Optional, TextIO
+
+from .api import Database, Result
+from .errors import ReproError
+from .nested import NestedTableValue
+
+PROMPT = "sql> "
+CONTINUATION = "...> "
+
+
+def render_value(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, NestedTableValue):
+        return f"<path: {len(value)} edges>"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_result(result: Result, *, max_rows: int = 200) -> str:
+    """Render a Result as an aligned text table."""
+    if not result.is_query:
+        return f"OK, {result.rowcount} row(s) affected"
+    names = result.column_names
+    rows = result.rows()
+    shown = rows[:max_rows]
+    cells = [[render_value(v) for v in row] for row in shown]
+    widths = [
+        max(len(names[i]), *(len(row[i]) for row in cells)) if cells else len(names[i])
+        for i in range(len(names))
+    ]
+    lines = [
+        " | ".join(name.ljust(widths[i]) for i, name in enumerate(names)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(names))))
+    suffix = f"({len(rows)} row(s))"
+    if len(rows) > max_rows:
+        suffix = f"({len(rows)} row(s), showing first {max_rows})"
+    lines.append(suffix)
+    return "\n".join(lines)
+
+
+class Shell:
+    """Stateful REPL; separated from I/O so tests can drive it."""
+
+    def __init__(self, db: Optional[Database] = None, out: TextIO = sys.stdout):
+        self.db = db or Database()
+        self.out = out
+        self.timing = False
+        self.buffer: list[str] = []
+        self.done = False
+
+    def write(self, text: str) -> None:
+        self.out.write(text + "\n")
+
+    # ------------------------------------------------------------------
+    def feed_line(self, line: str) -> None:
+        """Process one input line (meta command or statement fragment)."""
+        stripped = line.strip()
+        if not self.buffer and stripped.startswith("\\"):
+            self._meta(stripped)
+            return
+        if not stripped and not self.buffer:
+            return
+        self.buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self.buffer)
+            self.buffer = []
+            self._run(statement)
+
+    @property
+    def prompt(self) -> str:
+        return CONTINUATION if self.buffer else PROMPT
+
+    # ------------------------------------------------------------------
+    def _run(self, sql: str) -> None:
+        start = time.perf_counter()
+        try:
+            result = self.db.execute(sql)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        elapsed = time.perf_counter() - start
+        self.write(render_result(result))
+        if self.timing:
+            self.write(f"time: {elapsed * 1000:.2f} ms")
+
+    def _meta(self, command: str) -> None:
+        parts = command.split()
+        name, args = parts[0], parts[1:]
+        if name in ("\\q", "\\quit"):
+            self.done = True
+        elif name == "\\dt":
+            for table_name in self.db.catalog.table_names():
+                table = self.db.table(table_name)
+                self.write(f"{table_name}  ({table.num_rows} rows)")
+            for index_name in self.db.graph_indices.names():
+                self.write(f"{index_name}  (graph index)")
+            if not self.db.catalog.table_names():
+                self.write("no tables")
+        elif name == "\\d" and args:
+            try:
+                table = self.db.table(args[0])
+            except ReproError as exc:
+                self.write(f"error: {exc}")
+                return
+            for column in table.schema:
+                self.write(f"{column.name}  {column.type}")
+        elif name == "\\timing":
+            self.timing = not self.timing
+            self.write(f"timing {'on' if self.timing else 'off'}")
+        elif name == "\\save" and args:
+            try:
+                self.db.save(args[0])
+                self.write(f"saved to {args[0]}")
+            except ReproError as exc:
+                self.write(f"error: {exc}")
+        elif name == "\\open" and args:
+            try:
+                self.db = Database.load(args[0])
+                self.write(f"loaded {args[0]}")
+            except ReproError as exc:
+                self.write(f"error: {exc}")
+        else:
+            self.write(f"unknown meta command: {command}")
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    shell = Shell()
+    if argv:
+        shell.db = Database.load(argv[0])
+    interactive = sys.stdin.isatty()
+    if interactive:
+        shell.write("repro SQL shell — REACHES / CHEAPEST SUM / UNNEST available")
+        shell.write("end statements with ';', \\q quits, \\dt lists tables")
+    while not shell.done:
+        try:
+            if interactive:
+                line = input(shell.prompt)
+            else:
+                line = sys.stdin.readline()
+                if not line:
+                    break
+                line = line.rstrip("\n")
+        except (EOFError, KeyboardInterrupt):
+            break
+        shell.feed_line(line)
+    return 0

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the engine.
+
+Errors are split along the same lines as the paper's prototype: problems
+detected by the SQL front-end (lexing, parsing, semantic analysis) versus
+problems raised by the runtime (the executor and the external graph
+library).  Everything derives from :class:`ReproError` so applications can
+catch engine failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SqlError(ReproError):
+    """Base class for errors detected by the SQL front-end."""
+
+
+class LexError(SqlError):
+    """Invalid character sequence while tokenizing.
+
+    Carries the 1-based ``line`` and ``column`` of the offending character.
+    """
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}:{column}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """The token stream does not form a valid statement."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(SqlError):
+    """Semantic analysis failure: unknown names, ambiguity, type mismatch.
+
+    The paper mandates one such check explicitly: the types of
+    ``E.S, E.D, VP.X, VP.Y`` in a REACHES predicate must match,
+    "otherwise a semantic error arises" (Section 2).
+    """
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate table/column at the catalog level."""
+
+
+class TypeError_(ReproError):
+    """Value does not fit the declared column type.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class ExecutionError(ReproError):
+    """Generic runtime failure inside a physical operator."""
+
+
+class GraphRuntimeError(ExecutionError):
+    """Raised by the graph runtime library.
+
+    The paper requires this for non-positive weights: the CHEAPEST SUM
+    weight expression "must always be strictly greater than 0, otherwise a
+    runtime exception is raised" (Section 2).
+    """
+
+
+class NotSupportedError(ReproError):
+    """A recognized SQL feature that this engine deliberately omits."""

@@ -1,0 +1,16 @@
+"""Physical execution: batches, vectorized expressions, operators and the
+graph select / graph join runtime glue."""
+
+from .batch import Batch, ZeroColumnBatch
+from .evaluator import EvalContext, evaluate
+from .operators import ExecContext, execute_plan, register_operator
+
+__all__ = [
+    "Batch",
+    "ZeroColumnBatch",
+    "EvalContext",
+    "evaluate",
+    "ExecContext",
+    "execute_plan",
+    "register_operator",
+]

@@ -1,0 +1,84 @@
+"""Per-operator execution profiling.
+
+``Database.profile(sql)`` runs a query with timing instrumentation and
+renders the plan annotated with inclusive/exclusive wall time and output
+cardinality per operator — the tool behind the paper's central
+observation that graph construction dominates query time (our A2
+ablation, at operator granularity).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..plan import logical as lp
+
+
+@dataclass
+class NodeStats:
+    """Timing record of one plan-node execution."""
+
+    inclusive: float = 0.0
+    children: float = 0.0
+    rows: int = 0
+    calls: int = 0
+
+    @property
+    def exclusive(self) -> float:
+        return max(self.inclusive - self.children, 0.0)
+
+
+class Profiler:
+    """Collects per-node stats during one statement execution."""
+
+    def __init__(self) -> None:
+        self.stats: dict[int, NodeStats] = {}
+        self._stack: list[int] = []
+
+    def run(self, plan: lp.LogicalNode, handler, ctx):
+        """Execute ``handler(plan, ctx)`` under timing instrumentation."""
+        key = id(plan)
+        self._stack.append(key)
+        start = time.perf_counter()
+        try:
+            batch = handler(plan, ctx)
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+        stats = self.stats.setdefault(key, NodeStats())
+        stats.inclusive += elapsed
+        stats.calls += 1
+        stats.rows += batch.num_rows
+        if self._stack:
+            parent = self.stats.setdefault(self._stack[-1], NodeStats())
+            parent.children += elapsed
+        return batch
+
+    # ------------------------------------------------------------------
+    def render(self, plan: lp.LogicalNode) -> str:
+        """The plan tree annotated with times and cardinalities."""
+        lines: list[str] = []
+        self._render_node(plan, 0, lines)
+        return "\n".join(lines)
+
+    def _render_node(self, node: lp.LogicalNode, depth: int, lines: list[str]):
+        name = type(node).__name__[1:]
+        detail = ""
+        if isinstance(node, lp.LScan):
+            detail = f" {node.table}"
+        elif isinstance(node, (lp.LGraphSelect, lp.LGraphJoin)):
+            detail = f" [cheapest={len(node.spec.cheapest)}]"
+        stats = self.stats.get(id(node))
+        if stats is None:
+            annotation = "(not executed)"
+        else:
+            annotation = (
+                f"self={stats.exclusive * 1000:.2f}ms "
+                f"total={stats.inclusive * 1000:.2f}ms "
+                f"rows={stats.rows}"
+                + (f" calls={stats.calls}" if stats.calls > 1 else "")
+            )
+        lines.append(f"{'  ' * depth}{name}{detail}  {annotation}")
+        for child in node.children:
+            self._render_node(child, depth + 1, lines)

@@ -1,0 +1,28 @@
+"""Graph runtime: vertex-domain encoding, CSR, BFS, Dijkstra (radix queue
+and binary heap) and the many-to-many shortest-path library facade."""
+
+from .bfs import UNREACHED, TraversalResult, bfs, reconstruct_path
+from .bidirectional import bidirectional_distance, reverse_csr
+from .csr import CSRGraph, build_csr, expand_frontier
+from .dijkstra import dijkstra
+from .domain import NOT_A_VERTEX, VertexDomain
+from .library import GraphLibrary, ShortestPathResult
+from .radix_queue import RadixQueue
+
+__all__ = [
+    "UNREACHED",
+    "TraversalResult",
+    "bfs",
+    "reconstruct_path",
+    "bidirectional_distance",
+    "reverse_csr",
+    "CSRGraph",
+    "build_csr",
+    "expand_frontier",
+    "dijkstra",
+    "NOT_A_VERTEX",
+    "VertexDomain",
+    "GraphLibrary",
+    "ShortestPathResult",
+    "RadixQueue",
+]

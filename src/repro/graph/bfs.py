@@ -1,0 +1,102 @@
+"""Breadth-First Search over a CSR graph.
+
+Implements the unweighted shortest-path runtime of Section 3.2.  The
+search is level-synchronous and vectorized: each step expands the whole
+frontier with one gather (:func:`~repro.graph.csr.expand_frontier`)
+instead of a per-vertex Python loop.
+
+Besides distances, the search records for every reached vertex the CSR
+slot of the edge that first discovered it (``pred_edge``), from which
+:func:`reconstruct_path` rebuilds the path as a sequence of original
+edge-table row ids — the physical content of the paper's nested tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph, expand_frontier
+
+UNREACHED = -1
+
+
+class TraversalResult:
+    """Distances and shortest-path tree of one single-source traversal."""
+
+    __slots__ = ("source", "dist", "pred_edge")
+
+    def __init__(self, source: int, dist: np.ndarray, pred_edge: np.ndarray):
+        self.source = source
+        self.dist = dist
+        self.pred_edge = pred_edge
+
+    def reached(self, vertex: int) -> bool:
+        return self.dist[vertex] != UNREACHED
+
+    def cost(self, vertex: int):
+        """Cost of the shortest path to ``vertex`` (None when unreached)."""
+        value = self.dist[vertex]
+        return None if value == UNREACHED else value.item()
+
+
+def bfs(
+    graph: CSRGraph,
+    source: int,
+    targets: np.ndarray | None = None,
+) -> TraversalResult:
+    """Single-source BFS; optionally stops early once ``targets`` are found.
+
+    Returns hop distances (-1 for unreached vertices) and the
+    predecessor-edge array.  ``targets`` is a (possibly empty) array of
+    vertex ids; the search stops as soon as all of them are settled,
+    matching the paper's per-pair query pattern.
+    """
+    n = graph.num_vertices
+    dist = np.full(n, UNREACHED, dtype=np.int64)
+    pred_edge = np.full(n, UNREACHED, dtype=np.int64)
+    dist[source] = 0
+    pending = None
+    if targets is not None:
+        pending = set(int(t) for t in np.unique(targets) if t != source)
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        if pending is not None and not pending:
+            break
+        level += 1
+        slots = expand_frontier(graph.indptr, frontier)
+        if len(slots) == 0:
+            break
+        neighbors = graph.dst[slots]
+        fresh = dist[neighbors] == UNREACHED
+        neighbors = neighbors[fresh]
+        slots = slots[fresh]
+        if len(neighbors) == 0:
+            break
+        # several frontier vertices may discover the same neighbor in one
+        # level; keep the first occurrence so the tree stays deterministic
+        unique_neighbors, first_pos = np.unique(neighbors, return_index=True)
+        dist[unique_neighbors] = level
+        pred_edge[unique_neighbors] = slots[first_pos]
+        if pending is not None:
+            pending.difference_update(unique_neighbors.tolist())
+        frontier = unique_neighbors
+    return TraversalResult(source, dist, pred_edge)
+
+
+def reconstruct_path(graph: CSRGraph, result: TraversalResult, target: int) -> np.ndarray:
+    """Original edge-table row ids along the path source → target.
+
+    Returns an empty array for ``target == source`` and ``None`` when the
+    target was not reached.
+    """
+    if result.dist[target] == UNREACHED:
+        return None
+    rows: list[int] = []
+    vertex = target
+    while vertex != result.source:
+        slot = result.pred_edge[vertex]
+        rows.append(int(graph.edge_rows[slot]))
+        vertex = int(graph.src[slot])
+    rows.reverse()
+    return np.asarray(rows, dtype=np.int64)

@@ -1,0 +1,140 @@
+"""Dijkstra's algorithm for weighted shortest paths.
+
+Two priority-queue backends, selected automatically by
+:func:`repro.graph.library.GraphLibrary`:
+
+* :class:`~repro.graph.radix_queue.RadixQueue` for strictly positive
+  *integer* weights — the configuration the paper's runtime uses
+  ("the Dijkstra algorithm combined with the Radix Queue", Section 3.2);
+* a binary heap (:mod:`heapq`) for floating-point weights, and as the
+  baseline of the radix-vs-binary ablation (A1 in DESIGN.md).
+
+Both use lazy deletion: a popped entry whose key exceeds the recorded
+distance is stale and skipped.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..errors import GraphRuntimeError
+from .bfs import TraversalResult, UNREACHED
+from .csr import CSRGraph
+from .radix_queue import RadixQueue
+
+
+def dijkstra(
+    graph: CSRGraph,
+    source: int,
+    targets: np.ndarray | None = None,
+    *,
+    queue: str = "auto",
+) -> TraversalResult:
+    """Single-source Dijkstra with optional early termination.
+
+    ``queue`` is ``'radix'``, ``'binary'`` or ``'auto'`` (radix when the
+    weights are integral).  Distances of unreached vertices are -1; the
+    distance array dtype follows the weight dtype (int64 or float64).
+    """
+    weights = graph.weights
+    if weights is None:
+        raise GraphRuntimeError("dijkstra requires an edge weight array")
+    if queue == "auto":
+        queue = "radix" if graph.integral_weights else "binary"
+    if queue == "radix" and not graph.integral_weights:
+        raise GraphRuntimeError("the radix queue requires integer weights")
+    if queue == "radix":
+        return _dijkstra_radix(graph, source, targets)
+    if queue == "binary":
+        return _dijkstra_binary(graph, source, targets)
+    raise GraphRuntimeError(f"unknown queue implementation: {queue!r}")
+
+
+def _pending_set(source: int, targets: np.ndarray | None):
+    if targets is None:
+        return None
+    return set(int(t) for t in np.unique(targets) if t != source)
+
+
+def _dijkstra_radix(
+    graph: CSRGraph, source: int, targets: np.ndarray | None
+) -> TraversalResult:
+    n = graph.num_vertices
+    dist = np.full(n, UNREACHED, dtype=np.int64)
+    pred_edge = np.full(n, UNREACHED, dtype=np.int64)
+    settled = np.zeros(n, dtype=np.bool_)
+    pending = _pending_set(source, targets)
+    queue = RadixQueue(max(graph.max_weight, 1))
+    dist[source] = 0
+    queue.push(0, source)
+    indptr, dst, weights = graph.indptr, graph.dst, graph.weights
+    while len(queue):
+        key, vertex = queue.pop_min()
+        if settled[vertex]:
+            continue  # stale lazy-deleted entry
+        settled[vertex] = True
+        if pending is not None:
+            pending.discard(vertex)
+            if not pending:
+                break
+        for slot in range(indptr[vertex], indptr[vertex + 1]):
+            neighbor = dst[slot]
+            candidate = key + int(weights[slot])
+            if dist[neighbor] == UNREACHED or candidate < dist[neighbor]:
+                dist[neighbor] = candidate
+                pred_edge[neighbor] = slot
+                queue.push(candidate, int(neighbor))
+    # vertices relaxed but never settled keep their tentative distance,
+    # which is only final if settled; clear them for early-terminated runs
+    if pending is not None:
+        unsettled = ~settled & (dist != UNREACHED)
+        dist[unsettled] = UNREACHED
+        pred_edge[unsettled] = UNREACHED
+    return TraversalResult(source, dist, pred_edge)
+
+
+def _dijkstra_binary(
+    graph: CSRGraph, source: int, targets: np.ndarray | None
+) -> TraversalResult:
+    n = graph.num_vertices
+    float_weights = not graph.integral_weights
+    dtype = np.float64 if float_weights else np.int64
+    unreached = np.float64("inf") if float_weights else UNREACHED
+    dist = np.full(n, unreached, dtype=dtype)
+    pred_edge = np.full(n, UNREACHED, dtype=np.int64)
+    settled = np.zeros(n, dtype=np.bool_)
+    pending = _pending_set(source, targets)
+    heap: list[tuple[float, int]] = [(0, source)]
+    dist[source] = 0
+    indptr, dst, weights = graph.indptr, graph.dst, graph.weights
+    while heap:
+        key, vertex = heapq.heappop(heap)
+        if settled[vertex]:
+            continue
+        settled[vertex] = True
+        if pending is not None:
+            pending.discard(vertex)
+            if not pending:
+                break
+        for slot in range(indptr[vertex], indptr[vertex + 1]):
+            neighbor = dst[slot]
+            candidate = key + weights[slot]
+            if not settled[neighbor] and (
+                dist[neighbor] == unreached or candidate < dist[neighbor]
+            ):
+                dist[neighbor] = candidate
+                pred_edge[neighbor] = slot
+                heapq.heappush(heap, (candidate, int(neighbor)))
+    if pending is not None:
+        unsettled = ~settled & (dist != unreached)
+        dist[unsettled] = unreached
+        pred_edge[unsettled] = UNREACHED
+    if float_weights:
+        # normalize the unreached marker to -1 to match the BFS contract
+        out = np.full(n, UNREACHED, dtype=np.float64)
+        reached = dist != unreached
+        out[reached] = dist[reached]
+        dist = out
+    return TraversalResult(source, dist, pred_edge)

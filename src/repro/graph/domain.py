@@ -1,0 +1,81 @@
+"""Vertex domain encoding.
+
+The paper's code-generation stage translates "all the values from X, Y, S
+and D ... into integers from the domain H = {0, ..., |V|-1}" (Section
+3.1).  :class:`VertexDomain` performs exactly that dictionary encoding:
+it derives the vertex set ``V = S ∪ D`` from the edge endpoints and maps
+arbitrary key values (integers or strings) onto dense ids.
+
+Values that are *not* vertices encode to :data:`NOT_A_VERTEX`; the caller
+uses this for the "initial filtering on the values that are not vertices"
+the paper describes (joining X and Y with V).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+NOT_A_VERTEX = -1
+
+
+class VertexDomain:
+    """Dense dictionary encoding of vertex keys.
+
+    Parameters
+    ----------
+    src, dst:
+        The raw source/destination key arrays of the edge table (numpy
+        arrays of identical dtype; integers or objects/strings).
+    """
+
+    __slots__ = ("values", "_lookup", "_is_integer", "_sorted_ok")
+
+    def __init__(self, src: np.ndarray, dst: np.ndarray):
+        keys = np.concatenate([src, dst]) if len(src) or len(dst) else src
+        # np.unique both dedups and sorts, giving a canonical, reproducible
+        # id assignment (id = rank of the key).
+        self.values = np.unique(keys)
+        self._is_integer = self.values.dtype.kind in "iu"
+        if self._is_integer:
+            self._lookup = None  # use np.searchsorted on the sorted array
+        else:
+            self._lookup = {key: i for i, key in enumerate(self.values)}
+        self._sorted_ok = True
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    def encode(self, keys: np.ndarray) -> np.ndarray:
+        """Map raw keys to dense ids; unknown keys map to NOT_A_VERTEX."""
+        if len(self.values) == 0:
+            return np.full(len(keys), NOT_A_VERTEX, dtype=np.int64)
+        if self._is_integer:
+            keys = np.asarray(keys)
+            positions = np.searchsorted(self.values, keys)
+            positions = np.clip(positions, 0, len(self.values) - 1)
+            ids = positions.astype(np.int64)
+            misses = self.values[positions] != keys
+            ids[misses] = NOT_A_VERTEX
+            return ids
+        lookup = self._lookup
+        out = np.fromiter(
+            (lookup.get(k, NOT_A_VERTEX) for k in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+        return out
+
+    def encode_edges(self, src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Encode both endpoint arrays (every key is a vertex by construction)."""
+        return self.encode(src), self.encode(dst)
+
+    def decode(self, ids: Sequence[int]) -> list[Any]:
+        """Map dense ids back to the original key values."""
+        return [self.values[i] for i in ids]

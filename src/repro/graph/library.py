@@ -1,0 +1,212 @@
+"""The graph runtime library — the Python analogue of the paper's external
+C++ library (Section 3.2).
+
+The invocation contract follows the paper:
+
+1. inputs are the columns ``S`` and ``D`` denoting the edges;
+2. the source ``X`` and destination ``Y`` vertices to filter;
+3. optionally, additional weight columns for the shortest-path functions.
+
+The library dictionary-encodes every key into the dense domain
+``H = {0..|V|-1}`` (:class:`~repro.graph.domain.VertexDomain`), always
+builds a CSR representation (:func:`~repro.graph.csr.build_csr`), and
+returns "the sequence of row ids t such that t[S] is connected to t[D]
+and the requested shortest paths" — here a boolean connectivity mask per
+input pair, a cost array, and per-pair paths as arrays of original
+edge-table row ids.
+
+Pairs are grouped by source so that all pairs sharing a source reuse one
+traversal; each traversal terminates early once its targets are settled.
+Reachability-only queries still run the BFS and discard the paths,
+exactly like the prototype ("the library still performs a BFS ...
+discarding the computed shortest paths").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphRuntimeError
+from .bfs import bfs, reconstruct_path
+from .csr import CSRGraph, build_csr
+from .dijkstra import dijkstra
+from .domain import NOT_A_VERTEX, VertexDomain
+
+
+@dataclass
+class ShortestPathResult:
+    """Outcome of one many-to-many shortest-path invocation.
+
+    ``connected`` has one entry per input pair.  ``costs`` is aligned with
+    the *connected* pairs only when compacted via ``costs[connected]`` —
+    unreached pairs hold -1.  ``paths`` (optional) holds, per pair, an
+    int64 array of edge-table row ids, or None when not connected.
+    """
+
+    connected: np.ndarray
+    costs: np.ndarray | None
+    paths: list[np.ndarray | None] | None
+
+
+class GraphLibrary:
+    """One prepared graph: domain encoding + CSR, ready for many queries.
+
+    This object is what the paper's future-work "graph index" would
+    persist (Section 6); `repro.exec` caches instances keyed on the edge
+    table fingerprint to implement exactly that.
+    """
+
+    def __init__(
+        self,
+        src_keys: np.ndarray,
+        dst_keys: np.ndarray,
+        weights: np.ndarray | None = None,
+    ):
+        self.domain = VertexDomain(src_keys, dst_keys)
+        src_ids, dst_ids = self.domain.encode_edges(src_keys, dst_keys)
+        self.csr: CSRGraph = build_csr(
+            src_ids, dst_ids, self.domain.num_vertices, weights
+        )
+        self.weighted = weights is not None
+        self._reverse_csr: CSRGraph | None = None
+
+    @property
+    def reverse(self) -> CSRGraph:
+        """The transposed CSR, built lazily and cached (for bidirectional
+        search; a prepared graph index pays this cost once)."""
+        if self._reverse_csr is None:
+            from .bidirectional import reverse_csr
+
+            self._reverse_csr = reverse_csr(self.csr)
+        return self._reverse_csr
+
+    # ------------------------------------------------------------------
+    def encode_endpoints(
+        self, sources: np.ndarray, dests: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode raw X/Y values; the validity mask marks pairs whose both
+        endpoints are vertices (the paper's join-with-V filtering)."""
+        src_ids = self.domain.encode(sources)
+        dst_ids = self.domain.encode(dests)
+        valid = (src_ids != NOT_A_VERTEX) & (dst_ids != NOT_A_VERTEX)
+        return src_ids, dst_ids, valid
+
+    def solve(
+        self,
+        sources: np.ndarray,
+        dests: np.ndarray,
+        *,
+        want_cost: bool = False,
+        want_path: bool = False,
+        queue: str = "auto",
+    ) -> ShortestPathResult:
+        """Evaluate reachability / shortest paths for aligned raw pairs."""
+        if len(sources) != len(dests):
+            raise GraphRuntimeError("source and destination vectors differ in length")
+        src_ids, dst_ids, _ = self.encode_endpoints(sources, dests)
+        return self.solve_encoded(
+            src_ids, dst_ids, want_cost=want_cost, want_path=want_path, queue=queue
+        )
+
+    def solve_encoded(
+        self,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        *,
+        want_cost: bool = False,
+        want_path: bool = False,
+        queue: str = "auto",
+        algorithm: str = "auto",
+    ) -> ShortestPathResult:
+        """Like :meth:`solve` but over pre-encoded dense vertex ids.
+
+        Entries equal to :data:`~repro.graph.domain.NOT_A_VERTEX` are
+        treated as unconnected (the join-with-V filtering already failed).
+
+        ``algorithm='bidirectional'`` uses two-frontier BFS per pair for
+        unweighted queries (the paper's future-work BFS improvement); it
+        needs the reverse CSR, so it pays off with a prepared/indexed
+        graph queried one pair at a time.
+        """
+        if len(src_ids) != len(dst_ids):
+            raise GraphRuntimeError("source and destination vectors differ in length")
+        if algorithm not in ("auto", "bfs", "bidirectional"):
+            raise GraphRuntimeError(f"unknown algorithm {algorithm!r}")
+        if algorithm == "bidirectional":
+            if self.weighted:
+                raise GraphRuntimeError(
+                    "bidirectional search supports unweighted queries only"
+                )
+            return self._solve_bidirectional(src_ids, dst_ids, want_cost, want_path)
+        n_pairs = len(src_ids)
+        valid = (src_ids != NOT_A_VERTEX) & (dst_ids != NOT_A_VERTEX)
+        connected = np.zeros(n_pairs, dtype=np.bool_)
+        cost_dtype = (
+            np.float64
+            if (self.weighted and not self.csr.integral_weights)
+            else np.int64
+        )
+        costs = np.full(n_pairs, -1, dtype=cost_dtype) if (want_cost or want_path) else None
+        paths: list[np.ndarray | None] | None = [None] * n_pairs if want_path else None
+        # group pairs by encoded source: one traversal per distinct source
+        valid_positions = np.flatnonzero(valid)
+        if len(valid_positions) == 0:
+            return ShortestPathResult(connected, costs, paths)
+        order = valid_positions[np.argsort(src_ids[valid_positions], kind="stable")]
+        group_start = 0
+        while group_start < len(order):
+            source = src_ids[order[group_start]]
+            group_end = group_start
+            while group_end < len(order) and src_ids[order[group_end]] == source:
+                group_end += 1
+            members = order[group_start:group_end]
+            targets = dst_ids[members]
+            result = self._traverse(int(source), targets, queue)
+            for position in members:
+                target = int(dst_ids[position])
+                value = result.cost(target)
+                if value is None:
+                    continue
+                connected[position] = True
+                if costs is not None:
+                    costs[position] = value
+                if paths is not None:
+                    paths[position] = reconstruct_path(self.csr, result, target)
+            group_start = group_end
+        return ShortestPathResult(connected, costs, paths)
+
+    # ------------------------------------------------------------------
+    def _traverse(self, source: int, targets: np.ndarray, queue: str):
+        if self.weighted:
+            return dijkstra(self.csr, source, targets, queue=queue)
+        return bfs(self.csr, source, targets)
+
+    def _solve_bidirectional(
+        self,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        want_cost: bool,
+        want_path: bool,
+    ) -> ShortestPathResult:
+        from .bidirectional import bidirectional_distance
+
+        n_pairs = len(src_ids)
+        connected = np.zeros(n_pairs, dtype=np.bool_)
+        costs = np.full(n_pairs, -1, dtype=np.int64) if (want_cost or want_path) else None
+        paths: list[np.ndarray | None] | None = [None] * n_pairs if want_path else None
+        backward = self.reverse
+        for position in range(n_pairs):
+            source, dest = int(src_ids[position]), int(dst_ids[position])
+            if source == NOT_A_VERTEX or dest == NOT_A_VERTEX:
+                continue
+            distance, path = bidirectional_distance(self.csr, backward, source, dest)
+            if distance is None:
+                continue
+            connected[position] = True
+            if costs is not None:
+                costs[position] = distance
+            if paths is not None:
+                paths[position] = path
+        return ShortestPathResult(connected, costs, paths)

@@ -1,0 +1,106 @@
+"""A Radix Queue (radix heap) monotone priority queue.
+
+The paper's weighted shortest-path runtime uses "the Dijkstra algorithm
+combined with the Radix Queue [11]" — Ahuja, Mehlhorn, Orlin & Tarjan,
+*Faster algorithms for the shortest path problem*, JACM 1990.
+
+A radix heap is a monotone priority queue for non-negative integer keys:
+``pop_min`` results are non-decreasing over time, and every inserted key
+must be at least the last popped minimum (both hold inside Dijkstra with
+positive weights) and at most ``last_min + C`` where C is the maximum
+edge weight.
+
+Structure: ``B = ⌈log2(C+1)⌉ + 2`` buckets with fixed widths
+``1, 1, 2, 4, ..., 2^(B-3), ∞`` and lower bounds ``L[i]``; bucket ``i``
+holds keys in ``[L[i], L[i+1) )``.  When the first non-empty bucket is
+``k > 0``, its minimum ``m`` becomes the new base: bounds ``L[0..k]`` are
+rebased at ``m`` (capped at the old ``L[k+1]``, so buckets above ``k``
+are untouched) and bucket ``k``'s items redistribute strictly below
+``k``.  Each element therefore moves at most ``B`` times, giving the
+O(m + n·log C) bound of [11].
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphRuntimeError
+
+_INFINITY = float("inf")
+
+
+class RadixQueue:
+    """Monotone integer priority queue of (key, payload) pairs.
+
+    Supports the *lazy deletion* discipline Dijkstra needs: stale entries
+    are allowed, the caller skips payloads already finalized.
+    """
+
+    __slots__ = ("_buckets", "_lower", "_widths", "_last_min", "_size")
+
+    def __init__(self, max_key_span: int):
+        """``max_key_span``: upper bound on (key - last popped min)."""
+        if max_key_span < 1:
+            max_key_span = 1
+        num_buckets = max_key_span.bit_length() + 2
+        self._buckets: list[list[tuple[int, int]]] = [[] for _ in range(num_buckets)]
+        # fixed widths 1, 1, 2, 4, ..., last bucket unbounded
+        self._widths = [1] + [1 << (i - 1) for i in range(1, num_buckets - 1)] + [_INFINITY]
+        self._lower = [0] * num_buckets + [_INFINITY]
+        for i in range(1, num_buckets):
+            self._lower[i] = self._lower[i - 1] + self._widths[i - 1]
+        self._last_min = 0
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def _bucket_index(self, key: int) -> int:
+        """Highest bucket whose lower bound is <= key.
+
+        The scan runs over ~log C buckets, which is effectively constant.
+        """
+        lower = self._lower
+        for i in range(len(self._buckets) - 1, -1, -1):
+            if key >= lower[i]:
+                return i
+        raise GraphRuntimeError(
+            f"radix queue key {key} below current minimum {self._last_min}"
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, key: int, payload: int) -> None:
+        """Insert a payload with an integer key >= the last popped min."""
+        if key < self._last_min:
+            raise GraphRuntimeError(
+                f"radix queue requires monotone keys: {key} < {self._last_min}"
+            )
+        self._buckets[self._bucket_index(key)].append((key, payload))
+        self._size += 1
+
+    def pop_min(self) -> tuple[int, int]:
+        """Remove and return the (key, payload) pair with the smallest key."""
+        if self._size == 0:
+            raise GraphRuntimeError("pop from an empty radix queue")
+        buckets = self._buckets
+        first = 0
+        while not buckets[first]:
+            first += 1
+        if first == 0:
+            # bucket 0 has width 1: every entry is a current minimum
+            self._size -= 1
+            self._last_min = buckets[0][-1][0]
+            return buckets[0].pop()
+        # rebase buckets 0..first at the minimum of bucket `first`, leaving
+        # all higher buckets (and their bounds) untouched
+        items = buckets[first]
+        min_key = min(key for key, _ in items)
+        self._last_min = min_key
+        lower, widths = self._lower, self._widths
+        ceiling = lower[first + 1]
+        lower[0] = min_key
+        for i in range(1, first + 1):
+            lower[i] = min(lower[i - 1] + widths[i - 1], ceiling)
+        buckets[first] = []
+        for key, payload in items:
+            buckets[self._bucket_index(key)].append((key, payload))
+        self._size -= 1
+        return buckets[0].pop()

@@ -1,0 +1,34 @@
+"""Measurement harness: timing, the simulated-client network model and
+the drivers that regenerate the paper's tables and figures."""
+
+from .experiments import (
+    DEFAULT_BATCH_SIZES,
+    DEFAULT_SCALE_FACTORS,
+    FULL_SCALE_FACTORS,
+    build_networks,
+    fig1a,
+    fig1b,
+    format_table,
+    table1,
+)
+from .figures import ascii_chart, fig1a_chart, fig1b_chart
+from .network import NetworkModel
+from .timing import LatencyStats, measure, time_call
+
+__all__ = [
+    "DEFAULT_BATCH_SIZES",
+    "DEFAULT_SCALE_FACTORS",
+    "FULL_SCALE_FACTORS",
+    "build_networks",
+    "fig1a",
+    "fig1b",
+    "format_table",
+    "table1",
+    "NetworkModel",
+    "ascii_chart",
+    "fig1a_chart",
+    "fig1b_chart",
+    "LatencyStats",
+    "measure",
+    "time_call",
+]

@@ -1,0 +1,106 @@
+"""ASCII rendering of the paper's figures.
+
+The paper presents Figure 1a/1b as log-scale line charts; these helpers
+render the regenerated series as terminal plots so the *shape* (slopes,
+crossovers, amortization flattening) is visible at a glance without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_positions(values: Sequence[float], cells: int) -> list[int]:
+    """Map positive values onto [0, cells-1] on a log scale."""
+    finite = [v for v in values if v > 0]
+    if not finite:
+        return [0 for _ in values]
+    low = math.log10(min(finite))
+    high = math.log10(max(finite))
+    span = (high - low) or 1.0
+    out = []
+    for value in values:
+        if value <= 0:
+            out.append(0)
+            continue
+        fraction = (math.log10(value) - low) / span
+        out.append(min(cells - 1, max(0, round(fraction * (cells - 1)))))
+    return out
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on a log-log ASCII grid.
+
+    Each series gets a marker; the legend maps markers to names.  Both
+    axes are logarithmic, like the paper's Figure 1.
+    """
+    all_x = [x for points in series.values() for x, _ in points]
+    all_y = [y for points in series.values() for _, y in points]
+    if not all_x:
+        return "(no data)"
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        xs = _log_positions([p[0] for p in points], width)
+        ys = _log_positions([p[1] for p in points], height)
+        for col, row in zip(xs, ys):
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    y_min = min(v for v in all_y if v > 0)
+    y_max = max(all_y)
+    lines.append(f"{y_label}  (log scale, {y_min:.4g} .. {y_max:.4g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    x_min = min(v for v in all_x if v > 0)
+    x_max = max(all_x)
+    lines.append(f" {x_label} (log scale, {x_min:.4g} .. {x_max:.4g})")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def fig1a_chart(rows: list[dict]) -> str:
+    """Figure 1a as ASCII: avg latency per query vs scale factor."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        series.setdefault(row["query"], []).append(
+            (float(row["scale_factor"]), row["avg_latency_s"])
+        )
+    return ascii_chart(
+        series,
+        title="Figure 1a) Average latency per query",
+        x_label="scale factor",
+        y_label="seconds",
+    )
+
+
+def fig1b_chart(rows: list[dict]) -> str:
+    """Figure 1b as ASCII: per-pair latency vs batch size, one series/SF."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        series.setdefault(f"SF {row['scale_factor']}", []).append(
+            (float(row["batch_size"]), row["avg_latency_per_pair_s"])
+        )
+    return ascii_chart(
+        series,
+        title="Figure 1b) Latency per pair vs batch size",
+        x_label="batch size",
+        y_label="seconds per pair",
+    )

@@ -1,0 +1,57 @@
+"""Latency measurement helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a sequence of per-call latencies (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    total: float
+
+    @staticmethod
+    def from_samples(samples: Iterable[float]) -> "LatencyStats":
+        values = list(samples)
+        if not values:
+            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencyStats(
+            count=len(values),
+            mean=statistics.fmean(values),
+            median=statistics.median(values),
+            minimum=min(values),
+            maximum=max(values),
+            total=sum(values),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean * 1e3:.2f}ms "
+            f"median={self.median * 1e3:.2f}ms "
+            f"min={self.minimum * 1e3:.2f}ms max={self.maximum * 1e3:.2f}ms"
+        )
+
+
+def time_call(fn: Callable[[], object]) -> tuple[float, object]:
+    """(elapsed seconds, return value) of one call."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def measure(fn: Callable[[], object], repeats: int) -> LatencyStats:
+    """Latency stats over ``repeats`` sequential calls (no warmup)."""
+    samples = []
+    for _ in range(repeats):
+        elapsed, _ = time_call(fn)
+        samples.append(elapsed)
+    return LatencyStats.from_samples(samples)

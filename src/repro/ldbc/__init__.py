@@ -1,0 +1,46 @@
+"""LDBC-SNB-like synthetic data generator and the paper's workload slice
+(Q13 and the weighted Q14 variant of Section 4)."""
+
+from .datagen import (
+    DEFAULT_SCALE,
+    SCALE_FACTORS,
+    TABLE1_SIZES,
+    SocialNetwork,
+    generate,
+    table1_row,
+    target_sizes,
+)
+from .workload import (
+    Q13_BATCH_SQL,
+    Q13_SQL,
+    Q14_VARIANT_FLOAT_SQL,
+    Q14_VARIANT_SQL,
+    ensure_pairs_table,
+    load_into,
+    make_database,
+    random_pairs,
+    run_q13,
+    run_q13_batch,
+    run_q14_variant,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "SCALE_FACTORS",
+    "TABLE1_SIZES",
+    "SocialNetwork",
+    "generate",
+    "table1_row",
+    "target_sizes",
+    "Q13_BATCH_SQL",
+    "Q13_SQL",
+    "Q14_VARIANT_FLOAT_SQL",
+    "Q14_VARIANT_SQL",
+    "ensure_pairs_table",
+    "load_into",
+    "make_database",
+    "random_pairs",
+    "run_q13",
+    "run_q13_batch",
+    "run_q14_variant",
+]

@@ -1,0 +1,5 @@
+"""Nested tables — the paper's path type (Section 3.3)."""
+
+from .value import NestedTableValue
+
+__all__ = ["NestedTableValue"]

@@ -1,0 +1,67 @@
+"""The nested-table runtime value.
+
+Section 3.3: "At the physical layer, a nested table is represented as a
+list of references to the actual rows of the table expression that
+generated it.  This is a handy solution because in the MonetDB execution
+model all intermediate results are fully materialized by its operators.
+Therefore, the rows composing a nested table can always be referred in a
+later stage."
+
+Our executor has the same property — every operator materializes — so a
+:class:`NestedTableValue` holds a shared reference to the materialized
+edge-table *batch* plus an int64 array of row positions (the shortest
+path, in order).  UNNEST "merely materializes the contained rows
+according to these references".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class NestedTableValue:
+    """One path: ordered row references into a materialized edge batch.
+
+    The same ``source`` batch object is shared by every path produced by
+    one graph operator invocation, so memory stays proportional to the
+    path lengths, not to path count × edge table width.
+    """
+
+    __slots__ = ("source", "row_ids")
+
+    def __init__(self, source: "Any", row_ids: np.ndarray):
+        self.source = source  # exec.batch.Batch (kept generic to avoid a cycle)
+        self.row_ids = np.asarray(row_ids, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.row_ids)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.row_ids) == 0
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.source.schema]
+
+    def to_rows(self) -> list[tuple]:
+        """Materialize the referenced edge rows, in path order."""
+        columns = [col.take(self.row_ids) for col in self.source.columns]
+        return [
+            tuple(col.value(i) for col in columns) for i in range(len(self.row_ids))
+        ]
+
+    def to_dicts(self) -> list[dict]:
+        names = self.column_names()
+        return [dict(zip(names, row)) for row in self.to_rows()]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NestedTableValue):
+            return NotImplemented
+        return self.source is other.source and np.array_equal(
+            self.row_ids, other.row_ids
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NestedTable({len(self)} rows: {self.row_ids.tolist()})"

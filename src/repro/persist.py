@@ -1,0 +1,103 @@
+"""Database persistence: save/load a catalog to a directory.
+
+Layout::
+
+    <dir>/catalog.json        # table schemas + graph index specs
+    <dir>/<table>.npz         # one compressed archive per table
+
+Numeric columns are stored as their numpy arrays; VARCHAR columns as
+fixed-width unicode arrays (NULLs carried by the mask, their slots store
+empty strings).  Nested-table columns never occur in base tables (the
+engine rejects storing them), so every column is serializable without
+pickle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .errors import ReproError
+from .storage import Column, DataType, Schema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Database
+
+_FORMAT_VERSION = 1
+
+
+def save_database(db: "Database", directory: str) -> None:
+    """Write all tables and graph-index definitions under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    tables_meta = {}
+    for name in db.catalog.table_names():
+        table = db.catalog.get(name)
+        tables_meta[name] = {
+            "columns": [[c.name, c.type.value] for c in table.schema],
+        }
+        arrays = {}
+        for i, column in enumerate(table.columns()):
+            if column.type == DataType.NESTED_TABLE:  # pragma: no cover
+                raise ReproError("nested tables cannot be persisted")
+            if column.type.numpy_dtype == np.dtype(object):
+                data = np.array(
+                    ["" if v is None else v for v in column.data], dtype=np.str_
+                )
+            else:
+                data = column.data
+            arrays[f"col{i}_data"] = data
+            arrays[f"col{i}_mask"] = column.null_mask()
+        np.savez_compressed(os.path.join(directory, f"{name}.npz"), **arrays)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "tables": tables_meta,
+        "graph_indices": {
+            index_name: list(spec)
+            for index_name, spec in db.graph_indices.specs().items()
+        },
+    }
+    with open(os.path.join(directory, "catalog.json"), "w") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def load_database(directory: str) -> "Database":
+    """Recreate a Database previously written by :func:`save_database`."""
+    from .api import Database
+
+    meta_path = os.path.join(directory, "catalog.json")
+    if not os.path.exists(meta_path):
+        raise ReproError(f"not a saved database: {directory!r}")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported database format {meta.get('format_version')!r}"
+        )
+    db = Database()
+    for name, table_meta in meta["tables"].items():
+        columns_spec = [
+            (column_name, DataType(type_name))
+            for column_name, type_name in table_meta["columns"]
+        ]
+        table = db.catalog.create_table(name, Schema(columns_spec))
+        archive = np.load(os.path.join(directory, f"{name}.npz"))
+        columns = []
+        for i, (_, type_) in enumerate(columns_spec):
+            data = archive[f"col{i}_data"]
+            mask = archive[f"col{i}_mask"]
+            if type_.numpy_dtype == np.dtype(object):
+                decoded = np.empty(len(data), dtype=object)
+                for j, value in enumerate(data):
+                    decoded[j] = None if mask[j] else str(value)
+                data = decoded
+            else:
+                data = data.astype(type_.numpy_dtype)
+            columns.append(Column(type_, data, mask if mask.any() else None))
+        if columns and len(columns[0]):
+            table.insert_columns(columns)
+    for index_name, spec in meta.get("graph_indices", {}).items():
+        db.graph_indices.create(index_name, *spec)
+    return db

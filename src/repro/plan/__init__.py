@@ -1,0 +1,37 @@
+"""Query planning: bound expressions, logical operators (including the
+paper's graph select / graph join), semantic binder and rewriter."""
+
+from . import exprs, logical
+from .binder import (
+    Binder,
+    BoundCreateGraphIndex,
+    BoundCreateTable,
+    BoundCreateTableAs,
+    BoundDelete,
+    BoundDropGraphIndex,
+    BoundDropTable,
+    BoundExplain,
+    BoundInsert,
+    BoundQuery,
+    BoundUpdate,
+)
+from .logical import explain
+from .rewriter import rewrite
+
+__all__ = [
+    "exprs",
+    "logical",
+    "Binder",
+    "BoundCreateGraphIndex",
+    "BoundCreateTable",
+    "BoundCreateTableAs",
+    "BoundDelete",
+    "BoundUpdate",
+    "BoundDropGraphIndex",
+    "BoundDropTable",
+    "BoundExplain",
+    "BoundInsert",
+    "BoundQuery",
+    "explain",
+    "rewrite",
+]

@@ -1,0 +1,158 @@
+"""Bound (resolved, typed) expression trees.
+
+The binder turns parser AST expressions into these nodes.  Every column
+reference is resolved to a *column id* — a unique integer assigned when a
+scope introduces the column — which makes duplicate output names (e.g.
+``SELECT VP1.*, VP2.*`` over the same table) unambiguous, exactly the
+problem MonetDB solves with expression references in its relational AST.
+
+``type`` is the statically inferred :class:`~repro.storage.DataType`, or
+``None`` for host parameters whose type is only known at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..storage import DataType
+
+
+class BoundExpr:
+    """Marker base class; every node carries an inferred ``type``."""
+
+    type: Optional[DataType]
+
+
+@dataclass(frozen=True)
+class BLiteral(BoundExpr):
+    value: Any
+    type: Optional[DataType]
+
+
+@dataclass(frozen=True)
+class BParam(BoundExpr):
+    """Host parameter ``?``; its type is unknown until execution."""
+
+    index: int
+    type: Optional[DataType] = None
+
+
+@dataclass(frozen=True)
+class BColumn(BoundExpr):
+    """A resolved input column."""
+
+    col_id: int
+    type: Optional[DataType]
+    name: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"#{self.col_id}:{self.name}"
+
+
+@dataclass(frozen=True)
+class BCall(BoundExpr):
+    """Scalar operator or function call (not aggregates).
+
+    ``op`` is a lower-case operator/function name: ``+ - * / % || = <> <
+    <= > >= and or not neg like`` or a scalar function (``abs``,
+    ``coalesce``, ``lower`` ...).
+    """
+
+    op: str
+    args: tuple[BoundExpr, ...]
+    type: Optional[DataType]
+
+
+@dataclass(frozen=True)
+class BIsNull(BoundExpr):
+    operand: BoundExpr
+    negated: bool
+    type: Optional[DataType] = DataType.BOOLEAN
+
+
+@dataclass(frozen=True)
+class BInList(BoundExpr):
+    operand: BoundExpr
+    items: tuple[BoundExpr, ...]
+    negated: bool
+    type: Optional[DataType] = DataType.BOOLEAN
+
+
+@dataclass(frozen=True)
+class BCase(BoundExpr):
+    """Searched CASE (the binder lowers the simple form to this)."""
+
+    whens: tuple[tuple[BoundExpr, BoundExpr], ...]
+    else_: Optional[BoundExpr]
+    type: Optional[DataType] = None
+
+
+@dataclass(frozen=True)
+class BCast(BoundExpr):
+    operand: BoundExpr
+    type: Optional[DataType] = None
+
+
+@dataclass(frozen=True)
+class BAggValue(BoundExpr):
+    """Reference to an aggregate computed by an LAggregate below.
+
+    After aggregation rewriting, SELECT/HAVING expressions refer to the
+    aggregate outputs through these nodes (resolved to fresh col_ids).
+    """
+
+    col_id: int
+    type: Optional[DataType]
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class BScalarSubquery(BoundExpr):
+    """Uncorrelated scalar subquery; executed once, yields one value."""
+
+    plan: "object"  # LogicalNode; typed as object to avoid a cycle
+    type: Optional[DataType] = None
+
+
+@dataclass(frozen=True)
+class BInSubquery(BoundExpr):
+    operand: BoundExpr
+    plan: "object"
+    negated: bool
+    type: Optional[DataType] = DataType.BOOLEAN
+
+
+@dataclass(frozen=True)
+class BExists(BoundExpr):
+    plan: "object"
+    negated: bool = False
+    type: Optional[DataType] = DataType.BOOLEAN
+
+
+def walk(expr: BoundExpr):
+    """Yield ``expr`` and all of its descendants, pre-order."""
+    yield expr
+    children: tuple = ()
+    if isinstance(expr, BCall):
+        children = expr.args
+    elif isinstance(expr, BIsNull):
+        children = (expr.operand,)
+    elif isinstance(expr, BInList):
+        children = (expr.operand, *expr.items)
+    elif isinstance(expr, BCase):
+        parts = [p for pair in expr.whens for p in pair]
+        if expr.else_ is not None:
+            parts.append(expr.else_)
+        children = tuple(parts)
+    elif isinstance(expr, BCast):
+        children = (expr.operand,)
+    elif isinstance(expr, BInSubquery):
+        children = (expr.operand,)
+    for child in children:
+        yield from walk(child)
+
+
+def referenced_columns(expr: BoundExpr) -> set[int]:
+    """Set of col_ids referenced anywhere inside ``expr``."""
+    return {node.col_id for node in walk(expr) if isinstance(node, (BColumn, BAggValue))}

@@ -1,0 +1,170 @@
+"""Logical-plan rewriting (the optimizer stage of Section 3.1).
+
+Two families of rules, applied to a fixpoint:
+
+* **filter pushdown** through cross joins, so that predicates evaluate
+  close to their scans and — importantly — so that a graph select's
+  input surfaces as a bare cross product when it is one;
+* **graph-join unfolding**: "graph joins are only unfolded in the query
+  rewriter when it recognizes the sequence of a cross product plus a
+  graph select".  A :class:`~repro.plan.logical.LGraphSelect` whose input
+  is a cross join, and whose source expression only references the left
+  side while the destination only references the right side, becomes a
+  :class:`~repro.plan.logical.LGraphJoin`.
+
+The rewriter preserves schemas exactly: rewritten nodes expose the same
+PlanColumns, so expressions above them stay valid (this is the
+"dependencies ... which need to be respected in the rewriting rules of
+the optimiser" caveat of Section 3.1 — cost/path columns produced by a
+graph operator must survive the rewrite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .exprs import referenced_columns
+from . import logical as lp
+
+
+def rewrite(plan: lp.LogicalNode) -> lp.LogicalNode:
+    """Apply all rewrite rules bottom-up until nothing changes."""
+    changed = True
+    while changed:
+        plan, changed = _rewrite_once(plan)
+    return plan
+
+
+def _rewrite_once(node: lp.LogicalNode) -> tuple[lp.LogicalNode, bool]:
+    # rewrite children first (bottom-up)
+    changed = False
+    node, child_changed = _rewrite_children(node)
+    changed |= child_changed
+
+    # rule: merge adjacent filters is unnecessary (executor chains them),
+    # but pushing a filter through a cross join matters for rule 2.
+    if isinstance(node, lp.LFilter) and isinstance(node.input, lp.LJoin):
+        join = node.input
+        if join.kind == "cross":
+            refs = referenced_columns(node.predicate)
+            left_ids = {c.col_id for c in join.left.schema}
+            right_ids = {c.col_id for c in join.right.schema}
+            if refs <= left_ids:
+                new_left = lp.LFilter(join.left, node.predicate, join.left.schema)
+                return (
+                    lp.LJoin(new_left, join.right, "cross", None, join.schema),
+                    True,
+                )
+            if refs <= right_ids:
+                new_right = lp.LFilter(join.right, node.predicate, join.right.schema)
+                return (
+                    lp.LJoin(join.left, new_right, "cross", None, join.schema),
+                    True,
+                )
+            # spans both sides: turn the cross product into an inner join
+            # so the executor can extract hash keys instead of
+            # materializing |L| x |R| rows
+            return (
+                lp.LJoin(
+                    join.left, join.right, "inner", node.predicate, join.schema
+                ),
+                True,
+            )
+
+    # rule: cross product + graph select -> graph join (Section 3.1)
+    if isinstance(node, lp.LGraphSelect) and isinstance(node.input, lp.LJoin):
+        join = node.input
+        if join.kind == "cross":
+            source_refs = set().union(
+                *(referenced_columns(e) for e in node.spec.source)
+            )
+            dest_refs = set().union(
+                *(referenced_columns(e) for e in node.spec.dest)
+            )
+            left_ids = {c.col_id for c in join.left.schema}
+            right_ids = {c.col_id for c in join.right.schema}
+            if source_refs <= left_ids and dest_refs <= right_ids:
+                return (
+                    lp.LGraphJoin(
+                        join.left, join.right, node.edge, node.spec, node.schema
+                    ),
+                    True,
+                )
+    return node, changed
+
+
+def _rewrite_children(node: lp.LogicalNode) -> tuple[lp.LogicalNode, bool]:
+    changed = False
+    if isinstance(node, lp.LFilter):
+        child, c = _rewrite_once(node.input)
+        if c:
+            node = replace(node, input=child)
+        changed |= c
+    elif isinstance(node, lp.LProject):
+        child, c = _rewrite_once(node.input)
+        if c:
+            node = replace(node, input=child)
+        changed |= c
+    elif isinstance(node, lp.LAggregate):
+        child, c = _rewrite_once(node.input)
+        if c:
+            node = replace(node, input=child)
+        changed |= c
+    elif isinstance(node, lp.LSort):
+        child, c = _rewrite_once(node.input)
+        if c:
+            node = replace(node, input=child)
+        changed |= c
+    elif isinstance(node, lp.LLimit):
+        child, c = _rewrite_once(node.input)
+        if c:
+            node = replace(node, input=child)
+        changed |= c
+    elif isinstance(node, lp.LDistinct):
+        child, c = _rewrite_once(node.input)
+        if c:
+            node = replace(node, input=child)
+        changed |= c
+    elif isinstance(node, lp.LUnnest):
+        child, c = _rewrite_once(node.input)
+        if c:
+            node = replace(node, input=child)
+        changed |= c
+    elif isinstance(node, lp.LJoin):
+        left, c1 = _rewrite_once(node.left)
+        right, c2 = _rewrite_once(node.right)
+        if c1 or c2:
+            node = replace(node, left=left, right=right)
+        changed |= c1 or c2
+    elif isinstance(node, lp.LSetOp):
+        left, c1 = _rewrite_once(node.left)
+        right, c2 = _rewrite_once(node.right)
+        if c1 or c2:
+            node = replace(node, left=left, right=right)
+        changed |= c1 or c2
+    elif isinstance(node, lp.LRecursive):
+        base, c1 = _rewrite_once(node.base)
+        recursive, c2 = _rewrite_once(node.recursive)
+        if c1 or c2:
+            node = replace(node, base=base, recursive=recursive)
+        changed |= c1 or c2
+    elif isinstance(node, lp.LMaterialize):
+        definition, c1 = _rewrite_once(node.definition)
+        body, c2 = _rewrite_once(node.body)
+        if c1 or c2:
+            node = replace(node, definition=definition, body=body)
+        changed |= c1 or c2
+    elif isinstance(node, lp.LGraphSelect):
+        child, c1 = _rewrite_once(node.input)
+        edge, c2 = _rewrite_once(node.edge)
+        if c1 or c2:
+            node = replace(node, input=child, edge=edge)
+        changed |= c1 or c2
+    elif isinstance(node, lp.LGraphJoin):
+        left, c1 = _rewrite_once(node.left)
+        right, c2 = _rewrite_once(node.right)
+        edge, c3 = _rewrite_once(node.edge)
+        if c1 or c2 or c3:
+            node = replace(node, left=left, right=right, edge=edge)
+        changed |= c1 or c2 or c3
+    return node, changed

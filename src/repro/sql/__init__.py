@@ -1,0 +1,19 @@
+"""SQL front-end: lexer, AST and parser for the dialect plus the
+REACHES / CHEAPEST SUM / UNNEST graph extension of De Leo & Boncz."""
+
+from . import ast
+from .lexer import tokenize
+from .parser import Parser, parse_query, parse_script, parse_statement
+from .tokens import KEYWORDS, Token, TokenType
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "Parser",
+    "parse_query",
+    "parse_script",
+    "parse_statement",
+    "KEYWORDS",
+    "Token",
+    "TokenType",
+]

@@ -1,0 +1,407 @@
+"""Abstract syntax tree for the supported SQL dialect.
+
+The node inventory covers a practical subset of SQL-2003 plus the paper's
+extension (Section 2):
+
+* the ``REACHES`` predicate, represented as :class:`Reaches` so the
+  binder can recognize it inside the WHERE conjunction;
+* the ``CHEAPEST SUM(e: expr)`` summary function, :class:`CheapestSum`,
+  whose ``AS (cost, path)`` aliasing is carried by
+  :class:`SelectItem.alias_list`;
+* ``UNNEST(expr) [WITH ORDINALITY]`` as a lateral FROM item,
+  :class:`UnnestRef`.
+
+All nodes are frozen dataclasses; the parser is the only producer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class Node:
+    """Marker base class for all AST nodes."""
+
+
+class Expr(Node):
+    """Marker base class for scalar expressions."""
+
+
+# ---------------------------------------------------------------------------
+# scalar expressions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: int, float, str, bool or None (NULL)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A positional host parameter ``?`` (0-based ``index``)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly qualified column reference ``[table.]name``."""
+
+    table: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``alias.*`` in a projection list."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary operator: ``NOT x`` or ``-x`` or ``+x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary operator (arithmetic, comparison, logic, ``||``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Function or aggregate call.  ``distinct`` applies to aggregates."""
+
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    operand: Expr
+    type_name: str
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``CASE [operand] WHEN .. THEN .. [ELSE ..] END``."""
+
+    operand: Optional[Expr]
+    whens: tuple[tuple[Expr, Expr], ...]
+    else_: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    operand: Expr
+    query: "Select"
+    negated: bool = False
+
+
+# ---------------------------------------------------------------------------
+# the SQL extension (Section 2 of the paper)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TupleExpr(Expr):
+    """A parenthesized expression list ``(a, b, ...)``.
+
+    Only legal as a REACHES endpoint (the paper's multi-attribute vertex
+    keys); the binder rejects it anywhere else.
+    """
+
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Reaches(Expr):
+    """``X REACHES Y OVER E [e] EDGE (S, D)``.
+
+    ``edge`` is the edge-table expression: either a :class:`NamedTableRef`
+    (base table or CTE) or a :class:`DerivedTableRef`.  ``binding`` is the
+    optional tuple variable (``e``) that CHEAPEST SUM uses to refer to this
+    predicate; ``src_cols``/``dst_cols`` are the names given in
+    ``EDGE (S, D)`` — multi-attribute vertex keys (Section 2: "extending
+    for multiple attributes is not complicated") use the tuple form
+    ``(X1, X2) REACHES (Y1, Y2) OVER E EDGE ((S1, S2), (D1, D2))``.
+    """
+
+    source: tuple[Expr, ...]
+    dest: tuple[Expr, ...]
+    edge: "TableRef"
+    binding: Optional[str]
+    src_cols: tuple[str, ...]
+    dst_cols: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CheapestSum(Expr):
+    """``CHEAPEST SUM([e:] weight_expr)`` in a projection list.
+
+    ``binding`` selects which REACHES predicate this function attaches to;
+    it may be omitted when the query has exactly one (Section 2).  The
+    ``AS (cost, path)`` form is recorded on the surrounding
+    :class:`SelectItem` as ``alias_list``.
+    """
+
+    binding: Optional[str]
+    weight: Expr
+
+
+# ---------------------------------------------------------------------------
+# table references (FROM items)
+# ---------------------------------------------------------------------------
+class TableRef(Node):
+    """Marker base class for FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class NamedTableRef(TableRef):
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DerivedTableRef(TableRef):
+    query: "Select"
+    alias: str
+    column_aliases: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class UnnestRef(TableRef):
+    """``UNNEST(expr) [WITH ORDINALITY] [AS alias]`` — a lateral FROM item.
+
+    ``outer`` marks the left-outer variant which preserves rows whose
+    nested table is empty (Section 2: "useful to preserve tuples when the
+    nested structure is the empty collection").
+    """
+
+    operand: Expr
+    alias: Optional[str] = None
+    with_ordinality: bool = False
+    outer: bool = False
+
+
+@dataclass(frozen=True)
+class JoinRef(TableRef):
+    """Explicit ``A JOIN B ON cond`` syntax."""
+
+    left: TableRef
+    right: TableRef
+    kind: str  # 'inner' | 'left' | 'cross'
+    condition: Optional[Expr]
+
+
+# ---------------------------------------------------------------------------
+# queries and statements
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One projection item.
+
+    ``alias_list`` holds the multi-identifier aliasing the paper introduces
+    for CHEAPEST SUM: ``AS (cost, path)`` (Section 3.1 grammar additions).
+    """
+
+    expr: Expr
+    alias: Optional[str] = None
+    alias_list: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class CommonTableExpr(Node):
+    name: str
+    column_names: tuple[str, ...]
+    query: "QueryNode"
+
+
+class QueryNode(Node):
+    """Marker base: Select or a set operation tree."""
+
+
+@dataclass(frozen=True)
+class Select(QueryNode):
+    items: tuple[SelectItem, ...]
+    from_refs: tuple[TableRef, ...] = ()
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+    ctes: tuple[CommonTableExpr, ...] = ()
+    recursive: bool = False
+
+
+@dataclass(frozen=True)
+class ValuesQuery(QueryNode):
+    """``VALUES (..), (..)`` as a table constructor (query position)."""
+
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class SetOp(QueryNode):
+    op: str  # 'union' | 'except' | 'intersect'
+    all: bool
+    left: QueryNode
+    right: QueryNode
+    ctes: tuple[CommonTableExpr, ...] = ()
+    recursive: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# DDL / DML statements
+# ---------------------------------------------------------------------------
+class Statement(Node):
+    """Marker base class for top-level statements."""
+
+
+@dataclass(frozen=True)
+class QueryStatement(Statement):
+    query: QueryNode
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN <query>`` — show the optimized logical plan."""
+
+    query: QueryNode
+
+
+@dataclass(frozen=True)
+class ColumnSpec(Node):
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: tuple[ColumnSpec, ...]
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class InsertValues(Statement):
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class InsertSelect(Statement):
+    table: str
+    columns: tuple[str, ...]
+    query: QueryNode
+
+
+@dataclass(frozen=True)
+class CreateTableAs(Statement):
+    """``CREATE TABLE name AS query``."""
+
+    name: str
+    query: QueryNode
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """``DELETE FROM table [WHERE predicate]``."""
+
+    table: str
+    where: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """``UPDATE table SET col = expr [, ...] [WHERE predicate]``."""
+
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class CreateGraphIndex(Statement):
+    """``CREATE GRAPH INDEX name ON table EDGE (s, d) [OVER (weight_expr)]``.
+
+    This implements the paper's future-work proposal (Section 6): a
+    persistent CSR representation keyed on the edge table, reused whenever a
+    query's edge-table expression matches, and invalidated by updates.
+    """
+
+    name: str
+    table: str
+    src_col: str
+    dst_col: str
+
+
+@dataclass(frozen=True)
+class DropGraphIndex(Statement):
+    name: str

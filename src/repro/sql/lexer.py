@@ -1,0 +1,167 @@
+"""Hand-written SQL tokenizer.
+
+Supports standard SQL lexical structure: identifiers (optionally
+``"quoted"``), single-quoted strings with ``''`` escaping, integer and
+decimal literals (with exponents), ``--`` line comments and ``/* */``
+block comments, the ``?`` host-parameter marker used by the paper's
+example queries, and the operator/punctuation inventory from
+:mod:`repro.sql.tokens`.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenType
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens, ending with a single EOF token."""
+    return _Lexer(text).run()
+
+
+class _Lexer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: list[Token] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[Token]:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                self._skip_line_comment()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                self._lex_number()
+            elif ch == "'":
+                self._lex_string()
+            elif ch == '"':
+                self._lex_quoted_identifier()
+            elif ch.isalpha() or ch == "_":
+                self._lex_word()
+            elif ch == "?":
+                self._emit(TokenType.PARAM, "?", 1)
+            else:
+                self._lex_operator_or_punct()
+        self.tokens.append(Token(TokenType.EOF, None, self.line, self.column))
+        return self.tokens
+
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _emit(self, type_: TokenType, value, length: int) -> None:
+        self.tokens.append(Token(type_, value, self.line, self.column))
+        self._advance(length)
+
+    # ------------------------------------------------------------------
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self.line, self.column
+        self._advance(2)
+        while self.pos < len(self.text):
+            if self.text[self.pos] == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexError("unterminated block comment", start_line, start_col)
+
+    def _lex_number(self) -> None:
+        start = self.pos
+        line, col = self.line, self.column
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        raw = self.text[start : self.pos]
+        if is_float:
+            self.tokens.append(Token(TokenType.FLOAT, float(raw), line, col))
+        else:
+            self.tokens.append(Token(TokenType.INTEGER, int(raw), line, col))
+
+    def _lex_string(self) -> None:
+        line, col = self.line, self.column
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise LexError("unterminated string literal", line, col)
+            ch = self.text[self.pos]
+            if ch == "'":
+                if self._peek(1) == "'":  # '' escapes a quote
+                    parts.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            parts.append(ch)
+            self._advance()
+        self.tokens.append(Token(TokenType.STRING, "".join(parts), line, col))
+
+    def _lex_quoted_identifier(self) -> None:
+        line, col = self.line, self.column
+        self._advance()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] != '"':
+            self._advance()
+        if self.pos >= len(self.text):
+            raise LexError("unterminated quoted identifier", line, col)
+        name = self.text[start : self.pos]
+        self._advance()
+        self.tokens.append(Token(TokenType.IDENT, name, line, col))
+
+    def _lex_word(self) -> None:
+        line, col = self.line, self.column
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        word = self.text[start : self.pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            self.tokens.append(Token(TokenType.KEYWORD, upper, line, col))
+        else:
+            self.tokens.append(Token(TokenType.IDENT, word, line, col))
+
+    def _lex_operator_or_punct(self) -> None:
+        for op in OPERATORS:
+            if self.text.startswith(op, self.pos):
+                self._emit(TokenType.OPERATOR, op, len(op))
+                return
+        ch = self.text[self.pos]
+        if ch in PUNCTUATION:
+            self._emit(TokenType.PUNCT, ch, 1)
+            return
+        raise LexError(f"unexpected character {ch!r}", self.line, self.column)

@@ -1,0 +1,806 @@
+"""Recursive-descent parser for the SQL dialect plus the graph extension.
+
+Grammar notes specific to the paper (Section 2 / 3.1):
+
+* ``REACHES`` is parsed at the predicate level of the expression grammar::
+
+      additive REACHES additive OVER edge_ref [binding] EDGE ( S , D )
+
+  where ``edge_ref`` is a table name (base table or CTE) or a
+  parenthesized subquery.
+* ``CHEAPEST SUM ( [ident :] expr )`` is a primary expression; the
+  ``AS (ident_list)`` multi-alias is accepted on any projection item and
+  recorded in :class:`~repro.sql.ast.SelectItem.alias_list`.
+* ``UNNEST ( expr ) [WITH ORDINALITY] [[AS] alias]`` is a FROM item; the
+  comma form denotes a lateral inner join.  The left-outer variant is
+  written ``LEFT JOIN UNNEST(...) ON TRUE`` (Section 2's "left outer
+  lateral join").
+* A FROM-less ``SELECT ... WHERE ...`` is legal, as used by the paper's
+  Query 13 example (Appendix A.1); its input is one empty row.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+#: Binary operator precedence (higher binds tighter).  Predicates
+#: (comparison, IS, IN, BETWEEN, LIKE, REACHES) sit between AND and
+#: additive operators and do not associate.
+_ADDITIVE = ("+", "-", "||")
+_MULTIPLICATIVE = ("*", "/", "%")
+_COMPARISON = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing semicolon is allowed)."""
+    parser = Parser(sql)
+    stmt = parser.statement()
+    parser.expect_end()
+    return stmt
+
+
+def parse_query(sql: str) -> ast.QueryNode:
+    """Parse a query expression; raises ParseError for non-queries."""
+    stmt = parse_statement(sql)
+    if not isinstance(stmt, ast.QueryStatement):
+        raise ParseError("expected a query")
+    return stmt.query
+
+
+def parse_script(sql: str) -> list[ast.Statement]:
+    """Parse a semicolon-separated list of statements."""
+    parser = Parser(sql)
+    statements = []
+    while not parser.at_end():
+        statements.append(parser.statement())
+        if not parser.accept_punct(";"):
+            break
+    parser.expect_end()
+    return statements
+
+
+class Parser:
+    """Stateful token-stream parser.  One instance parses one string."""
+
+    def __init__(self, sql: str):
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self.param_count = 0
+
+    # ------------------------------------------------------------------
+    # token-stream helpers
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type != TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().type == TokenType.EOF
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(
+            f"{message} (found {token.value!r})", token.line, token.column
+        )
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.peek().is_keyword(*names):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.accept_keyword(*names)
+        if token is None:
+            raise self.error(f"expected {' or '.join(names)}")
+        return token
+
+    def accept_punct(self, value: str) -> bool:
+        token = self.peek()
+        if token.type == TokenType.PUNCT and token.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise self.error(f"expected {value!r}")
+
+    def accept_operator(self, *values: str) -> Optional[str]:
+        token = self.peek()
+        if token.type == TokenType.OPERATOR and token.value in values:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_identifier(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.type == TokenType.IDENT:
+            self.advance()
+            return token.value
+        raise self.error(f"expected {what}")
+
+    def expect_end(self) -> None:
+        self.accept_punct(";")
+        if not self.at_end():
+            raise self.error("unexpected trailing input")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.is_keyword("CREATE"):
+            return self._create()
+        if token.is_keyword("DROP"):
+            return self._drop()
+        if token.is_keyword("INSERT"):
+            return self._insert()
+        if token.is_keyword("EXPLAIN"):
+            self.advance()
+            return ast.Explain(self.query())
+        if token.is_keyword("DELETE"):
+            return self._delete()
+        if token.is_keyword("UPDATE"):
+            return self._update()
+        if token.is_keyword("SELECT", "WITH", "VALUES") or (
+            token.type == TokenType.PUNCT and token.value == "("
+        ):
+            return ast.QueryStatement(self.query())
+        raise self.error("expected a statement")
+
+    def _delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier("table name")
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    def _update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self.accept_punct(","):
+            assignments.append(self._assignment())
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _assignment(self) -> tuple[str, ast.Expr]:
+        column = self.expect_identifier("column name")
+        if self.accept_operator("=") is None:
+            raise self.error("expected '=' in SET assignment")
+        return column, self.expression()
+
+    def _create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("GRAPH"):
+            self.expect_keyword("INDEX")
+            name = self.expect_identifier("index name")
+            self.expect_keyword("ON")
+            table = self.expect_identifier("table name")
+            self.expect_keyword("EDGE")
+            self.expect_punct("(")
+            src = self.expect_identifier("source column")
+            self.expect_punct(",")
+            dst = self.expect_identifier("destination column")
+            self.expect_punct(")")
+            return ast.CreateGraphIndex(name, table, src, dst)
+        self.expect_keyword("TABLE")
+        name = self.expect_identifier("table name")
+        if self.accept_keyword("AS"):
+            return ast.CreateTableAs(name, self.query())
+        self.expect_punct("(")
+        columns = []
+        while True:
+            col_name = self.expect_identifier("column name")
+            type_name = self._type_name()
+            columns.append(ast.ColumnSpec(col_name, type_name))
+            # tolerate and ignore inline PRIMARY KEY / NOT NULL constraints
+            while self.accept_keyword("PRIMARY", "NOT", "KEY", "NULL"):
+                pass
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return ast.CreateTable(name, tuple(columns))
+
+    def _type_name(self) -> str:
+        token = self.peek()
+        if token.type == TokenType.IDENT:
+            self.advance()
+            name = token.value
+        else:
+            raise self.error("expected a type name")
+        # swallow optional length/precision arguments: VARCHAR(40), DECIMAL(8,2)
+        if self.accept_punct("("):
+            while not self.accept_punct(")"):
+                self.advance()
+        return name
+
+    def _drop(self) -> ast.Statement:
+        self.expect_keyword("DROP")
+        if self.accept_keyword("GRAPH"):
+            self.expect_keyword("INDEX")
+            return ast.DropGraphIndex(self.expect_identifier("index name"))
+        self.expect_keyword("TABLE")
+        return ast.DropTable(self.expect_identifier("table name"))
+
+    def _insert(self) -> ast.Statement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier("table name")
+        columns: tuple[str, ...] = ()
+        if self.accept_punct("("):
+            names = [self.expect_identifier("column name")]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier("column name"))
+            self.expect_punct(")")
+            columns = tuple(names)
+        if self.accept_keyword("VALUES"):
+            rows = [self._value_row()]
+            while self.accept_punct(","):
+                rows.append(self._value_row())
+            return ast.InsertValues(table, columns, tuple(rows))
+        return ast.InsertSelect(table, columns, self.query())
+
+    def _value_row(self) -> tuple[ast.Expr, ...]:
+        self.expect_punct("(")
+        exprs = [self.expression()]
+        while self.accept_punct(","):
+            exprs.append(self.expression())
+        self.expect_punct(")")
+        return tuple(exprs)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self) -> ast.QueryNode:
+        ctes: tuple[ast.CommonTableExpr, ...] = ()
+        recursive = False
+        if self.accept_keyword("WITH"):
+            recursive = self.accept_keyword("RECURSIVE") is not None
+            cte_list = [self._cte()]
+            while self.accept_punct(","):
+                cte_list.append(self._cte())
+            ctes = tuple(cte_list)
+        node = self._set_expression()
+        order_by, limit, offset = self._order_limit()
+        if isinstance(node, ast.ValuesQuery):
+            if ctes or order_by or limit is not None or offset is not None:
+                raise self.error(
+                    "VALUES does not take WITH/ORDER BY/LIMIT directly; wrap it "
+                    "in a derived table"
+                )
+            return node
+        if isinstance(node, ast.Select):
+            node = ast.Select(
+                items=node.items,
+                from_refs=node.from_refs,
+                where=node.where,
+                group_by=node.group_by,
+                having=node.having,
+                order_by=node.order_by or order_by,
+                limit=node.limit if node.limit is not None else limit,
+                offset=node.offset if node.offset is not None else offset,
+                distinct=node.distinct,
+                ctes=ctes,
+                recursive=recursive,
+            )
+        else:
+            node = ast.SetOp(
+                op=node.op,
+                all=node.all,
+                left=node.left,
+                right=node.right,
+                ctes=ctes,
+                recursive=recursive,
+                order_by=order_by,
+                limit=limit,
+                offset=offset,
+            )
+        return node
+
+    def _cte(self) -> ast.CommonTableExpr:
+        name = self.expect_identifier("CTE name")
+        column_names: tuple[str, ...] = ()
+        if self.accept_punct("("):
+            names = [self.expect_identifier("column name")]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier("column name"))
+            self.expect_punct(")")
+            column_names = tuple(names)
+        self.expect_keyword("AS")
+        self.expect_punct("(")
+        query = self.query()
+        self.expect_punct(")")
+        return ast.CommonTableExpr(name, column_names, query)
+
+    def _set_expression(self) -> ast.QueryNode:
+        left = self._select_core()
+        while True:
+            token = self.peek()
+            if token.is_keyword("UNION", "EXCEPT", "INTERSECT"):
+                self.advance()
+                all_ = self.accept_keyword("ALL") is not None
+                right = self._select_core()
+                left = ast.SetOp(token.value.lower(), all_, left, right)
+            else:
+                return left
+
+    def _select_core(self) -> ast.QueryNode:
+        if self.accept_punct("("):
+            inner = self.query()
+            self.expect_punct(")")
+            return inner
+        if self.accept_keyword("VALUES"):
+            rows = [self._value_row()]
+            while self.accept_punct(","):
+                rows.append(self._value_row())
+            return ast.ValuesQuery(tuple(rows))
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT") is not None
+        self.accept_keyword("ALL")
+        items = [self._select_item()]
+        while self.accept_punct(","):
+            items.append(self._select_item())
+        from_refs: tuple[ast.TableRef, ...] = ()
+        if self.accept_keyword("FROM"):
+            refs = [self._join_tree()]
+            while self.accept_punct(","):
+                refs.append(self._join_tree())
+            from_refs = tuple(refs)
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        group_by: tuple[ast.Expr, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            exprs = [self.expression()]
+            while self.accept_punct(","):
+                exprs.append(self.expression())
+            group_by = tuple(exprs)
+        having = self.expression() if self.accept_keyword("HAVING") else None
+        return ast.Select(
+            items=tuple(items),
+            from_refs=from_refs,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _order_limit(self):
+        order_by: tuple[ast.OrderItem, ...] = ()
+        limit = offset = None
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            entries = [self._order_item()]
+            while self.accept_punct(","):
+                entries.append(self._order_item())
+            order_by = tuple(entries)
+        if self.accept_keyword("LIMIT"):
+            token = self.peek()
+            if token.type != TokenType.INTEGER:
+                raise self.error("expected integer LIMIT")
+            self.advance()
+            limit = token.value
+        if self.accept_keyword("OFFSET"):
+            token = self.peek()
+            if token.type != TokenType.INTEGER:
+                raise self.error("expected integer OFFSET")
+            self.advance()
+            offset = token.value
+        return order_by, limit, offset
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self.expression()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, ascending)
+
+    def _select_item(self) -> ast.SelectItem:
+        token = self.peek()
+        # bare * or alias.*
+        if token.type == TokenType.OPERATOR and token.value == "*":
+            self.advance()
+            return ast.SelectItem(ast.Star(None))
+        if (
+            token.type == TokenType.IDENT
+            and self.peek(1).type == TokenType.PUNCT
+            and self.peek(1).value == "."
+            and self.peek(2).type == TokenType.OPERATOR
+            and self.peek(2).value == "*"
+        ):
+            self.advance()
+            self.advance()
+            self.advance()
+            return ast.SelectItem(ast.Star(token.value))
+        expr = self.expression()
+        alias = None
+        alias_list: tuple[str, ...] = ()
+        if self.accept_keyword("AS"):
+            if self.accept_punct("("):
+                names = [self.expect_identifier("alias")]
+                while self.accept_punct(","):
+                    names.append(self.expect_identifier("alias"))
+                self.expect_punct(")")
+                alias_list = tuple(names)
+            else:
+                alias = self.expect_identifier("alias")
+        elif self.peek().type == TokenType.IDENT:
+            alias = self.advance().value
+        return ast.SelectItem(expr, alias, alias_list)
+
+    # ------------------------------------------------------------------
+    # FROM items
+    # ------------------------------------------------------------------
+    def _join_tree(self) -> ast.TableRef:
+        left = self._table_primary()
+        while True:
+            token = self.peek()
+            if token.is_keyword("CROSS"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                right = self._table_primary()
+                left = ast.JoinRef(left, right, "cross", None)
+            elif token.is_keyword("INNER", "JOIN", "LEFT", "RIGHT"):
+                kind = "inner"
+                if self.accept_keyword("LEFT"):
+                    self.accept_keyword("OUTER")
+                    kind = "left"
+                elif self.accept_keyword("RIGHT"):
+                    self.accept_keyword("OUTER")
+                    kind = "right"
+                else:
+                    self.accept_keyword("INNER")
+                self.expect_keyword("JOIN")
+                right = self._table_primary()
+                condition = None
+                if self.accept_keyword("ON"):
+                    condition = self.expression()
+                left = ast.JoinRef(left, right, kind, condition)
+            else:
+                return left
+
+    def _table_primary(self) -> ast.TableRef:
+        token = self.peek()
+        if token.is_keyword("LATERAL"):
+            self.advance()
+            token = self.peek()
+        if token.is_keyword("UNNEST"):
+            return self._unnest_ref()
+        if token.type == TokenType.PUNCT and token.value == "(":
+            self.advance()
+            query = self.query()
+            self.expect_punct(")")
+            self.accept_keyword("AS")
+            alias = self.expect_identifier("derived table alias")
+            column_aliases: tuple[str, ...] = ()
+            if self.accept_punct("("):
+                names = [self.expect_identifier("column alias")]
+                while self.accept_punct(","):
+                    names.append(self.expect_identifier("column alias"))
+                self.expect_punct(")")
+                column_aliases = tuple(names)
+            return ast.DerivedTableRef(query, alias, column_aliases)
+        name = self.expect_identifier("table name")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.peek().type == TokenType.IDENT:
+            alias = self.advance().value
+        return ast.NamedTableRef(name, alias)
+
+    def _unnest_ref(self) -> ast.UnnestRef:
+        self.expect_keyword("UNNEST")
+        self.expect_punct("(")
+        operand = self.expression()
+        self.expect_punct(")")
+        with_ordinality = False
+        if self.accept_keyword("WITH"):
+            self.expect_keyword("ORDINALITY")
+            with_ordinality = True
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.peek().type == TokenType.IDENT:
+            alias = self.advance().value
+        return ast.UnnestRef(operand, alias, with_ordinality)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = ast.Binary("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = ast.Binary("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.Unary("not", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> ast.Expr:
+        left = self._additive()
+        token = self.peek()
+        if token.is_keyword("REACHES"):
+            return self._reaches(left)
+        op = self.accept_operator(*_COMPARISON)
+        if op is not None:
+            if op == "!=":
+                op = "<>"
+            right = self._additive()
+            return ast.Binary(op, left, right)
+        if token.is_keyword("IS"):
+            self.advance()
+            negated = self.accept_keyword("NOT") is not None
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        negated = False
+        if token.is_keyword("NOT") and self.peek(1).is_keyword(
+            "BETWEEN", "IN", "LIKE"
+        ):
+            self.advance()
+            negated = True
+            token = self.peek()
+        if token.is_keyword("BETWEEN"):
+            self.advance()
+            low = self._additive()
+            self.expect_keyword("AND")
+            high = self._additive()
+            return ast.Between(left, low, high, negated)
+        if token.is_keyword("IN"):
+            self.advance()
+            self.expect_punct("(")
+            if self.peek().is_keyword("SELECT", "WITH"):
+                query = self.query()
+                self.expect_punct(")")
+                return ast.InSubquery(left, query, negated)
+            items = [self.expression()]
+            while self.accept_punct(","):
+                items.append(self.expression())
+            self.expect_punct(")")
+            return ast.InList(left, tuple(items), negated)
+        if token.is_keyword("LIKE"):
+            self.advance()
+            return ast.Like(left, self._additive(), negated)
+        return left
+
+    def _reaches(self, source: ast.Expr) -> ast.Reaches:
+        self.expect_keyword("REACHES")
+        dest = self._additive()
+        self.expect_keyword("OVER")
+        edge = self._edge_ref()
+        binding = None
+        if self.peek().type == TokenType.IDENT:
+            binding = self.advance().value
+        self.expect_keyword("EDGE")
+        self.expect_punct("(")
+        src_cols = self._edge_key()
+        self.expect_punct(",")
+        dst_cols = self._edge_key()
+        self.expect_punct(")")
+        source_tuple = self._endpoint_tuple(source)
+        dest_tuple = self._endpoint_tuple(dest)
+        if not (
+            len(source_tuple) == len(dest_tuple) == len(src_cols) == len(dst_cols)
+        ):
+            raise self.error(
+                "REACHES endpoints and EDGE keys must have the same arity"
+            )
+        return ast.Reaches(
+            source_tuple, dest_tuple, edge, binding, src_cols, dst_cols
+        )
+
+    @staticmethod
+    def _endpoint_tuple(expr: ast.Expr) -> tuple[ast.Expr, ...]:
+        if isinstance(expr, ast.TupleExpr):
+            return expr.items
+        return (expr,)
+
+    def _edge_key(self) -> tuple[str, ...]:
+        """One side of EDGE: a column name or a parenthesized name list."""
+        if self.accept_punct("("):
+            names = [self.expect_identifier("edge key column")]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier("edge key column"))
+            self.expect_punct(")")
+            return tuple(names)
+        return (self.expect_identifier("edge key column"),)
+
+    def _edge_ref(self) -> ast.TableRef:
+        token = self.peek()
+        if token.type == TokenType.PUNCT and token.value == "(":
+            self.advance()
+            query = self.query()
+            self.expect_punct(")")
+            # the derived edge table gets its binding as alias later; use a
+            # placeholder alias, the binder names it from the binding.
+            return ast.DerivedTableRef(query, alias="")
+        name = self.expect_identifier("edge table name")
+        return ast.NamedTableRef(name, None)
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            op = self.accept_operator(*_ADDITIVE)
+            if op is None:
+                return left
+            left = ast.Binary(op, left, self._multiplicative())
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            op = self.accept_operator(*_MULTIPLICATIVE)
+            if op is None:
+                return left
+            left = ast.Binary(op, left, self._unary())
+
+    def _unary(self) -> ast.Expr:
+        op = self.accept_operator("-", "+")
+        if op == "-":
+            return ast.Unary("-", self._unary())
+        if op == "+":
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.type == TokenType.INTEGER or token.type == TokenType.FLOAT:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.type == TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.type == TokenType.PARAM:
+            self.advance()
+            param = ast.Param(self.param_count)
+            self.param_count += 1
+            return param
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("CHEAPEST"):
+            return self._cheapest_sum()
+        if token.is_keyword("SUM"):
+            # plain aggregate SUM(expr); SUM is reserved for CHEAPEST SUM
+            self.advance()
+            self.expect_punct("(")
+            distinct = self.accept_keyword("DISTINCT") is not None
+            arg = self.expression()
+            self.expect_punct(")")
+            return ast.FuncCall("sum", (arg,), distinct)
+        if token.is_keyword("CAST"):
+            self.advance()
+            self.expect_punct("(")
+            operand = self.expression()
+            self.expect_keyword("AS")
+            type_name = self._type_name()
+            self.expect_punct(")")
+            return ast.Cast(operand, type_name)
+        if token.is_keyword("CASE"):
+            return self._case()
+        if token.is_keyword("EXISTS"):
+            self.advance()
+            self.expect_punct("(")
+            query = self.query()
+            self.expect_punct(")")
+            if not isinstance(query, ast.Select):
+                raise self.error("EXISTS requires a plain SELECT")
+            return ast.Exists(query)
+        if token.type == TokenType.PUNCT and token.value == "(":
+            self.advance()
+            if self.peek().is_keyword("SELECT", "WITH"):
+                query = self.query()
+                self.expect_punct(")")
+                if not isinstance(query, (ast.Select, ast.SetOp)):
+                    raise self.error("expected subquery")
+                return ast.ScalarSubquery(query)
+            expr = self.expression()
+            if self.accept_punct(","):
+                # a tuple endpoint for multi-attribute REACHES keys
+                items = [expr, self.expression()]
+                while self.accept_punct(","):
+                    items.append(self.expression())
+                self.expect_punct(")")
+                return ast.TupleExpr(tuple(items))
+            self.expect_punct(")")
+            return expr
+        if token.type == TokenType.IDENT:
+            return self._identifier_expr()
+        raise self.error("expected an expression")
+
+    def _cheapest_sum(self) -> ast.CheapestSum:
+        self.expect_keyword("CHEAPEST")
+        self.expect_keyword("SUM")
+        self.expect_punct("(")
+        binding = None
+        if (
+            self.peek().type == TokenType.IDENT
+            and self.peek(1).type == TokenType.PUNCT
+            and self.peek(1).value == ":"
+        ):
+            binding = self.advance().value
+            self.advance()  # ':'
+        weight = self.expression()
+        self.expect_punct(")")
+        return ast.CheapestSum(binding, weight)
+
+    def _case(self) -> ast.Case:
+        self.expect_keyword("CASE")
+        operand = None
+        if not self.peek().is_keyword("WHEN"):
+            operand = self.expression()
+        whens = []
+        while self.accept_keyword("WHEN"):
+            cond = self.expression()
+            self.expect_keyword("THEN")
+            result = self.expression()
+            whens.append((cond, result))
+        if not whens:
+            raise self.error("CASE requires at least one WHEN")
+        else_ = self.expression() if self.accept_keyword("ELSE") else None
+        self.expect_keyword("END")
+        return ast.Case(operand, tuple(whens), else_)
+
+    def _identifier_expr(self) -> ast.Expr:
+        name = self.advance().value
+        # function call?
+        if self.peek().type == TokenType.PUNCT and self.peek().value == "(":
+            self.advance()
+            distinct = self.accept_keyword("DISTINCT") is not None
+            args: list[ast.Expr] = []
+            if self.peek().type == TokenType.OPERATOR and self.peek().value == "*":
+                # COUNT(*)
+                self.advance()
+                self.expect_punct(")")
+                return ast.FuncCall(name.lower(), (ast.Star(None),), distinct)
+            if not (self.peek().type == TokenType.PUNCT and self.peek().value == ")"):
+                args.append(self.expression())
+                while self.accept_punct(","):
+                    args.append(self.expression())
+            self.expect_punct(")")
+            return ast.FuncCall(name.lower(), tuple(args), distinct)
+        # qualified column reference?
+        if self.peek().type == TokenType.PUNCT and self.peek().value == ".":
+            self.advance()
+            token = self.peek()
+            if token.type == TokenType.IDENT:
+                self.advance()
+                column = token.value
+            elif token.type == TokenType.KEYWORD:
+                # after a dot, reserved words act as column names
+                # (e.g. R.ordinality from WITH ORDINALITY)
+                self.advance()
+                column = token.value.lower()
+            else:
+                raise self.error("expected column name")
+            return ast.ColumnRef(name, column)
+        return ast.ColumnRef(None, name)

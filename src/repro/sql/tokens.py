@@ -1,0 +1,62 @@
+"""Token definitions for the SQL lexer.
+
+The extension adds four keywords to the language, exactly as the paper's
+prototype does for MonetDB (Section 3.1): ``CHEAPEST``, ``REACHES``,
+``EDGE`` and ``UNNEST``.  ``OVER`` and ``ORDINALITY`` are also reserved
+here because the grammar needs them unambiguously.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    INTEGER = "integer literal"
+    FLOAT = "float literal"
+    STRING = "string literal"
+    PARAM = "parameter"  # the host parameter marker '?'
+    OPERATOR = "operator"
+    PUNCT = "punctuation"
+    EOF = "end of input"
+
+
+#: Reserved words.  Matching is case-insensitive; the lexer upper-cases.
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS ON USING
+    JOIN INNER LEFT RIGHT FULL OUTER CROSS LATERAL
+    AND OR NOT IN IS NULL TRUE FALSE BETWEEN LIKE EXISTS
+    UNION ALL EXCEPT INTERSECT DISTINCT
+    CASE WHEN THEN ELSE END CAST ASC DESC
+    WITH RECURSIVE VALUES INSERT INTO CREATE TABLE DROP DELETE UPDATE SET
+    PRIMARY KEY FOREIGN REFERENCES
+    CHEAPEST SUM REACHES OVER EDGE UNNEST ORDINALITY
+    INDEX GRAPH EXPLAIN
+    """.split()
+)
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+OPERATORS = ("||", "<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+
+PUNCTUATION = ("(", ")", ",", ".", ";", ":")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

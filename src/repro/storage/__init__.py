@@ -1,0 +1,33 @@
+"""Column-store storage substrate (the engine's MonetDB stand-in)."""
+
+from .column import Column
+from .schema import ColumnDef, Schema
+from .table import Catalog, Table
+from .types import (
+    DataType,
+    coerce_python_value,
+    comparable,
+    date_to_days,
+    days_to_date,
+    infer_literal_type,
+    parse_date_literal,
+    parse_type_name,
+    promote,
+)
+
+__all__ = [
+    "Column",
+    "ColumnDef",
+    "Schema",
+    "Catalog",
+    "Table",
+    "DataType",
+    "coerce_python_value",
+    "comparable",
+    "date_to_days",
+    "days_to_date",
+    "infer_literal_type",
+    "parse_date_literal",
+    "parse_type_name",
+    "promote",
+]

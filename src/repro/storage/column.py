@@ -1,0 +1,240 @@
+"""Physical columns: a typed numpy array plus an optional null mask.
+
+A :class:`Column` is immutable once built (operators always produce new
+columns), mirroring MonetDB's BAT-style materialized execution model.  The
+null mask is a boolean numpy array where ``True`` marks NULL; columns with
+no NULLs carry ``mask=None`` so the common case stays branch-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import TypeError_
+from .types import DataType, coerce_python_value, days_to_date
+
+
+def _parse_string(value: Any, target: DataType) -> Any:
+    """Parse a VARCHAR value for CAST into ``target`` (None passes)."""
+    if value is None:
+        return None
+    text = value.strip()
+    try:
+        if target.is_integral:
+            return int(text)
+        if target == DataType.DOUBLE:
+            return float(text)
+        if target == DataType.BOOLEAN:
+            if text.lower() in ("true", "t", "1"):
+                return True
+            if text.lower() in ("false", "f", "0"):
+                return False
+            raise ValueError(text)
+    except ValueError:
+        raise TypeError_(f"cannot cast {value!r} to {target}") from None
+    return text  # DATE handled by coerce_python_value
+
+
+class Column:
+    """An immutable typed vector of values.
+
+    Parameters
+    ----------
+    type_:
+        The logical :class:`DataType` of the values.
+    data:
+        A numpy array with the physical representation.  NULL slots hold an
+        arbitrary placeholder (0 / empty string / None) and are identified
+        solely through ``mask``.
+    mask:
+        Optional boolean array; ``True`` marks a NULL.  ``None`` means the
+        column contains no NULLs.
+    """
+
+    __slots__ = ("type", "data", "mask")
+
+    def __init__(self, type_: DataType, data: np.ndarray, mask: np.ndarray | None = None):
+        if mask is not None and len(mask) != len(data):
+            raise TypeError_("null mask length does not match data length")
+        if mask is not None and not mask.any():
+            mask = None
+        self.type = type_
+        self.data = data
+        self.mask = mask
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_values(type_: DataType, values: Iterable[Any]) -> "Column":
+        """Build a column from Python values, coercing each to ``type_``."""
+        values = list(values)
+        coerced = [coerce_python_value(v, type_) for v in values]
+        mask = np.fromiter((v is None for v in coerced), dtype=np.bool_, count=len(coerced))
+        if type_.numpy_dtype == np.dtype(object):
+            data = np.empty(len(coerced), dtype=object)
+            for i, v in enumerate(coerced):
+                data[i] = v
+        else:
+            filler = 0
+            data = np.fromiter(
+                (filler if v is None else v for v in coerced),
+                dtype=type_.numpy_dtype,
+                count=len(coerced),
+            )
+        return Column(type_, data, mask if mask.any() else None)
+
+    @staticmethod
+    def constant(type_: DataType, value: Any, length: int) -> "Column":
+        """A column holding ``length`` copies of one (coerced) value."""
+        value = coerce_python_value(value, type_)
+        if value is None:
+            return Column.nulls(type_, length)
+        if type_.numpy_dtype == np.dtype(object):
+            data = np.empty(length, dtype=object)
+            data[:] = value
+        else:
+            data = np.full(length, value, dtype=type_.numpy_dtype)
+        return Column(type_, data)
+
+    @staticmethod
+    def nulls(type_: DataType, length: int) -> "Column":
+        """A column of ``length`` NULLs."""
+        if type_.numpy_dtype == np.dtype(object):
+            data = np.empty(length, dtype=object)
+        else:
+            data = np.zeros(length, dtype=type_.numpy_dtype)
+        return Column(type_, data, np.ones(length, dtype=np.bool_))
+
+    @staticmethod
+    def empty(type_: DataType) -> "Column":
+        return Column(type_, np.empty(0, dtype=type_.numpy_dtype))
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def has_nulls(self) -> bool:
+        return self.mask is not None
+
+    def null_mask(self) -> np.ndarray:
+        """The null mask as a real array (all-False when mask is None)."""
+        if self.mask is None:
+            return np.zeros(len(self.data), dtype=np.bool_)
+        return self.mask
+
+    def value(self, index: int) -> Any:
+        """The Python value at ``index`` (``None`` for NULL)."""
+        if self.mask is not None and self.mask[index]:
+            return None
+        item = self.data[index]
+        if isinstance(item, np.generic):
+            item = item.item()
+        return item
+
+    def to_pylist(self, *, decode_dates: bool = False) -> list[Any]:
+        """Materialize the column as a list of Python values."""
+        if self.data.dtype != np.dtype(object):
+            out = self.data.tolist()  # bulk conversion (C speed)
+            if self.mask is not None:
+                mask_list = self.mask.tolist()
+                out = [None if null else v for v, null in zip(out, mask_list)]
+        else:
+            out = list(self.data)
+            if self.mask is not None:
+                mask_list = self.mask.tolist()
+                out = [None if null else v for v, null in zip(out, mask_list)]
+        if decode_dates and self.type == DataType.DATE:
+            out = [None if v is None else days_to_date(v) for v in out]
+        return out
+
+    def __iter__(self) -> Iterator[Any]:
+        for i in range(len(self)):
+            yield self.value(i)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(repr(v) for v in self.to_pylist()[:8])
+        suffix = ", ..." if len(self) > 8 else ""
+        return f"Column<{self.type}>[{preview}{suffix}]"
+
+    # ------------------------------------------------------------------
+    # positional operations (the building blocks of every operator)
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by position (late materialization / join payload)."""
+        data = self.data[indices]
+        mask = self.mask[indices] if self.mask is not None else None
+        return Column(self.type, data, mask)
+
+    def filter(self, keep: np.ndarray) -> "Column":
+        """Keep rows where the boolean array ``keep`` is True."""
+        data = self.data[keep]
+        mask = self.mask[keep] if self.mask is not None else None
+        return Column(self.type, data, mask)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        data = self.data[start:stop]
+        mask = self.mask[start:stop] if self.mask is not None else None
+        return Column(self.type, data, mask)
+
+    @staticmethod
+    def concat(columns: Sequence["Column"]) -> "Column":
+        """Stack columns of an identical type end to end."""
+        if not columns:
+            raise TypeError_("cannot concatenate zero columns")
+        type_ = columns[0].type
+        if any(c.type != type_ for c in columns):
+            raise TypeError_("concat requires identical column types")
+        data = np.concatenate([c.data for c in columns])
+        if any(c.mask is not None for c in columns):
+            mask = np.concatenate([c.null_mask() for c in columns])
+        else:
+            mask = None
+        return Column(type_, data, mask)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def cast(self, target: DataType) -> "Column":
+        """Cast to another logical type, NULLs passing through.
+
+        Follows SQL CAST semantics for the supported type lattice; invalid
+        string-to-number conversions raise :class:`TypeError_`.
+        """
+        if target == self.type:
+            return self
+        source, mask = self.type, self.mask
+        if source.is_numeric and target.is_numeric:
+            if target == DataType.BOOLEAN:
+                data = self.data.astype(np.bool_)
+            else:
+                if target.is_integral and source == DataType.DOUBLE:
+                    data = np.trunc(self.data).astype(target.numpy_dtype)
+                else:
+                    data = self.data.astype(target.numpy_dtype)
+            return Column(target, data, mask)
+        if target == DataType.VARCHAR:
+            data = np.empty(len(self), dtype=object)
+            for i in range(len(self)):
+                v = self.value(i)
+                if v is None:
+                    data[i] = ""
+                elif source == DataType.DATE:
+                    data[i] = days_to_date(v).isoformat()
+                elif source == DataType.BOOLEAN:
+                    data[i] = "true" if v else "false"
+                else:
+                    data[i] = str(v)
+            return Column(target, data, mask)
+        if source == DataType.VARCHAR:
+            return Column.from_values(target, [_parse_string(v, target) for v in self.to_pylist()])
+        if source == DataType.DATE and target.is_integral:
+            return Column(target, self.data.astype(target.numpy_dtype), mask)
+        if source.is_integral and target == DataType.DATE:
+            return Column(target, self.data.astype(np.int64), mask)
+        raise TypeError_(f"cannot cast {source} to {target}")

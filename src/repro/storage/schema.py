@@ -1,0 +1,73 @@
+"""Relation schemas: ordered, case-insensitively named, typed columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import CatalogError
+from .types import DataType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """Name and logical type of one column of a relation."""
+
+    name: str
+    type: DataType
+
+
+class Schema:
+    """An ordered list of column definitions.
+
+    SQL identifiers are case-insensitive; names are normalized to lower
+    case on construction and all lookups fold case.
+    """
+
+    __slots__ = ("columns", "_index")
+
+    def __init__(self, columns: list[ColumnDef] | list[tuple[str, DataType]]):
+        defs: list[ColumnDef] = []
+        for item in columns:
+            if isinstance(item, ColumnDef):
+                defs.append(ColumnDef(item.name.lower(), item.type))
+            else:
+                name, type_ = item
+                defs.append(ColumnDef(name.lower(), type_))
+        self.columns = defs
+        self._index: dict[str, int] = {}
+        for i, col in enumerate(defs):
+            if col.name in self._index:
+                raise CatalogError(f"duplicate column name: {col.name!r}")
+            self._index[col.name] = i
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[ColumnDef]:
+        return iter(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def types(self) -> list[DataType]:
+        return [c.type for c in self.columns]
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown column: {name!r}") from None
+
+    def type_of(self, name: str) -> DataType:
+        return self.columns[self.index_of(name)].type
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{c.name} {c.type}" for c in self.columns)
+        return f"Schema({body})"

@@ -1,0 +1,135 @@
+"""Base tables: a schema plus one physical column per attribute.
+
+Tables are append-only (``insert_rows``) which is all the engine needs:
+the paper's workload is analytical, and the future-work "graph indices"
+(Section 6) only require a version counter to detect staleness, which
+``Table.version`` provides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import CatalogError, TypeError_
+from .column import Column
+from .schema import Schema
+
+
+class Table:
+    """A named base table holding materialized columns."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name.lower()
+        self.schema = schema
+        self._columns: list[Column] = [Column.empty(c.type) for c in schema]
+        #: Bumped on every mutation; used by the graph-index cache (A4).
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._columns[0]) if self._columns else 0
+
+    @property
+    def num_rows(self) -> int:
+        return len(self)
+
+    def column(self, name: str) -> Column:
+        return self._columns[self.schema.index_of(name)]
+
+    def columns(self) -> list[Column]:
+        return list(self._columns)
+
+    # ------------------------------------------------------------------
+    def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append rows (sequences matching the schema order); returns count."""
+        rows = list(rows)
+        if not rows:
+            return 0
+        width = len(self.schema)
+        for row in rows:
+            if len(row) != width:
+                raise TypeError_(
+                    f"row has {len(row)} values, table {self.name!r} has {width} columns"
+                )
+        new_columns = []
+        for i, col_def in enumerate(self.schema):
+            fresh = Column.from_values(col_def.type, [row[i] for row in rows])
+            new_columns.append(Column.concat([self._columns[i], fresh]))
+        self._columns = new_columns
+        self.version += 1
+        return len(rows)
+
+    def insert_columns(self, columns: Sequence[Column]) -> int:
+        """Append pre-built columns (must match schema types and lengths)."""
+        if len(columns) != len(self.schema):
+            raise TypeError_("column count mismatch")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise TypeError_("appended columns have differing lengths")
+        for col, col_def in zip(columns, self.schema):
+            if col.type != col_def.type:
+                raise TypeError_(
+                    f"column type {col.type} does not match {col_def.name} {col_def.type}"
+                )
+        self._columns = [
+            Column.concat([old, new]) for old, new in zip(self._columns, columns)
+        ]
+        self.version += 1
+        return int(lengths.pop()) if lengths else 0
+
+    def truncate(self) -> None:
+        self._columns = [Column.empty(c.type) for c in self.schema]
+        self.version += 1
+
+    def replace_columns(self, columns: Sequence[Column]) -> None:
+        """Swap in a full new set of columns (DELETE/UPDATE rebuilds)."""
+        if len(columns) != len(self.schema):
+            raise TypeError_("column count mismatch")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise TypeError_("replacement columns have differing lengths")
+        for col, col_def in zip(columns, self.schema):
+            if col.type != col_def.type:
+                raise TypeError_(
+                    f"column type {col.type} does not match {col_def.name} {col_def.type}"
+                )
+        self._columns = list(columns)
+        self.version += 1
+
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        """Materialize as Python tuples (mainly for tests and examples)."""
+        cols = [c.to_pylist() for c in self._columns]
+        return [tuple(col[i] for col in cols) for i in range(len(self))]
+
+
+class Catalog:
+    """The database catalog: a flat namespace of base tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, schema: Schema, *, replace: bool = False) -> Table:
+        key = name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table already exists: {name!r}")
+        table = Table(key, schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        try:
+            del self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

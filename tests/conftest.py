@@ -1,0 +1,60 @@
+"""Shared fixtures: the paper's appendix dataset and small graph DBs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    """A fresh empty database."""
+    return Database()
+
+
+@pytest.fixture
+def social_db() -> Database:
+    """The appendix's Persons/Friends sample data (Figure 2).
+
+    Friendships are symmetric (both directions inserted), with the
+    creation dates and weights used by examples A.1-A.4.
+    """
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE persons (
+            id BIGINT, firstName VARCHAR, lastName VARCHAR, gender VARCHAR
+        );
+        CREATE TABLE friends (
+            person1 BIGINT, person2 BIGINT, creationDate DATE, weight DOUBLE
+        );
+        INSERT INTO persons VALUES
+            (933, 'Mahinda', 'Perera', 'male'),
+            (1129, 'Carmen', 'Lepland', 'female'),
+            (8333, 'Chen', 'Wang', 'male'),
+            (4139, 'Otto', 'Richter', 'male');
+        INSERT INTO friends VALUES
+            (933, 1129, '2010-03-24', 0.5),
+            (1129, 933, '2010-03-24', 0.5),
+            (1129, 8333, '2010-12-02', 2.0),
+            (8333, 1129, '2010-12-02', 2.0),
+            (933, 4139, '2012-05-01', 1.0),
+            (4139, 933, '2012-05-01', 1.0);
+        """
+    )
+    return database
+
+
+@pytest.fixture
+def chain_db() -> Database:
+    """A directed chain 1 -> 2 -> 3 -> 4 -> 5 plus a heavy shortcut 1 -> 5."""
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE edges (s INT, d INT, w INT);
+        INSERT INTO edges VALUES
+            (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (1, 5, 10);
+        """
+    )
+    return database

@@ -1,0 +1,93 @@
+"""The three 'customary means' baselines agree with the extension."""
+
+import pytest
+
+from repro import Database
+from repro.baselines import (
+    PsmShortestPath,
+    chain_join_sql,
+    q13_recursive_sql,
+    run_q13_chain,
+    run_q13_recursive,
+)
+from repro.ldbc import generate, make_database, random_pairs, run_q13
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    network = generate(1, seed=21)
+    return network, make_database(network)
+
+
+class TestRecursiveCte:
+    def test_matches_extension(self, loaded):
+        network, db = loaded
+        for source, dest in random_pairs(network, 6, seed=1):
+            assert run_q13_recursive(db, source, dest) == run_q13(db, source, dest)
+
+    def test_unreachable_returns_none(self):
+        db = Database()
+        db.execute("CREATE TABLE knows (person1 INT, person2 INT)")
+        db.execute("INSERT INTO knows VALUES (1, 2)")
+        assert run_q13_recursive(db, 2, 1) is None
+
+    def test_hop_bound_truncates(self):
+        db = Database()
+        db.execute("CREATE TABLE knows (person1 INT, person2 INT)")
+        db.execute("INSERT INTO knows VALUES (1,2),(2,3),(3,4)")
+        assert run_q13_recursive(db, 1, 4, max_hops=2) is None
+        assert run_q13_recursive(db, 1, 4, max_hops=3) == 3
+
+    def test_sql_text_parametrized(self):
+        sql = q13_recursive_sql("e", "a", "b", 7)
+        assert "e" in sql and "dist < 7" in sql
+
+
+class TestPsm:
+    def test_matches_extension(self, loaded):
+        network, db = loaded
+        psm = PsmShortestPath(db)
+        for source, dest in random_pairs(network, 6, seed=2):
+            assert psm(source, dest) == run_q13(db, source, dest)
+
+    def test_self_distance(self, loaded):
+        network, db = loaded
+        psm = PsmShortestPath(db)
+        person = int(network.person_ids[0])
+        assert psm(person, person) == 0
+
+    def test_temp_tables_reusable(self, loaded):
+        network, db = loaded
+        psm = PsmShortestPath(db)
+        pairs = random_pairs(network, 3, seed=3)
+        first = [psm(s, d) for s, d in pairs]
+        second = [psm(s, d) for s, d in pairs]
+        assert first == second
+
+    def test_unreachable(self):
+        db = Database()
+        db.execute("CREATE TABLE knows (person1 INT, person2 INT)")
+        db.execute("INSERT INTO knows VALUES (1, 2)")
+        psm = PsmShortestPath(db)
+        assert psm(2, 1) is None
+
+
+class TestChainJoins:
+    def test_matches_extension_within_bound(self, loaded):
+        network, db = loaded
+        for source, dest in random_pairs(network, 6, seed=4):
+            expected = run_q13(db, source, dest)
+            got = run_q13_chain(db, source, dest, max_hops=3)
+            if expected is not None and expected <= 3:
+                assert got == expected
+            else:
+                assert got is None
+
+    def test_generated_sql_has_one_branch_per_hop(self):
+        sql = chain_join_sql("e", "s", "d", 3)
+        assert sql.count("UNION") == 2
+        assert "e e3" in sql
+
+    def test_self_distance_shortcut(self, loaded):
+        _, db = loaded
+        assert run_q13_chain(db, 42, 42, max_hops=2) == 0

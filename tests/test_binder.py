@@ -1,0 +1,266 @@
+"""Binder tests: name resolution, typing, aggregation rules, errors."""
+
+import pytest
+
+from repro import Database
+from repro.errors import BindError, NotSupportedError
+from repro.plan import Binder, BoundQuery, logical as lp
+from repro.sql import parse_statement
+from repro.storage import DataType
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE t (a INT, b VARCHAR, c DOUBLE);
+        CREATE TABLE u (a INT, x VARCHAR);
+        CREATE TABLE e (s INT, d INT, w INT);
+        """
+    )
+    return database
+
+
+def bind(db, sql) -> lp.LogicalNode:
+    bound = Binder(db.catalog).bind_statement(parse_statement(sql))
+    assert isinstance(bound, BoundQuery)
+    return bound.plan
+
+
+class TestResolution:
+    def test_unknown_table(self, db):
+        with pytest.raises(Exception):
+            bind(db, "SELECT * FROM nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT zz FROM t")
+
+    def test_qualified_resolution(self, db):
+        plan = bind(db, "SELECT t.a FROM t")
+        assert plan.schema[0].name == "a"
+
+    def test_ambiguous_unqualified(self, db):
+        with pytest.raises(BindError, match="ambiguous"):
+            bind(db, "SELECT a FROM t, u")
+
+    def test_ambiguity_resolved_by_qualifier(self, db):
+        plan = bind(db, "SELECT t.a, u.a FROM t, u")
+        assert len(plan.schema) == 2
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(BindError, match="duplicate"):
+            bind(db, "SELECT 1 FROM t x, u x")
+
+    def test_alias_hides_table_name(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT t.a FROM t AS renamed")
+
+    def test_star_expansion_order(self, db):
+        plan = bind(db, "SELECT * FROM t")
+        assert [c.name for c in plan.schema] == ["a", "b", "c"]
+
+    def test_qualified_star(self, db):
+        plan = bind(db, "SELECT u.* FROM t, u")
+        assert [c.name for c in plan.schema] == ["a", "x"]
+
+    def test_select_star_without_from_raises(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT *")
+
+    def test_derived_table_columns(self, db):
+        plan = bind(db, "SELECT d.total FROM (SELECT a AS total FROM t) d")
+        assert plan.schema[0].name == "total"
+
+    def test_derived_table_column_aliases(self, db):
+        plan = bind(db, "SELECT d.x2 FROM (SELECT a, b FROM t) d (x1, x2)")
+        assert plan.schema[0].name == "x2"
+
+    def test_derived_alias_arity_mismatch(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT 1 FROM (SELECT a FROM t) d (x, y)")
+
+
+class TestTyping:
+    def test_output_types(self, db):
+        plan = bind(db, "SELECT a, b, c FROM t")
+        assert [c.type for c in plan.schema] == [
+            DataType.INTEGER,
+            DataType.VARCHAR,
+            DataType.DOUBLE,
+        ]
+
+    def test_arithmetic_promotes(self, db):
+        plan = bind(db, "SELECT a + c FROM t")
+        assert plan.schema[0].type == DataType.DOUBLE
+
+    def test_division_always_double(self, db):
+        plan = bind(db, "SELECT a / a FROM t")
+        assert plan.schema[0].type == DataType.DOUBLE
+
+    def test_concat_is_varchar(self, db):
+        plan = bind(db, "SELECT b || b FROM t")
+        assert plan.schema[0].type == DataType.VARCHAR
+
+    def test_comparison_is_boolean(self, db):
+        plan = bind(db, "SELECT a > 1 FROM t")
+        assert plan.schema[0].type == DataType.BOOLEAN
+
+    def test_arith_on_varchar_raises(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT b + 1 FROM t")
+
+    def test_compare_varchar_int_raises(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT * FROM t WHERE b > 1")
+
+    def test_where_must_be_boolean(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT * FROM t WHERE a + 1")
+
+    def test_cast_result_type(self, db):
+        plan = bind(db, "SELECT CAST(a AS double) FROM t")
+        assert plan.schema[0].type == DataType.DOUBLE
+
+    def test_case_promotes_result(self, db):
+        plan = bind(db, "SELECT CASE WHEN a > 0 THEN a ELSE c END FROM t")
+        assert plan.schema[0].type == DataType.DOUBLE
+
+
+class TestAggregation:
+    def test_count_star_type(self, db):
+        plan = bind(db, "SELECT count(*) FROM t")
+        assert plan.schema[0].type == DataType.BIGINT
+
+    def test_avg_is_double(self, db):
+        plan = bind(db, "SELECT avg(a) FROM t")
+        assert plan.schema[0].type == DataType.DOUBLE
+
+    def test_min_keeps_type(self, db):
+        plan = bind(db, "SELECT min(b) FROM t")
+        assert plan.schema[0].type == DataType.VARCHAR
+
+    def test_ungrouped_column_rejected(self, db):
+        with pytest.raises(BindError, match="GROUP BY"):
+            bind(db, "SELECT a, count(*) FROM t GROUP BY b")
+
+    def test_group_key_allowed(self, db):
+        bind(db, "SELECT b, count(*) FROM t GROUP BY b")
+
+    def test_expression_over_group_key(self, db):
+        bind(db, "SELECT b || 'x', count(*) FROM t GROUP BY b")
+
+    def test_nested_aggregate_rejected(self, db):
+        with pytest.raises(BindError, match="nested"):
+            bind(db, "SELECT sum(count(*)) FROM t")
+
+    def test_sum_of_varchar_rejected(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT sum(b) FROM t")
+
+    def test_having_without_group_rejected(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT a FROM t HAVING a > 1")
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT a FROM t WHERE count(*) > 1")
+
+    def test_count_distinct(self, db):
+        plan = bind(db, "SELECT count(DISTINCT a) FROM t")
+        assert isinstance(plan, lp.LProject)
+
+
+class TestOrderBy:
+    def test_positional(self, db):
+        plan = bind(db, "SELECT a, b FROM t ORDER BY 2")
+        assert isinstance(plan, lp.LSort)
+
+    def test_positional_out_of_range(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT a FROM t ORDER BY 3")
+
+    def test_alias_reference(self, db):
+        bind(db, "SELECT a AS q FROM t ORDER BY q")
+
+    def test_order_by_non_output_column_uses_hidden_sort_key(self, db):
+        # standard SQL: ORDER BY may reference input columns; they are
+        # carried as hidden sort columns and projected away
+        plan = bind(db, "SELECT b FROM t ORDER BY a")
+        assert [c.name for c in plan.schema] == ["b"]
+
+    def test_order_by_hidden_rejected_under_distinct(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT DISTINCT b FROM t ORDER BY a")
+
+    def test_order_by_hidden_rejected_under_group_by(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT b FROM t GROUP BY b ORDER BY a")
+
+
+class TestSetOps:
+    def test_arity_mismatch(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT a FROM t UNION SELECT a, b FROM t")
+
+    def test_type_promotion_across_union(self, db):
+        plan = bind(db, "SELECT a FROM t UNION SELECT c FROM t")
+        assert plan.schema[0].type == DataType.DOUBLE
+
+    def test_incompatible_union_types(self, db):
+        with pytest.raises(Exception):
+            bind(db, "SELECT a FROM t UNION SELECT b FROM t")
+
+    def test_except_all_not_supported(self, db):
+        with pytest.raises(NotSupportedError):
+            bind(db, "SELECT a FROM t EXCEPT ALL SELECT a FROM t")
+
+
+class TestSubqueries:
+    def test_scalar_subquery_single_column(self, db):
+        bind(db, "SELECT (SELECT max(a) FROM t) FROM u")
+
+    def test_scalar_subquery_multi_column_rejected(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT (SELECT a, b FROM t) FROM u")
+
+    def test_in_subquery_single_column(self, db):
+        bind(db, "SELECT * FROM u WHERE a IN (SELECT a FROM t)")
+
+    def test_in_subquery_multi_column_rejected(self, db):
+        with pytest.raises(BindError):
+            bind(db, "SELECT * FROM u WHERE a IN (SELECT a, b FROM t)")
+
+
+class TestCtes:
+    def test_cte_shadows_table(self, db):
+        plan = bind(db, "WITH t AS (SELECT 1 AS only) SELECT * FROM t")
+        assert [c.name for c in plan.schema] == ["only"]
+
+    def test_cte_column_rename(self, db):
+        plan = bind(db, "WITH c (x) AS (SELECT a FROM t) SELECT x FROM c")
+        assert plan.schema[0].name == "x"
+
+    def test_cte_column_arity_mismatch(self, db):
+        with pytest.raises(BindError):
+            bind(db, "WITH c (x, y) AS (SELECT a FROM t) SELECT * FROM c")
+
+    def test_recursive_requires_union(self, db):
+        with pytest.raises(BindError):
+            bind(
+                db,
+                "WITH RECURSIVE r(n) AS (SELECT n + 1 FROM r) SELECT * FROM r",
+            )
+
+    def test_recursive_arity_mismatch(self, db):
+        with pytest.raises(BindError):
+            bind(
+                db,
+                "WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL SELECT n, 2 FROM r) "
+                "SELECT * FROM r",
+            )
+
+    def test_two_references_to_one_cte_get_distinct_ids(self, db):
+        plan = bind(db, "WITH c AS (SELECT a FROM t) SELECT x.a, y.a FROM c x, c y")
+        assert plan.schema[0].col_id != plan.schema[1].col_id

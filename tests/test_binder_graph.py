@@ -1,0 +1,262 @@
+"""Binder tests for the graph extension: REACHES / CHEAPEST SUM semantics
+(Section 2 rules) and the rewriter's graph-join unfolding (Section 3.1)."""
+
+import pytest
+
+from repro import Database
+from repro.errors import BindError, NotSupportedError
+from repro.plan import Binder, BoundQuery, logical as lp, rewrite
+from repro.sql import parse_statement
+from repro.storage import DataType
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE vp (id INT, name VARCHAR);
+        CREATE TABLE e (s INT, d INT, w DOUBLE);
+        CREATE TABLE se (s VARCHAR, d VARCHAR);
+        """
+    )
+    return database
+
+
+def bind(db, sql):
+    bound = Binder(db.catalog).bind_statement(parse_statement(sql))
+    assert isinstance(bound, BoundQuery)
+    return bound.plan
+
+
+def find(plan, node_type):
+    out = []
+
+    def visit(node):
+        if isinstance(node, node_type):
+            out.append(node)
+        for child in node.children:
+            visit(child)
+
+    visit(plan)
+    return out
+
+
+class TestGraphSelectBinding:
+    def test_creates_graph_select(self, db):
+        plan = bind(db, "SELECT * FROM vp WHERE id REACHES id OVER e EDGE (s, d)")
+        assert len(find(plan, lp.LGraphSelect)) == 1
+
+    def test_semantic_stage_never_creates_graph_join(self, db):
+        # "the semantic stage of the compiler always creates a graph select"
+        plan = bind(
+            db,
+            "SELECT * FROM vp a, vp b WHERE a.id REACHES b.id OVER e EDGE (s, d)",
+        )
+        assert len(find(plan, lp.LGraphJoin)) == 0
+        assert len(find(plan, lp.LGraphSelect)) == 1
+
+    def test_unknown_edge_column(self, db):
+        with pytest.raises(BindError, match="no column"):
+            bind(db, "SELECT * FROM vp WHERE id REACHES id OVER e EDGE (s, nope)")
+
+    def test_endpoint_type_mismatch(self, db):
+        # VP.X is VARCHAR, edge keys INT -> "a semantic error arises"
+        with pytest.raises(BindError, match="match"):
+            bind(db, "SELECT * FROM vp WHERE name REACHES id OVER e EDGE (s, d)")
+
+    def test_string_keys_accepted(self, db):
+        bind(db, "SELECT * FROM vp WHERE name REACHES name OVER se EDGE (s, d)")
+
+    def test_edge_key_type_mismatch(self, db):
+        db.execute("CREATE TABLE bad (s INT, d VARCHAR)")
+        with pytest.raises(BindError):
+            bind(db, "SELECT * FROM vp WHERE id REACHES id OVER bad EDGE (s, d)")
+
+    def test_reaches_under_or_rejected(self, db):
+        with pytest.raises(NotSupportedError):
+            bind(
+                db,
+                "SELECT * FROM vp WHERE id = 1 OR id REACHES id OVER e EDGE (s, d)",
+            )
+
+    def test_reaches_under_not_rejected(self, db):
+        with pytest.raises((NotSupportedError, BindError)):
+            bind(db, "SELECT * FROM vp WHERE NOT id REACHES id OVER e EDGE (s, d)")
+
+    def test_multiple_reaches_stack(self, db):
+        plan = bind(
+            db,
+            "SELECT * FROM vp WHERE id REACHES id OVER e e1 EDGE (s, d) "
+            "AND id REACHES id OVER e e2 EDGE (d, s)",
+        )
+        assert len(find(plan, lp.LGraphSelect)) == 2
+
+    def test_duplicate_binding_rejected(self, db):
+        with pytest.raises(BindError, match="duplicate"):
+            bind(
+                db,
+                "SELECT * FROM vp WHERE id REACHES id OVER e f EDGE (s, d) "
+                "AND id REACHES id OVER e f EDGE (d, s)",
+            )
+
+    def test_edge_can_be_subquery(self, db):
+        plan = bind(
+            db,
+            "SELECT * FROM vp WHERE id REACHES id "
+            "OVER (SELECT * FROM e WHERE w > 0) f EDGE (s, d)",
+        )
+        graph_selects = find(plan, lp.LGraphSelect)
+        assert len(graph_selects) == 1
+        assert len(find(graph_selects[0].edge, lp.LFilter)) == 1
+
+
+class TestCheapestBinding:
+    def test_requires_reaches(self, db):
+        with pytest.raises(BindError, match="REACHES"):
+            bind(db, "SELECT CHEAPEST SUM(1) FROM vp")
+
+    def test_cost_column_added(self, db):
+        plan = bind(
+            db,
+            "SELECT CHEAPEST SUM(1) AS hops FROM vp "
+            "WHERE id REACHES id OVER e EDGE (s, d)",
+        )
+        assert plan.schema[0].name == "hops"
+        assert plan.schema[0].type == DataType.BIGINT
+
+    def test_weighted_cost_type_follows_weight(self, db):
+        plan = bind(
+            db,
+            "SELECT CHEAPEST SUM(f: w) AS c FROM vp "
+            "WHERE id REACHES id OVER e f EDGE (s, d)",
+        )
+        assert plan.schema[0].type == DataType.DOUBLE
+
+    def test_path_column_is_nested_table(self, db):
+        plan = bind(
+            db,
+            "SELECT CHEAPEST SUM(f: w) AS (c, p) FROM vp "
+            "WHERE id REACHES id OVER e f EDGE (s, d)",
+        )
+        path_col = plan.schema[1]
+        assert path_col.type == DataType.NESTED_TABLE
+        # "the attributes enclosed in the nested table ... are the same as
+        # the attributes of the EDGE table expression"
+        assert [c.name for c in path_col.nested] == ["s", "d", "w"]
+
+    def test_unknown_binding(self, db):
+        with pytest.raises(BindError, match="unknown edge binding"):
+            bind(
+                db,
+                "SELECT CHEAPEST SUM(zz: 1) FROM vp "
+                "WHERE id REACHES id OVER e f EDGE (s, d)",
+            )
+
+    def test_binding_mandatory_with_two_predicates(self, db):
+        with pytest.raises(BindError, match="multiple"):
+            bind(
+                db,
+                "SELECT CHEAPEST SUM(1) FROM vp "
+                "WHERE id REACHES id OVER e a EDGE (s, d) "
+                "AND id REACHES id OVER e b EDGE (d, s)",
+            )
+
+    def test_binding_optional_with_one_predicate(self, db):
+        bind(
+            db,
+            "SELECT CHEAPEST SUM(1) FROM vp WHERE id REACHES id OVER e EDGE (s, d)",
+        )
+
+    def test_weight_must_be_numeric(self, db):
+        db.execute("CREATE TABLE ew (s INT, d INT, label VARCHAR)")
+        with pytest.raises(BindError, match="numeric"):
+            bind(
+                db,
+                "SELECT CHEAPEST SUM(f: label) FROM vp "
+                "WHERE id REACHES id OVER ew f EDGE (s, d)",
+            )
+
+    def test_weight_sees_only_edge_columns(self, db):
+        with pytest.raises(BindError):
+            bind(
+                db,
+                "SELECT CHEAPEST SUM(f: id) FROM vp "
+                "WHERE id REACHES id OVER e f EDGE (s, d)",
+            )
+
+    def test_cheapest_in_where_rejected(self, db):
+        with pytest.raises(BindError):
+            bind(
+                db,
+                "SELECT 1 FROM vp WHERE CHEAPEST SUM(1) > 2 "
+                "AND id REACHES id OVER e EDGE (s, d)",
+            )
+
+    def test_cheapest_inside_expression_rejected(self, db):
+        with pytest.raises(BindError, match="projection item"):
+            bind(
+                db,
+                "SELECT CHEAPEST SUM(1) + 1 FROM vp "
+                "WHERE id REACHES id OVER e EDGE (s, d)",
+            )
+
+    def test_three_aliases_rejected(self, db):
+        with pytest.raises(BindError):
+            bind(
+                db,
+                "SELECT CHEAPEST SUM(1) AS (a, b, c) FROM vp "
+                "WHERE id REACHES id OVER e EDGE (s, d)",
+            )
+
+    def test_two_cheapest_on_one_predicate(self, db):
+        plan = bind(
+            db,
+            "SELECT CHEAPEST SUM(f: 1) AS hops, CHEAPEST SUM(f: w) AS wcost "
+            "FROM vp WHERE id REACHES id OVER e f EDGE (s, d)",
+        )
+        graph_select = find(plan, lp.LGraphSelect)[0]
+        assert len(graph_select.spec.cheapest) == 2
+
+
+class TestGraphJoinRewrite:
+    def test_cross_product_plus_graph_select_unfolds(self, db):
+        plan = rewrite(
+            bind(
+                db,
+                "SELECT a.id, b.id FROM vp a, vp b "
+                "WHERE a.id REACHES b.id OVER e EDGE (s, d)",
+            )
+        )
+        assert len(find(plan, lp.LGraphJoin)) == 1
+        assert len(find(plan, lp.LGraphSelect)) == 0
+
+    def test_same_side_endpoints_stay_graph_select(self, db):
+        plan = rewrite(
+            bind(
+                db,
+                "SELECT a.id FROM vp a, vp b "
+                "WHERE a.id REACHES a.id OVER e EDGE (s, d)",
+            )
+        )
+        assert len(find(plan, lp.LGraphJoin)) == 0
+
+    def test_filters_push_through_cross_before_unfolding(self, db):
+        plan = rewrite(
+            bind(
+                db,
+                "SELECT a.id, b.id FROM vp a, vp b "
+                "WHERE a.id = 1 AND b.id = 2 "
+                "AND a.id REACHES b.id OVER e EDGE (s, d)",
+            )
+        )
+        assert len(find(plan, lp.LGraphJoin)) == 1
+
+    def test_schema_preserved_by_rewrite(self, db):
+        bound = bind(
+            db,
+            "SELECT a.id, b.id, CHEAPEST SUM(1) AS c FROM vp a, vp b "
+            "WHERE a.id REACHES b.id OVER e EDGE (s, d)",
+        )
+        rewritten = rewrite(bound)
+        assert [c.col_id for c in bound.schema] == [c.col_id for c in rewritten.schema]

@@ -1,0 +1,131 @@
+"""Unit tests for the physical Column vector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeError_
+from repro.storage import Column, DataType
+
+
+class TestConstruction:
+    def test_from_values(self):
+        col = Column.from_values(DataType.INTEGER, [1, 2, 3])
+        assert col.to_pylist() == [1, 2, 3]
+        assert not col.has_nulls
+
+    def test_from_values_with_nulls(self):
+        col = Column.from_values(DataType.INTEGER, [1, None, 3])
+        assert col.to_pylist() == [1, None, 3]
+        assert col.has_nulls
+
+    def test_constant(self):
+        col = Column.constant(DataType.VARCHAR, "x", 3)
+        assert col.to_pylist() == ["x", "x", "x"]
+
+    def test_constant_null(self):
+        col = Column.constant(DataType.INTEGER, None, 2)
+        assert col.to_pylist() == [None, None]
+
+    def test_nulls(self):
+        col = Column.nulls(DataType.DOUBLE, 4)
+        assert col.to_pylist() == [None] * 4
+
+    def test_empty(self):
+        assert len(Column.empty(DataType.BIGINT)) == 0
+
+    def test_mask_length_mismatch_raises(self):
+        with pytest.raises(TypeError_):
+            Column(DataType.INTEGER, np.zeros(3, np.int32), np.zeros(2, np.bool_))
+
+    def test_all_false_mask_dropped(self):
+        col = Column(DataType.INTEGER, np.zeros(3, np.int32), np.zeros(3, np.bool_))
+        assert col.mask is None
+
+
+class TestPositional:
+    def test_take(self):
+        col = Column.from_values(DataType.INTEGER, [10, 20, 30])
+        taken = col.take(np.array([2, 0, 2]))
+        assert taken.to_pylist() == [30, 10, 30]
+
+    def test_take_preserves_nulls(self):
+        col = Column.from_values(DataType.INTEGER, [1, None, 3])
+        assert col.take(np.array([1, 1])).to_pylist() == [None, None]
+
+    def test_filter(self):
+        col = Column.from_values(DataType.VARCHAR, ["a", "b", "c"])
+        kept = col.filter(np.array([True, False, True]))
+        assert kept.to_pylist() == ["a", "c"]
+
+    def test_slice(self):
+        col = Column.from_values(DataType.INTEGER, [1, 2, 3, 4])
+        assert col.slice(1, 3).to_pylist() == [2, 3]
+
+    def test_concat(self):
+        a = Column.from_values(DataType.INTEGER, [1])
+        b = Column.from_values(DataType.INTEGER, [None, 3])
+        assert Column.concat([a, b]).to_pylist() == [1, None, 3]
+
+    def test_concat_type_mismatch_raises(self):
+        a = Column.from_values(DataType.INTEGER, [1])
+        b = Column.from_values(DataType.DOUBLE, [1.0])
+        with pytest.raises(TypeError_):
+            Column.concat([a, b])
+
+    def test_concat_empty_list_raises(self):
+        with pytest.raises(TypeError_):
+            Column.concat([])
+
+
+class TestCast:
+    def test_int_to_double(self):
+        col = Column.from_values(DataType.INTEGER, [1, 2]).cast(DataType.DOUBLE)
+        assert col.type == DataType.DOUBLE
+        assert col.to_pylist() == [1.0, 2.0]
+
+    def test_double_to_int_truncates(self):
+        col = Column.from_values(DataType.DOUBLE, [1.9, -1.9]).cast(DataType.INTEGER)
+        assert col.to_pylist() == [1, -1]
+
+    def test_int_to_varchar(self):
+        col = Column.from_values(DataType.INTEGER, [42]).cast(DataType.VARCHAR)
+        assert col.to_pylist() == ["42"]
+
+    def test_varchar_to_int(self):
+        col = Column.from_values(DataType.VARCHAR, [" 7 "]).cast(DataType.INTEGER)
+        assert col.to_pylist() == [7]
+
+    def test_varchar_to_int_invalid_raises(self):
+        col = Column.from_values(DataType.VARCHAR, ["x"])
+        with pytest.raises(TypeError_):
+            col.cast(DataType.INTEGER)
+
+    def test_varchar_to_double(self):
+        col = Column.from_values(DataType.VARCHAR, ["2.5"]).cast(DataType.DOUBLE)
+        assert col.to_pylist() == [2.5]
+
+    def test_date_to_varchar(self):
+        col = Column.from_values(DataType.DATE, ["2010-03-24"]).cast(DataType.VARCHAR)
+        assert col.to_pylist() == ["2010-03-24"]
+
+    def test_varchar_to_date(self):
+        col = Column.from_values(DataType.VARCHAR, ["1970-01-02"]).cast(DataType.DATE)
+        assert col.to_pylist() == [1]
+
+    def test_bool_to_varchar(self):
+        col = Column.from_values(DataType.BOOLEAN, [True, False]).cast(DataType.VARCHAR)
+        assert col.to_pylist() == ["true", "false"]
+
+    def test_null_passes_through_cast(self):
+        col = Column.from_values(DataType.INTEGER, [None, 2]).cast(DataType.DOUBLE)
+        assert col.to_pylist() == [None, 2.0]
+
+    def test_same_type_is_identity(self):
+        col = Column.from_values(DataType.INTEGER, [1])
+        assert col.cast(DataType.INTEGER) is col
+
+    def test_decode_dates(self):
+        import datetime as dt
+
+        col = Column.from_values(DataType.DATE, ["2010-03-24"])
+        assert col.to_pylist(decode_dates=True) == [dt.date(2010, 3, 24)]

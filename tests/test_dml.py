@@ -1,0 +1,218 @@
+"""DELETE / UPDATE / CREATE TABLE AS / VALUES table constructor."""
+
+import pytest
+
+from repro import Database
+from repro.errors import BindError, CatalogError, ExecutionError, ParseError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE t (a INT, b VARCHAR);
+        INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z');
+        """
+    )
+    return database
+
+
+class TestDelete:
+    def test_delete_with_predicate(self, db):
+        assert db.execute("DELETE FROM t WHERE a > 1").rowcount == 2
+        assert db.execute("SELECT a FROM t").rows() == [(1,)]
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM t").rowcount == 3
+        assert db.execute("SELECT count(*) FROM t").scalar() == 0
+
+    def test_delete_nothing(self, db):
+        assert db.execute("DELETE FROM t WHERE a > 100").rowcount == 0
+        assert db.execute("SELECT count(*) FROM t").scalar() == 3
+
+    def test_delete_with_params(self, db):
+        assert db.execute("DELETE FROM t WHERE b = ?", ("y",)).rowcount == 1
+
+    def test_delete_null_predicate_rows_kept(self, db):
+        db.execute("INSERT INTO t VALUES (NULL, 'n')")
+        db.execute("DELETE FROM t WHERE a > 0")
+        assert db.execute("SELECT b FROM t").rows() == [("n",)]
+
+    def test_delete_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DELETE FROM nope")
+
+    def test_delete_bumps_version(self, db):
+        version = db.table("t").version
+        db.execute("DELETE FROM t WHERE a = 1")
+        assert db.table("t").version == version + 1
+
+    def test_delete_invalidates_graph_index(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2), (2, 3)")
+        db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)")
+        assert db.execute(
+            "SELECT 1 WHERE 1 REACHES 3 OVER e EDGE (s, d)"
+        ).rows() == [(1,)]
+        db.execute("DELETE FROM e WHERE d = 3")
+        assert db.execute(
+            "SELECT 1 WHERE 1 REACHES 3 OVER e EDGE (s, d)"
+        ).rows() == []
+
+
+class TestUpdate:
+    def test_update_with_predicate(self, db):
+        assert db.execute("UPDATE t SET b = 'Q' WHERE a >= 2").rowcount == 2
+        assert db.execute("SELECT b FROM t ORDER BY a").rows() == [
+            ("x",),
+            ("Q",),
+            ("Q",),
+        ]
+
+    def test_update_all_rows(self, db):
+        assert db.execute("UPDATE t SET a = a + 10").rowcount == 3
+        assert db.execute("SELECT min(a) FROM t").scalar() == 11
+
+    def test_update_multiple_columns(self, db):
+        db.execute("UPDATE t SET a = a * 2, b = b || '!' WHERE a = 2")
+        assert db.execute("SELECT a, b FROM t WHERE a = 4").rows() == [(4, "y!")]
+
+    def test_update_expression_uses_old_values(self, db):
+        # both assignments see the pre-update row
+        db.execute("CREATE TABLE swap (x INT, y INT)")
+        db.execute("INSERT INTO swap VALUES (1, 2)")
+        db.execute("UPDATE swap SET x = y, y = x")
+        assert db.execute("SELECT x, y FROM swap").rows() == [(2, 1)]
+
+    def test_update_to_null(self, db):
+        db.execute("UPDATE t SET b = NULL WHERE a = 1")
+        assert db.execute("SELECT b FROM t WHERE a = 1").rows() == [(None,)]
+
+    def test_update_same_column_twice_rejected(self, db):
+        with pytest.raises(BindError, match="twice"):
+            db.execute("UPDATE t SET a = 1, a = 2")
+
+    def test_update_type_mismatch_rejected(self, db):
+        with pytest.raises(BindError):
+            db.execute("UPDATE t SET a = 'text'")
+
+    def test_update_with_params(self, db):
+        db.execute("UPDATE t SET b = ? WHERE a = ?", ("new", 3))
+        assert db.execute("SELECT b FROM t WHERE a = 3").rows() == [("new",)]
+
+    def test_update_invalidates_graph_index(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2), (2, 3)")
+        db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)")
+        db.execute("UPDATE e SET d = 9 WHERE d = 3")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 9 OVER e EDGE (s, d)"
+        ).scalar() == 2
+
+
+class TestCreateTableAs:
+    def test_basic(self, db):
+        db.execute("CREATE TABLE t2 AS SELECT a * 2 AS dbl FROM t")
+        assert db.execute("SELECT dbl FROM t2 ORDER BY dbl").rows() == [
+            (2,),
+            (4,),
+            (6,),
+        ]
+
+    def test_reports_rowcount(self, db):
+        assert db.execute("CREATE TABLE t2 AS SELECT * FROM t").rowcount == 3
+
+    def test_schema_types_follow_query(self, db):
+        from repro.storage import DataType
+
+        db.execute("CREATE TABLE t2 AS SELECT a / 2 AS half, b FROM t")
+        schema = db.table("t2").schema
+        assert schema.type_of("half") == DataType.DOUBLE
+        assert schema.type_of("b") == DataType.VARCHAR
+
+    def test_from_graph_query(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2), (2, 3)")
+        db.execute(
+            "CREATE TABLE reach AS "
+            "SELECT t.a, CHEAPEST SUM(1) AS hops FROM t "
+            "WHERE 1 REACHES t.a OVER e EDGE (s, d)"
+        )
+        assert db.execute("SELECT a, hops FROM reach ORDER BY a").rows() == [
+            (1, 0),
+            (2, 1),
+            (3, 2),
+        ]
+
+    def test_nested_table_column_rejected(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2)")
+        with pytest.raises(ExecutionError, match="flatten"):
+            db.execute(
+                "CREATE TABLE bad AS "
+                "SELECT CHEAPEST SUM(k: 1) AS (c, p) "
+                "WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+            )
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t AS SELECT 1")
+
+
+class TestValuesConstructor:
+    def test_top_level_values(self, db):
+        assert db.execute("VALUES (1, 'a'), (2, 'b')").rows() == [
+            (1, "a"),
+            (2, "b"),
+        ]
+
+    def test_default_column_names(self, db):
+        result = db.execute("SELECT * FROM (VALUES (1, 2)) v")
+        assert result.column_names == ["col1", "col2"]
+
+    def test_column_aliases(self, db):
+        rows = db.execute(
+            "SELECT y FROM (VALUES (1, 'a'), (2, 'b')) v (x, y) WHERE x = 2"
+        ).rows()
+        assert rows == [("b",)]
+
+    def test_type_promotion_across_rows(self, db):
+        from repro.storage import DataType
+
+        result = db.execute("VALUES (1), (2.5)")
+        assert result.rows() == [(1.0,), (2.5,)]
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(BindError, match="arity"):
+            db.execute("VALUES (1), (1, 2)")
+
+    def test_values_in_union(self, db):
+        rows = db.execute("SELECT 0 UNION VALUES (1), (2) ORDER BY 1").rows()
+        assert rows == [(0,), (1,), (2,)]
+
+    def test_values_with_order_by_rejected(self, db):
+        with pytest.raises(ParseError):
+            db.execute("VALUES (1) ORDER BY 1")
+
+    def test_values_join_table(self, db):
+        rows = db.execute(
+            "SELECT t.b FROM (VALUES (1), (3)) v (a) JOIN t ON t.a = v.a "
+            "ORDER BY t.b"
+        ).rows()
+        assert rows == [("x",), ("z",)]
+
+    def test_values_as_graph_pairs(self, db):
+        # the Figure 1b batch pattern without a temp table
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2), (2, 3)")
+        rows = db.execute(
+            "SELECT p.src, p.dst, CHEAPEST SUM(1) AS hops "
+            "FROM (VALUES (1, 3), (2, 3), (3, 1)) p (src, dst) "
+            "WHERE p.src REACHES p.dst OVER e EDGE (s, d) ORDER BY 1"
+        ).rows()
+        assert rows == [(1, 3, 2), (2, 3, 1)]
+
+    def test_values_with_params(self, db):
+        rows = db.execute("SELECT * FROM (VALUES (?), (?)) v ORDER BY 1", (5, 3)).rows()
+        assert rows == [(3,), (5,)]

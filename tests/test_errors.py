@@ -1,0 +1,138 @@
+"""Error reporting: messages, positions, and the exception hierarchy."""
+
+import pytest
+
+from repro import (
+    BindError,
+    CatalogError,
+    Database,
+    ExecutionError,
+    GraphRuntimeError,
+    LexError,
+    NotSupportedError,
+    ParseError,
+    ReproError,
+    SqlError,
+)
+from repro.sql import tokenize
+
+
+class TestHierarchy:
+    def test_front_end_errors_are_sql_errors(self):
+        assert issubclass(LexError, SqlError)
+        assert issubclass(ParseError, SqlError)
+        assert issubclass(BindError, SqlError)
+
+    def test_everything_is_repro_error(self):
+        for exc in (SqlError, CatalogError, ExecutionError, GraphRuntimeError,
+                    NotSupportedError):
+            assert issubclass(exc, ReproError)
+
+    def test_graph_runtime_is_execution_error(self):
+        assert issubclass(GraphRuntimeError, ExecutionError)
+
+    def test_single_except_catches_all(self):
+        db = Database()
+        for bad in ("SELEC 1", "SELECT zz FROM nope", "SELECT 'x' @ 2"):
+            with pytest.raises(ReproError):
+                db.execute(bad)
+
+
+class TestPositions:
+    def test_lex_error_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("SELECT\n  $")
+        assert excinfo.value.line == 2 and excinfo.value.column == 3
+
+    def test_parse_error_mentions_found_token(self):
+        with pytest.raises(ParseError, match="found"):
+            Database().execute("SELECT FROM")
+
+    def test_parse_error_has_location(self):
+        with pytest.raises(ParseError, match=r"line \d+:\d+"):
+            Database().execute("SELECT 1 +")
+
+
+class TestMessages:
+    def test_unknown_function_named(self):
+        with pytest.raises(BindError, match="frobnicate"):
+            Database().execute("SELECT frobnicate(1)")
+
+    def test_wrong_arity_reported(self):
+        with pytest.raises(BindError, match="argument"):
+            Database().execute("SELECT abs(1, 2)")
+
+    def test_unknown_column_named(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(BindError, match="'zz'"):
+            db.execute("SELECT zz FROM t")
+
+    def test_unknown_table_named(self):
+        with pytest.raises(CatalogError, match="'nope'"):
+            Database().execute("SELECT 1 FROM nope")
+
+    def test_reaches_type_mismatch_message(self):
+        db = Database()
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        with pytest.raises(BindError, match="do not match"):
+            db.execute("SELECT 1 WHERE 'a' REACHES 'b' OVER e EDGE (s, d)")
+
+    def test_weight_error_quotes_the_rule(self):
+        db = Database()
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2)")
+        with pytest.raises(GraphRuntimeError, match="strictly greater than 0"):
+            db.execute(
+                "SELECT CHEAPEST SUM(k: 0) WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+            )
+
+    def test_missing_params_counted(self):
+        db = Database()
+        with pytest.raises(ExecutionError, match="at least 2"):
+            db.execute("SELECT ? + ?", (1,))
+
+
+class TestNotSupported:
+    def test_except_all(self):
+        with pytest.raises(NotSupportedError):
+            Database().execute("SELECT 1 EXCEPT ALL SELECT 1")
+
+    def test_reaches_in_or(self):
+        db = Database()
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("CREATE TABLE v (x INT)")
+        with pytest.raises(NotSupportedError, match="conjunct"):
+            db.execute(
+                "SELECT 1 FROM v WHERE x = 1 OR x REACHES 2 OVER e EDGE (s, d)"
+            )
+
+
+class TestStatementLevelValidation:
+    def test_insert_arity_mismatch(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        with pytest.raises(BindError, match="expected 2"):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_insert_unknown_column(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(CatalogError):
+            db.execute("INSERT INTO t (zz) VALUES (1)")
+
+    def test_update_unknown_column(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(CatalogError):
+            db.execute("UPDATE t SET zz = 1")
+
+    def test_create_duplicate_column(self):
+        with pytest.raises(CatalogError, match="duplicate"):
+            Database().execute("CREATE TABLE t (a INT, a INT)")
+
+    def test_group_by_validation_names_column(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        with pytest.raises(BindError, match="'b'"):
+            db.execute("SELECT b, count(*) FROM t GROUP BY a")

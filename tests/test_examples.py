@@ -1,0 +1,58 @@
+"""The shipped examples run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "fewest hops AMS -> SFO: 2" in proc.stdout
+        assert "leg 1" in proc.stdout
+
+    def test_transport_routing(self):
+        proc = run_example("transport_routing.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "fastest route" in proc.stdout
+        assert "graph index" in proc.stdout
+
+    def test_dependency_analysis(self):
+        proc = run_example("dependency_analysis.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "util.h is 3 dependency levels below app" in proc.stdout
+        assert "WITH RECURSIVE baseline: 3 hops" in proc.stdout
+
+    def test_ldbc_social_network_small(self):
+        proc = run_example(
+            "ldbc_social_network.py", "--sf", "1", "--scale", "0.005", "--pairs", "4"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Q13" in proc.stdout and "batched" in proc.stdout
+
+    def test_ldbc_table1(self):
+        proc = run_example("ldbc_social_network.py", "--table1", "--scale", "0.002")
+        assert proc.returncode == 0, proc.stderr
+        assert "scale_factor" in proc.stdout
+
+    def test_reproduce_paper_tiny(self):
+        proc = run_example(
+            "reproduce_paper.py", "--scale", "0.004", "--pairs", "3"
+        )
+        assert proc.returncode == 0, proc.stderr
+        for marker in ("Table 1", "Figure 1a", "Figure 1b", "A2", "A3", "A6"):
+            assert marker in proc.stdout

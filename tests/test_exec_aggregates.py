@@ -1,0 +1,202 @@
+"""Aggregation, GROUP BY, HAVING, set operations, recursive CTEs."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE sales (region VARCHAR, product VARCHAR, amount INT);
+        INSERT INTO sales VALUES
+            ('eu', 'a', 10), ('eu', 'b', 20), ('us', 'a', 5),
+            ('us', 'b', 15), ('us', 'b', NULL);
+        """
+    )
+    return database
+
+
+class TestGlobalAggregates:
+    def test_count_star(self, db):
+        assert db.execute("SELECT count(*) FROM sales").scalar() == 5
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT count(amount) FROM sales").scalar() == 4
+
+    def test_sum(self, db):
+        assert db.execute("SELECT sum(amount) FROM sales").scalar() == 50
+
+    def test_avg(self, db):
+        assert db.execute("SELECT avg(amount) FROM sales").scalar() == 12.5
+
+    def test_min_max(self, db):
+        assert db.execute("SELECT min(amount), max(amount) FROM sales").rows() == [
+            (5, 20)
+        ]
+
+    def test_empty_input(self, db):
+        rows = db.execute(
+            "SELECT count(*), sum(amount) FROM sales WHERE region = 'jp'"
+        ).rows()
+        assert rows == [(0, None)]
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT count(DISTINCT region) FROM sales").scalar() == 2
+
+    def test_sum_distinct(self, db):
+        db.execute("CREATE TABLE v (x INT)")
+        db.execute("INSERT INTO v VALUES (1), (1), (2)")
+        assert db.execute("SELECT sum(DISTINCT x) FROM v").scalar() == 3
+
+    def test_min_of_strings(self, db):
+        assert db.execute("SELECT min(product) FROM sales").scalar() == "a"
+
+    def test_aggregate_inside_expression(self, db):
+        assert db.execute("SELECT sum(amount) * 2 FROM sales").scalar() == 100
+
+
+class TestGroupBy:
+    def test_group_counts(self, db):
+        rows = db.execute(
+            "SELECT region, count(*) FROM sales GROUP BY region ORDER BY region"
+        ).rows()
+        assert rows == [("eu", 2), ("us", 3)]
+
+    def test_group_by_two_keys(self, db):
+        rows = db.execute(
+            "SELECT region, product, sum(amount) FROM sales "
+            "GROUP BY region, product ORDER BY region, product"
+        ).rows()
+        assert rows == [("eu", "a", 10), ("eu", "b", 20), ("us", "a", 5), ("us", "b", 15)]
+
+    def test_group_by_expression(self, db):
+        rows = db.execute(
+            "SELECT region || '!', count(*) FROM sales GROUP BY region || '!' "
+            "ORDER BY 1"
+        ).rows()
+        assert rows == [("eu!", 2), ("us!", 3)]
+
+    def test_null_forms_its_own_group(self, db):
+        rows = db.execute(
+            "SELECT amount, count(*) FROM sales GROUP BY amount ORDER BY amount"
+        ).rows()
+        assert (None, 1) in rows
+
+    def test_having(self, db):
+        rows = db.execute(
+            "SELECT region FROM sales GROUP BY region HAVING count(*) > 2"
+        ).rows()
+        assert rows == [("us",)]
+
+    def test_having_on_aggregate_not_in_select(self, db):
+        rows = db.execute(
+            "SELECT region FROM sales GROUP BY region HAVING sum(amount) = 30 "
+        ).rows()
+        assert rows == [("eu",)]
+
+    def test_order_by_aggregate_alias(self, db):
+        rows = db.execute(
+            "SELECT region, sum(amount) AS total FROM sales "
+            "GROUP BY region ORDER BY total DESC"
+        ).rows()
+        assert rows == [("eu", 30), ("us", 20)]
+
+
+class TestSetOps:
+    def test_union_dedups(self, db):
+        rows = db.execute(
+            "SELECT region FROM sales UNION SELECT region FROM sales ORDER BY 1"
+        ).rows()
+        assert rows == [("eu",), ("us",)]
+
+    def test_union_all_keeps_duplicates(self, db):
+        assert (
+            len(
+                db.execute(
+                    "SELECT region FROM sales UNION ALL SELECT region FROM sales"
+                ).rows()
+            )
+            == 10
+        )
+
+    def test_union_promotes_types(self, db):
+        rows = db.execute("SELECT 1 UNION SELECT 2.5 ORDER BY 1").rows()
+        assert rows == [(1.0,), (2.5,)]
+
+    def test_except(self, db):
+        rows = db.execute(
+            "SELECT region FROM sales EXCEPT SELECT 'us' ORDER BY 1"
+        ).rows()
+        assert rows == [("eu",)]
+
+    def test_intersect(self, db):
+        rows = db.execute(
+            "SELECT region FROM sales INTERSECT SELECT 'us'"
+        ).rows()
+        assert rows == [("us",)]
+
+    def test_chained_setops(self, db):
+        rows = db.execute("SELECT 1 UNION SELECT 2 UNION SELECT 3 ORDER BY 1").rows()
+        assert rows == [(1,), (2,), (3,)]
+
+
+class TestRecursiveCtes:
+    def test_counter(self, db):
+        rows = db.execute(
+            "WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r "
+            "WHERE n < 5) SELECT n FROM r ORDER BY n"
+        ).rows()
+        assert rows == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_union_distinct_terminates_on_cycle(self, db):
+        db.execute("CREATE TABLE g (s INT, d INT)")
+        db.execute("INSERT INTO g VALUES (1, 2), (2, 3), (3, 1)")
+        rows = db.execute(
+            "WITH RECURSIVE reach(v) AS ("
+            "  SELECT 1 UNION SELECT g.d FROM reach, g WHERE g.s = reach.v"
+            ") SELECT v FROM reach ORDER BY v"
+        ).rows()
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_runaway_union_all_guarded(self, db):
+        db.execute("CREATE TABLE g (s INT, d INT)")
+        db.execute("INSERT INTO g VALUES (1, 1)")
+        with pytest.raises(ExecutionError, match="iterations"):
+            db.execute(
+                "WITH RECURSIVE r(v) AS ("
+                "  SELECT 1 UNION ALL SELECT g.d FROM r, g WHERE g.s = r.v"
+                ") SELECT count(*) FROM r"
+            )
+
+    def test_transitive_closure_matches_reaches(self, db):
+        db.execute("CREATE TABLE g (s INT, d INT)")
+        db.execute("INSERT INTO g VALUES (1,2),(2,3),(3,4),(10,11)")
+        recursive = db.execute(
+            "WITH RECURSIVE reach(v) AS ("
+            "  SELECT 1 UNION SELECT g.d FROM reach, g WHERE g.s = reach.v"
+            ") SELECT v FROM reach WHERE v <> 1 ORDER BY v"
+        ).rows()
+        db.execute("CREATE TABLE candidates (v INT)")
+        db.execute("INSERT INTO candidates VALUES (2),(3),(4),(10),(11)")
+        via_reaches = db.execute(
+            "SELECT v FROM candidates WHERE 1 REACHES v OVER g EDGE (s, d) ORDER BY v"
+        ).rows()
+        assert recursive == via_reaches
+
+    def test_nonrecursive_cte_multiple_references(self, db):
+        rows = db.execute(
+            "WITH c AS (SELECT 1 AS x UNION SELECT 2) "
+            "SELECT a.x, b.x FROM c a, c b WHERE a.x < b.x"
+        ).rows()
+        assert rows == [(1, 2)]
+
+    def test_recursive_cte_referenced_in_outer_join(self, db):
+        rows = db.execute(
+            "WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r "
+            "WHERE n < 3) SELECT count(*) FROM r a, r b"
+        ).rows()
+        assert rows == [(9,)]

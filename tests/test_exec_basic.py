@@ -1,0 +1,227 @@
+"""End-to-end execution tests for the plain SQL subset."""
+
+import datetime as dt
+
+import pytest
+
+from repro import Database
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE nums (a INT, b DOUBLE, s VARCHAR);
+        INSERT INTO nums VALUES
+            (1, 1.5, 'one'), (2, 2.5, 'two'), (3, 3.5, 'three'), (4, 4.5, NULL);
+        """
+    )
+    return database
+
+
+class TestProjectionsAndFilters:
+    def test_select_constant(self, db):
+        assert db.execute("SELECT 42").rows() == [(42,)]
+
+    def test_select_constant_expression(self, db):
+        assert db.execute("SELECT 2 + 3 * 4").rows() == [(14,)]
+
+    def test_select_column(self, db):
+        assert db.execute("SELECT a FROM nums").rows() == [(1,), (2,), (3,), (4,)]
+
+    def test_where_filters(self, db):
+        assert db.execute("SELECT a FROM nums WHERE a > 2").rows() == [(3,), (4,)]
+
+    def test_where_conjunction(self, db):
+        rows = db.execute("SELECT a FROM nums WHERE a > 1 AND a < 4").rows()
+        assert rows == [(2,), (3,)]
+
+    def test_where_disjunction(self, db):
+        rows = db.execute("SELECT a FROM nums WHERE a = 1 OR a = 4").rows()
+        assert rows == [(1,), (4,)]
+
+    def test_arithmetic(self, db):
+        rows = db.execute("SELECT a + 1, a - 1, a * 2, a % 2 FROM nums WHERE a = 3").rows()
+        assert rows == [(4, 2, 6, 1)]
+
+    def test_division_yields_double(self, db):
+        assert db.execute("SELECT 7 / 2").rows() == [(3.5,)]
+
+    def test_division_by_zero_is_null(self, db):
+        assert db.execute("SELECT 1 / 0").rows() == [(None,)]
+
+    def test_unary_minus(self, db):
+        assert db.execute("SELECT -a FROM nums WHERE a = 2").rows() == [(-2,)]
+
+    def test_concat(self, db):
+        rows = db.execute("SELECT s || '!' FROM nums WHERE a = 1").rows()
+        assert rows == [("one!",)]
+
+    def test_between(self, db):
+        rows = db.execute("SELECT a FROM nums WHERE a BETWEEN 2 AND 3").rows()
+        assert rows == [(2,), (3,)]
+
+    def test_in_list(self, db):
+        rows = db.execute("SELECT a FROM nums WHERE s IN ('one', 'three')").rows()
+        assert rows == [(1,), (3,)]
+
+    def test_like(self, db):
+        rows = db.execute("SELECT s FROM nums WHERE s LIKE 't%'").rows()
+        assert rows == [("two",), ("three",)]
+
+    def test_like_underscore(self, db):
+        rows = db.execute("SELECT s FROM nums WHERE s LIKE '_wo'").rows()
+        assert rows == [("two",)]
+
+    def test_case(self, db):
+        rows = db.execute(
+            "SELECT CASE WHEN a < 3 THEN 'small' ELSE 'big' END FROM nums"
+        ).rows()
+        assert rows == [("small",), ("small",), ("big",), ("big",)]
+
+    def test_simple_case(self, db):
+        rows = db.execute(
+            "SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE '?' END "
+            "FROM nums ORDER BY a LIMIT 3"
+        ).rows()
+        assert rows == [("one",), ("two",), ("?",)]
+
+    def test_cast(self, db):
+        assert db.execute("SELECT CAST(b AS int) FROM nums WHERE a = 2").rows() == [(2,)]
+
+    def test_params(self, db):
+        rows = db.execute("SELECT a FROM nums WHERE a = ?", (3,)).rows()
+        assert rows == [(3,)]
+
+    def test_missing_param_raises(self, db):
+        with pytest.raises(ExecutionError, match="parameters"):
+            db.execute("SELECT a FROM nums WHERE a = ?")
+
+    def test_scalar_functions(self, db):
+        rows = db.execute(
+            "SELECT abs(-5), length('abc'), upper('x'), lower('Y'), "
+            "coalesce(NULL, 7), floor(2.7), ceil(2.2), sqrt(9.0)"
+        ).rows()
+        assert rows == [(5, 3, "X", "y", 7, 2, 3, 3.0)]
+
+    def test_nullif(self, db):
+        assert db.execute("SELECT nullif(1, 1), nullif(1, 2)").rows() == [(None, 1)]
+
+
+class TestOrderLimit:
+    def test_order_asc(self, db):
+        rows = db.execute("SELECT a FROM nums ORDER BY a").rows()
+        assert rows == [(1,), (2,), (3,), (4,)]
+
+    def test_order_desc(self, db):
+        rows = db.execute("SELECT a FROM nums ORDER BY a DESC").rows()
+        assert rows == [(4,), (3,), (2,), (1,)]
+
+    def test_order_by_string(self, db):
+        rows = db.execute("SELECT s FROM nums WHERE s IS NOT NULL ORDER BY s").rows()
+        assert rows == [("one",), ("three",), ("two",)]
+
+    def test_nulls_last_ascending(self, db):
+        rows = db.execute("SELECT s FROM nums ORDER BY s").rows()
+        assert rows[-1] == (None,)
+
+    def test_nulls_first_descending(self, db):
+        rows = db.execute("SELECT s FROM nums ORDER BY s DESC").rows()
+        assert rows[0] == (None,)
+
+    def test_multi_key_order(self, db):
+        db.execute("CREATE TABLE mk (x INT, y INT)")
+        db.execute("INSERT INTO mk VALUES (1, 2), (1, 1), (0, 9)")
+        rows = db.execute("SELECT x, y FROM mk ORDER BY x, y DESC").rows()
+        assert rows == [(0, 9), (1, 2), (1, 1)]
+
+    def test_limit(self, db):
+        assert len(db.execute("SELECT a FROM nums LIMIT 2").rows()) == 2
+
+    def test_limit_offset(self, db):
+        rows = db.execute("SELECT a FROM nums ORDER BY a LIMIT 2 OFFSET 1").rows()
+        assert rows == [(2,), (3,)]
+
+    def test_offset_beyond_end(self, db):
+        assert db.execute("SELECT a FROM nums LIMIT 5 OFFSET 100").rows() == []
+
+    def test_distinct(self, db):
+        db.execute("CREATE TABLE dup (v INT)")
+        db.execute("INSERT INTO dup VALUES (1), (1), (2)")
+        assert db.execute("SELECT DISTINCT v FROM dup ORDER BY v").rows() == [(1,), (2,)]
+
+
+class TestDatesAndResult:
+    def test_date_roundtrip(self, db):
+        db.execute("CREATE TABLE d (day DATE)")
+        db.execute("INSERT INTO d VALUES ('2010-03-24')")
+        assert db.execute("SELECT day FROM d").rows() == [(dt.date(2010, 3, 24),)]
+
+    def test_date_comparison(self, db):
+        db.execute("CREATE TABLE d (day DATE)")
+        db.execute("INSERT INTO d VALUES ('2010-03-24'), ('2012-05-01')")
+        rows = db.execute("SELECT day FROM d WHERE day < '2011-01-01'").rows()
+        assert rows == [(dt.date(2010, 3, 24),)]
+
+    def test_date_arithmetic(self, db):
+        db.execute("CREATE TABLE d (day DATE)")
+        db.execute("INSERT INTO d VALUES ('2010-01-01')")
+        assert db.execute("SELECT day + 31 FROM d").rows() == [(dt.date(2010, 2, 1),)]
+
+    def test_date_difference(self, db):
+        db.execute("CREATE TABLE d (x DATE, y DATE)")
+        db.execute("INSERT INTO d VALUES ('2010-01-31', '2010-01-01')")
+        assert db.execute("SELECT x - y FROM d").rows() == [(30,)]
+
+    def test_column_names(self, db):
+        result = db.execute("SELECT a AS alpha, b FROM nums LIMIT 1")
+        assert result.column_names == ["alpha", "b"]
+
+    def test_scalar_helper(self, db):
+        assert db.execute("SELECT count(*) FROM nums").scalar() == 4
+
+    def test_scalar_on_multirow_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT a FROM nums").scalar()
+
+    def test_to_dicts(self, db):
+        dicts = db.execute("SELECT a FROM nums WHERE a = 1").to_dicts()
+        assert dicts == [{"a": 1}]
+
+    def test_rowcount_for_insert(self, db):
+        result = db.execute("INSERT INTO nums VALUES (9, 9.0, 'nine')")
+        assert result.rowcount == 1 and not result.is_query
+
+
+class TestDdlDml:
+    def test_create_insert_select(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        db.execute("CREATE TABLE t2 (x INT)")
+        db.execute("INSERT INTO t2 SELECT x + 10 FROM t")
+        assert db.execute("SELECT x FROM t2 ORDER BY x").rows() == [(11,), (12,)]
+
+    def test_insert_column_subset_fills_nulls(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        db.execute("INSERT INTO t (b) VALUES (5)")
+        assert db.execute("SELECT a, b FROM t").rows() == [(None, 5)]
+
+    def test_drop_table(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("DROP TABLE t")
+        assert not db.catalog.has("t")
+
+    def test_insert_params(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT, s VARCHAR)")
+        db.execute("INSERT INTO t VALUES (?, ?)", (1, "a"))
+        assert db.execute("SELECT * FROM t").rows() == [(1, "a")]
+
+    def test_explain_mentions_operators(self, db):
+        text = db.explain("SELECT a FROM nums WHERE a > 1")
+        assert "Scan nums" in text and "Filter" in text

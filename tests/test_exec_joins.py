@@ -1,0 +1,201 @@
+"""Join execution tests: hash joins, cross products, left outer, residuals."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE l (id INT, tag VARCHAR);
+        CREATE TABLE r (id INT, val INT);
+        INSERT INTO l VALUES (1, 'a'), (2, 'b'), (3, 'c');
+        INSERT INTO r VALUES (1, 10), (1, 11), (3, 30), (4, 40);
+        """
+    )
+    return database
+
+
+class TestInnerJoin:
+    def test_equi_join(self, db):
+        rows = db.execute(
+            "SELECT l.id, r.val FROM l JOIN r ON l.id = r.id ORDER BY 1, 2"
+        ).rows()
+        assert rows == [(1, 10), (1, 11), (3, 30)]
+
+    def test_comma_syntax_with_where(self, db):
+        rows = db.execute(
+            "SELECT l.id, r.val FROM l, r WHERE l.id = r.id ORDER BY 1, 2"
+        ).rows()
+        assert rows == [(1, 10), (1, 11), (3, 30)]
+
+    def test_join_with_residual_condition(self, db):
+        rows = db.execute(
+            "SELECT l.id, r.val FROM l JOIN r ON l.id = r.id AND r.val > 10 "
+            "ORDER BY 1"
+        ).rows()
+        assert rows == [(1, 11), (3, 30)]
+
+    def test_non_equi_join_falls_back(self, db):
+        rows = db.execute(
+            "SELECT l.id, r.id FROM l JOIN r ON l.id < r.id ORDER BY 1, 2"
+        ).rows()
+        assert rows == [(1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+
+    def test_null_keys_never_match(self, db):
+        db.execute("INSERT INTO l VALUES (NULL, 'n')")
+        db.execute("INSERT INTO r VALUES (NULL, 99)")
+        rows = db.execute("SELECT l.id FROM l JOIN r ON l.id = r.id").rows()
+        assert (None,) not in rows
+
+    def test_self_join_aliases(self, db):
+        rows = db.execute(
+            "SELECT a.id, b.id FROM l a JOIN l b ON a.id = b.id ORDER BY 1"
+        ).rows()
+        assert rows == [(1, 1), (2, 2), (3, 3)]
+
+    def test_expression_keys(self, db):
+        # l.id + 1 matches r.id for l.id in {2, 3} (r has ids 3 and 4)
+        rows = db.execute(
+            "SELECT l.id FROM l JOIN r ON l.id + 1 = r.id ORDER BY 1"
+        ).rows()
+        assert rows == [(2,), (3,)]
+
+
+class TestCrossJoin:
+    def test_cross_product_size(self, db):
+        assert db.execute("SELECT count(*) FROM l CROSS JOIN r").scalar() == 12
+
+    def test_comma_cross(self, db):
+        assert db.execute("SELECT count(*) FROM l, r").scalar() == 12
+
+    def test_three_way(self, db):
+        assert db.execute("SELECT count(*) FROM l, l x, l y").scalar() == 27
+
+    def test_cross_guard(self, db):
+        # build a table big enough that a cross join trips the safety cap
+        db.execute("CREATE TABLE big (x INT)")
+        db.table("big").insert_rows([(i,) for i in range(5000)])
+        with pytest.raises(ExecutionError, match="safety limit"):
+            db.execute("SELECT count(*) FROM big a, big b")
+
+
+class TestLeftJoin:
+    def test_unmatched_left_padded_with_nulls(self, db):
+        rows = db.execute(
+            "SELECT l.id, r.val FROM l LEFT JOIN r ON l.id = r.id ORDER BY l.id, r.val"
+        ).rows()
+        assert (2, None) in rows
+        assert len(rows) == 4
+
+    def test_left_join_all_unmatched(self, db):
+        rows = db.execute(
+            "SELECT l.tag, r.val FROM l LEFT JOIN r ON l.id = r.id + 100"
+        ).rows()
+        assert all(val is None for _, val in rows) and len(rows) == 3
+
+    def test_left_join_preserves_match_multiplicity(self, db):
+        rows = db.execute(
+            "SELECT r.val FROM l LEFT JOIN r ON l.id = r.id WHERE l.id = 1 ORDER BY 1"
+        ).rows()
+        assert rows == [(10,), (11,)]
+
+
+class TestSubqueriesInFrom:
+    def test_derived_join(self, db):
+        rows = db.execute(
+            "SELECT d.id FROM (SELECT id FROM l WHERE id > 1) d "
+            "JOIN r ON d.id = r.id"
+        ).rows()
+        assert rows == [(3,)]
+
+    def test_uncorrelated_scalar_subquery(self, db):
+        rows = db.execute(
+            "SELECT id FROM l WHERE id = (SELECT min(id) FROM r)"
+        ).rows()
+        assert rows == [(1,)]
+
+    def test_scalar_subquery_empty_is_null(self, db):
+        rows = db.execute(
+            "SELECT (SELECT id FROM r WHERE id > 100) FROM l"
+        ).rows()
+        assert rows == [(None,), (None,), (None,)]
+
+    def test_scalar_subquery_multirow_raises(self, db):
+        with pytest.raises(ExecutionError, match="more than one row"):
+            db.execute("SELECT (SELECT id FROM r) FROM l")
+
+    def test_in_subquery(self, db):
+        rows = db.execute(
+            "SELECT id FROM l WHERE id IN (SELECT id FROM r) ORDER BY id"
+        ).rows()
+        assert rows == [(1,), (3,)]
+
+    def test_not_in_subquery(self, db):
+        rows = db.execute(
+            "SELECT id FROM l WHERE id NOT IN (SELECT id FROM r) ORDER BY id"
+        ).rows()
+        assert rows == [(2,)]
+
+    def test_not_in_with_null_in_subquery_is_empty(self, db):
+        db.execute("INSERT INTO r VALUES (NULL, 0)")
+        rows = db.execute("SELECT id FROM l WHERE id NOT IN (SELECT id FROM r)").rows()
+        assert rows == []
+
+    def test_exists(self, db):
+        assert db.execute(
+            "SELECT count(*) FROM l WHERE EXISTS (SELECT 1 FROM r WHERE r.id = 1)"
+        ).scalar() == 3
+
+    def test_exists_empty(self, db):
+        assert db.execute(
+            "SELECT count(*) FROM l WHERE EXISTS (SELECT 1 FROM r WHERE r.id = 99)"
+        ).scalar() == 0
+
+
+class TestRightJoin:
+    def test_unmatched_right_padded_with_nulls(self, db):
+        rows = db.execute(
+            "SELECT l.tag, r.val FROM l RIGHT JOIN r ON l.id = r.id "
+            "ORDER BY r.val"
+        ).rows()
+        assert (None, 40) in rows  # r.id = 4 has no left match
+        assert len(rows) == 4
+
+    def test_column_order_preserved(self, db):
+        result = db.execute(
+            "SELECT * FROM l RIGHT JOIN r ON l.id = r.id LIMIT 1"
+        )
+        assert result.column_names == ["id", "tag", "id", "val"]
+
+    def test_right_outer_spelling(self, db):
+        rows = db.execute(
+            "SELECT count(*) FROM l RIGHT OUTER JOIN r ON l.id = r.id"
+        ).rows()
+        assert rows == [(4,)]
+
+    def test_right_join_equals_swapped_left_join(self, db):
+        right = db.execute(
+            "SELECT l.id, r.id FROM l RIGHT JOIN r ON l.id = r.id"
+        ).rows()
+        left = db.execute(
+            "SELECT l.id, r.id FROM r LEFT JOIN l ON l.id = r.id"
+        ).rows()
+        assert sorted(right, key=repr) == sorted(left, key=repr)
+
+
+class TestNotExists:
+    def test_not_exists_true(self, db):
+        assert db.execute(
+            "SELECT count(*) FROM l WHERE NOT EXISTS "
+            "(SELECT 1 FROM r WHERE r.id = 99)"
+        ).scalar() == 3
+
+    def test_not_exists_false(self, db):
+        assert db.execute(
+            "SELECT count(*) FROM l WHERE NOT EXISTS (SELECT 1 FROM r)"
+        ).scalar() == 0

@@ -1,0 +1,61 @@
+"""ASCII chart rendering for the figure reproductions."""
+
+from repro.harness import ascii_chart, fig1a_chart, fig1b_chart
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_single_series_renders_markers(self):
+        text = ascii_chart({"s": [(1, 1.0), (10, 10.0), (100, 100.0)]})
+        assert text.count("o") >= 3
+
+    def test_two_series_get_distinct_markers(self):
+        text = ascii_chart(
+            {"a": [(1, 1.0), (10, 2.0)], "b": [(1, 3.0), (10, 4.0)]}
+        )
+        assert "o = a" in text and "x = b" in text
+
+    def test_axis_ranges_shown(self):
+        text = ascii_chart({"s": [(1, 0.5), (100, 50.0)]}, x_label="sf")
+        assert "sf (log scale, 1 .. 100)" in text
+        assert "0.5 .. 50" in text
+
+    def test_monotone_series_slopes_up(self):
+        # larger y must land on an earlier (higher) grid line
+        text = ascii_chart({"s": [(1, 1.0), (100, 100.0)]}, height=10, width=20)
+        rows = [line[1:] for line in text.splitlines() if line.startswith("|")]
+        first_marker_row = next(i for i, r in enumerate(rows) if "o" in r)
+        last_marker_row = max(i for i, r in enumerate(rows) if "o" in r)
+        assert rows[first_marker_row].index("o") > rows[last_marker_row].index("o")
+
+    def test_title_and_dimensions(self):
+        text = ascii_chart({"s": [(1, 1.0)]}, title="T", width=30, height=5)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert sum(1 for l in lines if l.startswith("|")) == 5
+
+    def test_zero_values_tolerated(self):
+        text = ascii_chart({"s": [(1, 0.0), (2, 1.0)]})
+        assert "log scale" in text
+
+
+class TestFigureCharts:
+    def test_fig1a_chart_shape(self):
+        rows = [
+            {"scale_factor": 1, "query": "Q13", "avg_latency_s": 0.001},
+            {"scale_factor": 3, "query": "Q13", "avg_latency_s": 0.003},
+            {"scale_factor": 1, "query": "Q14", "avg_latency_s": 0.002},
+            {"scale_factor": 3, "query": "Q14", "avg_latency_s": 0.006},
+        ]
+        text = fig1a_chart(rows)
+        assert "Figure 1a" in text and "Q13" in text and "Q14" in text
+
+    def test_fig1b_chart_shape(self):
+        rows = [
+            {"scale_factor": 1, "batch_size": 1, "avg_latency_per_pair_s": 0.01},
+            {"scale_factor": 1, "batch_size": 8, "avg_latency_per_pair_s": 0.002},
+        ]
+        text = fig1b_chart(rows)
+        assert "Figure 1b" in text and "SF 1" in text

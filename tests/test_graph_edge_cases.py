@@ -1,0 +1,203 @@
+"""Graph operator edge cases: degenerate graphs, duplicate pairs,
+empty inputs, guards — the unhappy paths of the §3.1 code generation."""
+
+import pytest
+
+from repro import Database
+from repro.errors import GraphRuntimeError
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+class TestDegenerateGraphs:
+    def test_empty_edge_table(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        assert db.execute(
+            "SELECT 1 WHERE 1 REACHES 2 OVER e EDGE (s, d)"
+        ).rows() == []
+
+    def test_empty_edge_table_with_cheapest(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 2 OVER e EDGE (s, d)"
+        ).rows() == []
+
+    def test_single_self_loop(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (7, 7)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 7 REACHES 7 OVER e EDGE (s, d)"
+        ).scalar() == 0  # empty path beats the loop
+
+    def test_parallel_edges_pick_cheapest(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT, w INT)")
+        db.execute("INSERT INTO e VALUES (1, 2, 9), (1, 2, 3), (1, 2, 5)")
+        rows = db.execute(
+            "SELECT CHEAPEST SUM(k: w) AS (c, p) "
+            "WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+        ).rows()
+        cost, path = rows[0]
+        assert cost == 3
+        assert path.to_rows() == [(1, 2, 3)]
+
+    def test_cycle_terminates(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2), (2, 3), (3, 1)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 3 OVER e EDGE (s, d)"
+        ).scalar() == 2
+
+    def test_disconnected_components(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2), (10, 20)")
+        assert db.execute(
+            "SELECT 1 WHERE 1 REACHES 20 OVER e EDGE (s, d)"
+        ).rows() == []
+
+    def test_varchar_vertex_keys(self, db):
+        db.execute("CREATE TABLE e (s VARCHAR, d VARCHAR)")
+        db.execute("INSERT INTO e VALUES ('a', 'b'), ('b', 'c')")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 'a' REACHES 'c' OVER e EDGE (s, d)"
+        ).scalar() == 2
+
+    def test_date_vertex_keys(self, db):
+        # any comparable type works as a key: V is derived from S ∪ D
+        db.execute("CREATE TABLE e (s DATE, d DATE)")
+        db.execute("INSERT INTO e VALUES ('2020-01-01', '2020-06-01')")
+        rows = db.execute(
+            "SELECT count(*) FROM e WHERE e.s REACHES e.d OVER e EDGE (s, d)"
+        ).rows()
+        assert rows == [(1,)]
+
+
+class TestInputShapes:
+    def test_empty_input_relation(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2)")
+        db.execute("CREATE TABLE vp (x INT)")
+        assert db.execute(
+            "SELECT x FROM vp WHERE x REACHES 2 OVER e EDGE (s, d)"
+        ).rows() == []
+
+    def test_duplicate_pairs_each_returned(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2)")
+        rows = db.execute(
+            "SELECT p.src, CHEAPEST SUM(1) "
+            "FROM (VALUES (1, 2), (1, 2), (1, 2)) p (src, dst) "
+            "WHERE p.src REACHES p.dst OVER e EDGE (s, d)"
+        ).rows()
+        assert rows == [(1, 1)] * 3
+
+    def test_many_sources_share_traversals(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2), (2, 3), (3, 4)")
+        rows = db.execute(
+            "SELECT p.dst, CHEAPEST SUM(1) "
+            "FROM (VALUES (1, 2), (1, 3), (1, 4)) p (src, dst) "
+            "WHERE p.src REACHES p.dst OVER e EDGE (s, d) ORDER BY 1"
+        ).rows()
+        assert rows == [(2, 1), (3, 2), (4, 3)]
+
+    def test_graph_join_empty_sides(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2)")
+        db.execute("CREATE TABLE a (x INT)")
+        db.execute("CREATE TABLE b (x INT)")
+        db.execute("INSERT INTO a VALUES (1)")
+        assert db.execute(
+            "SELECT * FROM a, b WHERE a.x REACHES b.x OVER e EDGE (s, d)"
+        ).rows() == []
+
+    def test_graph_join_dedups_endpoint_values(self, db):
+        # 100 identical left values: one traversal, 100 output rows
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2)")
+        db.execute("CREATE TABLE a (x INT)")
+        db.table("a").insert_rows([(1,)] * 100)
+        db.execute("CREATE TABLE b (x INT)")
+        db.execute("INSERT INTO b VALUES (2)")
+        rows = db.execute(
+            "SELECT count(*) FROM a, b WHERE a.x REACHES b.x OVER e EDGE (s, d)"
+        ).rows()
+        assert rows == [(100,)]
+
+
+class TestWeightValidation:
+    def test_null_weight_rejected(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT, w INT)")
+        db.execute("INSERT INTO e VALUES (1, 2, NULL)")
+        with pytest.raises(GraphRuntimeError, match="NULL"):
+            db.execute(
+                "SELECT CHEAPEST SUM(k: w) WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+            )
+
+    def test_negative_weight_rejected(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT, w INT)")
+        db.execute("INSERT INTO e VALUES (1, 2, -1)")
+        with pytest.raises(GraphRuntimeError, match="strictly greater"):
+            db.execute(
+                "SELECT CHEAPEST SUM(k: w) WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+            )
+
+    def test_weight_on_null_endpoint_edge_is_ignored(self, db):
+        # edges with NULL endpoints are dropped before weight validation
+        db.execute("CREATE TABLE e (s INT, d INT, w INT)")
+        db.execute("INSERT INTO e VALUES (1, 2, 5), (NULL, 3, -7)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(k: w) WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+        ).scalar() == 5
+
+    def test_float_weights_cost_is_double(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT, w DOUBLE)")
+        db.execute("INSERT INTO e VALUES (1, 2, 0.25), (2, 3, 0.5)")
+        cost = db.execute(
+            "SELECT CHEAPEST SUM(k: w) WHERE 1 REACHES 3 OVER e k EDGE (s, d)"
+        ).scalar()
+        assert cost == pytest.approx(0.75)
+
+
+class TestEdgeExpressionForms:
+    def test_edge_from_cte(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT, kind VARCHAR)")
+        db.execute("INSERT INTO e VALUES (1, 2, 'a'), (2, 3, 'b')")
+        assert db.execute(
+            "WITH ea AS (SELECT * FROM e WHERE kind = 'a') "
+            "SELECT 1 WHERE 1 REACHES 3 OVER ea EDGE (s, d)"
+        ).rows() == []
+
+    def test_edge_from_values(self, db):
+        assert db.execute(
+            "SELECT CHEAPEST SUM(k: 1) WHERE 1 REACHES 3 "
+            "OVER (SELECT * FROM (VALUES (1, 2), (2, 3)) v (s, d)) k EDGE (s, d)"
+        ).scalar() == 2
+
+    def test_edge_from_union(self, db):
+        db.execute("CREATE TABLE e1 (s INT, d INT)")
+        db.execute("CREATE TABLE e2 (s INT, d INT)")
+        db.execute("INSERT INTO e1 VALUES (1, 2)")
+        db.execute("INSERT INTO e2 VALUES (2, 3)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(k: 1) WHERE 1 REACHES 3 "
+            "OVER (SELECT * FROM e1 UNION ALL SELECT * FROM e2) k EDGE (s, d)"
+        ).scalar() == 2
+
+    def test_undirected_graph_via_doubling(self, db):
+        # the paper's trick: undirected = both directions inserted
+        db.execute("CREATE TABLE e (s INT, d INT)")
+        db.execute("INSERT INTO e VALUES (1, 2), (2, 1)")
+        assert db.execute(
+            "SELECT 1 WHERE 2 REACHES 1 OVER e EDGE (s, d)"
+        ).rows() == [(1,)]
+
+    def test_computed_weight_from_edge_columns(self, db):
+        db.execute("CREATE TABLE e (s INT, d INT, base INT, toll INT)")
+        db.execute("INSERT INTO e VALUES (1, 2, 3, 4), (1, 2, 10, 0)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(k: base + toll) "
+            "WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+        ).scalar() == 7

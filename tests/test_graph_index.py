@@ -1,0 +1,119 @@
+"""Graph index tests — the paper's Section 6 future work, implemented:
+persistent CSRs keyed on the edge table, invalidated by updates."""
+
+import pytest
+
+from repro import Database
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def db(chain_db):
+    return chain_db
+
+
+class TestLifecycle:
+    def test_create_and_list(self, db):
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        assert db.graph_indices.names() == ["gi"]
+
+    def test_duplicate_name_rejected(self, db):
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        with pytest.raises(CatalogError, match="already exists"):
+            db.execute("CREATE GRAPH INDEX gi ON edges EDGE (d, s)")
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE GRAPH INDEX gi ON nope EDGE (s, d)")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(CatalogError, match="no column"):
+            db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, nope)")
+
+    def test_drop(self, db):
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        db.execute("DROP GRAPH INDEX gi")
+        assert db.graph_indices.names() == []
+
+    def test_drop_unknown_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP GRAPH INDEX nope")
+
+
+class TestLookupSemantics:
+    def test_lookup_hits_for_matching_spec(self, db):
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        assert db.lookup_graph_index("edges", "s", "d") is not None
+
+    def test_lookup_misses_for_other_orientation(self, db):
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        assert db.lookup_graph_index("edges", "d", "s") is None
+
+    def test_lookup_misses_without_index(self, db):
+        assert db.lookup_graph_index("edges", "s", "d") is None
+
+    def test_cache_object_reused_until_update(self, db):
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        first = db.lookup_graph_index("edges", "s", "d")
+        second = db.lookup_graph_index("edges", "s", "d")
+        assert first is second
+
+    def test_cache_invalidated_by_insert(self, db):
+        # "they also need to be amenable to the updates on the underlying
+        # tables" (Section 6)
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        before = db.lookup_graph_index("edges", "s", "d")
+        db.execute("INSERT INTO edges VALUES (5, 6, 1)")
+        after = db.lookup_graph_index("edges", "s", "d")
+        assert before is not after
+        assert after.csr.num_edges == before.csr.num_edges + 1
+
+
+class TestQueriesThroughIndex:
+    def _q13(self, db, a, b):
+        return db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER edges EDGE (s, d)",
+            (a, b),
+        ).scalar()
+
+    def test_same_answers_with_and_without_index(self, db):
+        plain = self._q13(db, 1, 5)
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        assert self._q13(db, 1, 5) == plain
+
+    def test_weighted_query_reuses_indexed_structure(self, db):
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        cost = db.execute(
+            "SELECT CHEAPEST SUM(e: w) WHERE 1 REACHES 5 OVER edges e EDGE (s, d)"
+        ).scalar()
+        assert cost == 4
+
+    def test_query_sees_updates_after_invalidation(self, db):
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        assert self._q13(db, 5, 1) is None
+        db.execute("INSERT INTO edges VALUES (5, 1, 1)")
+        assert self._q13(db, 5, 1) == 1
+
+    def test_filtered_edge_expression_bypasses_index(self, db):
+        # the index covers the bare table; a filtered edge expression must
+        # not use it (different graph)
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        cost = db.execute(
+            "SELECT CHEAPEST SUM(f: 1) WHERE 1 REACHES 5 "
+            "OVER (SELECT * FROM edges WHERE w < 10) f EDGE (s, d)"
+        ).scalar()
+        assert cost == 4  # the shortcut (w=10) is excluded
+
+    def test_paths_correct_through_index(self, db):
+        db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        rows = db.execute(
+            "SELECT CHEAPEST SUM(e: w) AS (c, p) "
+            "WHERE 1 REACHES 5 OVER edges e EDGE (s, d)"
+        ).rows()
+        cost, path = rows[0]
+        assert cost == 4 and [r[:2] for r in path.to_rows()] == [
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+        ]

@@ -1,0 +1,309 @@
+"""Unit tests for the graph runtime: domain encoding, CSR, BFS, Dijkstra,
+radix queue and the library facade (the paper's Section 3.2 component)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphRuntimeError
+from repro.graph import (
+    NOT_A_VERTEX,
+    UNREACHED,
+    CSRGraph,
+    GraphLibrary,
+    RadixQueue,
+    VertexDomain,
+    bfs,
+    build_csr,
+    dijkstra,
+    expand_frontier,
+    reconstruct_path,
+)
+
+
+class TestVertexDomain:
+    def test_vertices_are_union_of_endpoints(self):
+        domain = VertexDomain(np.array([5, 1]), np.array([9, 5]))
+        assert domain.num_vertices == 3  # {1, 5, 9}
+
+    def test_ids_are_dense_and_sorted(self):
+        domain = VertexDomain(np.array([30, 10]), np.array([20, 10]))
+        assert domain.encode(np.array([10, 20, 30])).tolist() == [0, 1, 2]
+
+    def test_unknown_key_maps_to_sentinel(self):
+        domain = VertexDomain(np.array([1]), np.array([2]))
+        assert domain.encode(np.array([99]))[0] == NOT_A_VERTEX
+
+    def test_string_keys(self):
+        a = np.array(["x", "y"], dtype=object)
+        b = np.array(["z", "x"], dtype=object)
+        domain = VertexDomain(a, b)
+        assert domain.num_vertices == 3
+        assert domain.encode(np.array(["q"], dtype=object))[0] == NOT_A_VERTEX
+
+    def test_decode_roundtrip(self):
+        domain = VertexDomain(np.array([7, 3]), np.array([11, 7]))
+        ids = domain.encode(np.array([3, 7, 11]))
+        assert domain.decode(ids) == [3, 7, 11]
+
+    def test_empty_graph(self):
+        domain = VertexDomain(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert domain.num_vertices == 0
+        assert domain.encode(np.array([1]))[0] == NOT_A_VERTEX
+
+
+class TestCSR:
+    def test_prefix_sum_layout(self):
+        # paper: edges sorted by S; outgoing edges of η live in
+        # D[S[η-1] .. S[η]-1]
+        graph = build_csr(np.array([1, 0, 1, 2]), np.array([2, 1, 0, 0]), 3)
+        assert graph.indptr.tolist() == [0, 1, 3, 4]
+        assert sorted(graph.neighbors(1).tolist()) == [0, 2]
+        assert graph.out_degree(0) == 1
+
+    def test_edge_rows_map_back_to_input(self):
+        src = np.array([2, 0, 1])
+        dst = np.array([0, 1, 2])
+        graph = build_csr(src, dst, 3)
+        for slot in range(3):
+            original = graph.edge_rows[slot]
+            assert src[original] == graph.src[slot]
+            assert dst[original] == graph.dst[slot]
+
+    def test_parallel_edges_kept(self):
+        graph = build_csr(np.array([0, 0]), np.array([1, 1]), 2)
+        assert graph.out_degree(0) == 2
+
+    def test_nonpositive_weight_rejected(self):
+        # "Its value must always be strictly greater than 0, otherwise a
+        # runtime exception is raised."
+        with pytest.raises(GraphRuntimeError, match="strictly greater"):
+            build_csr(np.array([0]), np.array([1]), 2, np.array([0]))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphRuntimeError):
+            build_csr(np.array([0]), np.array([1]), 2, np.array([-1.5]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphRuntimeError):
+            build_csr(np.array([0]), np.array([1, 2]), 3)
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(GraphRuntimeError):
+            build_csr(np.array([0]), np.array([1]), 2, np.array([1, 2]))
+
+    def test_expand_frontier(self):
+        graph = build_csr(np.array([0, 0, 1]), np.array([1, 2, 2]), 3)
+        slots = expand_frontier(graph.indptr, np.array([0, 1]))
+        assert slots.tolist() == [0, 1, 2]
+
+    def test_expand_frontier_empty(self):
+        graph = build_csr(np.array([0]), np.array([1]), 2)
+        assert len(expand_frontier(graph.indptr, np.array([1]))) == 0
+
+
+class TestRadixQueue:
+    def test_fifo_on_equal_keys(self):
+        q = RadixQueue(4)
+        q.push(0, 1)
+        q.push(0, 2)
+        assert {q.pop_min()[1], q.pop_min()[1]} == {1, 2}
+
+    def test_sorted_pops(self):
+        q = RadixQueue(100)
+        for key in (5, 3, 9, 3, 100, 0):
+            q.push(key, key)
+        popped = [q.pop_min()[0] for _ in range(6)]
+        assert popped == sorted(popped)
+
+    def test_monotone_violation_raises(self):
+        q = RadixQueue(10)
+        q.push(5, 0)
+        q.pop_min()
+        with pytest.raises(GraphRuntimeError, match="monotone"):
+            q.push(4, 0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(GraphRuntimeError):
+            RadixQueue(1).pop_min()
+
+    def test_interleaved_push_pop(self):
+        q = RadixQueue(16)
+        q.push(1, 1)
+        assert q.pop_min()[0] == 1
+        q.push(3, 3)
+        q.push(17, 17)  # key may exceed last_min + span transiently? no:
+        # 17 - 1 = 16 == span, maximal legal distance
+        assert q.pop_min()[0] == 3
+        q.push(10, 10)
+        assert q.pop_min()[0] == 10
+        assert q.pop_min()[0] == 17
+        assert len(q) == 0
+
+    def test_len_tracks_size(self):
+        q = RadixQueue(4)
+        q.push(0, 0)
+        q.push(1, 1)
+        assert len(q) == 2
+        q.pop_min()
+        assert len(q) == 1
+
+
+def diamond() -> CSRGraph:
+    """0 -> 1 -> 3 (w 1+1), 0 -> 2 -> 3 (w 10+10), 0 -> 3 (w 5)."""
+    return build_csr(
+        np.array([0, 1, 0, 2, 0]),
+        np.array([1, 3, 2, 3, 3]),
+        4,
+        np.array([1, 1, 10, 10, 5], dtype=np.int64),
+    )
+
+
+class TestBfs:
+    def test_distances(self):
+        graph = build_csr(np.array([0, 1, 2]), np.array([1, 2, 3]), 4)
+        result = bfs(graph, 0)
+        assert result.dist.tolist() == [0, 1, 2, 3]
+
+    def test_unreached_marker(self):
+        graph = build_csr(np.array([0]), np.array([1]), 3)
+        result = bfs(graph, 0)
+        assert result.dist[2] == UNREACHED and result.cost(2) is None
+
+    def test_direction_matters(self):
+        graph = build_csr(np.array([0]), np.array([1]), 2)
+        assert bfs(graph, 1).cost(0) is None
+
+    def test_early_exit_still_correct_for_target(self):
+        graph = build_csr(np.arange(9), np.arange(1, 10), 10)
+        result = bfs(graph, 0, targets=np.array([4]))
+        assert result.cost(4) == 4
+
+    def test_path_reconstruction(self):
+        graph = diamond()
+        result = bfs(graph, 0)
+        path = reconstruct_path(graph, result, 3)
+        assert len(path) == 1  # direct hop is the BFS shortest
+        assert path is not None
+
+    def test_path_to_source_is_empty(self):
+        graph = diamond()
+        result = bfs(graph, 0)
+        assert reconstruct_path(graph, result, 0).tolist() == []
+
+    def test_path_to_unreached_is_none(self):
+        graph = build_csr(np.array([0]), np.array([1]), 3)
+        result = bfs(graph, 0)
+        assert reconstruct_path(graph, result, 2) is None
+
+
+class TestDijkstra:
+    def test_weighted_distances(self):
+        result = dijkstra(diamond(), 0)
+        assert result.dist.tolist() == [0, 1, 10, 2]
+
+    def test_path_follows_cheapest_route(self):
+        graph = diamond()
+        result = dijkstra(graph, 0)
+        path = reconstruct_path(graph, result, 3)
+        # original edge rows: 0->1 is row 0, 1->3 is row 1
+        assert path.tolist() == [0, 1]
+
+    def test_radix_and_binary_agree(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n, m = 30, 120
+            src = rng.integers(0, n, m)
+            dst = rng.integers(0, n, m)
+            w = rng.integers(1, 50, m).astype(np.int64)
+            graph = build_csr(src, dst, n, w)
+            a = dijkstra(graph, 0, queue="radix")
+            b = dijkstra(graph, 0, queue="binary")
+            assert a.dist.tolist() == b.dist.tolist()
+
+    def test_float_weights_use_binary(self):
+        graph = build_csr(
+            np.array([0, 1]), np.array([1, 2]), 3, np.array([0.5, 0.25])
+        )
+        result = dijkstra(graph, 0)
+        assert result.dist[2] == pytest.approx(0.75)
+
+    def test_radix_on_floats_rejected(self):
+        graph = build_csr(np.array([0]), np.array([1]), 2, np.array([0.5]))
+        with pytest.raises(GraphRuntimeError, match="integer"):
+            dijkstra(graph, 0, queue="radix")
+
+    def test_unweighted_graph_rejected(self):
+        graph = build_csr(np.array([0]), np.array([1]), 2)
+        with pytest.raises(GraphRuntimeError, match="weight"):
+            dijkstra(graph, 0)
+
+    def test_unknown_queue_rejected(self):
+        graph = build_csr(np.array([0]), np.array([1]), 2, np.array([1]))
+        with pytest.raises(GraphRuntimeError):
+            dijkstra(graph, 0, queue="fibonacci")
+
+    def test_early_exit_target_distance_final(self):
+        graph = diamond()
+        result = dijkstra(graph, 0, targets=np.array([3]))
+        assert result.cost(3) == 2
+
+
+class TestGraphLibrary:
+    def test_reachability_mask(self):
+        lib = GraphLibrary(np.array([1, 2]), np.array([2, 3]))
+        result = lib.solve(np.array([1, 3, 99]), np.array([3, 1, 1]))
+        assert result.connected.tolist() == [True, False, False]
+
+    def test_self_reachability_is_true_for_vertices(self):
+        # P(x, x) holds via the empty path when x is a vertex
+        lib = GraphLibrary(np.array([1]), np.array([2]))
+        result = lib.solve(np.array([1]), np.array([1]), want_cost=True)
+        assert result.connected[0] and result.costs[0] == 0
+
+    def test_non_vertex_never_connected(self):
+        lib = GraphLibrary(np.array([1]), np.array([2]))
+        result = lib.solve(np.array([99]), np.array([99]))
+        assert not result.connected[0]
+
+    def test_costs_for_unconnected_stay_minus_one(self):
+        lib = GraphLibrary(np.array([1]), np.array([2]))
+        result = lib.solve(np.array([2]), np.array([1]), want_cost=True)
+        assert result.costs[0] == -1
+
+    def test_batch_grouped_by_source(self):
+        lib = GraphLibrary(np.array([1, 2, 3]), np.array([2, 3, 4]))
+        sources = np.array([1, 1, 1, 2])
+        dests = np.array([2, 3, 4, 4])
+        result = lib.solve(sources, dests, want_cost=True)
+        assert result.costs.tolist() == [1, 2, 3, 2]
+
+    def test_paths_reference_original_rows(self):
+        src = np.array([10, 20])
+        dst = np.array([20, 30])
+        lib = GraphLibrary(src, dst)
+        result = lib.solve(np.array([10]), np.array([30]), want_path=True)
+        path = result.paths[0]
+        assert src[path[0]] == 10 and dst[path[1]] == 30
+
+    def test_weighted_prefers_cheap_detour(self):
+        lib = GraphLibrary(
+            np.array([1, 1, 2]),
+            np.array([3, 2, 3]),
+            np.array([10, 1, 1], dtype=np.int64),
+        )
+        result = lib.solve(np.array([1]), np.array([3]), want_cost=True)
+        assert result.costs[0] == 2
+
+    def test_solve_length_mismatch(self):
+        lib = GraphLibrary(np.array([1]), np.array([2]))
+        with pytest.raises(GraphRuntimeError):
+            lib.solve(np.array([1, 2]), np.array([1]))
+
+    def test_deterministic_path_choice(self):
+        # two equal-cost paths; the library must return one, consistently
+        src = np.array([0, 0, 1, 2])
+        dst = np.array([1, 2, 3, 3])
+        lib = GraphLibrary(src, dst)
+        p1 = lib.solve(np.array([0]), np.array([3]), want_path=True).paths[0]
+        p2 = lib.solve(np.array([0]), np.array([3]), want_path=True).paths[0]
+        assert p1.tolist() == p2.tolist()

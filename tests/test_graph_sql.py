@@ -1,0 +1,315 @@
+"""End-to-end SQL tests of the extension: REACHES, CHEAPEST SUM, and the
+paper's appendix examples, verified against the result tables it prints."""
+
+import pytest
+
+from repro import Database
+from repro.errors import GraphRuntimeError
+
+
+class TestReachesFilter:
+    def test_filter_semantics(self, chain_db):
+        chain_db.execute("CREATE TABLE nodes (v INT)")
+        chain_db.execute("INSERT INTO nodes VALUES (1), (2), (3), (4), (5), (99)")
+        rows = chain_db.execute(
+            "SELECT v FROM nodes WHERE 2 REACHES v OVER edges EDGE (s, d) ORDER BY v"
+        ).rows()
+        # 2 reaches itself (empty path), 3, 4, 5; 99 is not a vertex
+        assert rows == [(2,), (3,), (4,), (5,)]
+
+    def test_join_semantics(self, chain_db):
+        chain_db.execute("CREATE TABLE a (v INT)")
+        chain_db.execute("CREATE TABLE b (v INT)")
+        chain_db.execute("INSERT INTO a VALUES (1), (4)")
+        chain_db.execute("INSERT INTO b VALUES (3), (5)")
+        rows = chain_db.execute(
+            "SELECT a.v, b.v FROM a, b WHERE a.v REACHES b.v OVER edges EDGE (s, d) "
+            "ORDER BY 1, 2"
+        ).rows()
+        assert rows == [(1, 3), (1, 5), (4, 5)]
+
+    def test_reachability_only_runs_bfs_and_discards_paths(self, chain_db):
+        rows = chain_db.execute(
+            "SELECT 1 WHERE 1 REACHES 5 OVER edges EDGE (s, d)"
+        ).rows()
+        assert rows == [(1,)]
+
+    def test_unreachable_filters_out(self, chain_db):
+        rows = chain_db.execute(
+            "SELECT 1 WHERE 5 REACHES 1 OVER edges EDGE (s, d)"
+        ).rows()
+        assert rows == []
+
+    def test_edge_direction_respected(self, chain_db):
+        assert chain_db.execute(
+            "SELECT 1 WHERE 2 REACHES 1 OVER edges EDGE (s, d)"
+        ).rows() == []
+        # reversing the EDGE clause reverses the graph
+        assert chain_db.execute(
+            "SELECT 1 WHERE 2 REACHES 1 OVER edges EDGE (d, s)"
+        ).rows() == [(1,)]
+
+    def test_null_endpoint_never_reaches(self, chain_db):
+        chain_db.execute("CREATE TABLE n (v INT)")
+        chain_db.execute("INSERT INTO n VALUES (NULL), (1)")
+        rows = chain_db.execute(
+            "SELECT v FROM n WHERE v REACHES 5 OVER edges EDGE (s, d)"
+        ).rows()
+        assert rows == [(1,)]
+
+    def test_edges_with_null_endpoints_ignored(self, chain_db):
+        chain_db.execute("INSERT INTO edges VALUES (5, NULL, 1), (NULL, 1, 1)")
+        rows = chain_db.execute(
+            "SELECT 1 WHERE 1 REACHES 5 OVER edges EDGE (s, d)"
+        ).rows()
+        assert rows == [(1,)]
+
+
+class TestCheapestSum:
+    def test_unweighted_hop_count(self, chain_db):
+        assert chain_db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 4 OVER edges EDGE (s, d)"
+        ).scalar() == 3
+
+    def test_unweighted_takes_shortcut(self, chain_db):
+        # hops: direct 1->5 edge wins over the 4-hop chain
+        assert chain_db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 5 OVER edges EDGE (s, d)"
+        ).scalar() == 1
+
+    def test_weighted_avoids_heavy_shortcut(self, chain_db):
+        # weights: chain costs 4, shortcut costs 10
+        assert chain_db.execute(
+            "SELECT CHEAPEST SUM(e: w) WHERE 1 REACHES 5 OVER edges e EDGE (s, d)"
+        ).scalar() == 4
+
+    def test_weight_expression_scales_cost(self, chain_db):
+        assert chain_db.execute(
+            "SELECT CHEAPEST SUM(e: w * 3) WHERE 1 REACHES 5 OVER edges e EDGE (s, d)"
+        ).scalar() == 12
+
+    def test_float_weights(self, chain_db):
+        cost = chain_db.execute(
+            "SELECT CHEAPEST SUM(e: w * 0.5) WHERE 1 REACHES 4 OVER edges e EDGE (s, d)"
+        ).scalar()
+        assert cost == pytest.approx(1.5)
+
+    def test_zero_weight_raises_at_runtime(self, chain_db):
+        with pytest.raises(GraphRuntimeError, match="strictly greater"):
+            chain_db.execute(
+                "SELECT CHEAPEST SUM(e: w - 1) WHERE 1 REACHES 5 OVER edges e EDGE (s, d)"
+            )
+
+    def test_cost_to_self_is_zero(self, chain_db):
+        assert chain_db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 3 REACHES 3 OVER edges EDGE (s, d)"
+        ).scalar() == 0
+
+    def test_cost_and_path_pair(self, chain_db):
+        rows = chain_db.execute(
+            "SELECT CHEAPEST SUM(e: w) AS (cost, path) "
+            "WHERE 1 REACHES 5 OVER edges e EDGE (s, d)"
+        ).rows()
+        cost, path = rows[0]
+        assert cost == 4
+        assert [r[:2] for r in path.to_rows()] == [(1, 2), (2, 3), (3, 4), (4, 5)]
+
+    def test_two_cheapest_sums_same_predicate(self, chain_db):
+        rows = chain_db.execute(
+            "SELECT CHEAPEST SUM(e: 1) AS hops, CHEAPEST SUM(e: w) AS wcost "
+            "WHERE 1 REACHES 5 OVER edges e EDGE (s, d)"
+        ).rows()
+        assert rows == [(1, 4)]
+
+    def test_multiple_reaches_with_bindings(self, chain_db):
+        # two independent predicates over differently-oriented graphs;
+        # each CHEAPEST SUM binds to its own edge table variable
+        rows = chain_db.execute(
+            "SELECT CHEAPEST SUM(f: 1) AS forward, CHEAPEST SUM(b: w) AS backward "
+            "WHERE 1 REACHES 5 OVER edges f EDGE (s, d) "
+            "AND 5 REACHES 1 OVER edges b EDGE (d, s)"
+        ).rows()
+        # forward: the direct shortcut is 1 hop; backward (reversed,
+        # weighted): the chain costs 4 vs the w=10 reversed shortcut
+        assert rows == [(1, 4)]
+
+    def test_edge_over_subquery(self, chain_db):
+        # exclude the shortcut edge via a derived edge table
+        assert chain_db.execute(
+            "SELECT CHEAPEST SUM(f: 1) "
+            "WHERE 1 REACHES 5 OVER (SELECT * FROM edges WHERE w < 10) f EDGE (s, d)"
+        ).scalar() == 4
+
+    def test_graph_join_with_cost(self, chain_db):
+        chain_db.execute("CREATE TABLE src (v INT)")
+        chain_db.execute("CREATE TABLE dst (v INT)")
+        chain_db.execute("INSERT INTO src VALUES (1), (2)")
+        chain_db.execute("INSERT INTO dst VALUES (4), (5)")
+        rows = chain_db.execute(
+            "SELECT s.v, t.v, CHEAPEST SUM(e: w) AS c FROM src s, dst t "
+            "WHERE s.v REACHES t.v OVER edges e EDGE (s, d) ORDER BY 1, 2"
+        ).rows()
+        assert rows == [(1, 4, 3), (1, 5, 4), (2, 4, 2), (2, 5, 3)]
+
+    def test_graph_join_with_paths(self, chain_db):
+        chain_db.execute("CREATE TABLE src (v INT)")
+        chain_db.execute("INSERT INTO src VALUES (1)")
+        rows = chain_db.execute(
+            "SELECT s.v, CHEAPEST SUM(e: w) AS (c, p) FROM src s "
+            "WHERE s.v REACHES 5 OVER edges e EDGE (s, d)"
+        ).rows()
+        v, cost, path = rows[0]
+        assert cost == 4 and len(path) == 4
+
+
+class TestAppendixExamples:
+    """The worked examples of Appendix A with their printed result sets."""
+
+    def test_a1_cost_only(self, social_db):
+        assert social_db.execute(
+            "SELECT CHEAPEST SUM(1) "
+            "WHERE ? REACHES ? OVER friends EDGE (person1, person2)",
+            (933, 8333),
+        ).scalar() == 2
+
+    def test_a2_vertex_properties(self, social_db):
+        rows = social_db.execute(
+            """
+            SELECT p1.firstName || ' ' || p1.lastName AS person1,
+                   p2.firstName || ' ' || p2.lastName AS person2,
+                   CHEAPEST SUM(1) AS distance
+            FROM persons p1, persons p2
+            WHERE p1.id = ? AND p2.id = ?
+              AND p1.id REACHES p2.id OVER friends EDGE (person1, person2)
+            """,
+            (933, 8333),
+        ).rows()
+        assert rows == [("Mahinda Perera", "Chen Wang", 2)]
+
+    def test_a3_reachability_over_cte_subgraph(self, social_db):
+        rows = social_db.execute(
+            """
+            WITH friends1 AS (
+                SELECT * FROM friends WHERE creationDate < '2011-01-01'
+            )
+            SELECT firstName || ' ' || lastName AS person
+            FROM persons
+            WHERE ? REACHES id OVER friends1 EDGE (person1, person2)
+            """,
+            (933,),
+        ).rows()
+        assert rows == [("Mahinda Perera",), ("Carmen Lepland",), ("Chen Wang",)]
+
+    def test_a4_weighted_paths(self, social_db):
+        rows = social_db.execute(
+            """
+            WITH friends1 AS (
+                SELECT * FROM friends WHERE creationDate < '2011-01-01'
+            )
+            SELECT firstName || ' ' || lastName AS person,
+                   CHEAPEST SUM(f: CAST(weight * 2 AS int)) AS (cost, path)
+            FROM persons
+            WHERE ? REACHES id OVER friends1 f EDGE (person1, person2)
+            """,
+            (933,),
+        ).rows()
+        by_person = {person: (cost, path) for person, cost, path in rows}
+        assert by_person["Mahinda Perera"][0] == 0
+        assert by_person["Mahinda Perera"][1].is_empty
+        assert by_person["Carmen Lepland"][0] == 1
+        assert by_person["Chen Wang"][0] == 5
+        assert len(by_person["Chen Wang"][1]) == 2
+
+    def test_a4_unnested(self, social_db):
+        rows = social_db.execute(
+            """
+            SELECT T.person, T.cost, R.person1, R.person2, R.weight
+            FROM (
+                WITH friends1 AS (
+                    SELECT * FROM friends WHERE creationDate < '2011-01-01'
+                )
+                SELECT firstName || ' ' || lastName AS person,
+                       CHEAPEST SUM(f: CAST(weight * 2 AS int)) AS (cost, path)
+                FROM persons
+                WHERE ? REACHES id OVER friends1 f EDGE (person1, person2)
+            ) T, UNNEST(T.path) AS R
+            """,
+            (933,),
+        ).rows()
+        # the paper's final result set: the empty path row is discarded
+        assert rows == [
+            ("Carmen Lepland", 1, 933, 1129, 0.5),
+            ("Chen Wang", 5, 933, 1129, 0.5),
+            ("Chen Wang", 5, 1129, 8333, 2.0),
+        ]
+
+    def test_a4_left_outer_retains_empty_path(self, social_db):
+        rows = social_db.execute(
+            """
+            SELECT T.person, R.person1
+            FROM (
+                WITH friends1 AS (
+                    SELECT * FROM friends WHERE creationDate < '2011-01-01'
+                )
+                SELECT firstName || ' ' || lastName AS person,
+                       CHEAPEST SUM(f: 1) AS (cost, path)
+                FROM persons
+                WHERE ? REACHES id OVER friends1 f EDGE (person1, person2)
+            ) T LEFT JOIN UNNEST(T.path) AS R ON TRUE
+            """,
+            (933,),
+        ).rows()
+        assert ("Mahinda Perera", None) in rows
+
+
+class TestClosureProperty:
+    """Graph results are ordinary table expressions: all regular SQL
+    operators keep applying over them (the paper's closure property)."""
+
+    def test_aggregate_over_graph_result(self, chain_db):
+        chain_db.execute("CREATE TABLE nodes (v INT)")
+        chain_db.execute("INSERT INTO nodes VALUES (1),(2),(3),(4),(5)")
+        count = chain_db.execute(
+            "SELECT count(*) FROM nodes WHERE 1 REACHES v OVER edges EDGE (s, d)"
+        ).scalar()
+        assert count == 5
+
+    def test_order_and_limit_over_costs(self, chain_db):
+        chain_db.execute("CREATE TABLE nodes (v INT)")
+        chain_db.execute("INSERT INTO nodes VALUES (2),(3),(4),(5)")
+        rows = chain_db.execute(
+            "SELECT v, CHEAPEST SUM(e: w) AS c FROM nodes "
+            "WHERE 1 REACHES v OVER edges e EDGE (s, d) "
+            "ORDER BY c DESC LIMIT 2"
+        ).rows()
+        assert rows == [(5, 4), (4, 3)]
+
+    def test_group_by_over_unnested_paths(self, chain_db):
+        chain_db.execute("CREATE TABLE nodes (v INT)")
+        chain_db.execute("INSERT INTO nodes VALUES (4),(5)")
+        rows = chain_db.execute(
+            """
+            SELECT R.s, count(*) AS uses
+            FROM (
+                SELECT v, CHEAPEST SUM(e: w) AS (c, p) FROM nodes
+                WHERE 1 REACHES v OVER edges e EDGE (s, d)
+            ) T, UNNEST(T.p) AS R
+            GROUP BY R.s ORDER BY R.s
+            """
+        ).rows()
+        # edges 1->2,2->3,3->4 used twice (for v=4 and v=5), 4->5 once
+        assert rows == [(1, 2), (2, 2), (3, 2), (4, 1)]
+
+    def test_graph_result_as_derived_table_joined_back(self, chain_db):
+        chain_db.execute("CREATE TABLE nodes (v INT)")
+        chain_db.execute("INSERT INTO nodes VALUES (2),(5)")
+        rows = chain_db.execute(
+            """
+            SELECT t.v, e2.d
+            FROM (
+                SELECT v FROM nodes WHERE 1 REACHES v OVER edges EDGE (s, d)
+            ) t JOIN edges e2 ON e2.s = t.v
+            ORDER BY 1, 2
+            """
+        ).rows()
+        assert rows == [(2, 3)]

@@ -1,0 +1,120 @@
+"""Tests for the measurement harness and experiment drivers."""
+
+import pytest
+
+from repro.harness import (
+    LatencyStats,
+    NetworkModel,
+    fig1a,
+    fig1b,
+    format_table,
+    measure,
+    table1,
+    time_call,
+)
+from repro.ldbc import TABLE1_SIZES
+
+
+class TestTiming:
+    def test_time_call_returns_value(self):
+        elapsed, value = time_call(lambda: 42)
+        assert value == 42 and elapsed >= 0
+
+    def test_measure_counts(self):
+        stats = measure(lambda: None, repeats=5)
+        assert stats.count == 5
+        assert stats.total >= stats.maximum >= stats.mean >= stats.minimum
+
+    def test_empty_stats(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.count == 0 and stats.mean == 0.0
+
+    def test_stats_math(self):
+        stats = LatencyStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0 and stats.median == 2.0
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+
+
+class TestNetworkModel:
+    def test_round_trip_floor(self):
+        from repro import Database
+
+        model = NetworkModel(round_trip_seconds=0.5)
+        result = Database().execute("SELECT 1")
+        assert model.latency(result) >= 0.5
+
+    def test_bytes_scale_with_rows(self):
+        from repro import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (x INT, s VARCHAR)")
+        db.execute("INSERT INTO t VALUES (1, 'hello'), (2, 'world')")
+        model = NetworkModel()
+        one = model.result_bytes(db.execute("SELECT * FROM t LIMIT 1"))
+        two = model.result_bytes(db.execute("SELECT * FROM t"))
+        assert two > one
+
+    def test_nested_tables_counted_flattened(self, chain_db):
+        model = NetworkModel()
+        result = chain_db.execute(
+            "SELECT CHEAPEST SUM(e: w) AS (c, p) "
+            "WHERE 1 REACHES 5 OVER edges e EDGE (s, d)"
+        )
+        # 4 path edges must contribute: clearly larger than the cost alone
+        assert model.result_bytes(result) > 50
+
+
+class TestExperimentDrivers:
+    def test_table1_shape(self):
+        rows = table1(scale_factors=(1, 3), scale=0.005)
+        assert [r["scale_factor"] for r in rows] == [1, 3]
+        for row in rows:
+            ratio = row["paper_vertices"] / row["vertices"]
+            assert ratio == pytest.approx(1 / 0.005, rel=0.1)
+
+    def test_table1_edges_scale_like_paper(self):
+        rows = table1(scale_factors=(1, 10), scale=0.005)
+        paper_ratio = TABLE1_SIZES[10][1] / TABLE1_SIZES[1][1]
+        ours_ratio = rows[1]["edges"] / rows[0]["edges"]
+        assert ours_ratio == pytest.approx(paper_ratio, rel=0.05)
+
+    def test_fig1a_rows(self):
+        rows = fig1a(scale_factors=(1,), pairs_per_sf=3, scale=0.005)
+        assert len(rows) == 2  # Q13 + Q14 variant
+        assert {r["query"] for r in rows} == {
+            "Q13 / unweighted S.P.",
+            "Q14 (variant) / weighted S.P.",
+        }
+        assert all(r["avg_latency_s"] > 0 for r in rows)
+
+    def test_fig1a_network_model_adds_overhead(self):
+        model_rows = fig1a(
+            scale_factors=(1,),
+            pairs_per_sf=2,
+            scale=0.005,
+            network_model=NetworkModel(round_trip_seconds=10.0),
+        )
+        for row in model_rows:
+            assert row["avg_latency_with_network_s"] >= 10.0
+
+    def test_fig1b_rows(self):
+        rows = fig1b(
+            scale_factors=(1,), batch_sizes=(1, 4), repeats=1, scale=0.005
+        )
+        assert [r["batch_size"] for r in rows] == [1, 4]
+        assert all(r["avg_latency_per_pair_s"] > 0 for r in rows)
+
+    def test_fig1b_amortizes(self):
+        rows = fig1b(
+            scale_factors=(3,), batch_sizes=(1, 32), repeats=2, scale=0.01
+        )
+        per_pair = {r["batch_size"]: r["avg_latency_per_pair_s"] for r in rows}
+        # batching 32 pairs must be much cheaper per pair than singletons
+        assert per_pair[32] < per_pair[1] / 2
+
+    def test_format_table(self):
+        text = format_table(
+            [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}], columns=("a", "b")
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("a") and len(lines) == 4

@@ -1,0 +1,170 @@
+"""Tests for the LDBC-SNB-like generator and the Q13/Q14 workload."""
+
+import numpy as np
+import pytest
+
+from repro.ldbc import (
+    SCALE_FACTORS,
+    TABLE1_SIZES,
+    generate,
+    make_database,
+    random_pairs,
+    run_q13,
+    run_q13_batch,
+    run_q14_variant,
+    target_sizes,
+)
+
+
+class TestTargetSizes:
+    def test_known_scale_factors_match_table1_ratio(self):
+        for sf in SCALE_FACTORS:
+            vertices, friendships = target_sizes(sf, scale=0.01)
+            paper_vertices, paper_edges = TABLE1_SIZES[sf]
+            assert vertices == pytest.approx(paper_vertices * 0.01, rel=0.01, abs=2)
+            assert friendships * 2 == pytest.approx(
+                paper_edges * 0.01, rel=0.01, abs=4
+            )
+
+    def test_interpolation_monotone(self):
+        previous = (0, 0)
+        for sf in (1, 2, 5, 20, 50, 200):
+            sizes = target_sizes(sf, scale=0.01)
+            assert sizes >= previous
+            previous = sizes
+
+    def test_minimum_floor(self):
+        vertices, friendships = target_sizes(1, scale=1e-9)
+        assert vertices >= 8 and friendships >= 8
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        a = generate(1, seed=5)
+        b = generate(1, seed=5)
+        assert np.array_equal(a.friend_src, b.friend_src)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_seed_changes_graph(self):
+        a = generate(1, seed=5)
+        b = generate(1, seed=6)
+        assert not np.array_equal(a.friend_src, b.friend_src)
+
+    def test_no_self_loops(self):
+        network = generate(3)
+        assert (network.friend_src != network.friend_dst).all()
+
+    def test_no_duplicate_friendships(self):
+        network = generate(3)
+        pairs = set()
+        for a, b in zip(network.friend_src, network.friend_dst):
+            key = (min(a, b), max(a, b))
+            assert key not in pairs
+            pairs.add(key)
+
+    def test_endpoints_are_persons(self):
+        network = generate(1)
+        ids = set(network.person_ids.tolist())
+        assert set(network.friend_src.tolist()) <= ids
+        assert set(network.friend_dst.tolist()) <= ids
+
+    def test_directed_edges_double_friendships(self):
+        # "the number of edges is actually double the amount of friendship
+        # relationships ... as relationships are undirected whereas our
+        # model assumes the graph is directed" (Section 4)
+        network = generate(1)
+        src, dst, days, weights = network.directed_edges()
+        assert len(src) == 2 * network.num_friendships
+        assert network.num_directed_edges == len(src)
+
+    def test_weights_strictly_positive_and_quantized(self):
+        network = generate(3)
+        assert (network.weights > 0).all()
+        scaled = network.weights * 10
+        assert np.allclose(scaled, np.round(scaled))
+
+    def test_weights_skewed_not_constant(self):
+        network = generate(10)
+        assert len(np.unique(network.weights)) > 5
+
+    def test_creation_dates_in_range(self):
+        network = generate(1)
+        assert network.creation_days.min() >= 14_610
+        assert network.creation_days.max() < 14_610 + 1095
+
+    def test_degree_distribution_skewed(self):
+        network = generate(10, skew=0.8)
+        degrees = np.bincount(
+            np.searchsorted(network.person_ids, network.friend_src)
+        )
+        # a skewed graph has a max degree well above the mean
+        assert degrees.max() > 3 * max(degrees.mean(), 1)
+
+
+class TestWorkload:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        network = generate(1, seed=11)
+        return network, make_database(network)
+
+    def test_tables_populated(self, loaded):
+        network, db = loaded
+        assert db.execute("SELECT count(*) FROM persons").scalar() == network.num_persons
+        assert (
+            db.execute("SELECT count(*) FROM knows").scalar()
+            == network.num_directed_edges
+        )
+
+    def test_q13_self_distance_zero(self, loaded):
+        network, db = loaded
+        person = int(network.person_ids[0])
+        assert run_q13(db, person, person) == 0
+
+    def test_q13_matches_symmetric_reverse(self, loaded):
+        # friendships are symmetric, so distance(a, b) == distance(b, a)
+        network, db = loaded
+        for source, dest in random_pairs(network, 5, seed=3):
+            assert run_q13(db, source, dest) == run_q13(db, dest, source)
+
+    def test_q14_cost_at_least_hops(self, loaded):
+        # every affinity weight is >= 0.1, scaled by 10 -> every edge costs
+        # >= 1, so the weighted cost is >= the hop count
+        network, db = loaded
+        for source, dest in random_pairs(network, 5, seed=4):
+            hops = run_q13(db, source, dest)
+            weighted = run_q14_variant(db, source, dest)
+            if hops is None:
+                assert weighted is None
+            else:
+                assert weighted[0] >= hops
+
+    def test_q14_float_variant_matches_scaled_int(self, loaded):
+        network, db = loaded
+        for source, dest in random_pairs(network, 5, seed=5):
+            scaled = run_q14_variant(db, source, dest)
+            float_ = run_q14_variant(db, source, dest, float_weights=True)
+            if scaled is None:
+                assert float_ is None
+            else:
+                assert float_[0] == pytest.approx(scaled[0] / 10.0)
+
+    def test_batch_matches_individual(self, loaded):
+        network, db = loaded
+        pairs = random_pairs(network, 10, seed=6)
+        batch_rows = {(s, d): c for s, d, c in run_q13_batch(db, pairs)}
+        for source, dest in pairs:
+            individual = run_q13(db, source, dest)
+            if individual is None:
+                assert (source, dest) not in batch_rows
+            else:
+                assert batch_rows[(source, dest)] == individual
+
+    def test_random_pairs_deterministic(self, loaded):
+        network, _ = loaded
+        assert random_pairs(network, 4, seed=9) == random_pairs(network, 4, seed=9)
+
+    def test_random_pairs_are_person_ids(self, loaded):
+        network, _ = loaded
+        ids = set(network.person_ids.tolist())
+        for source, dest in random_pairs(network, 10):
+            assert source in ids and dest in ids

@@ -1,0 +1,135 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql import TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_is_just_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type == TokenType.EOF
+
+    def test_keywords_uppercased(self):
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifier_preserved(self):
+        token = tokenize("FirstName")[0]
+        assert token.type == TokenType.IDENT
+        assert token.value == "FirstName"
+
+    def test_extension_keywords(self):
+        assert values("CHEAPEST REACHES EDGE UNNEST OVER ORDINALITY") == [
+            "CHEAPEST",
+            "REACHES",
+            "EDGE",
+            "UNNEST",
+            "OVER",
+            "ORDINALITY",
+        ]
+
+    def test_param_marker(self):
+        assert kinds("?") == [TokenType.PARAM]
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type == TokenType.INTEGER and token.value == 42
+
+    def test_float(self):
+        token = tokenize("4.25")[0]
+        assert token.type == TokenType.FLOAT and token.value == 4.25
+
+    def test_leading_dot_float(self):
+        token = tokenize(".5")[0]
+        assert token.type == TokenType.FLOAT and token.value == 0.5
+
+    def test_exponent(self):
+        token = tokenize("1e3")[0]
+        assert token.type == TokenType.FLOAT and token.value == 1000.0
+
+    def test_negative_is_operator_plus_number(self):
+        assert kinds("-5") == [TokenType.OPERATOR, TokenType.INTEGER]
+
+    def test_integer_then_dot_ident(self):
+        # "t.x" style access after a number must not absorb the dot
+        assert kinds("1 . x") == [
+            TokenType.INTEGER,
+            TokenType.PUNCT,
+            TokenType.IDENT,
+        ]
+
+
+class TestStrings:
+    def test_simple(self):
+        token = tokenize("'abc'")[0]
+        assert token.type == TokenType.STRING and token.value == "abc"
+
+    def test_quote_escape(self):
+        token = tokenize("''''")[0]
+        assert token.value == "'"
+
+    def test_embedded_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        token = tokenize('"From"')[0]
+        assert token.type == TokenType.IDENT and token.value == "From"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+
+class TestOperators:
+    def test_multichar_greedy(self):
+        assert values("<= >= <> != ||") == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_arithmetic(self):
+        assert values("+ - * / %") == ["+", "-", "*", "/", "%"]
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("@")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("1 -- comment\n2") == [1, 2]
+
+    def test_block_comment(self):
+        assert values("1 /* x */ 2") == [1, 2]
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_double_dash_inside_string_kept(self):
+        assert tokenize("'a--b'")[0].value == "a--b"
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        tokens = tokenize("SELECT\n  x")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a\n  @")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3

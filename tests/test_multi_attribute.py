@@ -1,0 +1,159 @@
+"""Multi-attribute vertex keys — the extension Section 2 sketches:
+"extending for multiple attributes is not complicated, though the
+notation becomes cumbersome"."""
+
+import pytest
+
+from repro import Database
+from repro.errors import BindError, ParseError
+from repro.sql import ast, parse_query
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE routes (
+            c1 VARCHAR, city1 VARCHAR, c2 VARCHAR, city2 VARCHAR, km INT
+        );
+        INSERT INTO routes VALUES
+            ('NL', 'AMS', 'UK', 'LON', 500),
+            ('UK', 'LON', 'US', 'NYC', 5500),
+            ('NL', 'AMS', 'US', 'NYC', 5900),
+            ('US', 'NYC', 'US', 'SFO', 4100);
+        CREATE TABLE places (country VARCHAR, city VARCHAR);
+        INSERT INTO places VALUES
+            ('NL', 'AMS'), ('UK', 'LON'), ('US', 'NYC'), ('US', 'SFO');
+        """
+    )
+    return database
+
+
+class TestParsing:
+    def test_tuple_endpoints_and_keys(self):
+        q = parse_query(
+            "SELECT 1 WHERE (a, b) REACHES (c, d) OVER e EDGE ((s1, s2), (d1, d2))"
+        )
+        reaches = q.where
+        assert len(reaches.source) == 2 and len(reaches.dest) == 2
+        assert reaches.src_cols == ("s1", "s2")
+        assert reaches.dst_cols == ("d1", "d2")
+
+    def test_arity_mismatch_rejected_in_parser(self):
+        with pytest.raises(ParseError, match="arity"):
+            parse_query("SELECT 1 WHERE (a, b) REACHES c OVER e EDGE ((s1, s2), d)")
+
+    def test_single_attribute_still_one_tuples(self):
+        q = parse_query("SELECT 1 WHERE a REACHES b OVER e EDGE (s, d)")
+        assert len(q.where.source) == 1
+
+    def test_tuple_outside_reaches_rejected(self, db):
+        with pytest.raises(BindError, match="REACHES endpoints"):
+            db.execute("SELECT (1, 2)")
+
+
+class TestExecution:
+    def test_reachability_on_composite_keys(self, db):
+        rows = db.execute(
+            """
+            SELECT p.country, p.city FROM places p
+            WHERE ('NL', 'AMS') REACHES (p.country, p.city)
+            OVER routes EDGE ((c1, city1), (c2, city2))
+            ORDER BY p.city
+            """
+        ).rows()
+        assert rows == [
+            ("NL", "AMS"),
+            ("UK", "LON"),
+            ("US", "NYC"),
+            ("US", "SFO"),
+        ]
+
+    def test_weighted_cost_and_path(self, db):
+        cost, path = db.execute(
+            """
+            SELECT CHEAPEST SUM(r: km) AS (cost, path)
+            WHERE ('NL', 'AMS') REACHES ('US', 'NYC')
+            OVER routes r EDGE ((c1, city1), (c2, city2))
+            """
+        ).rows()[0]
+        assert cost == 5900  # direct beats AMS->LON->NYC (6000)
+        assert len(path) == 1
+
+    def test_hop_count_on_composite_keys(self, db):
+        assert db.execute(
+            """
+            SELECT CHEAPEST SUM(1)
+            WHERE ('NL', 'AMS') REACHES ('US', 'SFO')
+            OVER routes EDGE ((c1, city1), (c2, city2))
+            """
+        ).scalar() == 2
+
+    def test_same_city_name_differs_by_country(self, db):
+        # ('XX', 'AMS') is not a vertex even though 'AMS' appears in keys
+        rows = db.execute(
+            """
+            SELECT 1 WHERE ('XX', 'AMS') REACHES ('US', 'NYC')
+            OVER routes EDGE ((c1, city1), (c2, city2))
+            """
+        ).rows()
+        assert rows == []
+
+    def test_unnest_composite_key_path(self, db):
+        rows = db.execute(
+            """
+            SELECT R.city1, R.city2
+            FROM (
+                SELECT CHEAPEST SUM(r: 1) AS (c, p)
+                WHERE ('NL', 'AMS') REACHES ('US', 'SFO')
+                OVER routes r EDGE ((c1, city1), (c2, city2))
+            ) T, UNNEST(T.p) AS R
+            ORDER BY R.city1
+            """
+        ).rows()
+        assert rows == [("AMS", "NYC"), ("NYC", "SFO")]
+
+    def test_graph_join_on_composite_keys(self, db):
+        rows = db.execute(
+            """
+            SELECT a.city, b.city, CHEAPEST SUM(1) AS hops
+            FROM places a, places b
+            WHERE a.country = 'NL' AND b.country = 'US'
+              AND (a.country, a.city) REACHES (b.country, b.city)
+              OVER routes EDGE ((c1, city1), (c2, city2))
+            ORDER BY hops, b.city
+            """
+        ).rows()
+        assert rows == [("AMS", "NYC", 1), ("AMS", "SFO", 2)]
+
+    def test_null_component_never_reaches(self, db):
+        db.execute("INSERT INTO places VALUES (NULL, 'AMS')")
+        rows = db.execute(
+            """
+            SELECT count(*) FROM places p
+            WHERE (p.country, p.city) REACHES ('US', 'NYC')
+            OVER routes EDGE ((c1, city1), (c2, city2))
+            """
+        ).rows()
+        # NL/AMS, UK/LON, and US/NYC (itself) — never the NULL row
+        assert rows == [(3,)]
+
+    def test_per_attribute_type_check(self, db):
+        db.execute("CREATE TABLE bad (k1 INT, k2 VARCHAR)")
+        with pytest.raises(BindError, match="match"):
+            db.execute(
+                """
+                SELECT 1 WHERE (1, 2) REACHES (3, 4)
+                OVER routes EDGE ((c1, city1), (c2, city2))
+                """
+            )
+
+    def test_mixed_type_composite_keys(self, db):
+        # (int, varchar) composite keys are fine as long as both sides agree
+        db.execute("CREATE TABLE me (a1 INT, a2 VARCHAR, b1 INT, b2 VARCHAR)")
+        db.execute("INSERT INTO me VALUES (1, 'x', 2, 'y'), (2, 'y', 3, 'z')")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE (1, 'x') REACHES (3, 'z') "
+            "OVER me EDGE ((a1, a2), (b1, b2))"
+        ).scalar() == 2

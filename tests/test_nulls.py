@@ -1,0 +1,105 @@
+"""SQL NULL semantics: three-valued logic, null propagation, null ordering."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.executescript(
+        """
+        CREATE TABLE t (a INT, b INT);
+        INSERT INTO t VALUES (1, 10), (2, NULL), (NULL, 30), (NULL, NULL);
+        """
+    )
+    return database
+
+
+class TestComparisons:
+    def test_null_comparison_filters_out(self, db):
+        # NULL = anything is UNKNOWN, never satisfied
+        assert db.execute("SELECT count(*) FROM t WHERE a = a").scalar() == 2
+
+    def test_null_not_equal_also_unknown(self, db):
+        assert db.execute("SELECT count(*) FROM t WHERE a <> 1").scalar() == 1
+
+    def test_is_null(self, db):
+        assert db.execute("SELECT count(*) FROM t WHERE a IS NULL").scalar() == 2
+
+    def test_is_not_null(self, db):
+        assert db.execute("SELECT count(*) FROM t WHERE a IS NOT NULL").scalar() == 2
+
+    def test_null_literal_is_null(self, db):
+        assert db.execute("SELECT count(*) FROM t WHERE NULL IS NULL").scalar() == 4
+
+
+class TestKleeneLogic:
+    def test_unknown_and_false_is_false(self, db):
+        # rows with a IS NULL: (a = 1) is UNKNOWN; UNKNOWN AND FALSE = FALSE
+        count = db.execute(
+            "SELECT count(*) FROM t WHERE a = 1 AND 1 = 2"
+        ).scalar()
+        assert count == 0
+
+    def test_unknown_or_true_is_true(self, db):
+        count = db.execute("SELECT count(*) FROM t WHERE a = 1 OR 1 = 1").scalar()
+        assert count == 4
+
+    def test_unknown_or_false_is_unknown(self, db):
+        count = db.execute("SELECT count(*) FROM t WHERE a = 1 OR 1 = 2").scalar()
+        assert count == 1
+
+    def test_not_unknown_is_unknown(self, db):
+        count = db.execute("SELECT count(*) FROM t WHERE NOT a = 1").scalar()
+        assert count == 1  # only a=2 passes; NULLs stay unknown
+
+
+class TestNullPropagation:
+    def test_arithmetic_propagates(self, db):
+        rows = db.execute("SELECT a + b FROM t ORDER BY a").rows()
+        assert rows.count((None,)) == 3
+
+    def test_concat_null_propagates(self, db):
+        # standard SQL: string concatenation with NULL yields NULL
+        rows = db.execute("SELECT 'x' || NULL").rows()
+        assert rows == [(None,)]
+
+    def test_coalesce_picks_first_non_null(self, db):
+        rows = db.execute("SELECT coalesce(a, b, 0) FROM t ORDER BY 1").rows()
+        assert [r[0] for r in rows] == [0, 1, 2, 30]
+
+    def test_in_list_with_null_operand(self, db):
+        assert db.execute("SELECT count(*) FROM t WHERE a IN (1, 2)").scalar() == 2
+
+    def test_not_in_list_with_null_item(self, db):
+        # a NOT IN (1, NULL) is never TRUE for a<>1 (comparison UNKNOWN)
+        assert db.execute(
+            "SELECT count(*) FROM t WHERE a NOT IN (1, NULL)"
+        ).scalar() == 0
+
+    def test_case_null_condition_falls_through(self, db):
+        rows = db.execute(
+            "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'other' END FROM t"
+        ).rows()
+        assert [r[0] for r in rows] == ["pos", "pos", "other", "other"]
+
+
+class TestAggregatesOverNulls:
+    def test_count_star_vs_count_column(self, db):
+        rows = db.execute("SELECT count(*), count(a), count(b) FROM t").rows()
+        assert rows == [(4, 2, 2)]
+
+    def test_sum_ignores_nulls(self, db):
+        assert db.execute("SELECT sum(a) FROM t").scalar() == 3
+
+    def test_avg_ignores_nulls(self, db):
+        assert db.execute("SELECT avg(b) FROM t").scalar() == 20.0
+
+    def test_all_null_group_sum_is_null(self, db):
+        assert db.execute("SELECT sum(a) FROM t WHERE a IS NULL").scalar() is None
+
+    def test_distinct_treats_nulls_as_one(self, db):
+        rows = db.execute("SELECT DISTINCT a FROM t ORDER BY a").rows()
+        assert rows.count((None,)) == 1

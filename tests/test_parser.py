@@ -1,0 +1,290 @@
+"""Unit tests for the SQL parser (standard dialect subset)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse_query, parse_script, parse_statement
+
+
+class TestSelectCore:
+    def test_select_literal(self):
+        q = parse_query("SELECT 1")
+        assert isinstance(q, ast.Select)
+        assert q.items[0].expr == ast.Literal(1)
+
+    def test_select_star(self):
+        q = parse_query("SELECT * FROM t")
+        assert isinstance(q.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        q = parse_query("SELECT t.* FROM t")
+        assert q.items[0].expr == ast.Star("t")
+
+    def test_alias_with_as(self):
+        q = parse_query("SELECT 1 AS one")
+        assert q.items[0].alias == "one"
+
+    def test_alias_without_as(self):
+        q = parse_query("SELECT x y FROM t")
+        assert q.items[0].alias == "y"
+
+    def test_from_alias(self):
+        q = parse_query("SELECT * FROM tbl AS t")
+        assert q.from_refs[0] == ast.NamedTableRef("tbl", "t")
+
+    def test_comma_join(self):
+        q = parse_query("SELECT * FROM a, b")
+        assert len(q.from_refs) == 2
+
+    def test_where(self):
+        q = parse_query("SELECT * FROM t WHERE x > 1")
+        assert isinstance(q.where, ast.Binary)
+
+    def test_select_without_from_but_with_where(self):
+        # the paper's Q13 form (Appendix A.1)
+        q = parse_query("SELECT 1 WHERE 1 = 1")
+        assert q.from_refs == () and q.where is not None
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT x FROM t").distinct
+
+    def test_group_by_having(self):
+        q = parse_query("SELECT g FROM t GROUP BY g HAVING count(*) > 1")
+        assert len(q.group_by) == 1 and q.having is not None
+
+    def test_order_limit_offset(self):
+        q = parse_query("SELECT x FROM t ORDER BY x DESC LIMIT 5 OFFSET 2")
+        assert q.order_by[0].ascending is False
+        assert q.limit == 5 and q.offset == 2
+
+    def test_trailing_semicolon(self):
+        parse_query("SELECT 1;")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 SELECT 2")
+
+    def test_missing_expression_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT FROM t")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse_query(f"SELECT {text}").items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+" and expr.right.op == "*"
+
+    def test_parens_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*" and expr.left.op == "+"
+
+    def test_and_or_precedence(self):
+        expr = parse_query("SELECT * FROM t WHERE a OR b AND c").where
+        assert expr.op == "or" and expr.right.op == "and"
+
+    def test_not(self):
+        expr = parse_query("SELECT * FROM t WHERE NOT a = 1").where
+        assert expr.op == "not"
+
+    def test_concat(self):
+        expr = self._expr("a || b || c")
+        assert expr.op == "||" and expr.left.op == "||"
+
+    def test_comparison_bang_eq_normalized(self):
+        expr = parse_query("SELECT * FROM t WHERE a != b").where
+        assert expr.op == "<>"
+
+    def test_between(self):
+        expr = parse_query("SELECT * FROM t WHERE x BETWEEN 1 AND 3").where
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = parse_query("SELECT * FROM t WHERE x NOT BETWEEN 1 AND 3").where
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_query("SELECT * FROM t WHERE x IN (1, 2)").where
+        assert isinstance(expr, ast.InList) and len(expr.items) == 2
+
+    def test_in_subquery(self):
+        expr = parse_query("SELECT * FROM t WHERE x IN (SELECT y FROM u)").where
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_not_in_subquery(self):
+        expr = parse_query("SELECT * FROM t WHERE x NOT IN (SELECT y FROM u)").where
+        assert isinstance(expr, ast.InSubquery) and expr.negated
+
+    def test_is_null(self):
+        expr = parse_query("SELECT * FROM t WHERE x IS NULL").where
+        assert isinstance(expr, ast.IsNull) and not expr.negated
+
+    def test_is_not_null(self):
+        expr = parse_query("SELECT * FROM t WHERE x IS NOT NULL").where
+        assert expr.negated
+
+    def test_like(self):
+        expr = parse_query("SELECT * FROM t WHERE x LIKE 'a%'").where
+        assert isinstance(expr, ast.Like)
+
+    def test_case_searched(self):
+        expr = self._expr("CASE WHEN a THEN 1 ELSE 2 END")
+        assert isinstance(expr, ast.Case) and expr.operand is None
+
+    def test_case_simple(self):
+        expr = self._expr("CASE x WHEN 1 THEN 'a' END")
+        assert expr.operand is not None and expr.else_ is None
+
+    def test_case_without_when_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT CASE ELSE 1 END")
+
+    def test_cast(self):
+        expr = self._expr("CAST(x AS bigint)")
+        assert isinstance(expr, ast.Cast) and expr.type_name == "bigint"
+
+    def test_function_call(self):
+        expr = self._expr("coalesce(a, b, 0)")
+        assert isinstance(expr, ast.FuncCall) and len(expr.args) == 3
+
+    def test_count_star(self):
+        expr = self._expr("count(*)")
+        assert expr.name == "count" and isinstance(expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        expr = self._expr("count(DISTINCT x)")
+        assert expr.distinct
+
+    def test_sum_keyword_still_parses_as_aggregate(self):
+        expr = self._expr("SUM(x)")
+        assert expr == ast.FuncCall("sum", (ast.ColumnRef(None, "x"),), False)
+
+    def test_unary_minus(self):
+        expr = self._expr("-x")
+        assert isinstance(expr, ast.Unary) and expr.op == "-"
+
+    def test_unary_plus_is_dropped(self):
+        assert self._expr("+x") == ast.ColumnRef(None, "x")
+
+    def test_params_numbered_in_order(self):
+        q = parse_query("SELECT ? WHERE ? = ?")
+        params = [q.items[0].expr, q.where.left, q.where.right]
+        assert [p.index for p in params] == [0, 1, 2]
+
+    def test_scalar_subquery(self):
+        expr = self._expr("(SELECT max(x) FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_exists(self):
+        expr = parse_query("SELECT * FROM t WHERE EXISTS (SELECT 1)").where
+        assert isinstance(expr, ast.Exists)
+
+
+class TestJoins:
+    def test_inner_join(self):
+        q = parse_query("SELECT * FROM a JOIN b ON a.x = b.y")
+        join = q.from_refs[0]
+        assert isinstance(join, ast.JoinRef) and join.kind == "inner"
+
+    def test_left_join(self):
+        q = parse_query("SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+        assert q.from_refs[0].kind == "left"
+
+    def test_left_outer_join(self):
+        q = parse_query("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert q.from_refs[0].kind == "left"
+
+    def test_cross_join(self):
+        q = parse_query("SELECT * FROM a CROSS JOIN b")
+        assert q.from_refs[0].kind == "cross" and q.from_refs[0].condition is None
+
+    def test_chained_joins_left_deep(self):
+        q = parse_query("SELECT * FROM a JOIN b ON 1=1 JOIN c ON 2=2")
+        outer = q.from_refs[0]
+        assert isinstance(outer.left, ast.JoinRef)
+
+    def test_derived_table(self):
+        q = parse_query("SELECT * FROM (SELECT 1) AS d")
+        assert isinstance(q.from_refs[0], ast.DerivedTableRef)
+
+    def test_derived_table_column_aliases(self):
+        q = parse_query("SELECT * FROM (SELECT 1, 2) AS d (a, b)")
+        assert q.from_refs[0].column_aliases == ("a", "b")
+
+
+class TestSetOpsAndCtes:
+    def test_union(self):
+        q = parse_query("SELECT 1 UNION SELECT 2")
+        assert isinstance(q, ast.SetOp) and q.op == "union" and not q.all
+
+    def test_union_all(self):
+        assert parse_query("SELECT 1 UNION ALL SELECT 2").all
+
+    def test_except_intersect(self):
+        assert parse_query("SELECT 1 EXCEPT SELECT 2").op == "except"
+        assert parse_query("SELECT 1 INTERSECT SELECT 2").op == "intersect"
+
+    def test_with_cte(self):
+        q = parse_query("WITH c AS (SELECT 1) SELECT * FROM c")
+        assert q.ctes[0].name == "c" and not q.recursive
+
+    def test_with_recursive(self):
+        q = parse_query(
+            "WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL SELECT n+1 FROM r) "
+            "SELECT * FROM r"
+        )
+        assert q.recursive and q.ctes[0].column_names == ("n",)
+
+    def test_multiple_ctes(self):
+        q = parse_query("WITH a AS (SELECT 1), b AS (SELECT 2) SELECT * FROM a, b")
+        assert len(q.ctes) == 2
+
+    def test_order_by_after_setop(self):
+        q = parse_query("SELECT 1 UNION SELECT 2 ORDER BY 1 LIMIT 1")
+        assert q.order_by and q.limit == 1
+
+
+class TestStatements:
+    def test_create_table(self):
+        stmt = parse_statement("CREATE TABLE t (a INT, b VARCHAR(40))")
+        assert isinstance(stmt, ast.CreateTable)
+        assert [c.name for c in stmt.columns] == ["a", "b"]
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE t")
+        assert isinstance(stmt, ast.DropTable) and stmt.name == "t"
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.InsertValues) and len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert isinstance(stmt, ast.InsertSelect)
+
+    def test_create_graph_index(self):
+        stmt = parse_statement("CREATE GRAPH INDEX gi ON friends EDGE (src, dst)")
+        assert isinstance(stmt, ast.CreateGraphIndex)
+        assert (stmt.table, stmt.src_col, stmt.dst_col) == ("friends", "src", "dst")
+
+    def test_drop_graph_index(self):
+        stmt = parse_statement("DROP GRAPH INDEX gi")
+        assert isinstance(stmt, ast.DropGraphIndex)
+
+    def test_script(self):
+        statements = parse_script("SELECT 1; SELECT 2;")
+        assert len(statements) == 2
+
+    def test_explain_statement(self):
+        stmt = parse_statement("EXPLAIN SELECT 1")
+        assert isinstance(stmt, ast.Explain)
+
+    def test_not_a_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("VACUUM t")

@@ -1,0 +1,192 @@
+"""Parser tests for the paper's SQL extension grammar (Section 2/3.1):
+REACHES ... OVER ... EDGE, CHEAPEST SUM, AS (ident_list), UNNEST."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse_query
+
+
+class TestReaches:
+    def test_basic(self):
+        q = parse_query(
+            "SELECT * FROM vp WHERE vp.x REACHES vp.y OVER e EDGE (s, d)"
+        )
+        reaches = q.where
+        assert isinstance(reaches, ast.Reaches)
+        assert reaches.src_cols == ("s",) and reaches.dst_cols == ("d",)
+        assert reaches.binding is None
+
+    def test_with_binding(self):
+        q = parse_query("SELECT * FROM vp WHERE x REACHES y OVER e f EDGE (s, d)")
+        assert q.where.binding == "f"
+
+    def test_params_as_endpoints(self):
+        q = parse_query("SELECT 1 WHERE ? REACHES ? OVER e EDGE (s, d)")
+        assert isinstance(q.where.source[0], ast.Param)
+        assert isinstance(q.where.dest[0], ast.Param)
+
+    def test_edge_over_subquery(self):
+        q = parse_query(
+            "SELECT * FROM vp WHERE x REACHES y "
+            "OVER (SELECT * FROM e WHERE w > 0) f EDGE (s, d)"
+        )
+        assert isinstance(q.where.edge, ast.DerivedTableRef)
+        assert q.where.binding == "f"
+
+    def test_conjunction_with_other_predicates(self):
+        q = parse_query(
+            "SELECT * FROM vp WHERE vp.id = 1 AND x REACHES y OVER e EDGE (s, d)"
+        )
+        assert q.where.op == "and"
+        assert isinstance(q.where.right, ast.Reaches)
+
+    def test_expressions_as_endpoints(self):
+        q = parse_query("SELECT * FROM vp WHERE x + 1 REACHES y * 2 OVER e EDGE (s, d)")
+        assert isinstance(q.where.source[0], ast.Binary)
+
+    def test_missing_edge_clause_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM vp WHERE x REACHES y OVER e")
+
+    def test_missing_over_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM vp WHERE x REACHES y EDGE (s, d)")
+
+    def test_edge_needs_two_columns(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM vp WHERE x REACHES y OVER e EDGE (s)")
+
+
+class TestCheapestSum:
+    def test_unweighted(self):
+        q = parse_query("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (s, d)")
+        cheapest = q.items[0].expr
+        assert isinstance(cheapest, ast.CheapestSum)
+        assert cheapest.binding is None
+        assert cheapest.weight == ast.Literal(1)
+
+    def test_with_binding(self):
+        q = parse_query(
+            "SELECT CHEAPEST SUM(e: w) WHERE ? REACHES ? OVER t e EDGE (s, d)"
+        )
+        assert q.items[0].expr.binding == "e"
+
+    def test_arbitrary_weight_expression(self):
+        q = parse_query(
+            "SELECT CHEAPEST SUM(e: CAST(w * 2 AS int)) "
+            "WHERE ? REACHES ? OVER t e EDGE (s, d)"
+        )
+        assert isinstance(q.items[0].expr.weight, ast.Cast)
+
+    def test_single_alias(self):
+        q = parse_query(
+            "SELECT CHEAPEST SUM(1) AS cost WHERE ? REACHES ? OVER e EDGE (s, d)"
+        )
+        assert q.items[0].alias == "cost"
+
+    def test_multi_alias_cost_path(self):
+        q = parse_query(
+            "SELECT CHEAPEST SUM(1) AS (cost, path) "
+            "WHERE ? REACHES ? OVER e EDGE (s, d)"
+        )
+        assert q.items[0].alias_list == ("cost", "path")
+
+    def test_cheapest_requires_sum_keyword(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT CHEAPEST(1) WHERE ? REACHES ? OVER e EDGE (s, d)")
+
+    def test_plain_sum_unaffected(self):
+        q = parse_query("SELECT SUM(x) FROM t")
+        assert q.items[0].expr == ast.FuncCall("sum", (ast.ColumnRef(None, "x"),), False)
+
+
+class TestUnnest:
+    def test_comma_lateral_form(self):
+        q = parse_query("SELECT * FROM t, UNNEST(t.path) AS r")
+        unnest = q.from_refs[1]
+        assert isinstance(unnest, ast.UnnestRef)
+        assert unnest.alias == "r" and not unnest.with_ordinality
+
+    def test_with_ordinality(self):
+        q = parse_query("SELECT * FROM t, UNNEST(t.path) WITH ORDINALITY AS r")
+        assert q.from_refs[1].with_ordinality
+
+    def test_alias_without_as(self):
+        q = parse_query("SELECT * FROM t, UNNEST(t.path) r")
+        assert q.from_refs[1].alias == "r"
+
+    def test_left_join_unnest(self):
+        q = parse_query("SELECT * FROM t LEFT JOIN UNNEST(t.path) AS r ON TRUE")
+        join = q.from_refs[0]
+        assert isinstance(join, ast.JoinRef) and join.kind == "left"
+        assert isinstance(join.right, ast.UnnestRef)
+
+    def test_lateral_keyword_tolerated(self):
+        q = parse_query("SELECT * FROM t, LATERAL UNNEST(t.path) AS r")
+        assert isinstance(q.from_refs[1], ast.UnnestRef)
+
+
+class TestPaperQueries:
+    """The verbatim SQL snippets from the paper parse."""
+
+    def test_section2_filter_form(self):
+        parse_query(
+            "SELECT VP.* FROM VertexProperties VP "
+            "WHERE VP.X REACHES VP.Y OVER E EDGE (S, D)"
+        )
+
+    def test_section2_join_form(self):
+        parse_query(
+            "SELECT VP1.*, VP2.* FROM VertexProp VP1, VertexProp VP2 "
+            "WHERE VP1.X REACHES VP2.Y OVER E EDGE (S, D)"
+        )
+
+    def test_section2_cheapest_form(self):
+        parse_query(
+            "SELECT VP1.*, VP2.*, CHEAPEST SUM(e: 1) AS cost "
+            "FROM VertexProp VP1, VertexProp VP2 "
+            "WHERE VP1.X REACHES VP2.Y OVER E e EDGE (S, D)"
+        )
+
+    def test_section2_unnest_block(self):
+        parse_query(
+            """
+            SELECT T.X, T.Y, T.cost, R.S, R.D
+            FROM (
+                SELECT VP1.*, VP2.*, CHEAPEST SUM(e: 1) AS (cost, path)
+                FROM VertexProp VP1, VertexProp VP2
+                WHERE VP1.X REACHES VP2.Y OVER E e EDGE (S, D)
+            ) T, UNNEST(T.path) AS R
+            """
+        )
+
+    def test_appendix_a1(self):
+        parse_query(
+            "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst);"
+        )
+
+    def test_appendix_a3(self):
+        parse_query(
+            """
+            WITH friends1 AS (
+                SELECT * FROM friends WHERE creationDate < '2011-01-01'
+            )
+            SELECT firstName || ' ' || lastName AS person
+            FROM persons
+            WHERE ? REACHES id OVER friends1 EDGE (person1, person2)
+            """
+        )
+
+    def test_appendix_a4(self):
+        parse_query(
+            """
+            WITH friends1 AS (
+                SELECT * FROM friends WHERE creationDate < '2011-01-01'
+            )
+            SELECT firstName || ' ' || lastName AS person,
+                   CHEAPEST SUM(f: CAST(weight * 2 AS int)) AS (cost, path)
+            FROM persons
+            WHERE ? REACHES id OVER friends1 f EDGE (person1, person2)
+            """
+        )

@@ -1,0 +1,93 @@
+"""Save/load round trips for the database persistence layer."""
+
+import datetime as dt
+
+import pytest
+
+from repro import Database
+from repro.errors import ReproError
+
+
+class TestRoundTrip:
+    def test_all_types_survive(self, tmp_path):
+        db = Database()
+        db.executescript(
+            """
+            CREATE TABLE t (
+                i INT, b BIGINT, f DOUBLE, s VARCHAR, day DATE, flag BOOLEAN
+            );
+            INSERT INTO t VALUES
+                (1, 10000000000, 1.5, 'hello', '2020-05-17', TRUE),
+                (2, -3, -0.25, '', '1970-01-01', FALSE);
+            """
+        )
+        db.save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        assert loaded.execute("SELECT * FROM t ORDER BY i").rows() == [
+            (1, 10000000000, 1.5, "hello", dt.date(2020, 5, 17), True),
+            (2, -3, -0.25, "", dt.date(1970, 1, 1), False),
+        ]
+
+    def test_nulls_survive(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT, s VARCHAR)")
+        db.execute("INSERT INTO t VALUES (NULL, 'a'), (2, NULL)")
+        db.save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        assert loaded.execute("SELECT * FROM t").rows() == [(None, "a"), (2, None)]
+
+    def test_empty_table_survives(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE empty (x INT)")
+        db.save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        assert loaded.execute("SELECT count(*) FROM empty").scalar() == 0
+
+    def test_multiple_tables(self, tmp_path):
+        db = Database()
+        db.executescript(
+            "CREATE TABLE a (x INT); CREATE TABLE b (y VARCHAR);"
+            "INSERT INTO a VALUES (1); INSERT INTO b VALUES ('z')"
+        )
+        db.save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        assert loaded.catalog.table_names() == ["a", "b"]
+
+    def test_graph_index_definitions_survive(self, tmp_path, chain_db):
+        chain_db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        chain_db.save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        assert loaded.graph_indices.names() == ["gi"]
+        assert loaded.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 5 OVER edges EDGE (s, d)"
+        ).scalar() == 1
+
+    def test_graph_queries_after_reload(self, tmp_path, social_db):
+        social_db.save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        assert loaded.execute(
+            "SELECT CHEAPEST SUM(1) "
+            "WHERE ? REACHES ? OVER friends EDGE (person1, person2)",
+            (933, 8333),
+        ).scalar() == 2
+
+    def test_save_overwrites_existing_directory(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        target = str(tmp_path / "db")
+        db.save(target)
+        db.execute("INSERT INTO t VALUES (1)")
+        db.save(target)
+        assert Database.load(target).execute("SELECT count(*) FROM t").scalar() == 1
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="not a saved database"):
+            Database.load(str(tmp_path / "nope"))
+
+    def test_loaded_database_is_writable(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        db.save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        loaded.execute("INSERT INTO t VALUES (5)")
+        assert loaded.execute("SELECT x FROM t").rows() == [(5,)]

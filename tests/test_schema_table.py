@@ -1,0 +1,148 @@
+"""Unit tests for Schema, Table and Catalog."""
+
+import pytest
+
+from repro.errors import CatalogError, TypeError_
+from repro.storage import Catalog, Column, DataType, Schema, Table
+
+
+class TestSchema:
+    def test_case_insensitive_lookup(self):
+        schema = Schema([("Id", DataType.BIGINT), ("Name", DataType.VARCHAR)])
+        assert schema.index_of("ID") == 0
+        assert schema.type_of("name") == DataType.VARCHAR
+
+    def test_names_normalized_lower(self):
+        schema = Schema([("FirstName", DataType.VARCHAR)])
+        assert schema.names() == ["firstname"]
+
+    def test_duplicate_raises(self):
+        with pytest.raises(CatalogError):
+            Schema([("a", DataType.INTEGER), ("A", DataType.INTEGER)])
+
+    def test_unknown_column_raises(self):
+        schema = Schema([("a", DataType.INTEGER)])
+        with pytest.raises(CatalogError):
+            schema.index_of("b")
+
+    def test_has(self):
+        schema = Schema([("a", DataType.INTEGER)])
+        assert schema.has("A") and not schema.has("b")
+
+    def test_equality(self):
+        a = Schema([("x", DataType.INTEGER)])
+        b = Schema([("x", DataType.INTEGER)])
+        assert a == b
+
+
+class TestTable:
+    def _table(self):
+        return Table("t", Schema([("a", DataType.INTEGER), ("b", DataType.VARCHAR)]))
+
+    def test_starts_empty(self):
+        assert len(self._table()) == 0
+
+    def test_insert_rows(self):
+        table = self._table()
+        assert table.insert_rows([(1, "x"), (2, "y")]) == 2
+        assert table.to_rows() == [(1, "x"), (2, "y")]
+
+    def test_insert_empty_noop(self):
+        table = self._table()
+        version = table.version
+        assert table.insert_rows([]) == 0
+        assert table.version == version
+
+    def test_insert_wrong_width_raises(self):
+        with pytest.raises(TypeError_):
+            self._table().insert_rows([(1,)])
+
+    def test_insert_bad_type_raises(self):
+        with pytest.raises(TypeError_):
+            self._table().insert_rows([("not-int", "x")])
+
+    def test_version_bumps_on_insert(self):
+        table = self._table()
+        v0 = table.version
+        table.insert_rows([(1, "x")])
+        assert table.version == v0 + 1
+
+    def test_truncate(self):
+        table = self._table()
+        table.insert_rows([(1, "x")])
+        table.truncate()
+        assert len(table) == 0
+
+    def test_insert_columns(self):
+        table = self._table()
+        table.insert_columns(
+            [
+                Column.from_values(DataType.INTEGER, [1, 2]),
+                Column.from_values(DataType.VARCHAR, ["x", "y"]),
+            ]
+        )
+        assert len(table) == 2
+
+    def test_insert_columns_type_mismatch(self):
+        table = self._table()
+        with pytest.raises(TypeError_):
+            table.insert_columns(
+                [
+                    Column.from_values(DataType.DOUBLE, [1.0]),
+                    Column.from_values(DataType.VARCHAR, ["x"]),
+                ]
+            )
+
+    def test_insert_columns_ragged(self):
+        table = self._table()
+        with pytest.raises(TypeError_):
+            table.insert_columns(
+                [
+                    Column.from_values(DataType.INTEGER, [1, 2]),
+                    Column.from_values(DataType.VARCHAR, ["x"]),
+                ]
+            )
+
+    def test_column_accessor(self):
+        table = self._table()
+        table.insert_rows([(5, "z")])
+        assert table.column("a").to_pylist() == [5]
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema([("a", DataType.INTEGER)]))
+        assert catalog.get("T").name == "t"
+
+    def test_duplicate_raises(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema([("a", DataType.INTEGER)]))
+        with pytest.raises(CatalogError):
+            catalog.create_table("t", Schema([("a", DataType.INTEGER)]))
+
+    def test_replace(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema([("a", DataType.INTEGER)]))
+        catalog.create_table("t", Schema([("b", DataType.INTEGER)]), replace=True)
+        assert catalog.get("t").schema.names() == ["b"]
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema([("a", DataType.INTEGER)]))
+        catalog.drop_table("t")
+        assert not catalog.has("t")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("nope")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("nope")
+
+    def test_table_names_sorted(self):
+        catalog = Catalog()
+        for name in ("b", "a", "c"):
+            catalog.create_table(name, Schema([("x", DataType.INTEGER)]))
+        assert catalog.table_names() == ["a", "b", "c"]

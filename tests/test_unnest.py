@@ -1,0 +1,138 @@
+"""UNNEST and nested-table tests (Section 3.3 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, NestedTableValue
+from repro.errors import BindError
+
+
+@pytest.fixture
+def paths_db(chain_db):
+    """chain_db plus a nodes table; queries produce paths over `edges`."""
+    chain_db.execute("CREATE TABLE nodes (v INT)")
+    chain_db.execute("INSERT INTO nodes VALUES (2), (3), (5)")
+    return chain_db
+
+
+PATHS_SQL = (
+    "SELECT v, CHEAPEST SUM(e: w) AS (c, p) FROM nodes "
+    "WHERE 1 REACHES v OVER edges e EDGE (s, d)"
+)
+
+
+class TestNestedTableValue:
+    def test_path_value_surface(self, paths_db):
+        rows = paths_db.execute(PATHS_SQL).rows()
+        value = rows[0][2]
+        assert isinstance(value, NestedTableValue)
+        assert value.column_names() == ["s", "d", "w"]
+
+    def test_to_dicts(self, paths_db):
+        rows = paths_db.execute(PATHS_SQL + " ORDER BY v LIMIT 1").rows()
+        dicts = rows[0][2].to_dicts()
+        assert dicts == [{"s": 1, "d": 2, "w": 1}]
+
+    def test_paths_share_one_source_batch(self, paths_db):
+        rows = paths_db.execute(PATHS_SQL).rows()
+        sources = {id(row[2].source) for row in rows}
+        assert len(sources) == 1
+
+    def test_equality_and_emptiness(self):
+        class Stub:
+            pass
+
+        source = Stub()
+        a = NestedTableValue(source, np.array([1, 2]))
+        b = NestedTableValue(source, np.array([1, 2]))
+        c = NestedTableValue(source, np.array([], dtype=np.int64))
+        assert a == b and a != c
+        assert c.is_empty and not a.is_empty
+
+
+class TestUnnestExecution:
+    def test_inner_unnest_expands_edges(self, paths_db):
+        rows = paths_db.execute(
+            f"SELECT T.v, R.s, R.d FROM ({PATHS_SQL}) T, UNNEST(T.p) AS R "
+            "ORDER BY T.v, R.s"
+        ).rows()
+        assert rows == [
+            (2, 1, 2),
+            (3, 1, 2),
+            (3, 2, 3),
+            (5, 1, 2),
+            (5, 2, 3),
+            (5, 3, 4),
+            (5, 4, 5),
+        ]
+
+    def test_with_ordinality_sequence(self, paths_db):
+        rows = paths_db.execute(
+            f"SELECT T.v, R.ordinality FROM ({PATHS_SQL}) T, "
+            "UNNEST(T.p) WITH ORDINALITY AS R WHERE T.v = 5 ORDER BY 2"
+        ).rows()
+        assert rows == [(5, 1), (5, 2), (5, 3), (5, 4)]
+
+    def test_ordinality_restarts_per_row(self, paths_db):
+        rows = paths_db.execute(
+            f"SELECT T.v, R.ordinality FROM ({PATHS_SQL}) T, "
+            "UNNEST(T.p) WITH ORDINALITY AS R ORDER BY T.v, 2"
+        ).rows()
+        firsts = [o for v, o in rows if o == 1]
+        assert len(firsts) == 3  # one per nested table
+
+    def test_empty_path_dropped_by_inner(self, paths_db):
+        paths_db.execute("INSERT INTO nodes VALUES (1)")  # path to self: empty
+        rows = paths_db.execute(
+            f"SELECT T.v FROM ({PATHS_SQL}) T, UNNEST(T.p) AS R "
+            "WHERE T.v = 1"
+        ).rows()
+        assert rows == []
+
+    def test_empty_path_kept_by_left_outer(self, paths_db):
+        paths_db.execute("INSERT INTO nodes VALUES (1)")
+        rows = paths_db.execute(
+            f"SELECT T.v, R.s FROM ({PATHS_SQL}) T "
+            "LEFT JOIN UNNEST(T.p) AS R ON TRUE WHERE T.v = 1"
+        ).rows()
+        assert rows == [(1, None)]
+
+    def test_left_outer_ordinality_null_for_empty(self, paths_db):
+        paths_db.execute("INSERT INTO nodes VALUES (1)")
+        rows = paths_db.execute(
+            f"SELECT T.v, R.ordinality FROM ({PATHS_SQL}) T "
+            "LEFT JOIN UNNEST(T.p) WITH ORDINALITY AS R ON TRUE "
+            "WHERE T.v = 1"
+        ).rows()
+        assert rows == [(1, None)]
+
+    def test_filter_on_unnested_columns(self, paths_db):
+        rows = paths_db.execute(
+            f"SELECT T.v, R.s FROM ({PATHS_SQL}) T, UNNEST(T.p) AS R "
+            "WHERE R.s = 3"
+        ).rows()
+        assert rows == [(5, 3)]
+
+    def test_unnest_requires_nested_type(self, paths_db):
+        with pytest.raises(BindError, match="nested-table"):
+            paths_db.execute(
+                f"SELECT 1 FROM ({PATHS_SQL}) T, UNNEST(T.v) AS R"
+            )
+
+    def test_unnest_cannot_lead_from_clause(self, paths_db):
+        with pytest.raises(BindError, match="first FROM item"):
+            paths_db.execute("SELECT 1 FROM UNNEST(p) AS R")
+
+    def test_unnest_twice_same_path(self, paths_db):
+        rows = paths_db.execute(
+            f"SELECT count(*) FROM ({PATHS_SQL}) T, UNNEST(T.p) AS a, UNNEST(T.p) AS b "
+            "WHERE T.v = 3"
+        ).rows()
+        # 2 edges x 2 edges = 4 combinations for v=3
+        assert rows == [(4,)]
+
+    def test_weights_preserved_through_unnest(self, paths_db):
+        rows = paths_db.execute(
+            f"SELECT sum(R.w) FROM ({PATHS_SQL}) T, UNNEST(T.p) AS R WHERE T.v = 5"
+        ).rows()
+        assert rows == [(4,)]
