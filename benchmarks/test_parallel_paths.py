@@ -1,0 +1,117 @@
+"""Experiment: multi-worker shortest-path throughput on the Fig. 1b
+batch workload.
+
+The paper runs its batch experiment single-threaded; this benchmark
+measures what the concurrency subsystem adds on top: the batch of
+<source, destination> pairs is partitioned by source group across a
+thread pool (``GraphLibrary.solve_encoded(workers=...)``), so one large
+statement uses several cores for the traversal phase.
+
+Two checks:
+
+* **correctness** — every worker count returns bit-identical results
+  (this always runs and must hold on any machine);
+* **throughput** — ≥ 1.5× at 4 workers vs 1 worker.  Thread-level
+  speedup needs actual cores: the assertion only applies when the
+  machine exposes ≥ 4 usable CPUs (the numbers are printed either way,
+  so single-core CI still exercises and reports the parallel path).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.graph import PARALLEL_MIN_PAIRS, GraphLibrary
+from repro.ldbc import random_pairs
+
+from conftest import SCALE_FACTORS
+
+WORKER_COUNTS = (1, 2, 4)
+BATCH_PAIRS = 192
+# best-of-N timing: high enough that a loaded CI machine's scheduling
+# noise doesn't flip the (already core-count-gated) assertions
+REPEATS = 5
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def workload(networks, databases):
+    """(library, encoded sources, encoded dests) at the largest bench SF."""
+    sf = max(SCALE_FACTORS)
+    network = networks[sf]
+    db = databases[sf]
+    knows = db.table("knows")
+    library = GraphLibrary(
+        knows.column("person1").data, knows.column("person2").data
+    )
+    pairs = random_pairs(network, BATCH_PAIRS, seed=1234)
+    sources = np.asarray([a for a, _ in pairs], dtype=np.int64)
+    dests = np.asarray([b for _, b in pairs], dtype=np.int64)
+    src_ids, dst_ids, _ = library.encode_endpoints(sources, dests)
+    assert len(src_ids) >= PARALLEL_MIN_PAIRS, "batch too small to parallelize"
+    return library, src_ids, dst_ids
+
+
+def _run_once(workload, workers: int):
+    library, src_ids, dst_ids = workload
+    return library.solve_encoded(
+        src_ids, dst_ids, want_cost=True, workers=workers
+    )
+
+
+class TestParallelPaths:
+    def test_results_identical_across_worker_counts(self, workload):
+        base = _run_once(workload, 1)
+        for workers in WORKER_COUNTS[1:]:
+            result = _run_once(workload, workers)
+            assert np.array_equal(base.connected, result.connected)
+            assert np.array_equal(base.costs, result.costs)
+
+    def test_worker_scaling_report(self, workload, capsys):
+        throughput: dict[int, float] = {}
+        for workers in WORKER_COUNTS:
+            _run_once(workload, workers)  # warm-up (reverse CSR, caches)
+            best = float("inf")
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                _run_once(workload, workers)
+                best = min(best, time.perf_counter() - start)
+            throughput[workers] = BATCH_PAIRS / best
+        cpus = _usable_cpus()
+        with capsys.disabled():
+            print("\n=== parallel shortest-path throughput (pairs/s) ===")
+            print(f"usable CPUs: {cpus}, batch: {BATCH_PAIRS} pairs")
+            for workers, pairs_per_s in throughput.items():
+                speedup = pairs_per_s / throughput[1]
+                print(f"  workers={workers}: {pairs_per_s:10.1f}  ({speedup:.2f}x)")
+        if cpus >= 4:
+            assert throughput[4] >= 1.5 * throughput[1], (
+                f"4-worker throughput did not reach 1.5x: {throughput}"
+            )
+        else:
+            # no cores to scale onto; the parallel path must at least not
+            # collapse (thread overhead bounded)
+            assert throughput[4] >= 0.5 * throughput[1], (
+                f"parallel path overhead too high on {cpus} CPU(s): {throughput}"
+            )
+
+    def test_parallel_threshold_keeps_small_batches_serial(self, workload):
+        library, src_ids, dst_ids = workload
+        few = max(2, PARALLEL_MIN_PAIRS // 4)
+        result = library.solve_encoded(
+            src_ids[:few], dst_ids[:few], want_cost=True, workers=4
+        )
+        serial = library.solve_encoded(
+            src_ids[:few], dst_ids[:few], want_cost=True, workers=1
+        )
+        assert np.array_equal(result.costs, serial.costs)

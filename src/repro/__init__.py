@@ -9,6 +9,7 @@ that regenerates the paper's tables and figures.
 """
 
 from .api import Database, Result, connect
+from .session import PlanCache, PreparedStatement, Session
 from .errors import (
     BindError,
     CatalogError,
@@ -29,6 +30,9 @@ __all__ = [
     "Database",
     "Result",
     "connect",
+    "Session",
+    "PreparedStatement",
+    "PlanCache",
     "NestedTableValue",
     "DataType",
     "ReproError",

@@ -16,10 +16,39 @@ Typical use::
 Shortest-path queries follow the paper's syntax: ``REACHES ... OVER ...
 EDGE (S, D)`` in WHERE, ``CHEAPEST SUM(e: expr)`` (optionally
 ``AS (cost, path)``) in SELECT, and ``UNNEST(path)`` in FROM.
+
+Concurrency and caching
+-----------------------
+A :class:`Database` is safe to share across threads.  Statements acquire
+per-table reader/writer locks, so SELECTs run concurrently while DML
+gets exclusive access to the tables it writes.  The idiomatic
+multi-threaded shape is one :class:`~repro.session.Session` per thread::
+
+    db = Database()
+    with db.connect() as session:
+        stmt = session.prepare("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? "
+                               "OVER friends EDGE (src, dst)")
+        stmt.execute((1, 3))   # plan-cache hit on every re-execution
+
+Two caches sit behind the SQL surface, both thread-safe, LRU-bounded and
+invalidated by DML/DDL on the tables they depend on:
+
+* the **plan cache** (``plan_cache_capacity``, default 128) keyed on SQL
+  text — repeat executions skip parse → bind → rewrite; hit/miss
+  counters appear in ``EXPLAIN`` output and profiler reports;
+* the **graph-index cache** inside :class:`GraphIndexManager`
+  (``graph_cache_capacity``, default 16) holding prepared domain+CSR
+  structures for ``CREATE GRAPH INDEX`` definitions.
+
+``path_workers`` ("auto" by default) controls how many threads the graph
+runtime uses to partition large shortest-path batches; see
+:meth:`repro.graph.GraphLibrary.solve_encoded`.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Any, Iterable, Optional, Sequence
 
 from .errors import CatalogError, ExecutionError
@@ -43,8 +72,9 @@ from .plan import (
     explain as explain_plan,
     rewrite,
 )
+from .session import PlanCache, Session, referenced_tables
 from .sql import parse_script, parse_statement
-from .storage import Catalog, Column, DataType, Schema, Table, days_to_date
+from .storage import Catalog, Column, DataType, LockSet, Schema, Table, days_to_date
 
 
 class Result:
@@ -120,73 +150,228 @@ class Result:
 
 class GraphIndexManager:
     """The paper's Section-6 'graph indices': prepared CSRs keyed on the
-    edge table, invalidated by table updates via the version counter."""
+    edge table.
 
-    def __init__(self, catalog: Catalog):
+    The cache of built libraries is thread-safe, capacity-bounded (LRU)
+    and *versioned*: every entry records the edge table's version counter
+    at build time.  Entries are dropped explicitly when DML/DDL touches
+    the underlying table (:meth:`invalidate_table`, wired to the table
+    write listeners by :class:`Database`) and re-validated against the
+    live version on every lookup as a backstop, so a stale CSR is never
+    served.
+    """
+
+    def __init__(self, catalog: Catalog, capacity: int = 16):
         self._catalog = catalog
+        self.capacity = max(1, int(capacity))
+        self._mutex = threading.RLock()
         self._specs: dict[str, tuple[str, str, str]] = {}
-        self._cache: dict[tuple[str, str, str], tuple[int, GraphLibrary]] = {}
+        self._cache: "OrderedDict[tuple[str, str, str], tuple[int, GraphLibrary]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+        self.evictions = 0
+        self.invalidations = 0
 
     def create(self, name: str, table: str, src_col: str, dst_col: str) -> None:
-        if name in self._specs:
-            raise CatalogError(f"graph index already exists: {name!r}")
         schema = self._catalog.get(table).schema
         for column in (src_col, dst_col):
             if not schema.has(column):
                 raise CatalogError(
                     f"table {table!r} has no column {column!r} for graph index"
                 )
-        self._specs[name] = (table, src_col, dst_col)
+        with self._mutex:
+            if name in self._specs:
+                raise CatalogError(f"graph index already exists: {name!r}")
+            self._specs[name] = (table.lower(), src_col.lower(), dst_col.lower())
 
     def drop(self, name: str) -> None:
-        try:
-            spec = self._specs.pop(name)
-        except KeyError:
-            raise CatalogError(f"unknown graph index: {name!r}") from None
-        self._cache.pop(spec, None)
+        with self._mutex:
+            try:
+                spec = self._specs.pop(name)
+            except KeyError:
+                raise CatalogError(f"unknown graph index: {name!r}") from None
+            if spec not in self._specs.values():
+                self._cache.pop(spec, None)
 
     def names(self) -> list[str]:
-        return sorted(self._specs)
+        with self._mutex:
+            return sorted(self._specs)
 
     def specs(self) -> dict[str, tuple[str, str, str]]:
         """name -> (table, src column, dst column), for persistence."""
-        return dict(self._specs)
+        with self._mutex:
+            return dict(self._specs)
+
+    def invalidate_table(self, table: str) -> None:
+        """Drop every cached library built over ``table`` (DML/DDL hook)."""
+        key = table.lower()
+        with self._mutex:
+            stale = [spec for spec in self._cache if spec[0] == key]
+            for spec in stale:
+                del self._cache[spec]
+            self.invalidations += len(stale)
+
+    def drop_for_table(self, table: str) -> None:
+        """Drop the index *definitions* over ``table`` along with their
+        cached libraries (DROP TABLE hook) — an orphaned spec would make
+        a later :meth:`Database.save`/``load`` round-trip fail on the
+        missing table."""
+        key = table.lower()
+        with self._mutex:
+            for name in [n for n, s in self._specs.items() if s[0] == key]:
+                del self._specs[name]
+            stale = [spec for spec in self._cache if spec[0] == key]
+            for spec in stale:
+                del self._cache[spec]
+            self.invalidations += len(stale)
 
     def lookup(self, table: str, src_col: str, dst_col: str) -> Optional[GraphLibrary]:
         """A prepared library for (table, S, D), or None if not indexed.
 
         Rebuilds lazily when the table changed since the cached build.
         """
-        spec = (table, src_col, dst_col)
-        if spec not in set(self._specs.values()):
-            return None
-        table_obj = self._catalog.get(table)
-        cached = self._cache.get(spec)
-        if cached is not None and cached[0] == table_obj.version:
-            return cached[1]
-        src = table_obj.column(src_col)
-        dst = table_obj.column(dst_col)
+        spec = (table.lower(), src_col.lower(), dst_col.lower())
+        with self._mutex:
+            if spec not in self._specs.values():
+                return None
+            table_obj = self._catalog.get(spec[0])
+            cached = self._cache.get(spec)
+            if cached is not None and cached[0] == table_obj.version:
+                self._cache.move_to_end(spec)
+                self.hits += 1
+                return cached[1]
+            self.misses += 1
+        # Build outside the mutex: CSR construction can be slow and must
+        # not serialize lookups of other indices.  No table lock either —
+        # the statement layer may already hold it, and a write-preferring
+        # lock deadlocks on reentrant reads.  A single columns() call is
+        # an atomic snapshot (mutators swap the whole list), and reading
+        # the version *before* it means a concurrent write can only make
+        # the entry conservatively stale, never stale-marked-fresh.
+        version = table_obj.version
+        columns = table_obj.columns()
+        src = columns[table_obj.schema.index_of(src_col)]
+        dst = columns[table_obj.schema.index_of(dst_col)]
         valid = ~(src.null_mask() | dst.null_mask())
         library = GraphLibrary(src.data[valid], dst.data[valid])
-        self._cache[spec] = (table_obj.version, library)
+        with self._mutex:
+            self.builds += 1
+            self._cache[spec] = (version, library)
+            self._cache.move_to_end(spec)
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+                self.evictions += 1
         return library
+
+    def stats(self) -> dict[str, int]:
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "builds": self.builds,
+                "entries": len(self._cache),
+                "capacity": self.capacity,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
 
 
 class Database:
-    """An in-process database instance (catalog + executor)."""
+    """An in-process, thread-safe database instance (catalog + executor).
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    plan_cache_capacity:
+        LRU bound of the prepared-statement plan cache (SQL text → plan).
+    graph_cache_capacity:
+        LRU bound of the graph-index cache (built domain+CSR libraries).
+    path_workers:
+        Worker threads for large shortest-path batches: a positive int,
+        or ``"auto"`` (respect ``REPRO_PATH_WORKERS`` / the CPU count).
+        Small batches always run serially; see
+        :meth:`repro.graph.GraphLibrary.solve_encoded`.
+    """
+
+    def __init__(
+        self,
+        *,
+        plan_cache_capacity: int = 128,
+        graph_cache_capacity: int = 16,
+        path_workers: int | str | None = "auto",
+    ) -> None:
         self.catalog = Catalog()
-        self.graph_indices = GraphIndexManager(self.catalog)
+        self.graph_indices = GraphIndexManager(
+            self.catalog, capacity=graph_cache_capacity
+        )
+        self.plan_cache = PlanCache(self.catalog, capacity=plan_cache_capacity)
+        self.path_workers = path_workers
+        # every committed table mutation invalidates both caches
+        self.catalog.add_write_listener(self._on_table_write)
+
+    def _on_table_write(self, table: Table) -> None:
+        self.plan_cache.invalidate_writes(table.name)
+        self.graph_indices.invalidate_table(table.name)
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def connect(self) -> Session:
+        """Open a :class:`~repro.session.Session` (cursor) on this
+        database.  Create one per thread; all sessions share the catalog,
+        the plan cache and the graph-index cache."""
+        return Session(self)
 
     # ------------------------------------------------------------------
     # SQL entry points
     # ------------------------------------------------------------------
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
-        """Parse, bind, rewrite and execute one SQL statement."""
+        """Execute one SQL statement.
+
+        Queries and INSERTs are served through the plan cache: a hit
+        skips parse → bind → rewrite entirely and goes straight to
+        execution.
+        """
+        entry, bound, _ = self._lookup_or_plan(sql)
+        if entry is not None:
+            return self._execute_cached(entry, tuple(params))
+        return self._run_bound(bound, tuple(params))
+
+    def _lookup_or_plan(self, sql: str):
+        """The single get-or-fill path of the plan cache.
+
+        Returns ``(entry, bound, was_hit)``: a cache entry (served or
+        freshly stored) with ``bound`` None, or — for statements the
+        cache does not hold (DDL, UPDATE, DELETE, EXPLAIN) — the bound
+        statement with ``entry`` None.
+        """
+        entry = self.plan_cache.get(sql)
+        if entry is not None:
+            return entry, None, True
         statement = parse_statement(sql)
         bound = Binder(self.catalog).bind_statement(statement)
-        return self._run_bound(bound, tuple(params))
+        if isinstance(bound, BoundQuery):
+            return self.plan_cache.put(sql, rewrite(bound.plan)), None, False
+        if isinstance(bound, BoundInsert):
+            return self.plan_cache.put_insert(sql, bound), None, False
+        return None, bound, False
+
+    def _execute_cached(self, entry, params: tuple) -> Result:
+        # entry.deps already names every referenced table: no need to
+        # re-walk the plan tree per execution on the cache-hit hot path
+        if entry.kind == "insert":
+            with self._locks(entry.tables(), {entry.bound.table}):
+                return self._run_insert(entry.bound, params)
+        return self._execute_query_plan(entry.plan, params, tables=entry.tables())
+
+    def prepare_plan(self, sql: str):
+        """Parse, bind, rewrite and cache a statement without executing
+        it (the back end of ``Session.prepare``).  Statements the cache
+        cannot hold (DDL, UPDATE, DELETE) are validated but not cached."""
+        entry, _, _ = self._lookup_or_plan(sql)
+        return entry
 
     def executescript(self, sql: str) -> list[Result]:
         """Execute a semicolon-separated list of statements (no params)."""
@@ -199,27 +384,48 @@ class Database:
         """Execute a query with per-operator timing instrumentation.
 
         Returns (result, report); the report is the plan tree annotated
-        with self/total milliseconds and output row counts per operator.
+        with self/total milliseconds and output row counts per operator,
+        plus a plan-cache / graph-index-cache summary footer.
         """
         from .exec.profiler import Profiler
 
-        statement = parse_statement(sql)
-        bound = Binder(self.catalog).bind_statement(statement)
-        if not isinstance(bound, BoundQuery):
+        entry, _, cache_hit = self._lookup_or_plan(sql)
+        if entry is None or entry.kind != "query":
             raise ExecutionError("profile() is only available for queries")
-        plan = rewrite(bound.plan)
+        plan = entry.plan
         profiler = Profiler()
-        ctx = ExecContext(self, tuple(params), profiler=profiler)
-        result = Result(execute_plan(plan, ctx))
+        with self._read_locks(entry.tables()):
+            ctx = ExecContext(self, tuple(params), profiler=profiler)
+            result = Result(execute_plan(plan, ctx))
+        profiler.plan_cache_hit = cache_hit
+        profiler.cache_stats = self.cache_stats()
         return result, profiler.render(plan)
 
     def explain(self, sql: str) -> str:
-        """The optimized logical plan of a query, as indented text."""
-        statement = parse_statement(sql)
-        bound = Binder(self.catalog).bind_statement(statement)
-        if not isinstance(bound, BoundQuery):
+        """The optimized logical plan of a query, as indented text, with
+        a plan-cache counter footer (the EXPLAIN cache surface)."""
+        entry, _, _ = self._lookup_or_plan(sql)
+        if entry is None or entry.kind != "query":
             raise ExecutionError("EXPLAIN is only available for queries")
-        return explain_plan(rewrite(bound.plan))
+        return explain_plan(entry.plan) + "\n" + self._cache_footer()
+
+    def _cache_footer(self) -> str:
+        plan = self.plan_cache.stats()
+        graph = self.graph_indices.stats()
+        return (
+            f"-- plan cache: hits={plan['hits']} misses={plan['misses']} "
+            f"entries={plan['entries']}/{plan['capacity']}\n"
+            f"-- graph index cache: hits={graph['hits']} "
+            f"misses={graph['misses']} entries={graph['entries']}/"
+            f"{graph['capacity']}"
+        )
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Counters of both caches, for monitoring and tests."""
+        return {
+            "plan_cache": self.plan_cache.stats(),
+            "graph_index_cache": self.graph_indices.stats(),
+        }
 
     # ------------------------------------------------------------------
     # convenience (non-SQL) helpers
@@ -253,35 +459,79 @@ class Database:
         return load_database(directory)
 
     # ------------------------------------------------------------------
-    def _run_bound(self, bound, params: tuple) -> Result:
-        if isinstance(bound, BoundQuery):
-            plan = rewrite(bound.plan)
+    # statement-scoped locking
+    # ------------------------------------------------------------------
+    def _locks(self, read: set[str], write: set[str] = frozenset()) -> LockSet:
+        """A :class:`LockSet` over the named tables (write wins over
+        read); tables dropped since analysis are simply skipped — the
+        executor will raise its regular CatalogError."""
+        locks = {}
+        wanted_writes = {name.lower() for name in write}
+        for name in {n.lower() for n in read} | wanted_writes:
+            if self.catalog.has(name):
+                locks[name] = self.catalog.get(name).lock
+        return LockSet(locks, wanted_writes & set(locks))
+
+    def _read_locks(self, tables: set[str]) -> LockSet:
+        return self._locks(tables)
+
+    def _execute_query_plan(
+        self, plan, params: tuple, tables: Optional[set[str]] = None
+    ) -> Result:
+        if tables is None:
+            tables = referenced_tables(plan)
+        with self._read_locks(tables):
             ctx = ExecContext(self, params)
             return Result(execute_plan(plan, ctx))
+
+    # ------------------------------------------------------------------
+    def _run_bound(self, bound, params: tuple) -> Result:
+        from .session import expr_tables
+
+        if isinstance(bound, BoundQuery):
+            return self._execute_query_plan(rewrite(bound.plan), params)
         if isinstance(bound, BoundExplain):
-            return Result.from_text_lines(
-                "plan", explain_plan(rewrite(bound.plan)).splitlines()
-            )
+            text = explain_plan(rewrite(bound.plan)) + "\n" + self._cache_footer()
+            return Result.from_text_lines("plan", text.splitlines())
         if isinstance(bound, BoundCreateTable):
             self.catalog.create_table(bound.name, Schema(list(bound.columns)))
             return Result(None, rowcount=0)
         if isinstance(bound, BoundDropTable):
-            self.catalog.drop_table(bound.name)
+            # take the table's write lock first: in-flight statements
+            # holding it finish before the table disappears under them
+            with self._locks(set(), {bound.name}):
+                self.catalog.drop_table(bound.name)
+            self.plan_cache.invalidate_table(bound.name)
+            self.graph_indices.drop_for_table(bound.name)
             return Result(None, rowcount=0)
         if isinstance(bound, BoundInsert):
-            return self._run_insert(bound, params)
+            reads = referenced_tables(bound.plan)
+            with self._locks(reads, {bound.table}):
+                return self._run_insert(bound, params)
         if isinstance(bound, BoundCreateTableAs):
-            return self._run_create_table_as(bound, params)
+            with self._read_locks(referenced_tables(bound.plan)):
+                return self._run_create_table_as(bound, params)
         if isinstance(bound, BoundDelete):
-            return self._run_delete(bound, params)
+            reads = referenced_tables(bound.scan)
+            if bound.predicate is not None:
+                reads |= expr_tables(bound.predicate)
+            with self._locks(reads, {bound.table}):
+                return self._run_delete(bound, params)
         if isinstance(bound, BoundUpdate):
-            return self._run_update(bound, params)
+            reads = referenced_tables(bound.scan)
+            if bound.predicate is not None:
+                reads |= expr_tables(bound.predicate)
+            for _, expr in bound.assignments:
+                reads |= expr_tables(expr)
+            with self._locks(reads, {bound.table}):
+                return self._run_update(bound, params)
         if isinstance(bound, BoundCreateGraphIndex):
             self.graph_indices.create(
                 bound.name, bound.table, bound.src_col, bound.dst_col
             )
             # build eagerly so the first query benefits
-            self.graph_indices.lookup(bound.table, bound.src_col, bound.dst_col)
+            with self._read_locks({bound.table}):
+                self.graph_indices.lookup(bound.table, bound.src_col, bound.dst_col)
             return Result(None, rowcount=0)
         if isinstance(bound, BoundDropGraphIndex):
             self.graph_indices.drop(bound.name)
@@ -302,13 +552,15 @@ class Database:
                     "(flatten with UNNEST first)"
                 )
             columns.append((plan_col.name, type_))
-        table = self.catalog.create_table(bound.name, Schema(columns))
+        # fill before publishing (see Catalog.publish_table for why)
+        table = Table(bound.name, Schema(columns))
         table.insert_columns(
             [
                 col if col.type == type_ else col.cast(type_)
                 for col, (_, type_) in zip(batch.columns, columns)
             ]
         )
+        self.catalog.publish_table(table)
         return Result(None, rowcount=batch.num_rows)
 
     def _run_delete(self, bound: BoundDelete, params: tuple) -> Result:
@@ -376,15 +628,23 @@ class Database:
         return Result(None, rowcount=count)
 
 
-def connect() -> Database:
-    """Create a fresh in-memory database (DB-API-flavoured spelling)."""
-    return Database()
+def connect(**kwargs: Any) -> Database:
+    """Create a fresh in-memory database (DB-API-flavoured spelling).
+
+    Keyword arguments are forwarded to :class:`Database`
+    (``plan_cache_capacity``, ``graph_cache_capacity``,
+    ``path_workers``).  To share one database between threads, call
+    :meth:`Database.connect` on the instance to open per-thread
+    :class:`~repro.session.Session` cursors.
+    """
+    return Database(**kwargs)
 
 
 __all__ = [
     "Database",
     "Result",
     "GraphIndexManager",
+    "Session",
     "connect",
     "NestedTableValue",
     "days_to_date",

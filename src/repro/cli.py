@@ -6,6 +6,8 @@ and may span lines.  Meta commands:
 * ``\\dt`` — list tables (and graph indices)
 * ``\\d <table>`` — describe a table
 * ``\\timing`` — toggle per-statement timing
+* ``\\cache`` — plan-cache / graph-index-cache counters
+* ``\\workers [n|auto]`` — show / set the shortest-path worker budget
 * ``\\save <dir>`` / ``\\open <dir>`` — persist / load the database
 * ``\\q`` — quit
 
@@ -63,10 +65,16 @@ def render_result(result: Result, *, max_rows: int = 200) -> str:
 
 
 class Shell:
-    """Stateful REPL; separated from I/O so tests can drive it."""
+    """Stateful REPL; separated from I/O so tests can drive it.
+
+    Statements run through a :class:`~repro.session.Session`, so repeat
+    executions of the same text are plan-cache hits (visible with
+    ``\\timing`` and ``\\cache``).
+    """
 
     def __init__(self, db: Optional[Database] = None, out: TextIO = sys.stdout):
         self.db = db or Database()
+        self.session = self.db.connect()
         self.out = out
         self.timing = False
         self.buffer: list[str] = []
@@ -98,7 +106,7 @@ class Shell:
     def _run(self, sql: str) -> None:
         start = time.perf_counter()
         try:
-            result = self.db.execute(sql)
+            result = self.session.execute(sql)
         except ReproError as exc:
             self.write(f"error: {exc}")
             return
@@ -131,6 +139,26 @@ class Shell:
         elif name == "\\timing":
             self.timing = not self.timing
             self.write(f"timing {'on' if self.timing else 'off'}")
+        elif name == "\\cache":
+            for cache_name, stats in self.db.cache_stats().items():
+                body = " ".join(f"{k}={v}" for k, v in stats.items())
+                self.write(f"{cache_name}: {body}")
+        elif name == "\\workers":
+            if args:
+                value = args[0]
+                if value != "auto":
+                    try:
+                        value = int(value)
+                    except ValueError:
+                        self.write(f"error: expected a number or 'auto', got {value!r}")
+                        return
+                self.db.path_workers = value
+            from .graph import resolve_workers
+
+            self.write(
+                f"path workers: {self.db.path_workers} "
+                f"(effective {resolve_workers(self.db.path_workers)})"
+            )
         elif name == "\\save" and args:
             try:
                 self.db.save(args[0])
@@ -140,6 +168,7 @@ class Shell:
         elif name == "\\open" and args:
             try:
                 self.db = Database.load(args[0])
+                self.session = self.db.connect()
                 self.write(f"loaded {args[0]}")
             except ReproError as exc:
                 self.write(f"error: {exc}")
@@ -152,6 +181,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     shell = Shell()
     if argv:
         shell.db = Database.load(argv[0])
+        shell.session = shell.db.connect()
     interactive = sys.stdin.isatty()
     if interactive:
         shell.write("repro SQL shell — REACHES / CHEAPEST SUM / UNNEST available")

@@ -209,7 +209,7 @@ def _exec_graph_select(plan: lp.LGraphSelect, ctx: ExecContext) -> Batch:
     dests = _encode_endpoints(ctx, spec.dest, input_batch, base)
 
     if not spec.cheapest:
-        result = base.solve_encoded(sources, dests)
+        result = base.solve_encoded(sources, dests, workers=ctx.path_workers)
         return input_batch.filter(result.connected)
 
     keep: Optional[np.ndarray] = None
@@ -218,7 +218,11 @@ def _exec_graph_select(plan: lp.LGraphSelect, ctx: ExecContext) -> Batch:
     for cheapest, library in weighted:
         want_path = cheapest.path is not None
         result = library.solve_encoded(
-            sources, dests, want_cost=True, want_path=want_path
+            sources,
+            dests,
+            want_cost=True,
+            want_path=want_path,
+            workers=ctx.path_workers,
         )
         if keep is None:
             keep = result.connected
@@ -262,7 +266,7 @@ def _exec_graph_join(plan: lp.LGraphJoin, ctx: ExecContext) -> Batch:
     solutions = []
     if not spec.cheapest:
         solutions.append(
-            (None, base.solve_encoded(grid_src, grid_dst))
+            (None, base.solve_encoded(grid_src, grid_dst, workers=ctx.path_workers))
         )
     else:
         for cheapest, library in weighted:
@@ -274,6 +278,7 @@ def _exec_graph_join(plan: lp.LGraphJoin, ctx: ExecContext) -> Batch:
                         grid_dst,
                         want_cost=True,
                         want_path=cheapest.path is not None,
+                        workers=ctx.path_workers,
                     ),
                 )
             )

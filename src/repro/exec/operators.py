@@ -42,6 +42,9 @@ class ExecContext:
         self.params = params
         self.cte_tables: dict[str, Batch] = {}
         self.profiler = profiler
+        #: Worker-thread budget for the graph runtime's batch solver
+        #: (the Database's ``path_workers`` knob; 1 = always serial).
+        self.path_workers = getattr(database, "path_workers", 1)
         self._eval = EvalContext(params, self.run)
 
     def run(self, plan: lp.LogicalNode) -> Batch:

@@ -35,6 +35,10 @@ class Profiler:
     def __init__(self) -> None:
         self.stats: dict[int, NodeStats] = {}
         self._stack: list[int] = []
+        #: Set by Database.profile(): whether this statement's plan came
+        #: from the plan cache, and the cache counters to report.
+        self.plan_cache_hit: bool | None = None
+        self.cache_stats: dict | None = None
 
     def run(self, plan: lp.LogicalNode, handler, ctx):
         """Execute ``handler(plan, ctx)`` under timing instrumentation."""
@@ -57,9 +61,25 @@ class Profiler:
 
     # ------------------------------------------------------------------
     def render(self, plan: lp.LogicalNode) -> str:
-        """The plan tree annotated with times and cardinalities."""
+        """The plan tree annotated with times and cardinalities, plus a
+        cache footer when the statement ran through the plan cache."""
         lines: list[str] = []
         self._render_node(plan, 0, lines)
+        if self.plan_cache_hit is not None:
+            lines.append(
+                "plan cache: " + ("HIT" if self.plan_cache_hit else "MISS")
+            )
+        if self.cache_stats is not None:
+            plan_stats = self.cache_stats.get("plan_cache", {})
+            graph_stats = self.cache_stats.get("graph_index_cache", {})
+            lines.append(
+                f"plan cache counters: hits={plan_stats.get('hits', 0)} "
+                f"misses={plan_stats.get('misses', 0)}"
+            )
+            lines.append(
+                f"graph index cache counters: hits={graph_stats.get('hits', 0)} "
+                f"misses={graph_stats.get('misses', 0)}"
+            )
         return "\n".join(lines)
 
     def _render_node(self, node: lp.LogicalNode, depth: int, lines: list[str]):

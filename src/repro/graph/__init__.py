@@ -6,7 +6,12 @@ from .bidirectional import bidirectional_distance, reverse_csr
 from .csr import CSRGraph, build_csr, expand_frontier
 from .dijkstra import dijkstra
 from .domain import NOT_A_VERTEX, VertexDomain
-from .library import GraphLibrary, ShortestPathResult
+from .library import (
+    PARALLEL_MIN_PAIRS,
+    GraphLibrary,
+    ShortestPathResult,
+    resolve_workers,
+)
 from .radix_queue import RadixQueue
 
 __all__ = [
@@ -25,4 +30,6 @@ __all__ = [
     "GraphLibrary",
     "ShortestPathResult",
     "RadixQueue",
+    "PARALLEL_MIN_PAIRS",
+    "resolve_workers",
 ]

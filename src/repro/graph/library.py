@@ -20,10 +20,21 @@ traversal; each traversal terminates early once its targets are settled.
 Reachability-only queries still run the BFS and discard the paths,
 exactly like the prototype ("the library still performs a BFS ...
 discarding the computed shortest paths").
+
+Batches large enough to matter are partitioned across a thread pool:
+source groups are dealt round-robin onto ``workers`` shards, and each
+shard traverses independently (the CSR is immutable and every shard
+writes disjoint slots of the output arrays).  Small batches — below
+:data:`PARALLEL_MIN_PAIRS` pairs or with fewer groups than workers —
+always run serially, so per-pair latency never pays thread overhead.
+Worker count resolution: an explicit argument wins, then the
+``REPRO_PATH_WORKERS`` environment variable, then the CPU count.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +44,36 @@ from .bfs import bfs, reconstruct_path
 from .csr import CSRGraph, build_csr
 from .dijkstra import dijkstra
 from .domain import NOT_A_VERTEX, VertexDomain
+
+def _env_int(name: str, default: int | None) -> int | None:
+    """An integer environment knob; malformed values fall back silently
+    (a typo'd env var must not crash imports or every graph query)."""
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+#: Below this many valid pairs a batch is always solved serially.
+PARALLEL_MIN_PAIRS = _env_int("REPRO_PARALLEL_MIN_PAIRS", 32)
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Effective worker count: explicit > ``REPRO_PATH_WORKERS`` > CPUs."""
+    if workers is None or workers == "auto":
+        env = _env_int("REPRO_PATH_WORKERS", None)
+        if env is not None:
+            return max(1, env)
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            return os.cpu_count() or 1
+    try:
+        return max(1, int(workers))
+    except ValueError:
+        raise GraphRuntimeError(
+            f"workers must be a positive integer or 'auto', got {workers!r}"
+        ) from None
 
 
 @dataclass
@@ -101,13 +142,19 @@ class GraphLibrary:
         want_cost: bool = False,
         want_path: bool = False,
         queue: str = "auto",
+        workers: int | str | None = 1,
     ) -> ShortestPathResult:
         """Evaluate reachability / shortest paths for aligned raw pairs."""
         if len(sources) != len(dests):
             raise GraphRuntimeError("source and destination vectors differ in length")
         src_ids, dst_ids, _ = self.encode_endpoints(sources, dests)
         return self.solve_encoded(
-            src_ids, dst_ids, want_cost=want_cost, want_path=want_path, queue=queue
+            src_ids,
+            dst_ids,
+            want_cost=want_cost,
+            want_path=want_path,
+            queue=queue,
+            workers=workers,
         )
 
     def solve_encoded(
@@ -119,6 +166,7 @@ class GraphLibrary:
         want_path: bool = False,
         queue: str = "auto",
         algorithm: str = "auto",
+        workers: int | str | None = 1,
     ) -> ShortestPathResult:
         """Like :meth:`solve` but over pre-encoded dense vertex ids.
 
@@ -129,6 +177,11 @@ class GraphLibrary:
         unweighted queries (the paper's future-work BFS improvement); it
         needs the reverse CSR, so it pays off with a prepared/indexed
         graph queried one pair at a time.
+
+        ``workers`` partitions the source groups of a large batch across
+        a thread pool (``"auto"``/None resolves via
+        :func:`resolve_workers`); results are identical to the serial
+        path regardless of worker count.
         """
         if len(src_ids) != len(dst_ids):
             raise GraphRuntimeError("source and destination vectors differ in length")
@@ -155,15 +208,56 @@ class GraphLibrary:
         if len(valid_positions) == 0:
             return ShortestPathResult(connected, costs, paths)
         order = valid_positions[np.argsort(src_ids[valid_positions], kind="stable")]
-        group_start = 0
-        while group_start < len(order):
-            source = src_ids[order[group_start]]
-            group_end = group_start
-            while group_end < len(order) and src_ids[order[group_end]] == source:
-                group_end += 1
-            members = order[group_start:group_end]
+        boundaries = (
+            [0]
+            + list(np.flatnonzero(np.diff(src_ids[order]) != 0) + 1)
+            + [len(order)]
+        )
+        groups = [
+            order[start:end] for start, end in zip(boundaries[:-1], boundaries[1:])
+        ]
+        n_workers = min(resolve_workers(workers), len(groups))
+        if n_workers <= 1 or len(valid_positions) < PARALLEL_MIN_PAIRS:
+            self._solve_groups(groups, src_ids, dst_ids, queue, connected, costs, paths)
+        else:
+            # deal groups round-robin so one hub source cannot load a
+            # single shard with all the heavy traversals
+            shards = [groups[i::n_workers] for i in range(n_workers)]
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(
+                        self._solve_groups,
+                        shard,
+                        src_ids,
+                        dst_ids,
+                        queue,
+                        connected,
+                        costs,
+                        paths,
+                    )
+                    for shard in shards
+                ]
+                for future in futures:
+                    future.result()  # re-raise worker exceptions
+        return ShortestPathResult(connected, costs, paths)
+
+    # ------------------------------------------------------------------
+    def _solve_groups(
+        self,
+        groups: list[np.ndarray],
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        queue: str,
+        connected: np.ndarray,
+        costs: np.ndarray | None,
+        paths: list[np.ndarray | None] | None,
+    ) -> None:
+        """Traverse each source group and scatter into the (shared)
+        output arrays.  Groups never overlap, so concurrent shards write
+        disjoint slots."""
+        for members in groups:
             targets = dst_ids[members]
-            result = self._traverse(int(source), targets, queue)
+            result = self._traverse(int(src_ids[members[0]]), targets, queue)
             for position in members:
                 target = int(dst_ids[position])
                 value = result.cost(target)
@@ -174,8 +268,6 @@ class GraphLibrary:
                     costs[position] = value
                 if paths is not None:
                     paths[position] = reconstruct_path(self.csr, result, target)
-            group_start = group_end
-        return ShortestPathResult(connected, costs, paths)
 
     # ------------------------------------------------------------------
     def _traverse(self, source: int, targets: np.ndarray, queue: str):

@@ -1,0 +1,348 @@
+"""Concurrent sessions and the prepared-statement plan cache.
+
+A :class:`~repro.api.Database` is a shared, thread-safe engine instance;
+a :class:`Session` is a lightweight cursor bound to it — the DB-API
+shape (``db.connect()`` → session, ``session.execute(...)``).  Any
+number of sessions, on any number of threads, may execute statements
+against one database: the statement layer acquires per-table
+reader/writer locks (see :mod:`repro.storage.locks`) so readers share
+and writers exclude.
+
+The :class:`PlanCache` is the engine's prepared-statement cache: a
+thread-safe LRU keyed on SQL text holding fully rewritten logical plans.
+On a hit, parse → bind → rewrite is skipped entirely.  Every entry
+records, per referenced base table, the table's version counter and
+schema fingerprint at plan time; entries are invalidated
+
+* explicitly, by DML write listeners and DDL hooks, and
+* defensively on lookup, when a recorded version/fingerprint no longer
+  matches (covering callers that mutate :class:`~repro.storage.Table`
+  objects directly).
+
+``Session.prepare`` returns a :class:`PreparedStatement` whose repeat
+executions are plan-cache hits by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+from typing import Any, Iterable, Optional, Sequence
+
+from .errors import ExecutionError
+from .plan import exprs as bx
+from .plan import logical as lp
+
+
+# ---------------------------------------------------------------------------
+# plan dependency analysis
+# ---------------------------------------------------------------------------
+def referenced_tables(plan: lp.LogicalNode) -> set[str]:
+    """All base tables a plan reads, including subquery plans inside
+    expressions (needed both for cache invalidation and for computing a
+    statement's read-lock set)."""
+    tables: set[str] = set()
+    _collect_tables(plan, tables)
+    return tables
+
+
+def _collect_tables(node: Any, out: set[str]) -> None:
+    if isinstance(node, lp.LScan):
+        out.add(node.table)
+    if isinstance(node, lp.LogicalNode):
+        for child in node.children:
+            _collect_tables(child, out)
+        # expressions hang off node-specific fields; walk them generically
+        for field in dataclasses.fields(node):
+            _collect_exprs(getattr(node, field.name), out)
+
+
+def expr_tables(expr: bx.BoundExpr) -> set[str]:
+    """Base tables referenced by subquery plans inside one expression
+    (DELETE/UPDATE predicates are bound as bare expressions, not plans)."""
+    tables: set[str] = set()
+    _collect_exprs(expr, tables)
+    return tables
+
+
+def _collect_exprs(value: Any, out: set[str]) -> None:
+    if isinstance(value, bx.BoundExpr):
+        for sub in bx.walk(value):
+            if isinstance(sub, (bx.BScalarSubquery, bx.BInSubquery, bx.BExists)):
+                _collect_tables(sub.plan, out)
+    elif isinstance(value, tuple):
+        for item in value:
+            _collect_exprs(item, out)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, lp.LogicalNode):
+        for field in dataclasses.fields(value):
+            _collect_exprs(getattr(value, field.name), out)
+
+
+# ---------------------------------------------------------------------------
+# the plan cache
+# ---------------------------------------------------------------------------
+class CachedPlan:
+    """One cache entry: a prepared statement plus its table snapshot.
+
+    ``kind`` is ``"query"`` (``plan`` is the rewritten logical plan) or
+    ``"insert"`` (``bound`` is the BoundInsert; its source plan is in
+    ``plan`` for dependency analysis).  Each dep records
+    ``(version | None, schema fingerprint)``: a ``None`` version marks a
+    schema-only dependency — an INSERT's own target stays valid across
+    writes to it (otherwise every execution would self-invalidate), but
+    still dies with the table or a schema change.
+    """
+
+    __slots__ = ("sql", "plan", "deps", "kind", "bound")
+
+    def __init__(
+        self,
+        sql: str,
+        plan: lp.LogicalNode,
+        deps: dict[str, tuple],
+        kind: str = "query",
+        bound: Any = None,
+    ):
+        self.sql = sql
+        self.plan = plan
+        self.deps = deps
+        self.kind = kind
+        self.bound = bound
+
+    def tables(self) -> set[str]:
+        return set(self.deps)
+
+
+class PlanCache:
+    """Thread-safe LRU of prepared (parsed + bound + rewritten) plans."""
+
+    def __init__(self, catalog, capacity: int = 128):
+        self._catalog = catalog
+        self.capacity = max(1, int(capacity))
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._mutex = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def get(self, sql: str) -> Optional[CachedPlan]:
+        """The valid entry for ``sql``, or None (counted as hit/miss).
+
+        A statement that cannot be cached (DDL/DML) counts as a miss on
+        every execution — the counters answer "how often did we skip the
+        SQL front-end", which is what EXPLAIN surfaces.
+        """
+        with self._mutex:
+            entry = self._entries.get(sql)
+            if entry is not None and self._valid(entry):
+                self._entries.move_to_end(sql)
+                self.hits += 1
+                return entry
+            if entry is not None:  # present but stale
+                del self._entries[sql]
+                self.invalidations += 1
+            self.misses += 1
+            return None
+
+    def _valid(self, entry: CachedPlan) -> bool:
+        for name, (version, fingerprint) in entry.deps.items():
+            if not self._catalog.has(name):
+                return False
+            table = self._catalog.get(name)
+            if version is not None and table.version != version:
+                return False
+            if table.schema.fingerprint() != fingerprint:
+                return False
+        return True
+
+    def put(self, sql: str, plan: lp.LogicalNode) -> CachedPlan:
+        deps = {}
+        for name in referenced_tables(plan):
+            table = self._catalog.get(name)
+            deps[name] = (table.version, table.schema.fingerprint())
+        return self._store(CachedPlan(sql, plan, deps))
+
+    def put_insert(self, sql: str, bound) -> CachedPlan:
+        """Cache a bound INSERT: the target is a schema-only dependency
+        (the statement's own writes must not evict it), source tables
+        are full version dependencies."""
+        deps = {}
+        for name in referenced_tables(bound.plan):
+            table = self._catalog.get(name)
+            deps[name] = (table.version, table.schema.fingerprint())
+        target = bound.table.lower()
+        deps[target] = (None, self._catalog.get(target).schema.fingerprint())
+        return self._store(
+            CachedPlan(sql, bound.plan, deps, kind="insert", bound=bound)
+        )
+
+    def _store(self, entry: CachedPlan) -> CachedPlan:
+        with self._mutex:
+            self._entries[entry.sql] = entry
+            self._entries.move_to_end(entry.sql)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    def invalidate_table(self, name: str) -> None:
+        """Drop every entry referencing ``name``, version-sensitive or
+        not (the DDL hook: the table itself went away or changed)."""
+        key = name.lower()
+        with self._mutex:
+            stale = [s for s, e in self._entries.items() if key in e.deps]
+            for sql in stale:
+                del self._entries[sql]
+            self.invalidations += len(stale)
+
+    def invalidate_writes(self, name: str) -> None:
+        """Drop entries whose *version-sensitive* deps include ``name``
+        (the DML hook: schema-only deps survive plain writes)."""
+        key = name.lower()
+        with self._mutex:
+            stale = [
+                s
+                for s, e in self._entries.items()
+                if key in e.deps and e.deps[key][0] is not None
+            ]
+            for sql in stale:
+                del self._entries[sql]
+            self.invalidations += len(stale)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)
+
+    def contains(self, sql: str) -> bool:
+        """Presence probe that does not touch the hit/miss counters."""
+        with self._mutex:
+            return sql in self._entries
+
+    def stats(self) -> dict[str, int]:
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+
+# ---------------------------------------------------------------------------
+# sessions and prepared statements
+# ---------------------------------------------------------------------------
+class PreparedStatement:
+    """A statement prepared once and executable many times.
+
+    Preparation parses, binds, rewrites and caches the plan immediately
+    (for queries), so every subsequent :meth:`execute` is a plan-cache
+    hit until DDL/DML on a referenced table invalidates it — after which
+    the next execution transparently re-prepares.
+    """
+
+    __slots__ = ("sql", "_database")
+
+    def __init__(self, database, sql: str):
+        self.sql = sql
+        self._database = database
+        database.prepare_plan(sql)
+
+    def execute(self, params: Sequence[Any] = ()):
+        return self._database.execute(self.sql, params)
+
+    def explain(self) -> str:
+        return self._database.explain(self.sql)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PreparedStatement {self.sql!r}>"
+
+
+class Session:
+    """A cursor over a shared :class:`~repro.api.Database`.
+
+    Sessions are cheap; create one per thread (each is itself safe to
+    use from one thread at a time, the database underneath is safe from
+    any number of threads).  Usable as a context manager.
+    """
+
+    def __init__(self, database):
+        self._database = database
+        self.closed = False
+
+    @property
+    def database(self):
+        return self._database
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence[Any] = ()):
+        self._check_open()
+        return self._database.execute(sql, params)
+
+    def executemany(self, sql: str, param_seq: Iterable[Sequence[Any]]) -> int:
+        """Execute one statement for each parameter tuple; returns the
+        summed rowcount.  SELECT and INSERT plans are prepared once and
+        served from the plan cache on every tuple (the classic DB-API
+        bulk-insert shape); UPDATE/DELETE re-bind per execution."""
+        self._check_open()
+        prepared = self.prepare(sql)
+        total = 0
+        for params in param_seq:
+            result = prepared.execute(params)
+            if result.rowcount > 0:
+                total += result.rowcount
+        return total
+
+    def executescript(self, sql: str) -> list:
+        self._check_open()
+        return self._database.executescript(sql)
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        self._check_open()
+        return PreparedStatement(self._database, sql)
+
+    def explain(self, sql: str) -> str:
+        self._check_open()
+        return self._database.explain(sql)
+
+    def profile(self, sql: str, params: Sequence[Any] = ()):
+        self._check_open()
+        return self._database.profile(sql, params)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ExecutionError("session is closed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"<Session {state} @ {self._database!r}>"
+
+
+__all__ = [
+    "CachedPlan",
+    "PlanCache",
+    "PreparedStatement",
+    "Session",
+    "expr_tables",
+    "referenced_tables",
+]

@@ -1,6 +1,7 @@
 """Column-store storage substrate (the engine's MonetDB stand-in)."""
 
 from .column import Column
+from .locks import LockSet, RWLock
 from .schema import ColumnDef, Schema
 from .table import Catalog, Table
 from .types import (
@@ -30,4 +31,6 @@ __all__ = [
     "parse_date_literal",
     "parse_type_name",
     "promote",
+    "LockSet",
+    "RWLock",
 ]

@@ -50,6 +50,15 @@ class Schema:
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Schema) and self.columns == other.columns
 
+    def fingerprint(self) -> tuple:
+        """A hashable identity of the column layout.
+
+        Plan-cache entries record it per referenced table: a dropped and
+        recreated table can reuse version numbers, so version equality
+        alone cannot prove a cached plan's column ids are still valid.
+        """
+        return tuple((c.name, c.type) for c in self.columns)
+
     def names(self) -> list[str]:
         return [c.name for c in self.columns]
 

@@ -4,14 +4,24 @@ Tables are append-only (``insert_rows``) which is all the engine needs:
 the paper's workload is analytical, and the future-work "graph indices"
 (Section 6) only require a version counter to detect staleness, which
 ``Table.version`` provides.
+
+Concurrency contract: every mutation swaps the full column list *before*
+bumping ``version`` and notifying write listeners, so a racing reader
+that pairs a version with a column snapshot can only err on the stale
+side (it re-reads), never serve new data under an old version.  Each
+table carries an :class:`~repro.storage.locks.RWLock`; the statement
+layer acquires it for the whole statement, and mutators re-acquire the
+(reentrant) write side defensively for callers that bypass SQL.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+import threading
+from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import CatalogError, TypeError_
 from .column import Column
+from .locks import RWLock
 from .schema import Schema
 
 
@@ -22,8 +32,27 @@ class Table:
         self.name = name.lower()
         self.schema = schema
         self._columns: list[Column] = [Column.empty(c.type) for c in schema]
-        #: Bumped on every mutation; used by the graph-index cache (A4).
+        #: Bumped on every mutation; used by the graph-index cache (A4)
+        #: and the plan cache to detect staleness.
         self.version = 0
+        #: Statement-scoped reader/writer lock (see module docstring).
+        self.lock = RWLock()
+        self._listeners: list[Callable[["Table"], None]] = []
+
+    # ------------------------------------------------------------------
+    def add_write_listener(self, callback: Callable[["Table"], None]) -> None:
+        """Register a callback fired after every committed mutation.
+
+        The caches (plan cache, graph-index cache) subscribe here so DML
+        invalidates them explicitly instead of relying on lazy version
+        checks alone.
+        """
+        self._listeners.append(callback)
+
+    def _bump_version(self) -> None:
+        self.version += 1
+        for callback in self._listeners:
+            callback(self)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -51,12 +80,13 @@ class Table:
                 raise TypeError_(
                     f"row has {len(row)} values, table {self.name!r} has {width} columns"
                 )
-        new_columns = []
-        for i, col_def in enumerate(self.schema):
-            fresh = Column.from_values(col_def.type, [row[i] for row in rows])
-            new_columns.append(Column.concat([self._columns[i], fresh]))
-        self._columns = new_columns
-        self.version += 1
+        with self.lock.write_locked():
+            new_columns = []
+            for i, col_def in enumerate(self.schema):
+                fresh = Column.from_values(col_def.type, [row[i] for row in rows])
+                new_columns.append(Column.concat([self._columns[i], fresh]))
+            self._columns = new_columns
+            self._bump_version()
         return len(rows)
 
     def insert_columns(self, columns: Sequence[Column]) -> int:
@@ -71,15 +101,17 @@ class Table:
                 raise TypeError_(
                     f"column type {col.type} does not match {col_def.name} {col_def.type}"
                 )
-        self._columns = [
-            Column.concat([old, new]) for old, new in zip(self._columns, columns)
-        ]
-        self.version += 1
+        with self.lock.write_locked():
+            self._columns = [
+                Column.concat([old, new]) for old, new in zip(self._columns, columns)
+            ]
+            self._bump_version()
         return int(lengths.pop()) if lengths else 0
 
     def truncate(self) -> None:
-        self._columns = [Column.empty(c.type) for c in self.schema]
-        self.version += 1
+        with self.lock.write_locked():
+            self._columns = [Column.empty(c.type) for c in self.schema]
+            self._bump_version()
 
     def replace_columns(self, columns: Sequence[Column]) -> None:
         """Swap in a full new set of columns (DELETE/UPDATE rebuilds)."""
@@ -93,8 +125,9 @@ class Table:
                 raise TypeError_(
                     f"column type {col.type} does not match {col_def.name} {col_def.type}"
                 )
-        self._columns = list(columns)
-        self.version += 1
+        with self.lock.write_locked():
+            self._columns = list(columns)
+            self._bump_version()
 
     def to_rows(self) -> list[tuple[Any, ...]]:
         """Materialize as Python tuples (mainly for tests and examples)."""
@@ -103,33 +136,68 @@ class Table:
 
 
 class Catalog:
-    """The database catalog: a flat namespace of base tables."""
+    """The database catalog: a flat namespace of base tables.
+
+    Thread-safe: the namespace dict is guarded by a mutex, and every
+    write listener registered on the catalog is attached to each table it
+    creates (so caches observe DML on tables made before or after they
+    subscribed).
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        self._mutex = threading.RLock()
+        self._write_listeners: list[Callable[[Table], None]] = []
+
+    def add_write_listener(self, callback: Callable[[Table], None]) -> None:
+        """Subscribe ``callback`` to mutations of every (future) table."""
+        with self._mutex:
+            self._write_listeners.append(callback)
+            for table in self._tables.values():
+                table.add_write_listener(callback)
 
     def create_table(self, name: str, schema: Schema, *, replace: bool = False) -> Table:
         key = name.lower()
-        if key in self._tables and not replace:
-            raise CatalogError(f"table already exists: {name!r}")
-        table = Table(key, schema)
-        self._tables[key] = table
-        return table
+        with self._mutex:
+            if key in self._tables and not replace:
+                raise CatalogError(f"table already exists: {name!r}")
+            table = Table(key, schema)
+            for callback in self._write_listeners:
+                table.add_write_listener(callback)
+            self._tables[key] = table
+            return table
+
+    def publish_table(self, table: Table) -> Table:
+        """Register a pre-built table (CTAS fills before publishing: a
+        half-filled table must never be visible, and filling it after
+        publication would take its write lock while holding the source
+        read locks — a lock-order deadlock with concurrent statements)."""
+        with self._mutex:
+            if table.name in self._tables:
+                raise CatalogError(f"table already exists: {table.name!r}")
+            for callback in self._write_listeners:
+                table.add_write_listener(callback)
+            self._tables[table.name] = table
+            return table
 
     def drop_table(self, name: str) -> None:
-        try:
-            del self._tables[name.lower()]
-        except KeyError:
-            raise CatalogError(f"unknown table: {name!r}") from None
+        with self._mutex:
+            try:
+                del self._tables[name.lower()]
+            except KeyError:
+                raise CatalogError(f"unknown table: {name!r}") from None
 
     def has(self, name: str) -> bool:
-        return name.lower() in self._tables
+        with self._mutex:
+            return name.lower() in self._tables
 
     def get(self, name: str) -> Table:
-        try:
-            return self._tables[name.lower()]
-        except KeyError:
-            raise CatalogError(f"unknown table: {name!r}") from None
+        with self._mutex:
+            try:
+                return self._tables[name.lower()]
+            except KeyError:
+                raise CatalogError(f"unknown table: {name!r}") from None
 
     def table_names(self) -> list[str]:
-        return sorted(self._tables)
+        with self._mutex:
+            return sorted(self._tables)

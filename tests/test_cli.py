@@ -122,3 +122,37 @@ class TestShell:
             db=chain_db,
         )
         assert "hops" in output and "3" in output
+
+
+class TestCacheAndWorkerMetaCommands:
+    def test_meta_cache_counters(self, chain_db):
+        _, output = run_lines(
+            [
+                "SELECT count(*) FROM edges;",
+                "SELECT count(*) FROM edges;",
+                "\\cache",
+            ],
+            db=chain_db,
+        )
+        assert "plan_cache:" in output and "hits=1" in output
+        assert "graph_index_cache:" in output
+
+    def test_meta_workers_show_and_set(self):
+        _, output = run_lines(["\\workers 3", "\\workers"])
+        assert "path workers: 3" in output
+
+    def test_meta_workers_auto(self):
+        shell, output = run_lines(["\\workers auto"])
+        assert "path workers: auto (effective" in output
+
+    def test_meta_workers_rejects_garbage(self):
+        shell, output = run_lines(["\\workers banana", "SELECT 1;"])
+        assert "error: expected a number or 'auto'" in output
+        assert "1" in output  # the shell survived
+
+    def test_repeated_statement_hits_plan_cache(self, chain_db):
+        run_lines(
+            ["SELECT s FROM edges WHERE w = 1;"] * 3,
+            db=chain_db,
+        )
+        assert chain_db.plan_cache.stats()["hits"] == 2

@@ -1,0 +1,357 @@
+"""Concurrent sessions, per-table locking, and cache invalidation.
+
+The default-run tests prove the ISSUE's acceptance criteria directly:
+plan-cache hits on re-execution, and DML invalidating both the plan
+cache and the graph-index cache.  The ``stress``-marked suite hammers a
+shared database from many threads mixing SELECT / INSERT / DELETE /
+CREATE GRAPH INDEX and then audits the final state against a fresh,
+single-threaded engine (no stale-cache reads, no torn results).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import Database, ReproError
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def graph_db() -> Database:
+    db = Database()
+    db.executescript(
+        """
+        CREATE TABLE e (s INT, d INT, w INT);
+        INSERT INTO e VALUES (1, 2, 1), (2, 3, 2), (3, 4, 1), (1, 4, 10);
+        """
+    )
+    return db
+
+
+class TestSessions:
+    def test_connect_returns_session(self, graph_db):
+        with graph_db.connect() as session:
+            assert session.execute("SELECT count(*) FROM e").scalar() == 4
+
+    def test_sessions_share_one_database(self, graph_db):
+        s1, s2 = graph_db.connect(), graph_db.connect()
+        s1.execute("INSERT INTO e VALUES (4, 5, 1)")
+        assert s2.execute("SELECT count(*) FROM e").scalar() == 5
+
+    def test_closed_session_rejects_statements(self, graph_db):
+        session = graph_db.connect()
+        session.close()
+        with pytest.raises(ExecutionError, match="closed"):
+            session.execute("SELECT 1")
+
+    def test_executemany_prepares_once(self, graph_db):
+        session = graph_db.connect()
+        inserted = session.executemany(
+            "INSERT INTO e VALUES (?, ?, ?)",
+            [(10, 11, 1), (11, 12, 1), (12, 13, 1)],
+        )
+        assert inserted == 3
+        assert session.execute("SELECT count(*) FROM e").scalar() == 7
+
+
+class TestPlanCache:
+    def test_reexecution_hits_the_cache(self, graph_db):
+        sql = "SELECT CHEAPEST SUM(k: w) WHERE ? REACHES ? OVER e k EDGE (s, d)"
+        before = graph_db.plan_cache.stats()["hits"]
+        assert graph_db.execute(sql, (1, 4)).scalar() == 4
+        assert graph_db.execute(sql, (1, 3)).scalar() == 3
+        assert graph_db.execute(sql, (2, 4)).scalar() == 3
+        assert graph_db.plan_cache.stats()["hits"] >= before + 2
+
+    def test_prepared_statement_hits_from_first_execute(self, graph_db):
+        session = graph_db.connect()
+        stmt = session.prepare("SELECT count(*) FROM e WHERE w = ?")
+        hits_before = graph_db.plan_cache.stats()["hits"]
+        assert stmt.execute((1,)).scalar() == 2
+        assert stmt.execute((10,)).scalar() == 1
+        assert graph_db.plan_cache.stats()["hits"] == hits_before + 2
+
+    def test_hit_counters_surface_via_explain(self, graph_db):
+        sql = "SELECT count(*) FROM e"
+        graph_db.execute(sql)
+        graph_db.execute(sql)
+        text = graph_db.explain(sql)
+        assert "plan cache: hits=" in text
+        # explain() itself is a hit: the entry was cached by execute()
+        hits = int(text.split("plan cache: hits=")[1].split()[0])
+        assert hits >= 2
+
+    def test_hit_status_surfaces_via_profiler(self, graph_db):
+        sql = "SELECT count(*) FROM e"
+        _, first = graph_db.profile(sql)
+        assert "plan cache: MISS" in first
+        _, second = graph_db.profile(sql)
+        assert "plan cache: HIT" in second
+
+    def test_dml_invalidates_plan_cache_entry(self, graph_db):
+        sql = "SELECT count(*) FROM e"
+        assert graph_db.execute(sql).scalar() == 4
+        assert graph_db.plan_cache.contains(sql)
+        graph_db.execute("INSERT INTO e VALUES (7, 8, 1)")
+        assert not graph_db.plan_cache.contains(sql)
+        assert graph_db.plan_cache.stats()["invalidations"] >= 1
+        # and the re-prepared plan sees the new row
+        assert graph_db.execute(sql).scalar() == 5
+
+    def test_ddl_invalidates_plan_cache_entry(self, graph_db):
+        sql = "SELECT count(*) FROM e"
+        graph_db.execute(sql)
+        assert graph_db.plan_cache.contains(sql)
+        graph_db.execute("DROP TABLE e")
+        assert not graph_db.plan_cache.contains(sql)
+        with pytest.raises(ReproError):
+            graph_db.execute(sql)
+
+    def test_drop_and_recreate_does_not_serve_stale_plan(self, graph_db):
+        sql = "SELECT * FROM e"
+        assert len(graph_db.execute(sql)) == 4
+        graph_db.execute("DROP TABLE e")
+        graph_db.execute("CREATE TABLE e (s INT, d INT)")  # narrower schema
+        graph_db.execute("INSERT INTO e VALUES (1, 2)")
+        rows = graph_db.execute(sql).rows()
+        assert rows == [(1, 2)]
+
+    def test_lru_capacity_bounds_entries(self):
+        db = Database(plan_cache_capacity=4)
+        db.execute("CREATE TABLE t (a INT)")
+        for i in range(10):
+            db.execute(f"SELECT a + {i} FROM t")
+        stats = db.plan_cache.stats()
+        assert stats["entries"] <= 4
+        assert stats["evictions"] >= 6
+
+    def test_unrelated_table_write_keeps_entry(self, graph_db):
+        graph_db.execute("CREATE TABLE other (x INT)")
+        sql = "SELECT count(*) FROM e"
+        graph_db.execute(sql)
+        graph_db.execute("INSERT INTO other VALUES (1)")
+        assert graph_db.plan_cache.contains(sql)
+
+    def test_cached_insert_survives_its_own_writes(self, graph_db):
+        # an INSERT's target is a schema-only dependency: repeat
+        # executions must be hits, not self-invalidations
+        sql = "INSERT INTO e VALUES (?, ?, ?)"
+        session = graph_db.connect()
+        inserted = session.executemany(
+            sql, [(50 + i, 51 + i, 1) for i in range(20)]
+        )
+        assert inserted == 20
+        stats = graph_db.plan_cache.stats()
+        assert stats["hits"] >= 19  # first execution fills, the rest hit
+        assert graph_db.plan_cache.contains(sql)
+        # but a SELECT over the same table was invalidated by each write
+        assert graph_db.execute("SELECT count(*) FROM e").scalar() == 24
+
+    def test_drop_table_drops_dependent_graph_indices(self, graph_db, tmp_path):
+        graph_db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)")
+        graph_db.execute("DROP TABLE e")
+        assert graph_db.graph_indices.names() == []
+        # a save/load round-trip must not trip over orphaned specs
+        graph_db.execute("CREATE TABLE keepme (x INT)")
+        target = str(tmp_path / "db")
+        graph_db.save(target)
+        loaded = Database.load(target)
+        assert loaded.catalog.table_names() == ["keepme"]
+
+
+class TestGraphIndexCacheInvalidation:
+    def test_dml_invalidates_graph_index_cache(self, graph_db):
+        graph_db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)")
+        assert graph_db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 4 OVER e EDGE (s, d)"
+        ).scalar() == 1
+        stats = graph_db.graph_indices.stats()
+        assert stats["entries"] == 1 and stats["hits"] >= 1
+        graph_db.execute("INSERT INTO e VALUES (4, 9, 1)")
+        stats = graph_db.graph_indices.stats()
+        assert stats["entries"] == 0 and stats["invalidations"] >= 1
+        # the rebuilt index must see the new edge (no stale-cache read)
+        assert graph_db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 9 OVER e EDGE (s, d)"
+        ).scalar() == 2
+
+    def test_direct_table_mutation_also_invalidates(self, graph_db):
+        graph_db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)")
+        graph_db.execute("SELECT 1 WHERE 1 REACHES 4 OVER e EDGE (s, d)")
+        graph_db.table("e").insert_rows([(4, 77, 1)])  # bypass SQL
+        assert graph_db.execute(
+            "SELECT 1 WHERE 1 REACHES 77 OVER e EDGE (s, d)"
+        ).rows() == [(1,)]
+
+    def test_capacity_bound(self):
+        db = Database(graph_cache_capacity=2)
+        for i in range(4):
+            db.execute(f"CREATE TABLE e{i} (s INT, d INT)")
+            db.execute(f"INSERT INTO e{i} VALUES (1, 2)")
+            db.execute(f"CREATE GRAPH INDEX gi{i} ON e{i} EDGE (s, d)")
+        stats = db.graph_indices.stats()
+        assert stats["entries"] <= 2
+        assert stats["evictions"] >= 2
+        # evicted indices still answer correctly (rebuilt on demand)
+        assert db.execute(
+            "SELECT 1 WHERE 1 REACHES 2 OVER e0 EDGE (s, d)"
+        ).rows() == [(1,)]
+
+
+class TestConcurrentExecution:
+    def test_parallel_readers(self, graph_db):
+        errors: list[BaseException] = []
+
+        def reader():
+            try:
+                session = graph_db.connect()
+                for _ in range(40):
+                    assert session.execute(
+                        "SELECT CHEAPEST SUM(k: w) "
+                        "WHERE 1 REACHES 4 OVER e k EDGE (s, d)"
+                    ).scalar() == 4
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_readers_and_writer_interleave(self, graph_db):
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                session = graph_db.connect()
+                while not stop.is_set():
+                    count = session.execute("SELECT count(*) FROM e").scalar()
+                    assert count >= 4  # writer only appends
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for t in readers:
+            t.start()
+        writer = graph_db.connect()
+        for i in range(30):
+            writer.execute("INSERT INTO e VALUES (?, ?, 1)", (100 + i, 101 + i))
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        assert graph_db.execute("SELECT count(*) FROM e").scalar() == 34
+
+
+@pytest.mark.stress
+class TestStress:
+    """N threads mixing SELECT / INSERT / DELETE / CREATE GRAPH INDEX.
+
+    Run with ``python -m pytest -m stress tests/test_concurrency.py``.
+    """
+
+    THREADS = 8
+    OPS_PER_THREAD = 120
+
+    def test_mixed_workload_no_crashes_or_stale_reads(self):
+        db = Database()
+        db.executescript(
+            """
+            CREATE TABLE e (s INT, d INT, w INT);
+            INSERT INTO e VALUES (0, 1, 1), (1, 2, 1), (2, 3, 1);
+            """
+        )
+        errors: list[BaseException] = []
+
+        def worker(worker_id: int):
+            rng = random.Random(worker_id)
+            session = db.connect()
+            try:
+                for op in range(self.OPS_PER_THREAD):
+                    roll = rng.random()
+                    if roll < 0.5:
+                        rows = session.execute(
+                            "SELECT CHEAPEST SUM(k: w) WHERE ? REACHES ? "
+                            "OVER e k EDGE (s, d)",
+                            (rng.randint(0, 6), rng.randint(0, 6)),
+                        ).rows()
+                        if rows:
+                            assert rows[0][0] >= 0
+                    elif roll < 0.75:
+                        a = rng.randint(0, 5)
+                        session.execute(
+                            "INSERT INTO e VALUES (?, ?, ?)",
+                            (a, a + 1, rng.randint(1, 5)),
+                        )
+                    elif roll < 0.9:
+                        session.execute(
+                            "DELETE FROM e WHERE s = ? AND w > 3",
+                            (rng.randint(0, 5),),
+                        )
+                    else:
+                        name = f"gi_{worker_id}_{op}"
+                        session.execute(
+                            f"CREATE GRAPH INDEX {name} ON e EDGE (s, d)"
+                        )
+                        session.execute(f"DROP GRAPH INDEX {name}")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:3]
+
+        # audit: results after the storm equal a fresh engine's results on
+        # the same physical data — caches hold nothing stale
+        fresh = Database()
+        fresh.execute("CREATE TABLE e (s INT, d INT, w INT)")
+        fresh.table("e").insert_rows(db.table("e").to_rows())
+        for source in range(7):
+            for dest in range(7):
+                lhs = db.execute(
+                    "SELECT CHEAPEST SUM(k: w) WHERE ? REACHES ? "
+                    "OVER e k EDGE (s, d)",
+                    (source, dest),
+                ).rows()
+                rhs = fresh.execute(
+                    "SELECT CHEAPEST SUM(k: w) WHERE ? REACHES ? "
+                    "OVER e k EDGE (s, d)",
+                    (source, dest),
+                ).rows()
+                assert lhs == rhs
+
+    def test_concurrent_appends_never_lose_rows(self):
+        db = Database()
+        db.execute("CREATE TABLE log (thread INT, seq INT)")
+        per_thread = 150
+
+        def appender(thread_id: int):
+            session = db.connect()
+            for seq in range(per_thread):
+                session.execute("INSERT INTO log VALUES (?, ?)", (thread_id, seq))
+
+        threads = [
+            threading.Thread(target=appender, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert db.execute("SELECT count(*) FROM log").scalar() == 6 * per_thread
+        # every (thread, seq) pair present exactly once: no torn appends
+        assert (
+            db.execute("SELECT count(*) FROM (SELECT DISTINCT thread, seq FROM log) t")
+            .scalar()
+            == 6 * per_thread
+        )

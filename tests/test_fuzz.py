@@ -42,6 +42,57 @@ def random_predicate(rng):
     )
 
 
+def random_endpoint(rng):
+    return rng.choice(["0", "1", "2", "3", "5", "6", "NULL", "a", "t1.a"])
+
+
+def random_cheapest(rng):
+    """A CHEAPEST SUM item and the matching OVER clause binding."""
+    return rng.choice(
+        [
+            ("CHEAPEST SUM(1)", "OVER e EDGE (s, d)"),
+            ("CHEAPEST SUM(k: w)", "OVER e k EDGE (s, d)"),
+            ("CHEAPEST SUM(k: w + 1)", "OVER e k EDGE (s, d)"),
+            ("CHEAPEST SUM(k: 1)", "OVER e k EDGE (s, d)"),
+        ]
+    )
+
+
+def random_graph_query(rng) -> str:
+    """A REACHES/CHEAPEST SUM query in one of the engine's shapes."""
+    shape = rng.random()
+    src, dst = random_endpoint(rng), random_endpoint(rng)
+    cheapest, over = random_cheapest(rng)
+    if shape < 0.35:
+        # constant-pair form (FROM-less graph select)
+        src, dst = rng.randint(0, 6), rng.randint(0, 6)
+        return f"SELECT {cheapest} WHERE {src} REACHES {dst} {over}"
+    if shape < 0.6:
+        # graph select over a base-table input
+        query = f"SELECT a, {cheapest} FROM t1 WHERE {src} REACHES {dst} {over}"
+        if rng.random() < 0.4:
+            query += " ORDER BY 1"
+        return query
+    if shape < 0.8:
+        # batch form: VALUES-driven pairs (the Fig. 1b pattern)
+        pairs = ", ".join(
+            f"({rng.randint(0, 6)}, {rng.randint(0, 6)})" for _ in range(rng.randint(1, 6))
+        )
+        return (
+            f"SELECT p.src, p.dst, {cheapest} FROM (VALUES {pairs}) p (src, dst) "
+            f"WHERE p.src REACHES p.dst {over}"
+        )
+    # path-producing form flattened by UNNEST
+    src, dst = rng.randint(0, 6), rng.randint(0, 6)
+    ordinality = " WITH ORDINALITY" if rng.random() < 0.5 else ""
+    return (
+        f"SELECT T.c, R.s, R.d FROM ("
+        f"SELECT CHEAPEST SUM(k: w) AS (c, p) "
+        f"WHERE {src} REACHES {dst} OVER e k EDGE (s, d)) T, "
+        f"UNNEST(T.p){ordinality} AS R"
+    )
+
+
 def random_query(rng) -> str:
     parts = [f"SELECT {random_scalar(rng)} AS v1, {random_scalar(rng)} AS v2"]
     parts.append("FROM t1")
@@ -127,3 +178,79 @@ class TestFuzz:
             except ReproError:
                 continue
             assert len(rows) == len(set(rows))
+
+
+class TestGraphGrammarFuzz:
+    """REACHES / CHEAPEST SUM / UNNEST clauses generated, not hand-picked."""
+
+    def test_random_graph_grammar_does_not_crash(self, db):
+        rng = random.Random(4242)
+        executed = 0
+        for _ in range(200):
+            sql = random_graph_query(rng)
+            try:
+                db.execute(sql)
+            except ReproError:
+                pass  # declared failure modes are fine
+            executed += 1
+        assert executed == 200
+
+    def test_weighted_cost_dominates_hop_count(self, db):
+        # for any generated pair, SUM(k: w) >= SUM(1) when both connect
+        # (all weights in `e` are >= 1)
+        rng = random.Random(77)
+        for _ in range(60):
+            source, dest = rng.randint(0, 6), rng.randint(0, 6)
+            weighted = db.execute(
+                "SELECT CHEAPEST SUM(k: w) WHERE ? REACHES ? OVER e k EDGE (s, d)",
+                (source, dest),
+            ).rows()
+            hops = db.execute(
+                "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (s, d)",
+                (source, dest),
+            ).rows()
+            assert bool(weighted) == bool(hops)
+            if weighted:
+                assert weighted[0][0] >= hops[0][0]
+
+    def test_unnest_path_chains_and_matches_cost(self, db):
+        # every UNNESTed path is a valid edge chain whose length is the
+        # reported hop count
+        rng = random.Random(55)
+        for _ in range(40):
+            source, dest = rng.randint(0, 6), rng.randint(0, 6)
+            header = db.execute(
+                "SELECT CHEAPEST SUM(1) AS (c, p) "
+                "WHERE ? REACHES ? OVER e EDGE (s, d)",
+                (source, dest),
+            ).rows()
+            flattened = db.execute(
+                "SELECT R.s, R.d FROM ("
+                "SELECT CHEAPEST SUM(1) AS (c, p) "
+                "WHERE ? REACHES ? OVER e EDGE (s, d)) T, "
+                "UNNEST(T.p) AS R",
+                (source, dest),
+            ).rows()
+            if not header:
+                assert flattened == []
+                continue
+            hops = header[0][0]
+            assert len(flattened) == hops
+            if flattened:
+                assert flattened[0][0] == source
+                assert flattened[-1][1] == dest
+                for (_, mid), (nxt, _) in zip(flattened, flattened[1:]):
+                    assert mid == nxt
+
+    def test_graph_batch_results_subset_input_pairs(self, db):
+        rng = random.Random(21)
+        for _ in range(30):
+            pairs = [
+                (rng.randint(0, 6), rng.randint(0, 6)) for _ in range(rng.randint(1, 5))
+            ]
+            values = ", ".join(f"({a}, {b})" for a, b in pairs)
+            rows = db.execute(
+                f"SELECT p.src, p.dst FROM (VALUES {values}) p (src, dst) "
+                f"WHERE p.src REACHES p.dst OVER e EDGE (s, d)"
+            ).rows()
+            assert set(rows) <= set(pairs)

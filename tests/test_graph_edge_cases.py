@@ -201,3 +201,119 @@ class TestEdgeExpressionForms:
             "SELECT CHEAPEST SUM(k: base + toll) "
             "WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
         ).scalar() == 7
+
+
+@pytest.fixture(params=["uncached", "indexed"])
+def indexed_db(request):
+    """An (s, d, w) edge table with and without a covering graph index,
+    so every degenerate case exercises both the ad-hoc CSR build and the
+    graph-index cache path."""
+    db = Database()
+    db.execute("CREATE TABLE e (s INT, d INT, w INT)")
+    if request.param == "indexed":
+        db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)")
+    db.indexed = request.param == "indexed"
+    return db
+
+
+class TestCachedAndUncachedEdgeCases:
+    """The satellite's degenerate-graph matrix: each case runs with the
+    graph-index cache engaged and bypassed (the two code paths of
+    ``_prepare_libraries``)."""
+
+    def _assert_index_used(self, db):
+        if db.indexed:
+            # the query went through the manager: either a hit, or (after
+            # DML invalidated the entry) a miss that rebuilt the library
+            stats = db.graph_indices.stats()
+            assert stats["builds"] >= 1
+            assert stats["hits"] + stats["misses"] >= 2  # eager build + query
+
+    def test_empty_edge_table(self, indexed_db):
+        db = indexed_db
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 2 OVER e EDGE (s, d)"
+        ).rows() == []
+        self._assert_index_used(db)
+
+    def test_self_loop_cost_zero_beats_loop_edge(self, indexed_db):
+        db = indexed_db
+        db.execute("INSERT INTO e VALUES (7, 7, 5)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(k: w) WHERE 7 REACHES 7 OVER e k EDGE (s, d)"
+        ).scalar() == 0
+        self._assert_index_used(db)
+
+    def test_self_loop_never_appears_in_other_paths(self, indexed_db):
+        db = indexed_db
+        db.execute("INSERT INTO e VALUES (1, 1, 1), (1, 2, 3)")
+        rows = db.execute(
+            "SELECT CHEAPEST SUM(k: w) AS (c, p) "
+            "WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+        ).rows()
+        cost, path = rows[0]
+        assert cost == 3
+        assert path.to_rows() == [(1, 2, 3)]
+
+    def test_duplicate_edges_keep_cheapest(self, indexed_db):
+        db = indexed_db
+        db.execute("INSERT INTO e VALUES (1, 2, 9), (1, 2, 2), (1, 2, 9)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(k: w) WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+        ).scalar() == 2
+        self._assert_index_used(db)
+
+    def test_duplicate_edges_hop_count_one(self, indexed_db):
+        db = indexed_db
+        db.execute("INSERT INTO e VALUES (1, 2, 9), (1, 2, 2)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 2 OVER e EDGE (s, d)"
+        ).scalar() == 1
+
+    def test_all_pairs_unreachable(self, indexed_db):
+        db = indexed_db
+        # two disjoint components; every cross-component pair fails
+        db.execute("INSERT INTO e VALUES (1, 2, 1), (10, 20, 1)")
+        rows = db.execute(
+            "SELECT p.src, p.dst FROM "
+            "(VALUES (1, 10), (1, 20), (2, 10), (2, 20)) p (src, dst) "
+            "WHERE p.src REACHES p.dst OVER e EDGE (s, d)"
+        ).rows()
+        assert rows == []
+        self._assert_index_used(db)
+
+    def test_zero_weight_rejected(self, indexed_db):
+        db = indexed_db
+        db.execute("INSERT INTO e VALUES (1, 2, 0)")
+        with pytest.raises(GraphRuntimeError, match="strictly greater"):
+            db.execute(
+                "SELECT CHEAPEST SUM(k: w) WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+            )
+
+    def test_negative_weight_rejected(self, indexed_db):
+        db = indexed_db
+        db.execute("INSERT INTO e VALUES (1, 2, -3)")
+        with pytest.raises(GraphRuntimeError, match="strictly greater"):
+            db.execute(
+                "SELECT CHEAPEST SUM(k: w) WHERE 1 REACHES 2 OVER e k EDGE (s, d)"
+            )
+
+    def test_reachability_unaffected_by_bad_weights(self, indexed_db):
+        db = indexed_db
+        # weight validation only runs for CHEAPEST SUM over that weight;
+        # pure reachability must still work
+        db.execute("INSERT INTO e VALUES (1, 2, -3)")
+        assert db.execute(
+            "SELECT 1 WHERE 1 REACHES 2 OVER e EDGE (s, d)"
+        ).rows() == [(1,)]
+
+    def test_insert_after_index_build_is_visible(self, indexed_db):
+        db = indexed_db
+        db.execute("INSERT INTO e VALUES (1, 2, 1)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 3 OVER e EDGE (s, d)"
+        ).rows() == []
+        db.execute("INSERT INTO e VALUES (2, 3, 1)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 3 OVER e EDGE (s, d)"
+        ).scalar() == 2

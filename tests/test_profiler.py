@@ -45,6 +45,7 @@ class TestProfile:
                 re.search(r"self=([0-9.]+)ms", line).group(1)
             )
             for line in report.splitlines()
+            if "self=" in line
         }
         assert times["GraphSelect"] >= times["Scan"]
 
