@@ -51,7 +51,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Iterable, Optional, Sequence
 
-from .errors import CatalogError, ExecutionError
+from .errors import CatalogError, ExecutionError, ReproError
 from .exec import graph_ops  # noqa: F401 - registers the graph operators
 from .exec.batch import Batch
 from .exec.operators import ExecContext, execute_plan
@@ -59,6 +59,7 @@ from .graph import GraphLibrary
 from .nested import NestedTableValue
 from .plan import (
     Binder,
+    BoundAnalyze,
     BoundCreateGraphIndex,
     BoundCreateTable,
     BoundCreateTableAs,
@@ -69,12 +70,34 @@ from .plan import (
     BoundInsert,
     BoundQuery,
     BoundUpdate,
-    explain as explain_plan,
-    rewrite,
+    explain_physical,
+    optimize,
 )
 from .session import PlanCache, Session, referenced_tables
 from .sql import parse_script, parse_statement
-from .storage import Catalog, Column, DataType, LockSet, Schema, Table, days_to_date
+from .sql.normalize import merge_params, normalize_statement
+from .storage import (
+    Catalog,
+    Column,
+    DataType,
+    LockSet,
+    Schema,
+    StatsManager,
+    Table,
+    days_to_date,
+)
+
+
+#: Leading words of the statement kinds the plan cache can hold; other
+#: statements (UPDATE, DELETE, DDL, EXPLAIN, ANALYZE) skip the literal
+#: normalization pass entirely — they could never be served from the
+#: normalized index, so tokenizing them for it is wasted work.
+_CACHEABLE_PREFIXES = ("SELECT", "WITH", "VALUES", "INSERT", "(")
+
+
+def _cacheable_statement(sql: str) -> bool:
+    head = sql.lstrip()[:8].upper()
+    return head.startswith(_CACHEABLE_PREFIXES)
 
 
 class Result:
@@ -293,6 +316,17 @@ class Database:
         or ``"auto"`` (respect ``REPRO_PATH_WORKERS`` / the CPU count).
         Small batches always run serially; see
         :meth:`repro.graph.GraphLibrary.solve_encoded`.
+    optimizer:
+        When True (default) statements run through the full cost-based
+        optimizer (generalized filter pushdown, statistics-driven join
+        reordering, hash-join build-side selection, projection pruning,
+        graph-operator pushdown).  When False only the paper's legacy
+        rewriter runs — the baseline for equivalence testing and
+        benchmarks.
+    parameterize:
+        When True (default) plan-cache keys are additionally normalized
+        (literals become parameters, :mod:`repro.sql.normalize`) so
+        textually different statements share one cached plan.
     """
 
     def __init__(
@@ -301,19 +335,36 @@ class Database:
         plan_cache_capacity: int = 128,
         graph_cache_capacity: int = 16,
         path_workers: int | str | None = "auto",
+        optimizer: bool = True,
+        parameterize: bool = True,
     ) -> None:
         self.catalog = Catalog()
         self.graph_indices = GraphIndexManager(
             self.catalog, capacity=graph_cache_capacity
         )
-        self.plan_cache = PlanCache(self.catalog, capacity=plan_cache_capacity)
+        self.stats = StatsManager(self.catalog)
+        self.plan_cache = PlanCache(
+            self.catalog,
+            capacity=plan_cache_capacity,
+            stats_marker=lambda name: self.stats.marker(name),
+        )
         self.path_workers = path_workers
-        # every committed table mutation invalidates both caches
+        self.optimizer_enabled = bool(optimizer)
+        self.parameterize = bool(parameterize)
+        # every committed table mutation invalidates both caches and
+        # refreshes the recorded statistics row counts
         self.catalog.add_write_listener(self._on_table_write)
 
     def _on_table_write(self, table: Table) -> None:
         self.plan_cache.invalidate_writes(table.name)
         self.graph_indices.invalidate_table(table.name)
+        self.stats.on_table_write(table)
+
+    def _optimize(self, plan):
+        """Lower a bound logical plan through the optimizer."""
+        return optimize(
+            plan, self.catalog, self.stats, enabled=self.optimizer_enabled
+        )
 
     # ------------------------------------------------------------------
     # sessions
@@ -331,46 +382,89 @@ class Database:
         """Execute one SQL statement.
 
         Queries and INSERTs are served through the plan cache: a hit
-        skips parse → bind → rewrite entirely and goes straight to
-        execution.
+        (exact-text or literal-normalized) skips parse → bind →
+        optimize entirely and goes straight to execution.
         """
-        entry, bound, _ = self._lookup_or_plan(sql)
+        entry, bound, _, slots = self._lookup_or_plan(sql)
+        params = tuple(params)
+        if slots is not None:
+            params = merge_params(slots, params)
         if entry is not None:
-            return self._execute_cached(entry, tuple(params))
-        return self._run_bound(bound, tuple(params))
+            return self._execute_cached(entry, params)
+        return self._run_bound(bound, params)
 
     def _lookup_or_plan(self, sql: str):
         """The single get-or-fill path of the plan cache.
 
-        Returns ``(entry, bound, was_hit)``: a cache entry (served or
-        freshly stored) with ``bound`` None, or — for statements the
-        cache does not hold (DDL, UPDATE, DELETE, EXPLAIN) — the bound
-        statement with ``entry`` None.
+        Returns ``(entry, bound, was_hit, slots)``: a cache entry
+        (served or freshly stored) with ``bound`` None, or — for
+        statements the cache does not hold (DDL, UPDATE, DELETE,
+        EXPLAIN) — the bound statement with ``entry`` None.  ``slots``
+        is non-None only for normalized-index hits: the parameter
+        recipe interleaving this text's literals with caller params.
         """
         entry = self.plan_cache.get(sql)
         if entry is not None:
-            return entry, None, True
+            return entry, None, True, None
+        normalized = (
+            normalize_statement(sql)
+            if self.parameterize and _cacheable_statement(sql)
+            else None
+        )
+        if normalized is not None:
+            key, slots = normalized
+            entry = self.plan_cache.get_normalized(key)
+            if entry is not None:
+                return entry, None, True, slots
         statement = parse_statement(sql)
         bound = Binder(self.catalog).bind_statement(statement)
         if isinstance(bound, BoundQuery):
-            return self.plan_cache.put(sql, rewrite(bound.plan)), None, False
-        if isinstance(bound, BoundInsert):
-            return self.plan_cache.put_insert(sql, bound), None, False
-        return None, bound, False
+            entry = self.plan_cache.put(sql, self._optimize(bound.plan))
+        elif isinstance(bound, BoundInsert):
+            entry = self.plan_cache.put_insert(
+                sql, bound, self._optimize(bound.plan)
+            )
+        else:
+            return None, bound, False, None
+        if normalized is not None and self.plan_cache.note_normalized_candidate(
+            normalized[0], sql
+        ):
+            self._store_normalized(*normalized)
+        return entry, None, False, None
+
+    def _store_normalized(self, key: str, slots) -> None:
+        """Plan the literal-normalized text and file it under the
+        normalized index.  Best-effort: statements whose literals turn
+        out to be load-bearing simply fail to bind and are skipped."""
+        if self.plan_cache.contains_normalized(key):
+            return
+        try:
+            statement = parse_statement(key)
+            bound = Binder(self.catalog).bind_statement(statement)
+            if isinstance(bound, BoundQuery):
+                self.plan_cache.put(
+                    key, self._optimize(bound.plan), normalized=True
+                )
+            elif isinstance(bound, BoundInsert):
+                self.plan_cache.put_insert(
+                    key, bound, self._optimize(bound.plan), normalized=True
+                )
+        except ReproError:
+            pass
 
     def _execute_cached(self, entry, params: tuple) -> Result:
         # entry.deps already names every referenced table: no need to
         # re-walk the plan tree per execution on the cache-hit hot path
         if entry.kind == "insert":
             with self._locks(entry.tables(), {entry.bound.table}):
-                return self._run_insert(entry.bound, params)
+                return self._run_insert(entry.bound, entry.plan, params)
         return self._execute_query_plan(entry.plan, params, tables=entry.tables())
 
     def prepare_plan(self, sql: str):
-        """Parse, bind, rewrite and cache a statement without executing
+        """Parse, bind, optimize and cache a statement without executing
         it (the back end of ``Session.prepare``).  Statements the cache
         cannot hold (DDL, UPDATE, DELETE) are validated but not cached."""
-        entry, _, _ = self._lookup_or_plan(sql)
+        entry, _, _, _ = self._lookup_or_plan(sql)
         return entry
 
     def executescript(self, sql: str) -> list[Result]:
@@ -389,25 +483,29 @@ class Database:
         """
         from .exec.profiler import Profiler
 
-        entry, _, cache_hit = self._lookup_or_plan(sql)
+        entry, _, cache_hit, slots = self._lookup_or_plan(sql)
         if entry is None or entry.kind != "query":
             raise ExecutionError("profile() is only available for queries")
+        params = tuple(params)
+        if slots is not None:
+            params = merge_params(slots, params)
         plan = entry.plan
         profiler = Profiler()
         with self._read_locks(entry.tables()):
-            ctx = ExecContext(self, tuple(params), profiler=profiler)
+            ctx = ExecContext(self, params, profiler=profiler)
             result = Result(execute_plan(plan, ctx))
         profiler.plan_cache_hit = cache_hit
         profiler.cache_stats = self.cache_stats()
         return result, profiler.render(plan)
 
     def explain(self, sql: str) -> str:
-        """The optimized logical plan of a query, as indented text, with
-        a plan-cache counter footer (the EXPLAIN cache surface)."""
-        entry, _, _ = self._lookup_or_plan(sql)
+        """The optimized physical plan of a query (per-operator
+        estimated rows and cumulative cost), as indented text, with a
+        plan-cache counter footer (the EXPLAIN cache surface)."""
+        entry, _, _, _ = self._lookup_or_plan(sql)
         if entry is None or entry.kind != "query":
             raise ExecutionError("EXPLAIN is only available for queries")
-        return explain_plan(entry.plan) + "\n" + self._cache_footer()
+        return explain_physical(entry.plan) + "\n" + self._cache_footer()
 
     def _cache_footer(self) -> str:
         plan = self.plan_cache.stats()
@@ -421,11 +519,35 @@ class Database:
         )
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
-        """Counters of both caches, for monitoring and tests."""
+        """Counters of both caches, for monitoring and tests.
+
+        ``plan_cache`` includes ``normalized_hits`` /
+        ``normalized_entries``: statements served through the
+        literal-normalized index (textually different, same shape).
+        """
         return {
             "plan_cache": self.plan_cache.stats(),
             "graph_index_cache": self.graph_indices.stats(),
         }
+
+    # ------------------------------------------------------------------
+    # optimizer statistics
+    # ------------------------------------------------------------------
+    def analyze(self, table: Optional[str] = None) -> list[str]:
+        """Collect optimizer statistics (the ``ANALYZE`` statement);
+        returns the names of the tables analyzed."""
+        names = [table] if table is not None else self.catalog.table_names()
+        analyzed = []
+        with self._read_locks(set(names)):
+            for name in names:
+                if self.catalog.has(name):  # tolerate concurrent DROPs
+                    self.stats.analyze(name)
+                    analyzed.append(name)
+        return analyzed
+
+    def table_stats(self):
+        """Recorded per-table statistics (the ``\\stats`` surface)."""
+        return self.stats.describe()
 
     # ------------------------------------------------------------------
     # convenience (non-SQL) helpers
@@ -489,9 +611,13 @@ class Database:
         from .session import expr_tables
 
         if isinstance(bound, BoundQuery):
-            return self._execute_query_plan(rewrite(bound.plan), params)
+            return self._execute_query_plan(self._optimize(bound.plan), params)
         if isinstance(bound, BoundExplain):
-            text = explain_plan(rewrite(bound.plan)) + "\n" + self._cache_footer()
+            text = (
+                explain_physical(self._optimize(bound.plan))
+                + "\n"
+                + self._cache_footer()
+            )
             return Result.from_text_lines("plan", text.splitlines())
         if isinstance(bound, BoundCreateTable):
             self.catalog.create_table(bound.name, Schema(list(bound.columns)))
@@ -503,11 +629,14 @@ class Database:
                 self.catalog.drop_table(bound.name)
             self.plan_cache.invalidate_table(bound.name)
             self.graph_indices.drop_for_table(bound.name)
+            self.stats.drop(bound.name)
             return Result(None, rowcount=0)
+        if isinstance(bound, BoundAnalyze):
+            return Result(None, rowcount=len(self.analyze(bound.table)))
         if isinstance(bound, BoundInsert):
             reads = referenced_tables(bound.plan)
             with self._locks(reads, {bound.table}):
-                return self._run_insert(bound, params)
+                return self._run_insert(bound, self._optimize(bound.plan), params)
         if isinstance(bound, BoundCreateTableAs):
             with self._read_locks(referenced_tables(bound.plan)):
                 return self._run_create_table_as(bound, params)
@@ -540,7 +669,7 @@ class Database:
 
     def _run_create_table_as(self, bound: BoundCreateTableAs, params: tuple) -> Result:
         ctx = ExecContext(self, params)
-        batch = execute_plan(rewrite(bound.plan), ctx)
+        batch = execute_plan(self._optimize(bound.plan), ctx)
         # derive the schema from the materialized result so columns whose
         # static type was unknown (host parameters) get their runtime type
         columns = []
@@ -608,10 +737,10 @@ class Database:
         table.replace_columns(new_columns)
         return Result(None, rowcount=int(hit.sum()))
 
-    def _run_insert(self, bound: BoundInsert, params: tuple) -> Result:
+    def _run_insert(self, bound: BoundInsert, plan, params: tuple) -> Result:
         table = self.catalog.get(bound.table)
         ctx = ExecContext(self, params)
-        batch = execute_plan(rewrite(bound.plan), ctx)
+        batch = execute_plan(plan, ctx)
         incoming = batch.to_rows()
         if bound.columns:
             positions = [table.schema.index_of(c) for c in bound.columns]

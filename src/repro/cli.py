@@ -7,6 +7,7 @@ and may span lines.  Meta commands:
 * ``\\d <table>`` — describe a table
 * ``\\timing`` — toggle per-statement timing
 * ``\\cache`` — plan-cache / graph-index-cache counters
+* ``\\stats [table]`` — optimizer statistics recorded by ``ANALYZE``
 * ``\\workers [n|auto]`` — show / set the shortest-path worker budget
 * ``\\save <dir>`` / ``\\open <dir>`` — persist / load the database
 * ``\\q`` — quit
@@ -143,6 +144,23 @@ class Shell:
             for cache_name, stats in self.db.cache_stats().items():
                 body = " ".join(f"{k}={v}" for k, v in stats.items())
                 self.write(f"{cache_name}: {body}")
+        elif name == "\\stats":
+            recorded = self.db.table_stats()
+            if args:
+                recorded = {k: v for k, v in recorded.items() if k == args[0].lower()}
+            if not recorded:
+                self.write("no statistics recorded (run ANALYZE)")
+                return
+            for table_name in sorted(recorded):
+                stats = recorded[table_name]
+                suffix = " (stale)" if stats.stale else ""
+                self.write(f"{table_name}: rows={stats.row_count}{suffix}")
+                for col_name, col in stats.columns.items():
+                    parts = [f"nulls={col.null_count}", f"distinct={col.distinct}"]
+                    if col.has_range:
+                        parts.append(f"min={col.min_value}")
+                        parts.append(f"max={col.max_value}")
+                    self.write(f"  {col_name}: {' '.join(parts)}")
         elif name == "\\workers":
             if args:
                 value = args[0]

@@ -64,6 +64,12 @@ class ExecutionError(ReproError):
     """Generic runtime failure inside a physical operator."""
 
 
+class ResourceLimitError(ExecutionError):
+    """A materialization guard tripped (cross products, nested-loop
+    joins and graph-join pair grids all fail fast instead of exhausting
+    memory; the MonetDB prototype shares the failure mode)."""
+
+
 class GraphRuntimeError(ExecutionError):
     """Raised by the graph runtime library.
 

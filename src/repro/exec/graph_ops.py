@@ -28,11 +28,12 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import GraphRuntimeError
+from ..errors import GraphRuntimeError, ResourceLimitError
 from ..graph import GraphLibrary
 from ..graph.csr import CSRGraph
 from ..nested import NestedTableValue
 from ..plan import logical as lp
+from ..plan import physical as pp
 from ..storage import Column, DataType
 from .batch import Batch
 from .operators import ExecContext, execute_plan, register_operator
@@ -110,7 +111,7 @@ def _materialize_weights(
 def _library_from_cache(ctx: ExecContext, edge_plan, spec: lp.GraphSpec):
     """Reuse a prepared domain+CSR when a graph index covers this edge plan."""
     database = ctx.database
-    if database is None or not isinstance(edge_plan, lp.LScan):
+    if database is None or not isinstance(edge_plan, pp.PScan):
         return None
     if len(spec.src_cols) != 1:
         return None  # graph indices cover single-attribute keys only
@@ -198,7 +199,7 @@ def _cost_column(costs: np.ndarray, keep: np.ndarray, type_) -> Column:
 # ---------------------------------------------------------------------------
 # graph select
 # ---------------------------------------------------------------------------
-def _exec_graph_select(plan: lp.LGraphSelect, ctx: ExecContext) -> Batch:
+def _exec_graph_select(plan: pp.PGraphSelect, ctx: ExecContext) -> Batch:
     edge_batch = execute_plan(plan.edge, ctx)
     input_batch = execute_plan(plan.input, ctx)
     spec = plan.spec
@@ -240,7 +241,7 @@ def _exec_graph_select(plan: lp.LGraphSelect, ctx: ExecContext) -> Batch:
 # ---------------------------------------------------------------------------
 # graph join
 # ---------------------------------------------------------------------------
-def _exec_graph_join(plan: lp.LGraphJoin, ctx: ExecContext) -> Batch:
+def _exec_graph_join(plan: pp.PGraphJoin, ctx: ExecContext) -> Batch:
     edge_batch = execute_plan(plan.edge, ctx)
     left_batch = execute_plan(plan.left, ctx)
     right_batch = execute_plan(plan.right, ctx)
@@ -252,7 +253,7 @@ def _exec_graph_join(plan: lp.LGraphJoin, ctx: ExecContext) -> Batch:
     right_ids = _encode_endpoints(ctx, spec.dest, right_batch, base)
     n, m = len(left_ids), len(right_ids)
     if n * m > MAX_JOIN_CELLS:
-        raise GraphRuntimeError(
+        raise ResourceLimitError(
             f"graph join over {n} x {m} candidate pairs exceeds the safety limit"
         )
 
@@ -323,5 +324,5 @@ def _exec_graph_join(plan: lp.LGraphJoin, ctx: ExecContext) -> Batch:
     return out.relabel(plan.schema)
 
 
-register_operator(lp.LGraphSelect, _exec_graph_select)
-register_operator(lp.LGraphJoin, _exec_graph_join)
+register_operator(pp.PGraphSelect, _exec_graph_select)
+register_operator(pp.PGraphJoin, _exec_graph_join)

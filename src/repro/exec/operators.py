@@ -1,15 +1,24 @@
 """The physical execution engine.
 
-A recursive interpreter over the logical plan: every operator fully
-materializes its result as a :class:`~repro.exec.batch.Batch` before the
-parent consumes it, mirroring the MonetDB/MAL execution model of the
-paper's prototype.  Joins are hash-based when an equi-condition can be
-extracted, with a guarded cross-product fallback; grouping and distinct
-use Python hash tables over row keys; sorting is a stable multi-pass
-merge with SQL null ordering (NULLS LAST ascending, NULLS FIRST
-descending).
+A recursive interpreter over the *physical* plan produced by
+:mod:`repro.plan.optimizer`: every operator fully materializes its
+result as a :class:`~repro.exec.batch.Batch` before the parent consumes
+it, mirroring the MonetDB/MAL execution model of the paper's prototype.
+
+Join strategy is decided at plan time: :class:`~repro.plan.physical.PHashJoin`
+arrives with its equi-key pairs and build side already chosen,
+:class:`~repro.plan.physical.PNestedLoopJoin` and
+:class:`~repro.plan.physical.PCrossJoin` carry the guarded fallback
+paths.  Grouping and distinct use Python hash tables over row keys;
+sorting is a stable multi-pass merge with SQL null ordering (NULLS LAST
+ascending, NULLS FIRST descending).
 
 Graph select / graph join are delegated to :mod:`repro.exec.graph_ops`.
+
+Every cross-product-shaped materialization (cross join, nested-loop
+join; the graph join's pair grid lives in graph_ops) is capped by
+:data:`MAX_CROSS_ROWS` and fails fast with a typed
+:class:`~repro.errors.ResourceLimitError` instead of exhausting memory.
 """
 
 from __future__ import annotations
@@ -18,9 +27,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ExecutionError, NotSupportedError
+from ..errors import ExecutionError, NotSupportedError, ResourceLimitError
 from ..plan import exprs as bx
 from ..plan import logical as lp
+from ..plan import physical as pp
 from ..storage import Column, DataType
 from .batch import Batch, ZeroColumnBatch
 from .evaluator import EvalContext, evaluate
@@ -28,6 +38,11 @@ from .evaluator import EvalContext, evaluate
 #: Hard cap on materialized cross products, to fail fast instead of
 #: exhausting memory (the MonetDB prototype shares the failure mode).
 MAX_CROSS_ROWS = 20_000_000
+
+#: Absolute ceiling for equi-join outputs: a legitimate (selective)
+#: join may exceed MAX_CROSS_ROWS, but nothing this engine can finish
+#: materializes 4x that many rows.
+MAX_JOIN_ROWS = 4 * MAX_CROSS_ROWS
 
 #: Iteration guard for WITH RECURSIVE evaluation.
 MAX_RECURSION_STEPS = 100_000
@@ -47,14 +62,20 @@ class ExecContext:
         self.path_workers = getattr(database, "path_workers", 1)
         self._eval = EvalContext(params, self.run)
 
-    def run(self, plan: lp.LogicalNode) -> Batch:
+    def run(self, plan: pp.PhysicalNode) -> Batch:
         return execute_plan(plan, self)
 
     def eval(self, expr: bx.BoundExpr, batch: Batch) -> Column:
         return evaluate(expr, batch, self._eval)
 
 
-def execute_plan(plan: lp.LogicalNode, ctx: ExecContext) -> Batch:
+def execute_plan(plan: pp.PhysicalNode, ctx: ExecContext) -> Batch:
+    if isinstance(plan, lp.LogicalNode):
+        # compatibility shim: callers holding a bare logical plan get a
+        # trivial (pass-free) lowering
+        from ..plan.optimizer import lower_plan
+
+        plan = lower_plan(plan, ctx.catalog)
     handler = _DISPATCH.get(type(plan))
     if handler is None:
         raise NotSupportedError(f"no executor for {type(plan).__name__}")
@@ -66,16 +87,38 @@ def execute_plan(plan: lp.LogicalNode, ctx: ExecContext) -> Batch:
 # ---------------------------------------------------------------------------
 # leaves
 # ---------------------------------------------------------------------------
-def _exec_scan(plan: lp.LScan, ctx: ExecContext) -> Batch:
+def _exec_scan(plan: pp.PScan, ctx: ExecContext) -> Batch:
     table = ctx.catalog.get(plan.table)
-    return Batch(plan.schema, table.columns())
+    columns = table.columns()
+    if len(plan.schema) != len(table.schema):
+        # narrowed scan (projection pruning): select the kept columns
+        columns = [columns[table.schema.index_of(c.name)] for c in plan.schema]
+    return Batch(plan.schema, columns)
 
 
-def _exec_single_row(plan: lp.LSingleRow, ctx: ExecContext) -> Batch:
+def _exec_single_row(plan: pp.PSingleRow, ctx: ExecContext) -> Batch:
     return ZeroColumnBatch(1)
 
 
-def _exec_values(plan: lp.LValues, ctx: ExecContext) -> Batch:
+def _infer_output_type(values: list) -> DataType:
+    """Runtime type of a parameter-typed output column (host parameters
+    and literal-normalized plans have no static type).  Numeric widths
+    are promoted across all values, so mixed INTEGER/DOUBLE inputs land
+    on the common supertype instead of failing on the first sample."""
+    from ..storage import infer_literal_type, promote
+
+    result = None
+    for value in values:
+        if value is None:
+            continue
+        inferred = infer_literal_type(value)
+        result = inferred if result is None else promote(result, inferred)
+        if result == DataType.VARCHAR or result == DataType.DOUBLE:
+            break  # already the top of its promotion chain
+    return result if result is not None else DataType.VARCHAR
+
+
+def _exec_values(plan: pp.PValues, ctx: ExecContext) -> Batch:
     single = ZeroColumnBatch(1)
     width = len(plan.schema)
     values: list[list] = [[] for _ in range(width)]
@@ -84,20 +127,12 @@ def _exec_values(plan: lp.LValues, ctx: ExecContext) -> Batch:
             values[j].append(ctx.eval(expr, single).value(0))
     columns = []
     for col_def, column_values in zip(plan.schema, values):
-        type_ = col_def.type
-        if type_ is None:
-            # host parameters have no static type; infer from the values
-            from ..storage import infer_literal_type
-
-            sample = next((v for v in column_values if v is not None), None)
-            type_ = (
-                infer_literal_type(sample) if sample is not None else DataType.VARCHAR
-            )
+        type_ = col_def.type or _infer_output_type(column_values)
         columns.append(Column.from_values(type_, column_values))
     return Batch(plan.schema, columns)
 
 
-def _exec_cte_ref(plan: lp.LCTERef, ctx: ExecContext) -> Batch:
+def _exec_cte_ref(plan: pp.PCTERef, ctx: ExecContext) -> Batch:
     batch = ctx.cte_tables.get(plan.cte_name)
     if batch is None:
         raise ExecutionError(f"CTE {plan.cte_name!r} is not materialized")
@@ -107,7 +142,7 @@ def _exec_cte_ref(plan: lp.LCTERef, ctx: ExecContext) -> Batch:
 # ---------------------------------------------------------------------------
 # unary
 # ---------------------------------------------------------------------------
-def _exec_filter(plan: lp.LFilter, ctx: ExecContext) -> Batch:
+def _exec_filter(plan: pp.PFilter, ctx: ExecContext) -> Batch:
     batch = execute_plan(plan.input, ctx)
     predicate = ctx.eval(plan.predicate, batch)
     keep = predicate.data.astype(np.bool_)
@@ -116,7 +151,7 @@ def _exec_filter(plan: lp.LFilter, ctx: ExecContext) -> Batch:
     return batch.filter(keep)
 
 
-def _exec_project(plan: lp.LProject, ctx: ExecContext) -> Batch:
+def _exec_project(plan: pp.PProject, ctx: ExecContext) -> Batch:
     batch = execute_plan(plan.input, ctx)
     columns = [ctx.eval(expr, batch) for expr in plan.exprs]
     if not columns:
@@ -124,7 +159,7 @@ def _exec_project(plan: lp.LProject, ctx: ExecContext) -> Batch:
     return Batch(plan.schema, columns)
 
 
-def _exec_limit(plan: lp.LLimit, ctx: ExecContext) -> Batch:
+def _exec_limit(plan: pp.PLimit, ctx: ExecContext) -> Batch:
     batch = execute_plan(plan.input, ctx)
     start = plan.offset
     stop = batch.num_rows if plan.limit is None else min(
@@ -156,11 +191,11 @@ def _distinct_batch(batch: Batch) -> Batch:
     return batch.filter(keep)
 
 
-def _exec_distinct(plan: lp.LDistinct, ctx: ExecContext) -> Batch:
+def _exec_distinct(plan: pp.PDistinct, ctx: ExecContext) -> Batch:
     return _distinct_batch(execute_plan(plan.input, ctx))
 
 
-def _exec_sort(plan: lp.LSort, ctx: ExecContext) -> Batch:
+def _exec_sort(plan: pp.PSort, ctx: ExecContext) -> Batch:
     batch = execute_plan(plan.input, ctx)
     order = np.arange(batch.num_rows, dtype=np.int64)
     # stable multi-pass: least-significant key first
@@ -181,7 +216,7 @@ def _exec_sort(plan: lp.LSort, ctx: ExecContext) -> Batch:
 # ---------------------------------------------------------------------------
 # aggregation
 # ---------------------------------------------------------------------------
-def _exec_aggregate(plan: lp.LAggregate, ctx: ExecContext) -> Batch:
+def _exec_aggregate(plan: pp.PAggregate, ctx: ExecContext) -> Batch:
     batch = execute_plan(plan.input, ctx)
     n = batch.num_rows
     key_columns = [ctx.eval(e, batch) for e in plan.group_exprs]
@@ -204,7 +239,8 @@ def _exec_aggregate(plan: lp.LAggregate, ctx: ExecContext) -> Batch:
             out_aggs[j].append(_compute_agg(spec, arg_col, rows))
     columns: list[Column] = []
     for col_def, values in zip(plan.schema, out_keys + out_aggs):
-        columns.append(Column.from_values(col_def.type or DataType.VARCHAR, values))
+        type_ = col_def.type or _infer_output_type(values)
+        columns.append(Column.from_values(type_, values))
     return Batch(plan.schema, columns)
 
 
@@ -233,78 +269,89 @@ def _compute_agg(spec: lp.AggSpec, arg_col: Optional[Column], rows: list[int]):
 # ---------------------------------------------------------------------------
 # joins
 # ---------------------------------------------------------------------------
-def _split_equi_condition(
-    condition: bx.BoundExpr, left_ids: set[int], right_ids: set[int]
-):
-    """Extract hashable equi-join pairs from a conjunction.
-
-    Returns (pairs, residual) where pairs is a list of (left_expr,
-    right_expr) and residual the conjuncts that are not simple equalities.
-    """
-    conjuncts: list[bx.BoundExpr] = []
-
-    def flatten(e: bx.BoundExpr):
-        if isinstance(e, bx.BCall) and e.op == "and":
-            flatten(e.args[0])
-            flatten(e.args[1])
-        else:
-            conjuncts.append(e)
-
-    flatten(condition)
-    pairs = []
-    residual = []
-    for conjunct in conjuncts:
-        if isinstance(conjunct, bx.BCall) and conjunct.op == "=":
-            a, b = conjunct.args
-            a_refs = bx.referenced_columns(a)
-            b_refs = bx.referenced_columns(b)
-            if a_refs <= left_ids and b_refs <= right_ids:
-                pairs.append((a, b))
-                continue
-            if a_refs <= right_ids and b_refs <= left_ids:
-                pairs.append((b, a))
-                continue
-        residual.append(conjunct)
-    return pairs, residual
+def _guard_pair_count(n: int, m: int, what: str) -> None:
+    if n * m > MAX_CROSS_ROWS:
+        raise ResourceLimitError(
+            f"{what} of {n} x {m} rows exceeds the safety limit"
+        )
 
 
-def _exec_join(plan: lp.LJoin, ctx: ExecContext) -> Batch:
+def _guard_degenerate_join(total: int, n: int, m: int) -> None:
+    """Two-tier guard for equi-join outputs.  At MAX_CROSS_ROWS the
+    join trips only when the output is also cross-product *shaped*
+    (within 2x of |L| x |R|) — a genuinely selective join may
+    legitimately exceed the cross-product cap, while a degenerate key
+    distribution is just the cross-product failure mode wearing an ON
+    clause.  MAX_JOIN_ROWS is the absolute ceiling for any shape."""
+    if total > MAX_CROSS_ROWS and 2 * total >= n * m:
+        raise ResourceLimitError(
+            f"hash join would produce {total} rows from {n} x {m} inputs "
+            "(degenerate key distribution exceeds the safety limit)"
+        )
+    if total > MAX_JOIN_ROWS:
+        raise ResourceLimitError(
+            f"hash join would produce {total} rows, "
+            f"exceeding the {MAX_JOIN_ROWS}-row safety limit"
+        )
+
+
+def _exec_hash_join(plan: pp.PHashJoin, ctx: ExecContext) -> Batch:
     left = execute_plan(plan.left, ctx)
     right = execute_plan(plan.right, ctx)
-    if plan.kind == "cross":
-        return _cross_product(plan, left, right)
-    left_ids = {c.col_id for c in plan.left.schema}
-    right_ids = {c.col_id for c in plan.right.schema}
-    pairs, residual = _split_equi_condition(plan.condition, left_ids, right_ids)
-    if pairs:
-        li, ri = _hash_join_indices(left, right, pairs, ctx)
+    if plan.build_left:
+        # build the hash table on the (estimated) smaller left side, then
+        # restore the probe-side output order so results are identical to
+        # the build-right plan
+        swapped = [(b, a) for a, b in plan.pairs]
+        ri, li = _hash_join_indices(right, left, swapped, ctx)
+        order = np.argsort(li, kind="stable")
+        li, ri = li[order], ri[order]
     else:
-        li, ri = _nested_loop_indices(left, right)
+        li, ri = _hash_join_indices(left, right, plan.pairs, ctx)
     joined = Batch(
         plan.left.schema + plan.right.schema,
         [c.take(li) for c in left.columns] + [c.take(ri) for c in right.columns],
     )
-    if residual:
-        keep = np.ones(joined.num_rows, dtype=np.bool_)
-        for conjunct in residual:
-            col = ctx.eval(conjunct, joined)
-            hit = col.data.astype(np.bool_)
-            if col.mask is not None:
-                hit &= ~col.mask
-            keep &= hit
-        joined = joined.filter(keep)
-        li = li[keep]
+    if plan.residual:
+        joined, li = _apply_residual(plan.residual, joined, li, ctx)
     if plan.kind == "left":
-        joined = _add_unmatched_left(plan, left, right, joined, li)
+        joined = _add_unmatched_left(plan, left, joined, li)
     return joined.relabel(plan.schema)
 
 
-def _cross_product(plan: lp.LJoin, left: Batch, right: Batch) -> Batch:
+def _apply_residual(residual, joined: Batch, li, ctx: ExecContext):
+    keep = np.ones(joined.num_rows, dtype=np.bool_)
+    for conjunct in residual:
+        col = ctx.eval(conjunct, joined)
+        hit = col.data.astype(np.bool_)
+        if col.mask is not None:
+            hit &= ~col.mask
+        keep &= hit
+    return joined.filter(keep), li[keep]
+
+
+def _exec_nested_loop_join(plan: pp.PNestedLoopJoin, ctx: ExecContext) -> Batch:
+    left = execute_plan(plan.left, ctx)
+    right = execute_plan(plan.right, ctx)
     n, m = left.num_rows, right.num_rows
-    if n * m > MAX_CROSS_ROWS:
-        raise ExecutionError(
-            f"cross product of {n} x {m} rows exceeds the safety limit"
-        )
+    _guard_pair_count(n, m, "nested-loop join")
+    li = np.repeat(np.arange(n, dtype=np.int64), m)
+    ri = np.tile(np.arange(m, dtype=np.int64), n)
+    joined = Batch(
+        plan.left.schema + plan.right.schema,
+        [c.take(li) for c in left.columns] + [c.take(ri) for c in right.columns],
+    )
+    joined, li = _apply_residual(plan.residual, joined, li, ctx)
+    if plan.kind == "left":
+        joined = _add_unmatched_left(plan, left, joined, li)
+    return joined.relabel(plan.schema)
+
+
+def _exec_cross_join(plan: pp.PCrossJoin, ctx: ExecContext) -> Batch:
+    left = execute_plan(plan.left, ctx)
+    right = execute_plan(plan.right, ctx)
+    n, m = left.num_rows, right.num_rows
+    _guard_pair_count(n, m, "cross product")
     li = np.repeat(np.arange(n, dtype=np.int64), m)
     ri = np.tile(np.arange(m, dtype=np.int64), n)
     columns = [c.take(li) for c in left.columns] + [c.take(ri) for c in right.columns]
@@ -340,6 +387,8 @@ def _hash_join_indices(left: Batch, right: Batch, pairs, ctx: ExecContext):
         for j in table.get(key, ()):
             li.append(i)
             ri.append(j)
+        if len(li) > MAX_CROSS_ROWS:
+            _guard_degenerate_join(len(li), len(left_tuples), len(right_tuples))
     return np.asarray(li, dtype=np.int64), np.asarray(ri, dtype=np.int64)
 
 
@@ -361,6 +410,7 @@ def _sorted_join_indices(left_key: Column, right_key: Column):
     hi = np.searchsorted(sorted_rk, lk[left_rows], side="right")
     counts = (hi - lo).astype(np.int64)
     total = int(counts.sum())
+    _guard_degenerate_join(total, len(lk), len(rk))
     if total == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
     li = np.repeat(left_rows, counts)
@@ -370,18 +420,7 @@ def _sorted_join_indices(left_key: Column, right_key: Column):
     return li, ri
 
 
-def _nested_loop_indices(left: Batch, right: Batch):
-    n, m = left.num_rows, right.num_rows
-    if n * m > MAX_CROSS_ROWS:
-        raise ExecutionError(
-            f"nested-loop join of {n} x {m} rows exceeds the safety limit"
-        )
-    li = np.repeat(np.arange(n, dtype=np.int64), m)
-    ri = np.tile(np.arange(m, dtype=np.int64), n)
-    return li, ri
-
-
-def _add_unmatched_left(plan, left: Batch, right: Batch, joined: Batch, li):
+def _add_unmatched_left(plan, left: Batch, joined: Batch, li):
     matched = np.zeros(left.num_rows, dtype=np.bool_)
     if len(li):
         matched[li] = True
@@ -403,7 +442,7 @@ def _add_unmatched_left(plan, left: Batch, right: Batch, joined: Batch, li):
 # ---------------------------------------------------------------------------
 # set operations
 # ---------------------------------------------------------------------------
-def _exec_setop(plan: lp.LSetOp, ctx: ExecContext) -> Batch:
+def _exec_setop(plan: pp.PSetOp, ctx: ExecContext) -> Batch:
     left = execute_plan(plan.left, ctx)
     right = execute_plan(plan.right, ctx)
     left = _coerce_batch(left, plan.schema)
@@ -455,7 +494,7 @@ def _coerce_batch(batch: Batch, schema: tuple[lp.PlanColumn, ...]) -> Batch:
 # ---------------------------------------------------------------------------
 # recursive CTEs
 # ---------------------------------------------------------------------------
-def _exec_materialize(plan: lp.LMaterialize, ctx: ExecContext) -> Batch:
+def _exec_materialize(plan: pp.PMaterialize, ctx: ExecContext) -> Batch:
     result = execute_plan(plan.definition, ctx)
     previous = ctx.cte_tables.get(plan.cte_name)
     ctx.cte_tables[plan.cte_name] = result
@@ -468,7 +507,7 @@ def _exec_materialize(plan: lp.LMaterialize, ctx: ExecContext) -> Batch:
             ctx.cte_tables[plan.cte_name] = previous
 
 
-def _exec_recursive(plan: lp.LRecursive, ctx: ExecContext) -> Batch:
+def _exec_recursive(plan: pp.PRecursive, ctx: ExecContext) -> Batch:
     accumulated = _coerce_batch(execute_plan(plan.base, ctx), plan.schema)
     seen: set = set()
     if not plan.union_all:
@@ -519,7 +558,7 @@ def _dedup_batch(batch: Batch, seen: set) -> Batch:
 # ---------------------------------------------------------------------------
 # UNNEST (Section 3.3)
 # ---------------------------------------------------------------------------
-def _exec_unnest(plan: lp.LUnnest, ctx: ExecContext) -> Batch:
+def _exec_unnest(plan: pp.PUnnest, ctx: ExecContext) -> Batch:
     from ..nested import NestedTableValue
 
     batch = execute_plan(plan.input, ctx)
@@ -637,21 +676,23 @@ def _scatter_with_nulls(base: Column, total: int, null_rows: list[int], type_):
 # dispatch table (graph operators registered by graph_ops to avoid cycle)
 # ---------------------------------------------------------------------------
 _DISPATCH = {
-    lp.LScan: _exec_scan,
-    lp.LSingleRow: _exec_single_row,
-    lp.LValues: _exec_values,
-    lp.LCTERef: _exec_cte_ref,
-    lp.LFilter: _exec_filter,
-    lp.LProject: _exec_project,
-    lp.LLimit: _exec_limit,
-    lp.LDistinct: _exec_distinct,
-    lp.LSort: _exec_sort,
-    lp.LAggregate: _exec_aggregate,
-    lp.LJoin: _exec_join,
-    lp.LSetOp: _exec_setop,
-    lp.LMaterialize: _exec_materialize,
-    lp.LRecursive: _exec_recursive,
-    lp.LUnnest: _exec_unnest,
+    pp.PScan: _exec_scan,
+    pp.PSingleRow: _exec_single_row,
+    pp.PValues: _exec_values,
+    pp.PCTERef: _exec_cte_ref,
+    pp.PFilter: _exec_filter,
+    pp.PProject: _exec_project,
+    pp.PLimit: _exec_limit,
+    pp.PDistinct: _exec_distinct,
+    pp.PSort: _exec_sort,
+    pp.PAggregate: _exec_aggregate,
+    pp.PHashJoin: _exec_hash_join,
+    pp.PNestedLoopJoin: _exec_nested_loop_join,
+    pp.PCrossJoin: _exec_cross_join,
+    pp.PSetOp: _exec_setop,
+    pp.PMaterialize: _exec_materialize,
+    pp.PRecursive: _exec_recursive,
+    pp.PUnnest: _exec_unnest,
 }
 
 

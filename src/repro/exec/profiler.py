@@ -1,8 +1,10 @@
 """Per-operator execution profiling.
 
 ``Database.profile(sql)`` runs a query with timing instrumentation and
-renders the plan annotated with inclusive/exclusive wall time and output
-cardinality per operator — the tool behind the paper's central
+renders the physical plan annotated with inclusive/exclusive wall time
+and output cardinality per operator — plus the optimizer's *estimated*
+cardinality next to the actual one, so estimation errors are visible at
+operator granularity.  This is the tool behind the paper's central
 observation that graph construction dominates query time (our A2
 ablation, at operator granularity).
 """
@@ -12,7 +14,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..plan import logical as lp
+from ..plan import physical as pp
 
 
 @dataclass
@@ -40,7 +42,7 @@ class Profiler:
         self.plan_cache_hit: bool | None = None
         self.cache_stats: dict | None = None
 
-    def run(self, plan: lp.LogicalNode, handler, ctx):
+    def run(self, plan: pp.PhysicalNode, handler, ctx):
         """Execute ``handler(plan, ctx)`` under timing instrumentation."""
         key = id(plan)
         self._stack.append(key)
@@ -60,7 +62,7 @@ class Profiler:
         return batch
 
     # ------------------------------------------------------------------
-    def render(self, plan: lp.LogicalNode) -> str:
+    def render(self, plan: pp.PhysicalNode) -> str:
         """The plan tree annotated with times and cardinalities, plus a
         cache footer when the statement ran through the plan cache."""
         lines: list[str] = []
@@ -82,21 +84,18 @@ class Profiler:
             )
         return "\n".join(lines)
 
-    def _render_node(self, node: lp.LogicalNode, depth: int, lines: list[str]):
-        name = type(node).__name__[1:]
-        detail = ""
-        if isinstance(node, lp.LScan):
-            detail = f" {node.table}"
-        elif isinstance(node, (lp.LGraphSelect, lp.LGraphJoin)):
-            detail = f" [cheapest={len(node.spec.cheapest)}]"
+    def _render_node(self, node: pp.PhysicalNode, depth: int, lines: list[str]):
+        name = pp.node_name(node)
+        detail = pp.node_detail(node)  # one format shared with EXPLAIN
         stats = self.stats.get(id(node))
         if stats is None:
             annotation = "(not executed)"
         else:
+            # estimated vs actual cardinality, per operator
             annotation = (
                 f"self={stats.exclusive * 1000:.2f}ms "
                 f"total={stats.inclusive * 1000:.2f}ms "
-                f"rows={stats.rows}"
+                f"rows={stats.rows} est_rows={node.est_rows:.0f}"
                 + (f" calls={stats.calls}" if stats.calls > 1 else "")
             )
         lines.append(f"{'  ' * depth}{name}{detail}  {annotation}")

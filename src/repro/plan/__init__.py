@@ -1,9 +1,11 @@
 """Query planning: bound expressions, logical operators (including the
-paper's graph select / graph join), semantic binder and rewriter."""
+paper's graph select / graph join), semantic binder, the cost-based
+optimizer and the physical plan layer it lowers into."""
 
-from . import exprs, logical
+from . import exprs, logical, physical
 from .binder import (
     Binder,
+    BoundAnalyze,
     BoundCreateGraphIndex,
     BoundCreateTable,
     BoundCreateTableAs,
@@ -16,12 +18,16 @@ from .binder import (
     BoundUpdate,
 )
 from .logical import explain
+from .optimizer import Estimator, lower_plan, optimize
+from .physical import PhysicalNode, explain as explain_physical
 from .rewriter import rewrite
 
 __all__ = [
     "exprs",
     "logical",
+    "physical",
     "Binder",
+    "BoundAnalyze",
     "BoundCreateGraphIndex",
     "BoundCreateTable",
     "BoundCreateTableAs",
@@ -32,6 +38,11 @@ __all__ = [
     "BoundExplain",
     "BoundInsert",
     "BoundQuery",
+    "Estimator",
+    "PhysicalNode",
     "explain",
+    "explain_physical",
+    "lower_plan",
+    "optimize",
     "rewrite",
 ]

@@ -129,6 +129,13 @@ class BoundDropGraphIndex:
     name: str
 
 
+@dataclass(frozen=True)
+class BoundAnalyze:
+    """``ANALYZE [table]``: None analyzes every table."""
+
+    table: Optional[str]
+
+
 # ---------------------------------------------------------------------------
 # scopes
 # ---------------------------------------------------------------------------
@@ -242,6 +249,11 @@ class Binder:
             )
         if isinstance(stmt, ast.DropGraphIndex):
             return BoundDropGraphIndex(stmt.name.lower())
+        if isinstance(stmt, ast.Analyze):
+            if stmt.table is not None:
+                self.catalog.get(stmt.table)  # raises CatalogError if unknown
+                return BoundAnalyze(stmt.table.lower())
+            return BoundAnalyze(None)
         raise NotSupportedError(f"unsupported statement: {type(stmt).__name__}")
 
     def _bind_insert_values(self, stmt: ast.InsertValues) -> BoundInsert:
@@ -257,9 +269,19 @@ class Binder:
             bound_rows.append(
                 tuple(self._bind_expr(e, scope, allow_agg=False) for e in row)
             )
+        # promote across ALL rows (mirrors _bind_values_query): VALUES
+        # (1), (2.5) is a DOUBLE column, not an INTEGER one
+        column_types: list[Optional[DataType]] = [None] * width
+        for row_exprs in bound_rows:
+            for j, expr in enumerate(row_exprs):
+                if expr.type is not None:
+                    column_types[j] = (
+                        expr.type
+                        if column_types[j] is None
+                        else promote(column_types[j], expr.type)
+                    )
         schema = tuple(
-            self._fresh_column(f"col{i}", row_expr.type)
-            for i, row_expr in enumerate(bound_rows[0])
+            self._fresh_column(f"col{j}", column_types[j]) for j in range(width)
         )
         return BoundInsert(
             stmt.table.lower(), stmt.columns, lp.LValues(tuple(bound_rows), schema)

@@ -9,15 +9,22 @@ reader/writer locks (see :mod:`repro.storage.locks`) so readers share
 and writers exclude.
 
 The :class:`PlanCache` is the engine's prepared-statement cache: a
-thread-safe LRU keyed on SQL text holding fully rewritten logical plans.
-On a hit, parse → bind → rewrite is skipped entirely.  Every entry
-records, per referenced base table, the table's version counter and
-schema fingerprint at plan time; entries are invalidated
+thread-safe LRU keyed on SQL text holding fully *optimized physical*
+plans.  On a hit, parse → bind → optimize → physical-plan is skipped
+entirely.  Every entry records
 
-* explicitly, by DML write listeners and DDL hooks, and
-* defensively on lookup, when a recorded version/fingerprint no longer
-  matches (covering callers that mutate :class:`~repro.storage.Table`
-  objects directly).
+* per referenced base table, the table's version counter and schema
+  fingerprint at plan time, and
+* per referenced base table, its statistics *marker* (per-table ANALYZE
+  counter) at plan time — ANALYZE on a table transparently re-optimizes
+  exactly the cached plans that read it.
+
+A second index holds *normalized* entries: statement texts with their
+constant literals replaced by parameters
+(:mod:`repro.sql.normalize`), so textually different statements share
+one plan.  An exact-text miss falls through to the normalized index;
+hits there are counted separately (``normalized_hits``, surfaced by
+``\\cache`` and :meth:`repro.api.Database.cache_stats`).
 
 ``Session.prepare`` returns a :class:`PreparedStatement` whose repeat
 executions are plan-cache hits by construction.
@@ -28,29 +35,30 @@ from __future__ import annotations
 import dataclasses
 import threading
 from collections import OrderedDict
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from .errors import ExecutionError
 from .plan import exprs as bx
 from .plan import logical as lp
+from .plan import physical as pp
 
 
 # ---------------------------------------------------------------------------
 # plan dependency analysis
 # ---------------------------------------------------------------------------
-def referenced_tables(plan: lp.LogicalNode) -> set[str]:
-    """All base tables a plan reads, including subquery plans inside
-    expressions (needed both for cache invalidation and for computing a
-    statement's read-lock set)."""
+def referenced_tables(plan) -> set[str]:
+    """All base tables a (logical or physical) plan reads, including
+    subquery plans inside expressions (needed both for cache
+    invalidation and for computing a statement's read-lock set)."""
     tables: set[str] = set()
     _collect_tables(plan, tables)
     return tables
 
 
 def _collect_tables(node: Any, out: set[str]) -> None:
-    if isinstance(node, lp.LScan):
+    if isinstance(node, (lp.LScan, pp.PScan)):
         out.add(node.table)
-    if isinstance(node, lp.LogicalNode):
+    if isinstance(node, (lp.LogicalNode, pp.PhysicalNode)):
         for child in node.children:
             _collect_tables(child, out)
         # expressions hang off node-specific fields; walk them generically
@@ -74,7 +82,9 @@ def _collect_exprs(value: Any, out: set[str]) -> None:
     elif isinstance(value, tuple):
         for item in value:
             _collect_exprs(item, out)
-    elif dataclasses.is_dataclass(value) and not isinstance(value, lp.LogicalNode):
+    elif dataclasses.is_dataclass(value) and not isinstance(
+        value, (lp.LogicalNode, pp.PhysicalNode)
+    ):
         for field in dataclasses.fields(value):
             _collect_exprs(getattr(value, field.name), out)
 
@@ -85,13 +95,15 @@ def _collect_exprs(value: Any, out: set[str]) -> None:
 class CachedPlan:
     """One cache entry: a prepared statement plus its table snapshot.
 
-    ``kind`` is ``"query"`` (``plan`` is the rewritten logical plan) or
-    ``"insert"`` (``bound`` is the BoundInsert; its source plan is in
-    ``plan`` for dependency analysis).  Each dep records
-    ``(version | None, schema fingerprint)``: a ``None`` version marks a
-    schema-only dependency — an INSERT's own target stays valid across
-    writes to it (otherwise every execution would self-invalidate), but
-    still dies with the table or a schema change.
+    ``kind`` is ``"query"`` (``plan`` is the optimized physical plan) or
+    ``"insert"`` (``bound`` is the BoundInsert; ``plan`` holds the
+    optimized physical source plan).  Each dep records
+    ``(version | None, schema fingerprint, stats marker)``: a ``None``
+    version marks a schema-only dependency — an INSERT's own target
+    stays valid across writes to it (otherwise every execution would
+    self-invalidate), but still dies with the table or a schema change.
+    The stats marker pins the table's ANALYZE counter at plan time, so
+    fresh statistics re-optimize exactly the plans that read the table.
     """
 
     __slots__ = ("sql", "plan", "deps", "kind", "bound")
@@ -99,7 +111,7 @@ class CachedPlan:
     def __init__(
         self,
         sql: str,
-        plan: lp.LogicalNode,
+        plan,
         deps: dict[str, tuple],
         kind: str = "query",
         bound: Any = None,
@@ -115,17 +127,30 @@ class CachedPlan:
 
 
 class PlanCache:
-    """Thread-safe LRU of prepared (parsed + bound + rewritten) plans."""
+    """Thread-safe LRU of prepared (parsed + bound + optimized) plans."""
 
-    def __init__(self, catalog, capacity: int = 128):
+    def __init__(
+        self,
+        catalog,
+        capacity: int = 128,
+        stats_marker: Optional[Callable[[str], int]] = None,
+    ):
         self._catalog = catalog
+        self._stats_marker = stats_marker or (lambda name: 0)
         self.capacity = max(1, int(capacity))
         self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        #: normalized-text index: literals parameterized away
+        self._normalized: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        #: normalized key -> first exact text seen for it; a normalized
+        #: plan is only built once a *second*, different text shares the
+        #: key (one-off statements never pay the extra planning pass)
+        self._norm_candidates: "OrderedDict[str, str]" = OrderedDict()
         self._mutex = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.normalized_hits = 0
 
     # ------------------------------------------------------------------
     def get(self, sql: str) -> Optional[CachedPlan]:
@@ -147,8 +172,37 @@ class PlanCache:
             self.misses += 1
             return None
 
+    def note_normalized_candidate(self, key: str, sql: str) -> bool:
+        """Record that ``sql`` maps onto normalized ``key``.  Returns
+        True when a *different* text already mapped there — the signal
+        that building a shared normalized plan will pay off."""
+        with self._mutex:
+            first = self._norm_candidates.get(key)
+            if first is None:
+                self._norm_candidates[key] = sql
+                self._norm_candidates.move_to_end(key)
+                while len(self._norm_candidates) > self.capacity:
+                    self._norm_candidates.popitem(last=False)
+                return False
+            return first != sql
+
+    def get_normalized(self, key: str) -> Optional[CachedPlan]:
+        """A valid normalized entry, or None.  Hits are counted in
+        ``normalized_hits`` only (the regular counters already recorded
+        the exact-text miss)."""
+        with self._mutex:
+            entry = self._normalized.get(key)
+            if entry is not None and self._valid(entry):
+                self._normalized.move_to_end(key)
+                self.normalized_hits += 1
+                return entry
+            if entry is not None:
+                del self._normalized[key]
+                self.invalidations += 1
+            return None
+
     def _valid(self, entry: CachedPlan) -> bool:
-        for name, (version, fingerprint) in entry.deps.items():
+        for name, (version, fingerprint, marker) in entry.deps.items():
             if not self._catalog.has(name):
                 return False
             table = self._catalog.get(name)
@@ -156,35 +210,46 @@ class PlanCache:
                 return False
             if table.schema.fingerprint() != fingerprint:
                 return False
+            if self._stats_marker(name) != marker:
+                return False  # ANALYZE since plan time: re-optimize
         return True
 
-    def put(self, sql: str, plan: lp.LogicalNode) -> CachedPlan:
+    def _deps_for(self, plan) -> dict[str, tuple]:
         deps = {}
         for name in referenced_tables(plan):
             table = self._catalog.get(name)
-            deps[name] = (table.version, table.schema.fingerprint())
-        return self._store(CachedPlan(sql, plan, deps))
+            deps[name] = (
+                table.version,
+                table.schema.fingerprint(),
+                self._stats_marker(name),
+            )
+        return deps
 
-    def put_insert(self, sql: str, bound) -> CachedPlan:
-        """Cache a bound INSERT: the target is a schema-only dependency
-        (the statement's own writes must not evict it), source tables
-        are full version dependencies."""
-        deps = {}
-        for name in referenced_tables(bound.plan):
-            table = self._catalog.get(name)
-            deps[name] = (table.version, table.schema.fingerprint())
+    def put(self, sql: str, plan, *, normalized: bool = False) -> CachedPlan:
+        entry = CachedPlan(sql, plan, self._deps_for(plan))
+        return self._store(entry, normalized=normalized)
+
+    def put_insert(self, sql: str, bound, plan, *, normalized: bool = False) -> CachedPlan:
+        """Cache a bound INSERT with its optimized source plan: the
+        target is a schema-only dependency (the statement's own writes
+        must not evict it), source tables are full version dependencies."""
+        deps = self._deps_for(plan)
         target = bound.table.lower()
-        deps[target] = (None, self._catalog.get(target).schema.fingerprint())
-        return self._store(
-            CachedPlan(sql, bound.plan, deps, kind="insert", bound=bound)
+        deps[target] = (
+            None,
+            self._catalog.get(target).schema.fingerprint(),
+            self._stats_marker(target),
         )
+        entry = CachedPlan(sql, plan, deps, kind="insert", bound=bound)
+        return self._store(entry, normalized=normalized)
 
-    def _store(self, entry: CachedPlan) -> CachedPlan:
+    def _store(self, entry: CachedPlan, *, normalized: bool = False) -> CachedPlan:
+        store = self._normalized if normalized else self._entries
         with self._mutex:
-            self._entries[entry.sql] = entry
-            self._entries.move_to_end(entry.sql)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            store[entry.sql] = entry
+            store.move_to_end(entry.sql)
+            while len(store) > self.capacity:
+                store.popitem(last=False)
                 self.evictions += 1
         return entry
 
@@ -194,28 +259,31 @@ class PlanCache:
         not (the DDL hook: the table itself went away or changed)."""
         key = name.lower()
         with self._mutex:
-            stale = [s for s, e in self._entries.items() if key in e.deps]
-            for sql in stale:
-                del self._entries[sql]
-            self.invalidations += len(stale)
+            for store in (self._entries, self._normalized):
+                stale = [s for s, e in store.items() if key in e.deps]
+                for sql in stale:
+                    del store[sql]
+                self.invalidations += len(stale)
 
     def invalidate_writes(self, name: str) -> None:
         """Drop entries whose *version-sensitive* deps include ``name``
         (the DML hook: schema-only deps survive plain writes)."""
         key = name.lower()
         with self._mutex:
-            stale = [
-                s
-                for s, e in self._entries.items()
-                if key in e.deps and e.deps[key][0] is not None
-            ]
-            for sql in stale:
-                del self._entries[sql]
-            self.invalidations += len(stale)
+            for store in (self._entries, self._normalized):
+                stale = [
+                    s
+                    for s, e in store.items()
+                    if key in e.deps and e.deps[key][0] is not None
+                ]
+                for sql in stale:
+                    del store[sql]
+                self.invalidations += len(stale)
 
     def clear(self) -> None:
         with self._mutex:
             self._entries.clear()
+            self._normalized.clear()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -227,6 +295,10 @@ class PlanCache:
         with self._mutex:
             return sql in self._entries
 
+    def contains_normalized(self, key: str) -> bool:
+        with self._mutex:
+            return key in self._normalized
+
     def stats(self) -> dict[str, int]:
         with self._mutex:
             return {
@@ -236,6 +308,8 @@ class PlanCache:
                 "capacity": self.capacity,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "normalized_hits": self.normalized_hits,
+                "normalized_entries": len(self._normalized),
             }
 
 
@@ -245,10 +319,11 @@ class PlanCache:
 class PreparedStatement:
     """A statement prepared once and executable many times.
 
-    Preparation parses, binds, rewrites and caches the plan immediately
-    (for queries), so every subsequent :meth:`execute` is a plan-cache
-    hit until DDL/DML on a referenced table invalidates it — after which
-    the next execution transparently re-prepares.
+    Preparation parses, binds, optimizes and caches the physical plan
+    immediately (for queries), so every subsequent :meth:`execute` is a
+    plan-cache hit until DDL/DML on a referenced table (or an ANALYZE)
+    invalidates it — after which the next execution transparently
+    re-prepares.
     """
 
     __slots__ = ("sql", "_database")

@@ -326,9 +326,17 @@ class QueryStatement(Statement):
 
 @dataclass(frozen=True)
 class Explain(Statement):
-    """``EXPLAIN <query>`` — show the optimized logical plan."""
+    """``EXPLAIN <query>`` — show the optimized physical plan."""
 
     query: QueryNode
+
+
+@dataclass(frozen=True)
+class Analyze(Statement):
+    """``ANALYZE [table]`` — collect optimizer statistics (all tables
+    when no table is named)."""
+
+    table: Optional[str]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,200 @@
+"""Literal-to-parameter normalization for plan-cache key construction.
+
+``normalize_statement`` lexes one statement and replaces constant
+literals with host-parameter markers, so that textually different
+statements like ``SELECT * FROM t WHERE a = 5`` and ``... WHERE a = 6``
+share a single cached plan.  The result is
+
+* a canonical normalized text (whitespace/comments collapsed, keywords
+  upper-cased, literals replaced by ``?``), usable as a cache key, and
+* the *slot recipe*: for each parameter of the normalized statement, in
+  order, either the literal value extracted from this text or the index
+  of the caller-supplied parameter that occupied that position.
+
+Normalization is **conservative** — a literal is left in place whenever
+its concrete value is semantically load-bearing rather than a mere
+constant:
+
+* ``LIMIT`` / ``OFFSET`` counts (the grammar requires integer tokens);
+* bare integers in ``ORDER BY`` / ``GROUP BY`` lists (ordinals);
+* the constant of ``CHEAPEST SUM(1)`` / aggregate ``SUM(1)`` (the binder
+  recognizes the literal to select the unweighted BFS path);
+* anything inside ``CASE ... END`` (the branch literals drive static
+  result-type inference).
+
+Skipping a literal is always safe: it only reduces sharing.  If the
+statement contains no normalizable literal, ``None`` is returned and the
+caller keeps exact-text caching only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import SqlError
+from .lexer import tokenize
+from .tokens import KEYWORDS, Token, TokenType
+
+#: One parameter slot of a normalized statement: ``("lit", value)`` for
+#: an extracted literal, ``("user", index)`` for a caller parameter.
+Slot = tuple[str, Union[int, float, str, None]]
+
+_LITERALS = (TokenType.INTEGER, TokenType.FLOAT, TokenType.STRING)
+_TYPE_TAGS = {
+    TokenType.INTEGER: "i",
+    TokenType.FLOAT: "f",
+    TokenType.STRING: "s",
+}
+
+#: Keywords that definitely terminate an ORDER BY / GROUP BY item list
+#: at its own nesting depth (expression-internal keywords like CASE,
+#: BETWEEN or AND do not — they can only appear *inside* a sort item).
+_BY_LIST_ENDERS = frozenset(
+    """
+    LIMIT OFFSET UNION EXCEPT INTERSECT HAVING FROM WHERE
+    GROUP ORDER SELECT
+    """.split()
+)
+
+
+def _render(token: Token) -> str:
+    if token.type == TokenType.STRING:
+        return "'" + str(token.value).replace("'", "''") + "'"
+    if token.type == TokenType.IDENT:
+        name = str(token.value)
+        # re-quote identifiers that came from the "quoted" form: anything
+        # that would not re-lex as a plain identifier token
+        bare = name and (name[0].isalpha() or name[0] == "_") and all(
+            c.isalnum() or c == "_" for c in name
+        )
+        if not bare or name.upper() in KEYWORDS:
+            return '"' + name + '"'
+        return name
+    return str(token.value)
+
+
+def normalize_statement(sql: str) -> Optional[tuple[str, list[Slot]]]:
+    """Normalized (cache key, slot recipe) for one statement, or None.
+
+    Returns None when the text cannot be lexed or contains no literal
+    worth normalizing.
+    """
+    try:
+        tokens = tokenize(sql)
+    except SqlError:
+        return None
+    tokens = [t for t in tokens if t.type != TokenType.EOF]
+    parts: list[str] = []
+    slots: list[Slot] = []
+    signature: list[str] = []
+    normalized_any = False
+    user_index = 0
+    case_depth = 0
+    paren_depth = 0
+    #: inside an ORDER BY / GROUP BY list: the depth BY was seen at,
+    #: or None.  A bare integer right after BY or after a list-level
+    #: comma is an ordinal and must keep its value.
+    by_depth = None
+    expect_ordinal = False
+
+    for i, token in enumerate(tokens):
+        is_keyword = token.type == TokenType.KEYWORD
+        is_punct = token.type == TokenType.PUNCT
+        if is_keyword:
+            if token.value == "CASE":
+                case_depth += 1
+            elif token.value == "END" and case_depth:
+                case_depth -= 1
+        if is_punct and token.value == "(":
+            paren_depth += 1
+        elif is_punct and token.value == ")":
+            paren_depth -= 1
+        # BY-list scope tracking (ordinal protection)
+        if by_depth is not None and (
+            paren_depth < by_depth
+            or (is_punct and token.value == ";")
+            or (is_keyword and token.value in _BY_LIST_ENDERS and paren_depth == by_depth)
+        ):
+            by_depth = None
+        ordinal_position = expect_ordinal and by_depth is not None
+        if is_keyword and token.value == "BY":
+            by_depth = paren_depth
+            expect_ordinal = True
+        elif by_depth is not None and is_punct and token.value == "," and paren_depth == by_depth:
+            expect_ordinal = True
+        else:
+            expect_ordinal = False
+
+        if token.type == TokenType.PARAM:
+            slots.append(("user", user_index))
+            user_index += 1
+            parts.append("?")
+            continue
+
+        if token.type in _LITERALS and not _keep_literal(
+            tokens, i, case_depth, ordinal_position
+        ):
+            slots.append(("lit", token.value))
+            parts.append("?")
+            signature.append(_TYPE_TAGS[token.type])
+            normalized_any = True
+            continue
+
+        parts.append(_render(token))
+
+    if not normalized_any:
+        return None
+    # the key carries the literal *types*: an integer-literal statement
+    # never shares a plan (or its bind-time outcome) with a string- or
+    # float-literal variant of the same shape
+    return " ".join(parts) + " --" + "".join(signature), slots
+
+
+def _keep_literal(
+    tokens: list[Token], i: int, case_depth: int, ordinal_position: bool
+) -> bool:
+    """True when the literal at ``tokens[i]`` must keep its exact value."""
+    if case_depth:
+        return True
+    if ordinal_position and tokens[i].type == TokenType.INTEGER:
+        return True
+    prev = tokens[i - 1] if i > 0 else None
+    if prev is not None and prev.is_keyword("LIMIT", "OFFSET"):
+        return True
+    # SUM( <literal> ): the binder's constant-one detection
+    if (
+        i >= 2
+        and tokens[i - 2].is_keyword("SUM")
+        and tokens[i - 1].type == TokenType.PUNCT
+        and tokens[i - 1].value == "("
+        and i + 1 < len(tokens)
+        and tokens[i + 1].type == TokenType.PUNCT
+        and tokens[i + 1].value == ")"
+    ):
+        return True
+    return False
+
+
+def merge_params(slots: list[Slot], params: tuple) -> tuple:
+    """Actual parameter tuple for a normalized plan: extracted literals
+    interleaved with the caller's positional parameters.
+
+    Raises with *user-visible* counts when parameters are missing — the
+    internal literal slots must not leak into the error message.
+    """
+    user_needed = 1 + max(
+        (value for kind, value in slots if kind == "user"), default=-1
+    )
+    if user_needed > len(params):
+        from ..errors import ExecutionError
+
+        raise ExecutionError(
+            f"statement requires at least {user_needed} parameters, "
+            f"got {len(params)}"
+        )
+    return tuple(
+        params[value] if kind == "user" else value for kind, value in slots
+    )
+
+
+__all__ = ["normalize_statement", "merge_params", "Slot"]

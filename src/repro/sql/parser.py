@@ -149,6 +149,12 @@ class Parser:
         if token.is_keyword("EXPLAIN"):
             self.advance()
             return ast.Explain(self.query())
+        if token.is_keyword("ANALYZE"):
+            self.advance()
+            table = None
+            if self.peek().type == TokenType.IDENT:
+                table = self.expect_identifier("table name")
+            return ast.Analyze(table)
         if token.is_keyword("DELETE"):
             return self._delete()
         if token.is_keyword("UPDATE"):

@@ -3,6 +3,7 @@
 from .column import Column
 from .locks import LockSet, RWLock
 from .schema import ColumnDef, Schema
+from .stats import ColumnStats, StatsManager, TableStats
 from .table import Catalog, Table
 from .types import (
     DataType,
@@ -33,4 +34,7 @@ __all__ = [
     "promote",
     "LockSet",
     "RWLock",
+    "ColumnStats",
+    "StatsManager",
+    "TableStats",
 ]

@@ -1,0 +1,161 @@
+"""Per-table / per-column statistics for the cost-based optimizer.
+
+``ANALYZE [table]`` (or :meth:`StatsManager.analyze`) scans the live
+columns and records, per column: null count, distinct-value count and —
+for numeric/date columns — min and max.  The optimizer uses them for
+selectivity estimation, join ordering and hash-join build-side choice;
+without ANALYZE it falls back to live row counts plus heuristics.
+
+Maintenance rides on the existing write-listener/version machinery:
+
+* every committed mutation refreshes the recorded ``row_count`` (the
+  listener fires after the column swap, so ``table.num_rows`` is the
+  post-write count) and marks the column-level stats *stale* — they are
+  still served (better than nothing) but flagged, and ``\\stats`` shows
+  the staleness;
+* every ANALYZE bumps the table's *marker* (per-table counter).
+  Plan-cache entries record, per referenced table, the marker at plan
+  time, so fresh statistics transparently re-optimize exactly the
+  cached plans that read the analyzed table.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from .table import Catalog, Table
+from .types import DataType
+
+
+@dataclass
+class ColumnStats:
+    """Statistics of one column, computed by ANALYZE."""
+
+    null_count: int
+    distinct: int
+    min_value: Optional[Any] = None
+    max_value: Optional[Any] = None
+
+    @property
+    def has_range(self) -> bool:
+        return self.min_value is not None and self.max_value is not None
+
+
+@dataclass
+class TableStats:
+    """Statistics of one table at ANALYZE time."""
+
+    table: str
+    row_count: int
+    version: int  #: table version at ANALYZE time (staleness detection)
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+    stale: bool = False  #: set when the table mutated since ANALYZE
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name.lower())
+
+
+def _analyze_column(column, type_: DataType) -> ColumnStats:
+    null_count = int(column.null_mask().sum())
+    data = column.data
+    valid = ~column.null_mask()
+    values = data[valid]
+    if len(values) == 0:
+        return ColumnStats(null_count=null_count, distinct=0)
+    if type_ == DataType.NESTED_TABLE:
+        return ColumnStats(null_count=null_count, distinct=len(values))
+    if data.dtype == np.dtype(object):
+        uniques = set(values.tolist())
+        distinct = len(uniques)
+        min_value = max_value = None
+    else:
+        uniques = np.unique(values)
+        distinct = int(len(uniques))
+        min_value = max_value = None
+        if type_.is_numeric or type_ == DataType.DATE:
+            min_value = uniques[0].item()
+            max_value = uniques[-1].item()
+    return ColumnStats(
+        null_count=null_count,
+        distinct=distinct,
+        min_value=min_value,
+        max_value=max_value,
+    )
+
+
+class StatsManager:
+    """Thread-safe registry of :class:`TableStats` over one catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._mutex = threading.Lock()
+        self._stats: dict[str, TableStats] = {}
+        #: Per-table ANALYZE counters: plan-cache entries record the
+        #: marker per referenced table, so fresh statistics re-optimize
+        #: only the plans that actually read the analyzed table.
+        self._markers: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def analyze(self, table_name: str) -> TableStats:
+        """Compute and store fresh statistics for one table."""
+        table = self._catalog.get(table_name)
+        version = table.version
+        columns = table.columns()
+        stats = TableStats(
+            table=table.name, row_count=len(columns[0]) if columns else 0,
+            version=version,
+        )
+        for col_def, column in zip(table.schema, columns):
+            stats.columns[col_def.name] = _analyze_column(column, col_def.type)
+        with self._mutex:
+            self._stats[table.name] = stats
+            self._markers[table.name] = self._markers.get(table.name, 0) + 1
+        return stats
+
+    # ------------------------------------------------------------------
+    def get(self, table_name: str) -> Optional[TableStats]:
+        """Recorded stats for a table (possibly stale), or None."""
+        with self._mutex:
+            return self._stats.get(table_name.lower())
+
+    def marker(self, table_name: str) -> int:
+        """ANALYZE counter for one table (0 = never analyzed).
+
+        Lock-free on purpose: this sits on the plan-cache hit path
+        (validated per referenced table per lookup, while the cache
+        mutex is held).  A single dict read is atomic under the GIL,
+        and the marker is a monotone counter — the worst a race can do
+        is conservatively invalidate one plan."""
+        return self._markers.get(table_name.lower(), 0)
+
+    def drop(self, table_name: str) -> None:
+        """DROP TABLE hook."""
+        with self._mutex:
+            self._stats.pop(table_name.lower(), None)
+            self._markers.pop(table_name.lower(), None)
+
+    def on_table_write(self, table: Table) -> None:
+        """Write-listener hook: refresh row count, flag column stats."""
+        with self._mutex:
+            stats = self._stats.get(table.name)
+            if stats is None:
+                return
+            stats.row_count = table.num_rows
+            stats.stale = stats.version != table.version
+
+    # ------------------------------------------------------------------
+    def row_count(self, table_name: str) -> int:
+        """The live row count (always current, with or without ANALYZE)."""
+        return self._catalog.get(table_name).num_rows
+
+    def describe(self) -> dict[str, TableStats]:
+        """Snapshot of all recorded stats (the ``\\stats`` surface)."""
+        with self._mutex:
+            return dict(self._stats)
+
+
+__all__ = ["ColumnStats", "TableStats", "StatsManager"]

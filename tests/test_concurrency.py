@@ -120,13 +120,26 @@ class TestPlanCache:
         assert rows == [(1, 2)]
 
     def test_lru_capacity_bounds_entries(self):
-        db = Database(plan_cache_capacity=4)
+        # parameterize=False: with literal normalization on, these
+        # statements would all share one normalized plan instead of
+        # filling the exact-text LRU
+        db = Database(plan_cache_capacity=4, parameterize=False)
         db.execute("CREATE TABLE t (a INT)")
         for i in range(10):
             db.execute(f"SELECT a + {i} FROM t")
         stats = db.plan_cache.stats()
         assert stats["entries"] <= 4
         assert stats["evictions"] >= 6
+
+    def test_normalized_statements_share_one_plan(self):
+        db = Database(plan_cache_capacity=4)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (2), (3)")
+        for i in range(10):
+            assert len(db.execute(f"SELECT a FROM t WHERE a <= {i}")) == min(i, 3)
+        stats = db.plan_cache.stats()
+        assert stats["normalized_hits"] >= 8
+        assert stats["normalized_entries"] >= 1
 
     def test_unrelated_table_write_keeps_entry(self, graph_db):
         graph_db.execute("CREATE TABLE other (x INT)")

@@ -1,0 +1,405 @@
+"""Cost-based optimizer: statistics, physical plans, pushdown shapes,
+join reordering, plan-cache parameterization and materialization guards.
+"""
+
+import io
+
+import pytest
+
+from repro import Database
+from repro.cli import Shell
+from repro.errors import CatalogError, ExecutionError, ResourceLimitError
+
+
+@pytest.fixture
+def social():
+    db = Database()
+    db.executescript(
+        """
+        CREATE TABLE persons (id INT, name VARCHAR);
+        CREATE TABLE knows (p1 INT, p2 INT, w DOUBLE);
+        INSERT INTO persons VALUES (1,'a'),(2,'b'),(3,'c'),(4,'d');
+        INSERT INTO knows VALUES (1,2,1.0),(2,3,1.0),(3,4,2.0);
+        """
+    )
+    return db
+
+
+# ---------------------------------------------------------------------------
+# ANALYZE and statistics
+# ---------------------------------------------------------------------------
+class TestAnalyze:
+    def test_analyze_all_tables(self, social):
+        result = social.execute("ANALYZE")
+        assert result.rowcount == 2
+        stats = social.table_stats()
+        assert stats["persons"].row_count == 4
+        assert stats["knows"].columns["w"].distinct == 2
+
+    def test_analyze_single_table(self, social):
+        assert social.execute("ANALYZE persons").rowcount == 1
+        assert "knows" not in social.table_stats()
+
+    def test_analyze_unknown_table_raises(self, social):
+        with pytest.raises(CatalogError):
+            social.execute("ANALYZE nope")
+
+    def test_column_stats_contents(self, social):
+        social.execute("INSERT INTO persons VALUES (9, NULL)")
+        social.execute("ANALYZE persons")
+        col = social.table_stats()["persons"].columns
+        assert col["id"].min_value == 1 and col["id"].max_value == 9
+        assert col["id"].distinct == 5
+        assert col["name"].null_count == 1
+
+    def test_write_refreshes_row_count_and_marks_stale(self, social):
+        social.execute("ANALYZE")
+        social.execute("INSERT INTO persons VALUES (5, 'e')")
+        stats = social.table_stats()["persons"]
+        assert stats.row_count == 5
+        assert stats.stale
+
+    def test_drop_table_drops_stats(self, social):
+        social.execute("ANALYZE")
+        social.execute("DROP TABLE persons")
+        assert "persons" not in social.table_stats()
+
+    def test_python_analyze_helper(self, social):
+        assert sorted(social.analyze()) == ["knows", "persons"]
+
+    def test_analyze_unrelated_table_keeps_plans(self, social):
+        sql = "SELECT id FROM persons WHERE id > 2"
+        social.execute(sql)
+        social.execute("ANALYZE knows")
+        social.execute(sql)  # stats marker of persons unchanged: still hot
+        assert social.plan_cache.stats()["hits"] >= 1
+
+    def test_analyze_bumps_marker_and_invalidates_plans(self, social):
+        sql = "SELECT id FROM persons WHERE id > 2"
+        social.execute(sql)
+        assert social.plan_cache.contains(sql)
+        social.execute("ANALYZE")
+        social.execute(sql)  # revalidation fails -> re-optimized
+        stats = social.plan_cache.stats()
+        assert stats["invalidations"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN / physical plans
+# ---------------------------------------------------------------------------
+class TestPhysicalExplain:
+    def test_estimated_rows_rendered(self, social):
+        text = social.explain("SELECT id FROM persons WHERE id > 2")
+        assert "est_rows=" in text and "cost=" in text
+        assert "Scan persons" in text
+
+    def test_hash_join_shows_build_side(self, social):
+        text = social.explain(
+            "SELECT p.name FROM persons p JOIN knows k ON p.id = k.p1"
+        )
+        assert "HashJoin" in text and "build=" in text
+
+    def test_filter_pushed_below_join(self, social):
+        text = social.explain(
+            "SELECT p.name FROM persons p JOIN knows k ON p.id = k.p1 "
+            "WHERE p.id > 2"
+        )
+        join_line = next(i for i, l in enumerate(text.splitlines()) if "HashJoin" in l)
+        filter_line = next(i for i, l in enumerate(text.splitlines()) if "Filter" in l)
+        assert filter_line > join_line  # filter sits under the join
+
+    def test_three_way_reorder_avoids_cross_product(self, social):
+        # syntactic order starts with persons x persons; the optimizer
+        # reorders so every join is an equi hash join
+        text = social.explain(
+            "SELECT a.name, b.name FROM persons a, persons b, knows k "
+            "WHERE a.id = k.p1 AND k.p2 = b.id"
+        )
+        assert "CrossJoin" not in text
+        assert text.count("HashJoin") == 2
+
+    def test_projection_pruning_narrows_scan(self, social):
+        text = social.explain("SELECT p1 FROM knows")
+        scan_line = next(l for l in text.splitlines() if "Scan knows" in l)
+        assert "w" not in scan_line.split("->")[1]
+
+    def test_pruning_disabled_without_optimizer(self, social):
+        baseline = Database(optimizer=False)
+        baseline.executescript(
+            "CREATE TABLE knows (p1 INT, p2 INT, w DOUBLE);"
+            "INSERT INTO knows VALUES (1,2,1.0)"
+        )
+        text = baseline.explain("SELECT p1 FROM knows")
+        scan_line = next(l for l in text.splitlines() if "Scan knows" in l)
+        assert "w" in scan_line.split("->")[1]
+
+    def test_filter_pushed_into_graph_select_input(self, social):
+        text = social.explain(
+            "SELECT * FROM (SELECT p.id, CHEAPEST SUM(1) AS hops FROM persons p "
+            "WHERE p.id REACHES 4 OVER knows EDGE (p1, p2)) q WHERE q.id < 3"
+        )
+        lines = text.splitlines()
+        graph_line = next(i for i, l in enumerate(lines) if "GraphSelect" in l)
+        filter_lines = [i for i, l in enumerate(lines) if "Filter" in l]
+        assert any(i > graph_line for i in filter_lines)
+
+    def test_profile_reports_estimated_vs_actual(self, social):
+        _, report = social.profile("SELECT id FROM persons WHERE id > 2")
+        assert "rows=" in report and "est_rows=" in report
+
+    def test_no_pushdown_below_scalar_aggregate(self, social):
+        # a scalar aggregate emits one row even over empty input, so a
+        # constant-false predicate above it must NOT move below it
+        sql = "SELECT * FROM (SELECT count(*) AS c FROM persons) x WHERE 1 = 0"
+        assert social.execute(sql).rows() == []
+        sql = "SELECT * FROM (SELECT max(id) AS m FROM persons) x WHERE 1 = 0"
+        assert social.execute(sql).rows() == []
+        # grouped aggregates still allow group-key pushdown
+        sql = (
+            "SELECT * FROM (SELECT id, count(*) AS n FROM persons "
+            "GROUP BY id) x WHERE x.id = 2"
+        )
+        assert social.execute(sql).rows() == [(2, 1)]
+
+
+# ---------------------------------------------------------------------------
+# plan-cache parameterization
+# ---------------------------------------------------------------------------
+class TestParameterization:
+    # The normalized plan is built lazily, once a *second* distinct text
+    # maps onto the same key, so statement three is the first shared hit.
+    def test_literal_values_still_correct(self, social):
+        assert social.execute("SELECT id FROM persons WHERE id = 2").rows() == [(2,)]
+        assert social.execute("SELECT id FROM persons WHERE id = 3").rows() == [(3,)]
+        assert social.execute("SELECT id FROM persons WHERE id = 4").rows() == [(4,)]
+        assert social.plan_cache.stats()["normalized_hits"] >= 1
+
+    def test_one_off_statements_build_no_normalized_plan(self, social):
+        social.execute("SELECT id FROM persons WHERE id = 2")
+        assert social.plan_cache.stats()["normalized_entries"] == 0
+
+    def test_string_literals_normalize(self, social):
+        for name, id_ in (("'b'", 2), ("'c'", 3), ("'d'", 4)):
+            assert social.execute(
+                f"SELECT id FROM persons WHERE name = {name}"
+            ).rows() == [(id_,)]
+        assert social.plan_cache.stats()["normalized_hits"] >= 1
+
+    def test_mixed_params_and_literals(self, social):
+        rows = social.execute(
+            "SELECT id FROM persons WHERE id = ? OR id = 4", (1,)
+        ).rows()
+        assert sorted(rows) == [(1,), (4,)]
+        rows = social.execute(
+            "SELECT id FROM persons WHERE id = ? OR id = 3", (2,)
+        ).rows()
+        assert sorted(rows) == [(2,), (3,)]
+
+    def test_missing_param_error_counts_user_params_only(self, social):
+        # populate the normalized index with two shape-identical texts
+        social.execute("SELECT id FROM persons WHERE id = 1 AND id > ?", (0,))
+        social.execute("SELECT id FROM persons WHERE id = 2 AND id > ?", (0,))
+        with pytest.raises(ExecutionError, match="at least 1 parameter"):
+            social.execute("SELECT id FROM persons WHERE id = 3 AND id > ?")
+
+    def test_insert_mixed_numeric_literals_promote(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v DOUBLE)")
+        db.execute("INSERT INTO t VALUES (1), (2.5)")  # INT then DOUBLE
+        assert db.execute("SELECT v FROM t ORDER BY 1").rows() == [(1.0,), (2.5,)]
+
+    def test_insert_values_share_plan(self, social):
+        social.execute("INSERT INTO persons VALUES (7, 'g')")
+        social.execute("INSERT INTO persons VALUES (8, 'h')")
+        social.execute("INSERT INTO persons VALUES (9, 'i')")
+        assert social.execute("SELECT count(*) FROM persons").scalar() == 7
+        assert social.plan_cache.stats()["normalized_hits"] >= 1
+
+    def test_trailing_ordinal_after_expression_kept(self):
+        # ORDER BY a, 2 — the ordinal after a non-integer sort key must
+        # keep its value even when another literal is normalized away
+        db = Database()
+        db.execute("CREATE TABLE s (a INT, b INT)")
+        db.execute(
+            "INSERT INTO s VALUES (1, 9), (1, 1), (2, 8), (2, 3), (3, 5), (3, 4)"
+        )
+        template = "SELECT a, b FROM s WHERE a = {} ORDER BY a, 2 LIMIT 1"
+        assert db.execute(template.format(1)).rows() == [(1, 1)]
+        assert db.execute(template.format(2)).rows() == [(2, 3)]
+        # third distinct literal: served from the shared normalized plan
+        assert db.execute(template.format(3)).rows() == [(3, 4)]
+        assert db.plan_cache.stats()["normalized_hits"] >= 1
+
+    def test_normalize_ordinal_token_rules(self):
+        from repro.sql.normalize import normalize_statement
+
+        key, slots = normalize_statement(
+            "SELECT a FROM t WHERE a = 5 ORDER BY a, 2"
+        )
+        assert "ORDER BY a , 2 --" in key
+        assert slots == [("lit", 5)]
+        # commas inside function calls do not create ordinal positions
+        key, slots = normalize_statement(
+            "SELECT a FROM t WHERE a = 5 ORDER BY coalesce(b, 0), 2"
+        )
+        assert ", 2 --" in key
+        assert ("lit", 0) in slots and ("lit", 2) not in slots
+        # a subquery's ORDER BY scope ends at its closing parenthesis
+        key, slots = normalize_statement(
+            "SELECT * FROM (SELECT a FROM t ORDER BY 1) x WHERE a = 7"
+        )
+        assert "ORDER BY 1" in key
+        assert slots == [("lit", 7)]
+
+    def test_limit_and_ordinals_not_normalized(self, social):
+        two = social.execute("SELECT id FROM persons ORDER BY 1 LIMIT 2").rows()
+        three = social.execute("SELECT id FROM persons ORDER BY 1 LIMIT 3").rows()
+        assert len(two) == 2 and len(three) == 3
+        assert two == [(1,), (2,)]
+
+    def test_literal_types_never_share_a_plan(self, social):
+        from repro.sql.normalize import normalize_statement
+
+        int_key, _ = normalize_statement("SELECT id FROM persons WHERE id = 1")
+        str_key, _ = normalize_statement("SELECT id FROM persons WHERE id = 'x'")
+        assert int_key != str_key
+
+    def test_cheapest_sum_constant_not_normalized(self, social):
+        hops = social.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 4 OVER knows EDGE (p1, p2)"
+        ).scalar()
+        assert hops == 3
+
+    def test_normalized_entries_invalidated_by_dml(self, social):
+        social.execute("SELECT id FROM persons WHERE id = 1")
+        social.execute("SELECT id FROM persons WHERE id = 2")
+        social.execute("SELECT id FROM persons WHERE id = 3")
+        before = social.plan_cache.stats()["normalized_entries"]
+        assert before >= 1
+        social.execute("INSERT INTO persons VALUES (10, 'j')")
+        assert social.execute(
+            "SELECT id FROM persons WHERE id = 10"
+        ).rows() == [(10,)]
+
+    def test_parameterize_off(self):
+        db = Database(parameterize=False)
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("SELECT x FROM t WHERE x = 1")
+        db.execute("SELECT x FROM t WHERE x = 2")
+        stats = db.plan_cache.stats()
+        assert stats["normalized_hits"] == 0
+        assert stats["normalized_entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# materialization guards (MAX_CROSS_ROWS on every fallback path)
+# ---------------------------------------------------------------------------
+class TestResourceLimits:
+    @pytest.fixture
+    def big(self):
+        db = Database()
+        db.execute("CREATE TABLE a (x INT)")
+        db.execute("CREATE TABLE b (y INT)")
+        db.table("a").insert_rows([(i,) for i in range(6000)])
+        db.table("b").insert_rows([(i,) for i in range(6000)])
+        return db
+
+    def test_cross_product_guard(self, big):
+        with pytest.raises(ResourceLimitError, match="safety limit"):
+            big.execute("SELECT * FROM a, b")
+
+    def test_nested_loop_guard(self, big):
+        # non-equi condition: no hash keys, so the nested-loop fallback
+        # path must hit the same typed guard
+        with pytest.raises(ResourceLimitError, match="safety limit"):
+            big.execute("SELECT * FROM a JOIN b ON a.x < b.y")
+
+    def test_guard_is_typed_execution_error(self, big):
+        with pytest.raises(ExecutionError):
+            big.execute("SELECT * FROM a, b")
+
+    def test_degenerate_hash_join_guard(self):
+        # every key identical: the equi-join is a cross product in
+        # disguise and must hit the same typed guard
+        db = Database()
+        db.execute("CREATE TABLE a (x INT)")
+        db.execute("CREATE TABLE b (y INT)")
+        db.table("a").insert_rows([(1,)] * 6000)
+        db.table("b").insert_rows([(1,)] * 6000)
+        with pytest.raises(ResourceLimitError, match="safety limit"):
+            db.execute("SELECT * FROM a JOIN b ON a.x = b.y")
+
+    def test_small_cross_product_still_works(self, social):
+        rows = social.execute("SELECT count(*) FROM persons a, persons b").scalar()
+        assert rows == 16
+
+
+# ---------------------------------------------------------------------------
+# shell surfaces
+# ---------------------------------------------------------------------------
+class TestShellStats:
+    def _shell(self, db):
+        out = io.StringIO()
+        shell = Shell(db, out=out)
+        return shell, out
+
+    def test_stats_before_analyze(self, social):
+        shell, out = self._shell(social)
+        shell.feed_line("\\stats")
+        assert "no statistics recorded" in out.getvalue()
+
+    def test_stats_after_analyze(self, social):
+        shell, out = self._shell(social)
+        shell.feed_line("ANALYZE;")
+        shell.feed_line("\\stats")
+        text = out.getvalue()
+        assert "persons: rows=4" in text
+        assert "distinct=" in text and "min=" in text
+
+    def test_cache_shows_normalized_counters(self, social):
+        shell, out = self._shell(social)
+        shell.feed_line("\\cache")
+        assert "normalized_hits=" in out.getvalue()
+
+    def test_stats_single_table_filter(self, social):
+        shell, out = self._shell(social)
+        shell.feed_line("ANALYZE;")
+        shell.feed_line("\\stats knows")
+        text = out.getvalue()
+        assert "knows: rows=3" in text and "persons" not in text
+
+
+# ---------------------------------------------------------------------------
+# optimizer on/off behavioural parity on hand-picked cases
+# ---------------------------------------------------------------------------
+class TestOptimizerToggle:
+    def test_left_join_results_match(self, social):
+        baseline = Database(optimizer=False)
+        baseline.executescript(
+            """
+            CREATE TABLE persons (id INT, name VARCHAR);
+            CREATE TABLE knows (p1 INT, p2 INT, w DOUBLE);
+            INSERT INTO persons VALUES (1,'a'),(2,'b'),(3,'c'),(4,'d');
+            INSERT INTO knows VALUES (1,2,1.0),(2,3,1.0),(3,4,2.0);
+            """
+        )
+        sql = (
+            "SELECT p.id, k.p2 FROM persons p LEFT JOIN knows k "
+            "ON p.id = k.p1 WHERE p.id > 1 ORDER BY 1, 2"
+        )
+        assert social.execute(sql).rows() == baseline.execute(sql).rows()
+
+    def test_build_side_does_not_change_row_order(self, social):
+        # knows (3 rows) joined with persons (4 rows): build side differs
+        # from probe side, output order must match the canonical plan
+        sql = "SELECT k.p1, p.name FROM knows k JOIN persons p ON k.p1 = p.id"
+        baseline = Database(optimizer=False)
+        baseline.executescript(
+            """
+            CREATE TABLE persons (id INT, name VARCHAR);
+            CREATE TABLE knows (p1 INT, p2 INT, w DOUBLE);
+            INSERT INTO persons VALUES (1,'a'),(2,'b'),(3,'c'),(4,'d');
+            INSERT INTO knows VALUES (1,2,1.0),(2,3,1.0),(3,4,2.0);
+            """
+        )
+        assert social.execute(sql).rows() == baseline.execute(sql).rows()
