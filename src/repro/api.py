@@ -51,7 +51,13 @@ import threading
 from collections import OrderedDict
 from typing import Any, Iterable, Optional, Sequence
 
-from .errors import CatalogError, ExecutionError, ReproError
+from .errors import (
+    CatalogError,
+    ExecutionError,
+    ReproError,
+    TransactionConflictError,
+    TransactionError,
+)
 from .exec import graph_ops  # noqa: F401 - registers the graph operators
 from .exec.batch import Batch
 from .exec.operators import ExecContext, execute_plan
@@ -60,6 +66,9 @@ from .nested import NestedTableValue
 from .plan import (
     Binder,
     BoundAnalyze,
+    BoundBegin,
+    BoundCommit,
+    BoundRollback,
     BoundCreateGraphIndex,
     BoundCreateTable,
     BoundCreateTableAs,
@@ -73,17 +82,21 @@ from .plan import (
     explain_physical,
     optimize,
 )
-from .session import PlanCache, Session, referenced_tables
+from .session import PlanCache, Session, Transaction, referenced_tables
 from .sql import parse_script, parse_statement
 from .sql.normalize import merge_params, normalize_statement
 from .storage import (
+    TXN_VERSION_BASE,
     Catalog,
     Column,
     DataType,
     LockSet,
     Schema,
+    Snapshot,
     StatsManager,
     Table,
+    TableVersion,
+    build_appended_columns,
     days_to_date,
 )
 
@@ -251,42 +264,60 @@ class GraphIndexManager:
                 del self._cache[spec]
             self.invalidations += len(stale)
 
-    def lookup(self, table: str, src_col: str, dst_col: str) -> Optional[GraphLibrary]:
+    def lookup(
+        self,
+        table: str,
+        src_col: str,
+        dst_col: str,
+        table_version: Optional[TableVersion] = None,
+    ) -> Optional[GraphLibrary]:
         """A prepared library for (table, S, D), or None if not indexed.
 
-        Rebuilds lazily when the table changed since the cached build.
+        ``table_version`` pins the lookup to a snapshot's view of the
+        edge table: the cached library is served only when it was built
+        from exactly that version, and a rebuild reads the snapshot's
+        immutable columns.  Without it the table's current committed
+        version is used.  Rebuilds happen lazily whenever the requested
+        version differs from the cached build.
         """
         spec = (table.lower(), src_col.lower(), dst_col.lower())
         with self._mutex:
             if spec not in self._specs.values():
                 return None
-            table_obj = self._catalog.get(spec[0])
+            version = (
+                table_version
+                if table_version is not None
+                else self._catalog.get(spec[0]).current()
+            )
             cached = self._cache.get(spec)
-            if cached is not None and cached[0] == table_obj.version:
+            if cached is not None and cached[0] == version.version_id:
                 self._cache.move_to_end(spec)
                 self.hits += 1
                 return cached[1]
             self.misses += 1
         # Build outside the mutex: CSR construction can be slow and must
-        # not serialize lookups of other indices.  No table lock either —
-        # the statement layer may already hold it, and a write-preferring
-        # lock deadlocks on reentrant reads.  A single columns() call is
-        # an atomic snapshot (mutators swap the whole list), and reading
-        # the version *before* it means a concurrent write can only make
-        # the entry conservatively stale, never stale-marked-fresh.
-        version = table_obj.version
-        columns = table_obj.columns()
-        src = columns[table_obj.schema.index_of(src_col)]
-        dst = columns[table_obj.schema.index_of(dst_col)]
+        # not serialize lookups of other indices.  No locks at all — the
+        # TableVersion is immutable, so the build can never observe a
+        # half-applied write, and its version id keys the cache entry.
+        src = version.column(src_col)
+        dst = version.column(dst_col)
         valid = ~(src.null_mask() | dst.null_mask())
         library = GraphLibrary(src.data[valid], dst.data[valid])
         with self._mutex:
             self.builds += 1
-            self._cache[spec] = (version, library)
-            self._cache.move_to_end(spec)
-            while len(self._cache) > self.capacity:
-                self._cache.popitem(last=False)
-                self.evictions += 1
+            cached = self._cache.get(spec)
+            if version.version_id < TXN_VERSION_BASE and (
+                cached is None or cached[0] <= version.version_id
+            ):
+                # never cache transaction-private (uncommitted) builds,
+                # and never let an old-snapshot build clobber a fresher
+                # cached CSR (a long transaction would otherwise thrash
+                # the slot against current-version queries)
+                self._cache[spec] = (version.version_id, library)
+                self._cache.move_to_end(spec)
+                while len(self._cache) > self.capacity:
+                    self._cache.popitem(last=False)
+                    self.evictions += 1
         return library
 
     def stats(self) -> dict[str, int]:
@@ -351,6 +382,10 @@ class Database:
         self.path_workers = path_workers
         self.optimizer_enabled = bool(optimizer)
         self.parameterize = bool(parameterize)
+        #: Serializes eager multi-table snapshot pinning against
+        #: multi-table COMMIT installation, so a statement can never pin
+        #: half of another transaction's committed write set.
+        self._snapshot_mutex = threading.Lock()
         # every committed table mutation invalidates both caches and
         # refreshes the recorded statistics row counts
         self.catalog.add_write_listener(self._on_table_write)
@@ -376,24 +411,117 @@ class Database:
         return Session(self)
 
     # ------------------------------------------------------------------
+    # snapshots and transactions
+    # ------------------------------------------------------------------
+    def pin_snapshot(
+        self,
+        tables: Optional[Iterable[str]] = None,
+        overlay: Optional[dict] = None,
+    ) -> Snapshot:
+        """Pin a :class:`~repro.storage.snapshot.Snapshot` — the read
+        view of one statement or transaction.
+
+        ``tables`` limits eager pinning to a statement's referenced set;
+        None pins the whole catalog (a transaction's BEGIN).  Pinning
+        happens under the snapshot mutex shared with COMMIT installation
+        so a multi-table commit is observed either fully or not at all.
+        Tables touched later are pinned lazily on first access.
+        """
+        snapshot = Snapshot(
+            self.catalog, stats_marker=self.stats.marker, overlay=overlay
+        )
+        names = (
+            self.catalog.table_names()
+            if tables is None
+            else [n.lower() for n in tables]
+        )
+        with self._snapshot_mutex:
+            snapshot.pin(names)
+        return snapshot
+
+    def commit_transaction(self, txn: Transaction) -> None:
+        """Publish a transaction's buffered writes (the COMMIT path).
+
+        First-committer-wins conflict detection: all written tables are
+        write-locked in sorted-name order (the statement layer's global
+        lock order), every base version is compared against the live
+        table, and only if all match are the buffered versions installed
+        — atomically with respect to snapshot pinning.
+        """
+        if not txn.active:
+            raise TransactionError("transaction is no longer active")
+        txn.finish()
+        names = sorted(txn.writes)
+        if not names:
+            return
+        locks = {}
+        for name in names:
+            if not self.catalog.has(name):
+                raise TransactionConflictError(
+                    f"table {name!r} was dropped by a concurrent statement"
+                )
+            locks[name] = self.catalog.get(name).lock
+        with LockSet(locks, set(names)):
+            for name in names:
+                if not self.catalog.has(name):
+                    raise TransactionConflictError(
+                        f"table {name!r} was dropped by a concurrent statement"
+                    )
+                live = self.catalog.get(name)
+                if (
+                    live.version != txn.base[name]
+                    or live.schema.fingerprint()
+                    != txn.writes[name].schema.fingerprint()
+                ):
+                    raise TransactionConflictError(
+                        f"write-write conflict on table {name!r}: committed "
+                        f"version {live.version} is newer than this "
+                        f"transaction's base version {txn.base[name]}"
+                    )
+            with self._snapshot_mutex:
+                for name in names:
+                    self.catalog.get(name).replace_columns(
+                        list(txn.writes[name].columns)
+                    )
+
+    # ------------------------------------------------------------------
     # SQL entry points
     # ------------------------------------------------------------------
-    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        *,
+        session: Optional[Session] = None,
+    ) -> Result:
         """Execute one SQL statement.
 
         Queries and INSERTs are served through the plan cache: a hit
         (exact-text or literal-normalized) skips parse → bind →
         optimize entirely and goes straight to execution.
+
+        ``session`` carries the transaction scope: inside an explicit
+        transaction every statement reads the transaction's snapshot and
+        buffers its writes; without a session (or outside BEGIN/COMMIT)
+        the statement autocommits against its own snapshot.
         """
-        entry, bound, _, slots = self._lookup_or_plan(sql)
+        txn = self._active_transaction(session)
+        entry, bound, _, slots = self._lookup_or_plan(sql, txn=txn)
         params = tuple(params)
         if slots is not None:
             params = merge_params(slots, params)
         if entry is not None:
-            return self._execute_cached(entry, params)
-        return self._run_bound(bound, params)
+            return self._execute_cached(entry, params, txn)
+        return self._run_bound(bound, params, session=session, txn=txn)
 
-    def _lookup_or_plan(self, sql: str):
+    @staticmethod
+    def _active_transaction(session: Optional[Session]) -> Optional[Transaction]:
+        if session is None:
+            return None
+        txn = session.transaction
+        return txn if txn is not None and txn.active else None
+
+    def _lookup_or_plan(self, sql: str, txn: Optional[Transaction] = None):
         """The single get-or-fill path of the plan cache.
 
         Returns ``(entry, bound, was_hit, slots)``: a cache entry
@@ -402,8 +530,14 @@ class Database:
         EXPLAIN) — the bound statement with ``entry`` None.  ``slots``
         is non-None only for normalized-index hits: the parameter
         recipe interleaving this text's literals with caller params.
+
+        Inside a transaction, cache entries are validated against (and
+        recorded from) the transaction's snapshot rather than the live
+        tables, so repeated statements keep hitting plans consistent
+        with the transaction's view.
         """
-        entry = self.plan_cache.get(sql)
+        snapshot = txn.snapshot if txn is not None else None
+        entry = self.plan_cache.get(sql, snapshot)
         if entry is not None:
             return entry, None, True, None
         normalized = (
@@ -413,16 +547,18 @@ class Database:
         )
         if normalized is not None:
             key, slots = normalized
-            entry = self.plan_cache.get_normalized(key)
+            entry = self.plan_cache.get_normalized(key, snapshot)
             if entry is not None:
                 return entry, None, True, slots
         statement = parse_statement(sql)
         bound = Binder(self.catalog).bind_statement(statement)
         if isinstance(bound, BoundQuery):
-            entry = self.plan_cache.put(sql, self._optimize(bound.plan))
+            entry = self.plan_cache.put(
+                sql, self._optimize(bound.plan), snapshot=snapshot
+            )
         elif isinstance(bound, BoundInsert):
             entry = self.plan_cache.put_insert(
-                sql, bound, self._optimize(bound.plan)
+                sql, bound, self._optimize(bound.plan), snapshot=snapshot
             )
         else:
             return None, bound, False, None
@@ -452,13 +588,20 @@ class Database:
         except ReproError:
             pass
 
-    def _execute_cached(self, entry, params: tuple) -> Result:
+    def _execute_cached(
+        self, entry, params: tuple, txn: Optional[Transaction] = None
+    ) -> Result:
         # entry.deps already names every referenced table: no need to
         # re-walk the plan tree per execution on the cache-hit hot path
         if entry.kind == "insert":
-            with self._locks(entry.tables(), {entry.bound.table}):
-                return self._run_insert(entry.bound, entry.plan, params)
-        return self._execute_query_plan(entry.plan, params, tables=entry.tables())
+            if txn is not None:
+                return self._txn_insert(txn, entry.bound, entry.plan, params)
+            with self._write_locks({entry.bound.table}):
+                snapshot = self.pin_snapshot(entry.tables())
+                return self._run_insert(entry.bound, entry.plan, params, snapshot)
+        return self._execute_query_plan(
+            entry.plan, params, tables=entry.tables(), txn=txn
+        )
 
     def prepare_plan(self, sql: str):
         """Parse, bind, optimize and cache a statement without executing
@@ -467,23 +610,37 @@ class Database:
         entry, _, _, _ = self._lookup_or_plan(sql)
         return entry
 
-    def executescript(self, sql: str) -> list[Result]:
+    def executescript(
+        self, sql: str, *, session: Optional[Session] = None
+    ) -> list[Result]:
         """Execute a semicolon-separated list of statements (no params)."""
-        return [
-            self._run_bound(Binder(self.catalog).bind_statement(stmt), ())
-            for stmt in parse_script(sql)
-        ]
+        results = []
+        for stmt in parse_script(sql):
+            bound = Binder(self.catalog).bind_statement(stmt)
+            # re-resolve per statement: BEGIN/COMMIT inside the script
+            # switch the transaction scope mid-stream
+            txn = self._active_transaction(session)
+            results.append(self._run_bound(bound, (), session=session, txn=txn))
+        return results
 
-    def profile(self, sql: str, params: Sequence[Any] = ()) -> tuple[Result, str]:
+    def profile(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        *,
+        session: Optional[Session] = None,
+    ) -> tuple[Result, str]:
         """Execute a query with per-operator timing instrumentation.
 
         Returns (result, report); the report is the plan tree annotated
-        with self/total milliseconds and output row counts per operator,
-        plus a plan-cache / graph-index-cache summary footer.
+        with self/total milliseconds and output row counts per operator
+        (≥10x cardinality misestimates are flagged), plus a plan-cache /
+        graph-index-cache summary footer.
         """
         from .exec.profiler import Profiler
 
-        entry, _, cache_hit, slots = self._lookup_or_plan(sql)
+        txn = self._active_transaction(session)
+        entry, _, cache_hit, slots = self._lookup_or_plan(sql, txn=txn)
         if entry is None or entry.kind != "query":
             raise ExecutionError("profile() is only available for queries")
         params = tuple(params)
@@ -491,9 +648,11 @@ class Database:
             params = merge_params(slots, params)
         plan = entry.plan
         profiler = Profiler()
-        with self._read_locks(entry.tables()):
-            ctx = ExecContext(self, params, profiler=profiler)
-            result = Result(execute_plan(plan, ctx))
+        snapshot = (
+            txn.snapshot if txn is not None else self.pin_snapshot(entry.tables())
+        )
+        ctx = ExecContext(self, params, profiler=profiler, snapshot=snapshot)
+        result = Result(execute_plan(plan, ctx))
         profiler.plan_cache_hit = cache_hit
         profiler.cache_stats = self.cache_stats()
         return result, profiler.render(plan)
@@ -533,16 +692,33 @@ class Database:
     # ------------------------------------------------------------------
     # optimizer statistics
     # ------------------------------------------------------------------
-    def analyze(self, table: Optional[str] = None) -> list[str]:
+    def analyze(
+        self,
+        table: Optional[str] = None,
+        *,
+        snapshot: Optional[Snapshot] = None,
+    ) -> list[str]:
         """Collect optimizer statistics (the ``ANALYZE`` statement);
-        returns the names of the tables analyzed."""
-        names = [table] if table is not None else self.catalog.table_names()
+        returns the names of the tables analyzed.
+
+        ANALYZE reads a snapshot (its own, or the enclosing
+        transaction's) instead of taking read locks, so it never blocks
+        writers however long the scan takes.  Statistics are shared
+        global state, so only *committed* versions are analyzed — inside
+        a transaction the snapshot's pinned committed view, never the
+        uncommitted write overlay (whose contents may be rolled back).
+        """
+        names = [table.lower()] if table is not None else self.catalog.table_names()
+        if snapshot is None:
+            snapshot = self.pin_snapshot(names)
         analyzed = []
-        with self._read_locks(set(names)):
-            for name in names:
-                if self.catalog.has(name):  # tolerate concurrent DROPs
-                    self.stats.analyze(name)
-                    analyzed.append(name)
+        for name in names:
+            try:
+                version = snapshot.committed_version(name)
+            except CatalogError:
+                continue  # tolerate concurrent DROPs
+            self.stats.analyze(name, version)
+            analyzed.append(name)
         return analyzed
 
     def table_stats(self):
@@ -561,8 +737,12 @@ class Database:
     def table(self, name: str) -> Table:
         return self.catalog.get(name)
 
-    def lookup_graph_index(self, table, src_col, dst_col) -> Optional[GraphLibrary]:
-        return self.graph_indices.lookup(table, src_col, dst_col)
+    def lookup_graph_index(
+        self, table, src_col, dst_col, table_version=None
+    ) -> Optional[GraphLibrary]:
+        return self.graph_indices.lookup(
+            table, src_col, dst_col, table_version=table_version
+        )
 
     # ------------------------------------------------------------------
     # persistence
@@ -581,37 +761,76 @@ class Database:
         return load_database(directory)
 
     # ------------------------------------------------------------------
-    # statement-scoped locking
+    # statement-scoped locking (writers only — readers pin snapshots)
     # ------------------------------------------------------------------
-    def _locks(self, read: set[str], write: set[str] = frozenset()) -> LockSet:
-        """A :class:`LockSet` over the named tables (write wins over
-        read); tables dropped since analysis are simply skipped — the
-        executor will raise its regular CatalogError."""
+    def _write_locks(self, tables: set[str]) -> LockSet:
+        """A write :class:`LockSet` over the named tables (writers
+        serialize per table among themselves); tables dropped since
+        analysis are simply skipped — the executor will raise its
+        regular CatalogError."""
         locks = {}
-        wanted_writes = {name.lower() for name in write}
-        for name in {n.lower() for n in read} | wanted_writes:
+        for name in {n.lower() for n in tables}:
             if self.catalog.has(name):
                 locks[name] = self.catalog.get(name).lock
-        return LockSet(locks, wanted_writes & set(locks))
-
-    def _read_locks(self, tables: set[str]) -> LockSet:
-        return self._locks(tables)
+        return LockSet(locks, set(locks))
 
     def _execute_query_plan(
-        self, plan, params: tuple, tables: Optional[set[str]] = None
+        self,
+        plan,
+        params: tuple,
+        tables: Optional[set[str]] = None,
+        txn: Optional[Transaction] = None,
     ) -> Result:
-        if tables is None:
-            tables = referenced_tables(plan)
-        with self._read_locks(tables):
-            ctx = ExecContext(self, params)
-            return Result(execute_plan(plan, ctx))
+        """Run a query plan lock-free against a pinned snapshot (the
+        transaction's, or a fresh one covering the referenced tables)."""
+        if txn is not None:
+            snapshot = txn.snapshot
+        else:
+            if tables is None:
+                tables = referenced_tables(plan)
+            snapshot = self.pin_snapshot(tables)
+        ctx = ExecContext(self, params, snapshot=snapshot)
+        return Result(execute_plan(plan, ctx))
 
     # ------------------------------------------------------------------
-    def _run_bound(self, bound, params: tuple) -> Result:
+    #: Bound statement kinds that mutate the catalog or index/stat
+    #: definitions — rejected inside an explicit transaction (the write
+    #: buffer holds table *data* versions, not catalog state).
+    _DDL_BOUND = (
+        BoundCreateTable,
+        BoundDropTable,
+        BoundCreateTableAs,
+        BoundCreateGraphIndex,
+        BoundDropGraphIndex,
+    )
+
+    def _run_bound(
+        self,
+        bound,
+        params: tuple,
+        session: Optional[Session] = None,
+        txn: Optional[Transaction] = None,
+    ) -> Result:
         from .session import expr_tables
 
+        if isinstance(bound, BoundBegin):
+            self._require_session(session, "BEGIN").begin()
+            return Result(None, rowcount=0)
+        if isinstance(bound, BoundCommit):
+            self._require_session(session, "COMMIT").commit()
+            return Result(None, rowcount=0)
+        if isinstance(bound, BoundRollback):
+            self._require_session(session, "ROLLBACK").rollback()
+            return Result(None, rowcount=0)
+        if txn is not None and isinstance(bound, self._DDL_BOUND):
+            raise TransactionError(
+                f"{type(bound).__name__[5:]} is not allowed inside a "
+                "transaction; COMMIT or ROLLBACK first"
+            )
         if isinstance(bound, BoundQuery):
-            return self._execute_query_plan(self._optimize(bound.plan), params)
+            return self._execute_query_plan(
+                self._optimize(bound.plan), params, txn=txn
+            )
         if isinstance(bound, BoundExplain):
             text = (
                 explain_physical(self._optimize(bound.plan))
@@ -623,52 +842,86 @@ class Database:
             self.catalog.create_table(bound.name, Schema(list(bound.columns)))
             return Result(None, rowcount=0)
         if isinstance(bound, BoundDropTable):
-            # take the table's write lock first: in-flight statements
+            # take the table's write lock first: in-flight writers
             # holding it finish before the table disappears under them
-            with self._locks(set(), {bound.name}):
+            # (lock-free readers keep their pinned versions regardless)
+            with self._write_locks({bound.name}):
                 self.catalog.drop_table(bound.name)
             self.plan_cache.invalidate_table(bound.name)
             self.graph_indices.drop_for_table(bound.name)
             self.stats.drop(bound.name)
             return Result(None, rowcount=0)
         if isinstance(bound, BoundAnalyze):
-            return Result(None, rowcount=len(self.analyze(bound.table)))
+            snapshot = txn.snapshot if txn is not None else None
+            return Result(
+                None, rowcount=len(self.analyze(bound.table, snapshot=snapshot))
+            )
         if isinstance(bound, BoundInsert):
-            reads = referenced_tables(bound.plan)
-            with self._locks(reads, {bound.table}):
-                return self._run_insert(bound, self._optimize(bound.plan), params)
+            plan = self._optimize(bound.plan)
+            if txn is not None:
+                return self._txn_insert(txn, bound, plan, params)
+            with self._write_locks({bound.table}):
+                snapshot = self.pin_snapshot(
+                    referenced_tables(plan) | {bound.table}
+                )
+                return self._run_insert(bound, plan, params, snapshot)
         if isinstance(bound, BoundCreateTableAs):
-            with self._read_locks(referenced_tables(bound.plan)):
-                return self._run_create_table_as(bound, params)
+            snapshot = self.pin_snapshot(referenced_tables(bound.plan))
+            return self._run_create_table_as(bound, params, snapshot)
         if isinstance(bound, BoundDelete):
             reads = referenced_tables(bound.scan)
             if bound.predicate is not None:
                 reads |= expr_tables(bound.predicate)
-            with self._locks(reads, {bound.table}):
-                return self._run_delete(bound, params)
+            if txn is not None:
+                columns, count = self._delete_columns(bound, params, txn.snapshot)
+                txn.record_write(bound.table, columns)
+                return Result(None, rowcount=count)
+            with self._write_locks({bound.table}):
+                snapshot = self.pin_snapshot(reads | {bound.table})
+                columns, count = self._delete_columns(bound, params, snapshot)
+                self.catalog.get(bound.table).replace_columns(columns)
+                return Result(None, rowcount=count)
         if isinstance(bound, BoundUpdate):
             reads = referenced_tables(bound.scan)
             if bound.predicate is not None:
                 reads |= expr_tables(bound.predicate)
             for _, expr in bound.assignments:
                 reads |= expr_tables(expr)
-            with self._locks(reads, {bound.table}):
-                return self._run_update(bound, params)
+            if txn is not None:
+                columns, count = self._update_columns(bound, params, txn.snapshot)
+                txn.record_write(bound.table, columns)
+                return Result(None, rowcount=count)
+            with self._write_locks({bound.table}):
+                snapshot = self.pin_snapshot(reads | {bound.table})
+                columns, count = self._update_columns(bound, params, snapshot)
+                self.catalog.get(bound.table).replace_columns(columns)
+                return Result(None, rowcount=count)
         if isinstance(bound, BoundCreateGraphIndex):
             self.graph_indices.create(
                 bound.name, bound.table, bound.src_col, bound.dst_col
             )
-            # build eagerly so the first query benefits
-            with self._read_locks({bound.table}):
-                self.graph_indices.lookup(bound.table, bound.src_col, bound.dst_col)
+            # build eagerly so the first query benefits (lock-free: the
+            # build reads the table's current immutable version)
+            self.graph_indices.lookup(bound.table, bound.src_col, bound.dst_col)
             return Result(None, rowcount=0)
         if isinstance(bound, BoundDropGraphIndex):
             self.graph_indices.drop(bound.name)
             return Result(None, rowcount=0)
         raise ExecutionError(f"cannot execute {type(bound).__name__}")
 
-    def _run_create_table_as(self, bound: BoundCreateTableAs, params: tuple) -> Result:
-        ctx = ExecContext(self, params)
+    @staticmethod
+    def _require_session(session: Optional[Session], what: str) -> Session:
+        if session is None:
+            raise TransactionError(
+                f"{what} requires a session — use Database.connect() and "
+                "execute transaction statements through it"
+            )
+        return session
+
+    def _run_create_table_as(
+        self, bound: BoundCreateTableAs, params: tuple, snapshot: Snapshot
+    ) -> Result:
+        ctx = ExecContext(self, params, snapshot=snapshot)
         batch = execute_plan(self._optimize(bound.plan), ctx)
         # derive the schema from the materialized result so columns whose
         # static type was unknown (host parameters) get their runtime type
@@ -692,28 +945,33 @@ class Database:
         self.catalog.publish_table(table)
         return Result(None, rowcount=batch.num_rows)
 
-    def _run_delete(self, bound: BoundDelete, params: tuple) -> Result:
-        table = self.catalog.get(bound.table)
-        ctx = ExecContext(self, params)
+    def _delete_columns(
+        self, bound: BoundDelete, params: tuple, snapshot: Snapshot
+    ) -> tuple[list[Column], int]:
+        """The surviving column set (and deleted-row count) of a DELETE,
+        computed from the snapshot without touching the live table."""
+        ctx = ExecContext(self, params, snapshot=snapshot)
         batch = execute_plan(bound.scan, ctx)
         if bound.predicate is None:
-            deleted = batch.num_rows
-            table.truncate()
-            return Result(None, rowcount=deleted)
+            schema = snapshot.table_version(bound.table).schema
+            return [Column.empty(c.type) for c in schema], batch.num_rows
         import numpy as np
 
         predicate = ctx.eval(bound.predicate, batch)
         drop = predicate.data.astype(np.bool_)
         if predicate.mask is not None:
             drop = drop & ~predicate.mask
-        table.replace_columns([c.filter(~drop) for c in batch.columns])
-        return Result(None, rowcount=int(drop.sum()))
+        return [c.filter(~drop) for c in batch.columns], int(drop.sum())
 
-    def _run_update(self, bound: BoundUpdate, params: tuple) -> Result:
+    def _update_columns(
+        self, bound: BoundUpdate, params: tuple, snapshot: Snapshot
+    ) -> tuple[list[Column], int]:
+        """The rewritten column set (and hit count) of an UPDATE,
+        computed from the snapshot without touching the live table."""
         import numpy as np
 
-        table = self.catalog.get(bound.table)
-        ctx = ExecContext(self, params)
+        schema = snapshot.table_version(bound.table).schema
+        ctx = ExecContext(self, params, snapshot=snapshot)
         batch = execute_plan(bound.scan, ctx)
         if bound.predicate is not None:
             predicate = ctx.eval(bound.predicate, batch)
@@ -724,7 +982,7 @@ class Database:
             hit = np.ones(batch.num_rows, dtype=np.bool_)
         new_columns = list(batch.columns)
         for position, expr in bound.assignments:
-            declared = table.schema.columns[position].type
+            declared = schema.columns[position].type
             fresh = ctx.eval(expr, batch)
             if fresh.type != declared:
                 fresh = fresh.cast(declared)
@@ -734,27 +992,46 @@ class Database:
             mask = old.null_mask().copy()
             mask[hit] = fresh.null_mask()[hit]
             new_columns[position] = Column(declared, data, mask if mask.any() else None)
-        table.replace_columns(new_columns)
-        return Result(None, rowcount=int(hit.sum()))
+        return new_columns, int(hit.sum())
 
-    def _run_insert(self, bound: BoundInsert, plan, params: tuple) -> Result:
-        table = self.catalog.get(bound.table)
-        ctx = ExecContext(self, params)
+    def _insert_rows_for(
+        self, bound: BoundInsert, plan, params: tuple, snapshot: Snapshot
+    ) -> list[tuple]:
+        """Materialize an INSERT's source rows (snapshot reads), widened
+        to the target schema when an explicit column list was given."""
+        schema = snapshot.table_version(bound.table).schema
+        ctx = ExecContext(self, params, snapshot=snapshot)
         batch = execute_plan(plan, ctx)
         incoming = batch.to_rows()
-        if bound.columns:
-            positions = [table.schema.index_of(c) for c in bound.columns]
-            width = len(table.schema)
-            rows = []
-            for row in incoming:
-                full: list[Any] = [None] * width
-                for position, value in zip(positions, row):
-                    full[position] = value
-                rows.append(tuple(full))
-        else:
-            rows = incoming
-        count = table.insert_rows(rows)
+        if not bound.columns:
+            return incoming
+        positions = [schema.index_of(c) for c in bound.columns]
+        width = len(schema)
+        rows = []
+        for row in incoming:
+            full: list[Any] = [None] * width
+            for position, value in zip(positions, row):
+                full[position] = value
+            rows.append(tuple(full))
+        return rows
+
+    def _run_insert(
+        self, bound: BoundInsert, plan, params: tuple, snapshot: Snapshot
+    ) -> Result:
+        rows = self._insert_rows_for(bound, plan, params, snapshot)
+        count = self.catalog.get(bound.table).insert_rows(rows)
         return Result(None, rowcount=count)
+
+    def _txn_insert(
+        self, txn: Transaction, bound: BoundInsert, plan, params: tuple
+    ) -> Result:
+        """Buffer an INSERT inside a transaction: append to the
+        overlay's table version, never the live table."""
+        rows = self._insert_rows_for(bound, plan, params, txn.snapshot)
+        version = txn.snapshot.table_version(bound.table)
+        columns = build_appended_columns(version.schema, version.columns, rows)
+        txn.record_write(bound.table, columns)
+        return Result(None, rowcount=len(rows))
 
 
 def connect(**kwargs: Any) -> Database:

@@ -12,6 +12,12 @@ and may span lines.  Meta commands:
 * ``\\save <dir>`` / ``\\open <dir>`` — persist / load the database
 * ``\\q`` — quit
 
+The shell runs one :class:`~repro.session.Session`, so ``BEGIN`` /
+``COMMIT`` / ``ROLLBACK`` work as in any client: inside a transaction
+the prompt changes from ``sql>`` to ``sql*>`` (psql-style) and every
+statement reads the transaction's pinned snapshot until COMMIT
+publishes the buffered writes or ROLLBACK discards them.
+
 Paths (nested tables) are rendered inline as ``<path: n edges>``; use
 UNNEST to flatten them into rows.
 """
@@ -27,6 +33,7 @@ from .errors import ReproError
 from .nested import NestedTableValue
 
 PROMPT = "sql> "
+TXN_PROMPT = "sql*> "  # an explicit transaction is open
 CONTINUATION = "...> "
 
 
@@ -101,7 +108,9 @@ class Shell:
 
     @property
     def prompt(self) -> str:
-        return CONTINUATION if self.buffer else PROMPT
+        if self.buffer:
+            return CONTINUATION
+        return TXN_PROMPT if self.session.in_transaction else PROMPT
 
     # ------------------------------------------------------------------
     def _run(self, sql: str) -> None:
@@ -185,11 +194,14 @@ class Shell:
                 self.write(f"error: {exc}")
         elif name == "\\open" and args:
             try:
-                self.db = Database.load(args[0])
-                self.session = self.db.connect()
-                self.write(f"loaded {args[0]}")
+                db = Database.load(args[0])
             except ReproError as exc:
                 self.write(f"error: {exc}")
+                return
+            self.session.close()  # rolls back any open transaction
+            self.db = db
+            self.session = self.db.connect()
+            self.write(f"loaded {args[0]}")
         else:
             self.write(f"unknown meta command: {command}")
 

@@ -60,6 +60,19 @@ class TypeError_(ReproError):
     """
 
 
+class TransactionError(ReproError):
+    """Transaction-control misuse: BEGIN inside a transaction, COMMIT or
+    ROLLBACK without one, DDL inside an explicit transaction, or
+    transaction statements outside a session."""
+
+
+class TransactionConflictError(TransactionError):
+    """A write-write conflict detected at COMMIT: another transaction
+    committed to one of this transaction's written tables after its
+    snapshot was pinned.  The losing transaction is rolled back; retry
+    it against fresh state."""
+
+
 class ExecutionError(ReproError):
     """Generic runtime failure inside a physical operator."""
 

@@ -109,14 +109,27 @@ def _materialize_weights(
 
 
 def _library_from_cache(ctx: ExecContext, edge_plan, spec: lp.GraphSpec):
-    """Reuse a prepared domain+CSR when a graph index covers this edge plan."""
+    """Reuse a prepared domain+CSR when a graph index covers this edge plan.
+
+    The lookup is pinned to the statement's snapshot version of the edge
+    table, so a cached CSR built from a newer committed state is never
+    served to an older snapshot (and vice versa).
+    """
     database = ctx.database
     if database is None or not isinstance(edge_plan, pp.PScan):
         return None
     if len(spec.src_cols) != 1:
         return None  # graph indices cover single-attribute keys only
+    table_version = (
+        ctx.snapshot.table_version(edge_plan.table)
+        if ctx.snapshot is not None
+        else None
+    )
     return database.lookup_graph_index(
-        edge_plan.table, spec.src_cols[0].name, spec.dst_cols[0].name
+        edge_plan.table,
+        spec.src_cols[0].name,
+        spec.dst_cols[0].name,
+        table_version=table_version,
     )
 
 

@@ -49,12 +49,21 @@ MAX_RECURSION_STEPS = 100_000
 
 
 class ExecContext:
-    """Execution-time state shared by all operators of one statement."""
+    """Execution-time state shared by all operators of one statement.
 
-    def __init__(self, database, params: tuple, profiler=None):
+    ``snapshot`` is the statement's (or enclosing transaction's) pinned
+    :class:`~repro.storage.snapshot.Snapshot`; every base-table scan
+    resolves through it, never through the live table, so readers run
+    entirely lock-free.  A ``None`` snapshot (bare ``execute_plan``
+    callers, tests) falls back to the table's current committed version
+    — still a single atomic read.
+    """
+
+    def __init__(self, database, params: tuple, profiler=None, snapshot=None):
         self.database = database
         self.catalog = database.catalog
         self.params = params
+        self.snapshot = snapshot
         self.cte_tables: dict[str, Batch] = {}
         self.profiler = profiler
         #: Worker-thread budget for the graph runtime's batch solver
@@ -88,11 +97,16 @@ def execute_plan(plan: pp.PhysicalNode, ctx: ExecContext) -> Batch:
 # leaves
 # ---------------------------------------------------------------------------
 def _exec_scan(plan: pp.PScan, ctx: ExecContext) -> Batch:
-    table = ctx.catalog.get(plan.table)
-    columns = table.columns()
-    if len(plan.schema) != len(table.schema):
+    if ctx.snapshot is not None:
+        version = ctx.snapshot.table_version(plan.table)
+    else:
+        version = ctx.catalog.get(plan.table).current()
+    columns = list(version.columns)
+    if len(plan.schema) != len(version.schema):
         # narrowed scan (projection pruning): select the kept columns
-        columns = [columns[table.schema.index_of(c.name)] for c in plan.schema]
+        columns = [
+            columns[version.schema.index_of(c.name)] for c in plan.schema
+        ]
     return Batch(plan.schema, columns)
 
 

@@ -7,6 +7,12 @@ cardinality next to the actual one, so estimation errors are visible at
 operator granularity.  This is the tool behind the paper's central
 observation that graph construction dominates query time (our A2
 ablation, at operator granularity).
+
+Operators whose actual output cardinality deviates from the optimizer's
+estimate by :data:`MISESTIMATE_FACTOR` (10x) or more in either direction
+are flagged ``MISESTIMATE`` in the report and collected in
+:attr:`Profiler.misestimates` — the hook adaptive re-optimization will
+build on (a flagged plan is a re-planning candidate).
 """
 
 from __future__ import annotations
@@ -15,6 +21,22 @@ import time
 from dataclasses import dataclass
 
 from ..plan import physical as pp
+
+#: Estimated-vs-actual cardinality ratio (either direction) at which an
+#: operator is flagged as misestimated.
+MISESTIMATE_FACTOR = 10.0
+
+
+def misestimate_ratio(estimated: float, actual: float) -> float:
+    """How far off an estimate was, as a symmetric >=1 factor.
+
+    Both sides are floored at one row so empty results compare against
+    "one row", not zero — an estimate of 3 rows that produced 0 is fine,
+    an estimate of 5000 that produced 0 is a 5000x miss.
+    """
+    estimated = max(float(estimated), 1.0)
+    actual = max(float(actual), 1.0)
+    return max(estimated, actual) / min(estimated, actual)
 
 
 @dataclass
@@ -41,6 +63,10 @@ class Profiler:
         #: from the plan cache, and the cache counters to report.
         self.plan_cache_hit: bool | None = None
         self.cache_stats: dict | None = None
+        #: ``(operator name, estimated rows, actual rows-per-call)`` for
+        #: every operator flagged by :func:`misestimate_ratio` — filled
+        #: by :meth:`render`; groundwork for adaptive re-optimization.
+        self.misestimates: list[tuple[str, float, float]] = []
 
     def run(self, plan: pp.PhysicalNode, handler, ctx):
         """Execute ``handler(plan, ctx)`` under timing instrumentation."""
@@ -66,6 +92,7 @@ class Profiler:
         """The plan tree annotated with times and cardinalities, plus a
         cache footer when the statement ran through the plan cache."""
         lines: list[str] = []
+        self.misestimates = []
         self._render_node(plan, 0, lines)
         if self.plan_cache_hit is not None:
             lines.append(
@@ -98,6 +125,11 @@ class Profiler:
                 f"rows={stats.rows} est_rows={node.est_rows:.0f}"
                 + (f" calls={stats.calls}" if stats.calls > 1 else "")
             )
+            actual = stats.rows / stats.calls  # per-call, like est_rows
+            ratio = misestimate_ratio(node.est_rows, actual)
+            if ratio >= MISESTIMATE_FACTOR:
+                annotation += f" MISESTIMATE({ratio:.0f}x)"
+                self.misestimates.append((name, node.est_rows, actual))
         lines.append(f"{'  ' * depth}{name}{detail}  {annotation}")
         for child in node.children:
             self._render_node(child, depth + 1, lines)

@@ -2,7 +2,7 @@
 
 Layout::
 
-    <dir>/catalog.json        # table schemas + graph index specs
+    <dir>/catalog.json        # table schemas + graph index specs + stats
     <dir>/<table>.npz         # one compressed archive per table
 
 Numeric columns are stored as their numpy arrays; VARCHAR columns as
@@ -10,36 +10,85 @@ fixed-width unicode arrays (NULLs carried by the mask, their slots store
 empty strings).  Nested-table columns never occur in base tables (the
 engine rejects storing them), so every column is serializable without
 pickle.
+
+Two properties ride on the MVCC refactor:
+
+* **Snapshot-consistent**: ``save_database`` pins one
+  :class:`~repro.storage.snapshot.Snapshot` up front and serializes the
+  pinned table versions, so the saved image is a point-in-time view even
+  while writers keep committing — and the save takes no locks at all.
+* **Crash-safe**: everything is written into a temporary sibling
+  directory first and atomically swapped over the target, so a crash
+  mid-save leaves either the complete old image or the complete new one,
+  never a half-written mix.
+
+Optimizer statistics recorded by ``ANALYZE`` are persisted alongside the
+schemas and restored on load, so a reloaded database plans with real
+selectivities instead of magic-number fallbacks until the next ANALYZE.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import TYPE_CHECKING
+import shutil
+import tempfile
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from .errors import ReproError
-from .storage import Column, DataType, Schema
+from .storage import Column, ColumnStats, DataType, Schema, Snapshot, TableStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from .api import Database
 
-_FORMAT_VERSION = 1
+#: Version 2 added the ``stats`` block (optional on load, so version-1
+#: images written before it still load).
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_database(db: "Database", directory: str) -> None:
-    """Write all tables and graph-index definitions under ``directory``."""
-    os.makedirs(directory, exist_ok=True)
+def save_database(
+    db: "Database", directory: str, snapshot: Optional[Snapshot] = None
+) -> None:
+    """Write all tables, graph-index definitions and optimizer stats
+    under ``directory``, atomically.
+
+    ``snapshot`` pins the state to serialize; by default a fresh
+    whole-catalog snapshot is pinned, so the image is point-in-time
+    consistent and concurrent writers are never blocked.
+    """
+    if snapshot is None:
+        snapshot = db.pin_snapshot()
+    target = os.path.abspath(directory)
+    parent = os.path.dirname(target) or os.curdir
+    os.makedirs(parent, exist_ok=True)
+    staging = tempfile.mkdtemp(
+        prefix=os.path.basename(target) + ".saving-", dir=parent
+    )
+    # mkdtemp creates 0700; restore the umask-derived mode a plain
+    # makedirs would have given, so saved images stay as readable as
+    # they were before saving became atomic
+    umask = os.umask(0)
+    os.umask(umask)
+    os.chmod(staging, 0o777 & ~umask)
+    try:
+        _write_image(db, snapshot, staging)
+        _swap_into_place(staging, target)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
+
+
+def _write_image(db: "Database", snapshot: Snapshot, directory: str) -> None:
     tables_meta = {}
-    for name in db.catalog.table_names():
-        table = db.catalog.get(name)
+    for name in snapshot.table_names():
+        version = snapshot.table_version(name)
         tables_meta[name] = {
-            "columns": [[c.name, c.type.value] for c in table.schema],
+            "columns": [[c.name, c.type.value] for c in version.schema],
         }
         arrays = {}
-        for i, column in enumerate(table.columns()):
+        for i, column in enumerate(version.columns):
             if column.type == DataType.NESTED_TABLE:  # pragma: no cover
                 raise ReproError("nested tables cannot be persisted")
             if column.type.numpy_dtype == np.dtype(object):
@@ -58,9 +107,90 @@ def save_database(db: "Database", directory: str) -> None:
             index_name: list(spec)
             for index_name, spec in db.graph_indices.specs().items()
         },
+        "stats": _dump_stats(db, snapshot),
     }
     with open(os.path.join(directory, "catalog.json"), "w") as handle:
         json.dump(meta, handle, indent=2)
+
+
+def _swap_into_place(staging: str, target: str) -> None:
+    """Move the fully-written ``staging`` directory over ``target``.
+
+    POSIX ``rename`` cannot replace a non-empty directory, so an
+    existing target is renamed aside first and removed only after the
+    new image is in place — at every instant at least one complete
+    image exists under some name.
+    """
+    displaced = None
+    if os.path.exists(target):
+        holding = tempfile.mkdtemp(
+            prefix=os.path.basename(target) + ".replaced-",
+            dir=os.path.dirname(target) or os.curdir,
+        )
+        displaced = os.path.join(holding, "old")
+        os.rename(target, displaced)
+    try:
+        os.rename(staging, target)
+    except OSError:
+        if displaced is not None:  # restore the old image, best effort
+            os.rename(displaced, target)
+        raise
+    finally:
+        if displaced is not None:
+            shutil.rmtree(os.path.dirname(displaced), ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# optimizer statistics
+# ---------------------------------------------------------------------------
+def _dump_stats(db: "Database", snapshot: Snapshot) -> dict:
+    """Statistics to persist, made consistent with the *pinned* image:
+    row counts come from the snapshot versions being saved (the live
+    StatsManager may already describe newer commits), and column stats
+    recorded against a different version than the saved one are flagged
+    stale so the reloaded database knows to re-ANALYZE."""
+    pinned = set(snapshot.table_names())
+    dumped = {}
+    for name, stats in db.stats.describe().items():
+        if name not in pinned:
+            continue
+        version = snapshot.table_version(name)
+        dumped[name] = {
+            "row_count": version.num_rows,
+            "stale": stats.stale or stats.version != version.version_id,
+            "columns": {
+                column_name: {
+                    "null_count": column.null_count,
+                    "distinct": column.distinct,
+                    "min_value": column.min_value,
+                    "max_value": column.max_value,
+                }
+                for column_name, column in stats.columns.items()
+            },
+        }
+    return dumped
+
+
+def _restore_stats(db: "Database", dumped: dict) -> None:
+    for name, entry in dumped.items():
+        if not db.catalog.has(name):  # pragma: no cover - defensive
+            continue
+        stats = TableStats(
+            table=name,
+            row_count=int(entry["row_count"]),
+            # rebind to the freshly-loaded table's version so the stats
+            # are not spuriously flagged stale by the next write
+            version=db.catalog.get(name).version,
+            stale=bool(entry.get("stale", False)),
+        )
+        for column_name, column in entry["columns"].items():
+            stats.columns[column_name] = ColumnStats(
+                null_count=int(column["null_count"]),
+                distinct=int(column["distinct"]),
+                min_value=column.get("min_value"),
+                max_value=column.get("max_value"),
+            )
+        db.stats.restore(stats)
 
 
 def load_database(directory: str) -> "Database":
@@ -72,7 +202,7 @@ def load_database(directory: str) -> "Database":
         raise ReproError(f"not a saved database: {directory!r}")
     with open(meta_path) as handle:
         meta = json.load(handle)
-    if meta.get("format_version") != _FORMAT_VERSION:
+    if meta.get("format_version") not in _SUPPORTED_VERSIONS:
         raise ReproError(
             f"unsupported database format {meta.get('format_version')!r}"
         )
@@ -100,4 +230,5 @@ def load_database(directory: str) -> "Database":
             table.insert_columns(columns)
     for index_name, spec in meta.get("graph_indices", {}).items():
         db.graph_indices.create(index_name, *spec)
+    _restore_stats(db, meta.get("stats", {}))
     return db

@@ -6,6 +6,8 @@ from . import exprs, logical, physical
 from .binder import (
     Binder,
     BoundAnalyze,
+    BoundBegin,
+    BoundCommit,
     BoundCreateGraphIndex,
     BoundCreateTable,
     BoundCreateTableAs,
@@ -15,6 +17,7 @@ from .binder import (
     BoundExplain,
     BoundInsert,
     BoundQuery,
+    BoundRollback,
     BoundUpdate,
 )
 from .logical import explain
@@ -28,6 +31,9 @@ __all__ = [
     "physical",
     "Binder",
     "BoundAnalyze",
+    "BoundBegin",
+    "BoundCommit",
+    "BoundRollback",
     "BoundCreateGraphIndex",
     "BoundCreateTable",
     "BoundCreateTableAs",

@@ -136,6 +136,21 @@ class BoundAnalyze:
     table: Optional[str]
 
 
+@dataclass(frozen=True)
+class BoundBegin:
+    """``BEGIN``: open a session-level transaction."""
+
+
+@dataclass(frozen=True)
+class BoundCommit:
+    """``COMMIT``: publish the session transaction's buffered writes."""
+
+
+@dataclass(frozen=True)
+class BoundRollback:
+    """``ROLLBACK``: discard the session transaction's buffered writes."""
+
+
 # ---------------------------------------------------------------------------
 # scopes
 # ---------------------------------------------------------------------------
@@ -254,6 +269,12 @@ class Binder:
                 self.catalog.get(stmt.table)  # raises CatalogError if unknown
                 return BoundAnalyze(stmt.table.lower())
             return BoundAnalyze(None)
+        if isinstance(stmt, ast.Begin):
+            return BoundBegin()
+        if isinstance(stmt, ast.Commit):
+            return BoundCommit()
+        if isinstance(stmt, ast.Rollback):
+            return BoundRollback()
         raise NotSupportedError(f"unsupported statement: {type(stmt).__name__}")
 
     def _bind_insert_values(self, stmt: ast.InsertValues) -> BoundInsert:

@@ -37,10 +37,11 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Iterable, Optional, Sequence
 
-from .errors import ExecutionError
+from .errors import ExecutionError, TransactionError
 from .plan import exprs as bx
 from .plan import logical as lp
 from .plan import physical as pp
+from .storage import TXN_VERSION_BASE, TableVersion, next_txn_version_id
 
 
 # ---------------------------------------------------------------------------
@@ -153,8 +154,15 @@ class PlanCache:
         self.normalized_hits = 0
 
     # ------------------------------------------------------------------
-    def get(self, sql: str) -> Optional[CachedPlan]:
+    def get(self, sql: str, snapshot=None) -> Optional[CachedPlan]:
         """The valid entry for ``sql``, or None (counted as hit/miss).
+
+        ``snapshot`` is the executing statement's (or transaction's)
+        pinned snapshot: validation compares the entry's recorded deps
+        against the *snapshot-visible* versions, not the live tables, so
+        a transaction keeps hitting plans consistent with its own view.
+        An entry invalid for one snapshot but still valid against the
+        live catalog is left in place for other sessions.
 
         A statement that cannot be cached (DDL/DML) counts as a miss on
         every execution — the counters answer "how often did we skip the
@@ -162,11 +170,13 @@ class PlanCache:
         """
         with self._mutex:
             entry = self._entries.get(sql)
-            if entry is not None and self._valid(entry):
+            if entry is not None and self._valid(entry, snapshot):
                 self._entries.move_to_end(sql)
                 self.hits += 1
                 return entry
-            if entry is not None:  # present but stale
+            if entry is not None and (
+                snapshot is None or not self._valid(entry, None)
+            ):  # stale for everyone, not just this snapshot
                 del self._entries[sql]
                 self.invalidations += 1
             self.misses += 1
@@ -186,64 +196,102 @@ class PlanCache:
                 return False
             return first != sql
 
-    def get_normalized(self, key: str) -> Optional[CachedPlan]:
+    def get_normalized(self, key: str, snapshot=None) -> Optional[CachedPlan]:
         """A valid normalized entry, or None.  Hits are counted in
         ``normalized_hits`` only (the regular counters already recorded
         the exact-text miss)."""
         with self._mutex:
             entry = self._normalized.get(key)
-            if entry is not None and self._valid(entry):
+            if entry is not None and self._valid(entry, snapshot):
                 self._normalized.move_to_end(key)
                 self.normalized_hits += 1
                 return entry
-            if entry is not None:
+            if entry is not None and (
+                snapshot is None or not self._valid(entry, None)
+            ):
                 del self._normalized[key]
                 self.invalidations += 1
             return None
 
-    def _valid(self, entry: CachedPlan) -> bool:
+    def _valid(self, entry: CachedPlan, snapshot=None) -> bool:
+        """Whether every dep still matches the visible table state —
+        snapshot-visible when a snapshot is given, live otherwise."""
         for name, (version, fingerprint, marker) in entry.deps.items():
-            if not self._catalog.has(name):
+            if snapshot is not None:
+                if not snapshot.has(name):
+                    return False
+                seen_version = snapshot.version_id(name)
+                seen_fingerprint = snapshot.fingerprint(name)
+                seen_marker = snapshot.stats_marker(name)
+            else:
+                if not self._catalog.has(name):
+                    return False
+                table = self._catalog.get(name)
+                seen_version = table.version
+                seen_fingerprint = table.schema.fingerprint()
+                seen_marker = self._stats_marker(name)
+            if version is not None and seen_version != version:
                 return False
-            table = self._catalog.get(name)
-            if version is not None and table.version != version:
+            if seen_fingerprint != fingerprint:
                 return False
-            if table.schema.fingerprint() != fingerprint:
-                return False
-            if self._stats_marker(name) != marker:
+            if seen_marker != marker:
                 return False  # ANALYZE since plan time: re-optimize
         return True
 
-    def _deps_for(self, plan) -> dict[str, tuple]:
+    def _deps_for(self, plan, snapshot=None) -> dict[str, tuple]:
         deps = {}
         for name in referenced_tables(plan):
-            table = self._catalog.get(name)
-            deps[name] = (
-                table.version,
-                table.schema.fingerprint(),
-                self._stats_marker(name),
-            )
+            deps[name] = self._dep_for(name, snapshot)
         return deps
 
-    def put(self, sql: str, plan, *, normalized: bool = False) -> CachedPlan:
-        entry = CachedPlan(sql, plan, self._deps_for(plan))
+    def _dep_for(self, name: str, snapshot=None) -> tuple:
+        if snapshot is not None:
+            return (
+                snapshot.version_id(name),
+                snapshot.fingerprint(name),
+                snapshot.stats_marker(name),
+            )
+        table = self._catalog.get(name)
+        return (
+            table.version,
+            table.schema.fingerprint(),
+            self._stats_marker(name),
+        )
+
+    def put(self, sql: str, plan, *, normalized: bool = False, snapshot=None) -> CachedPlan:
+        entry = CachedPlan(sql, plan, self._deps_for(plan, snapshot))
         return self._store(entry, normalized=normalized)
 
-    def put_insert(self, sql: str, bound, plan, *, normalized: bool = False) -> CachedPlan:
+    def put_insert(
+        self, sql: str, bound, plan, *, normalized: bool = False, snapshot=None
+    ) -> CachedPlan:
         """Cache a bound INSERT with its optimized source plan: the
         target is a schema-only dependency (the statement's own writes
         must not evict it), source tables are full version dependencies."""
-        deps = self._deps_for(plan)
+        deps = self._deps_for(plan, snapshot)
         target = bound.table.lower()
         deps[target] = (
             None,
-            self._catalog.get(target).schema.fingerprint(),
-            self._stats_marker(target),
+            snapshot.fingerprint(target)
+            if snapshot is not None
+            else self._catalog.get(target).schema.fingerprint(),
+            snapshot.stats_marker(target)
+            if snapshot is not None
+            else self._stats_marker(target),
         )
         entry = CachedPlan(sql, plan, deps, kind="insert", bound=bound)
         return self._store(entry, normalized=normalized)
 
     def _store(self, entry: CachedPlan, *, normalized: bool = False) -> CachedPlan:
+        if any(
+            version is not None and version >= TXN_VERSION_BASE
+            for version, _, _ in entry.deps.values()
+        ):
+            # the plan depends on a transaction-private (uncommitted)
+            # table version: usable by the calling statement but never
+            # shared — storing it would evict entries that are valid
+            # for every other session
+            return entry
         store = self._normalized if normalized else self._entries
         with self._mutex:
             store[entry.sql] = entry
@@ -314,6 +362,55 @@ class PlanCache:
 
 
 # ---------------------------------------------------------------------------
+# transactions
+# ---------------------------------------------------------------------------
+class Transaction:
+    """One session-level transaction: a pinned snapshot plus buffered
+    table versions.
+
+    Every statement of the transaction reads through :attr:`snapshot`
+    (the whole-catalog view pinned at BEGIN), overlaid with
+    :attr:`writes` — the table versions this transaction has produced
+    but not yet published.  ROLLBACK simply discards the buffer; COMMIT
+    (see ``Database.commit_transaction``) takes the written tables'
+    write locks, verifies no other transaction committed to them since
+    :attr:`base` was recorded (first-committer-wins write-write conflict
+    detection) and installs the buffered versions atomically.
+    """
+
+    __slots__ = ("_database", "writes", "base", "snapshot", "active")
+
+    def __init__(self, database):
+        self._database = database
+        #: table name -> buffered (uncommitted) TableVersion
+        self.writes: dict[str, TableVersion] = {}
+        #: table name -> committed version id the first write was based on
+        self.base: dict[str, int] = {}
+        #: whole-catalog snapshot pinned at BEGIN; ``writes`` is its overlay
+        self.snapshot = database.pin_snapshot(overlay=self.writes)
+        self.active = True
+
+    def record_write(self, name: str, columns) -> TableVersion:
+        """Buffer a new version of ``name`` built from ``columns``.
+
+        The base version for conflict detection is recorded on the
+        *first* write (later writes stack on our own buffered state).
+        """
+        key = name.lower()
+        current = self.snapshot.table_version(key)
+        if key not in self.base:
+            self.base[key] = current.version_id
+        version = TableVersion(
+            key, current.schema, tuple(columns), next_txn_version_id()
+        )
+        self.writes[key] = version
+        return version
+
+    def finish(self) -> None:
+        self.active = False
+
+
+# ---------------------------------------------------------------------------
 # sessions and prepared statements
 # ---------------------------------------------------------------------------
 class PreparedStatement:
@@ -326,15 +423,16 @@ class PreparedStatement:
     re-prepares.
     """
 
-    __slots__ = ("sql", "_database")
+    __slots__ = ("sql", "_database", "_session")
 
-    def __init__(self, database, sql: str):
+    def __init__(self, database, sql: str, session: Optional["Session"] = None):
         self.sql = sql
         self._database = database
+        self._session = session
         database.prepare_plan(sql)
 
     def execute(self, params: Sequence[Any] = ()):
-        return self._database.execute(self.sql, params)
+        return self._database.execute(self.sql, params, session=self._session)
 
     def explain(self) -> str:
         return self._database.explain(self.sql)
@@ -349,10 +447,18 @@ class Session:
     Sessions are cheap; create one per thread (each is itself safe to
     use from one thread at a time, the database underneath is safe from
     any number of threads).  Usable as a context manager.
+
+    A session is also the scope of explicit transactions: ``BEGIN`` (or
+    :meth:`begin`) pins a snapshot for all subsequent statements and
+    buffers their writes until :meth:`commit` publishes them or
+    :meth:`rollback` discards them.  Outside an explicit transaction,
+    every statement autocommits against its own snapshot.  Closing a
+    session rolls back any open transaction.
     """
 
     def __init__(self, database):
         self._database = database
+        self._txn: Optional[Transaction] = None
         self.closed = False
 
     @property
@@ -360,9 +466,55 @@ class Session:
         return self._database
 
     # ------------------------------------------------------------------
+    # transaction scope
+    # ------------------------------------------------------------------
+    @property
+    def transaction(self) -> Optional[Transaction]:
+        """The active :class:`Transaction`, or None (autocommit)."""
+        return self._txn
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def begin(self) -> None:
+        """Open a transaction (``BEGIN``): pin a snapshot, buffer writes."""
+        self._check_open()
+        if self._txn is not None:
+            raise TransactionError("a transaction is already in progress")
+        self._txn = Transaction(self._database)
+
+    def commit(self) -> None:
+        """Publish the transaction's buffered writes (``COMMIT``).
+
+        Raises :class:`~repro.errors.TransactionConflictError` when
+        another transaction committed to one of the written tables
+        first; the transaction is rolled back either way.
+        """
+        self._check_open()
+        txn = self._require_transaction()
+        try:
+            self._database.commit_transaction(txn)
+        finally:
+            self._txn = None
+
+    def rollback(self) -> None:
+        """Discard the transaction's buffered writes (``ROLLBACK``),
+        leaving every table exactly as it was before BEGIN."""
+        self._check_open()
+        txn = self._require_transaction()
+        txn.finish()
+        self._txn = None
+
+    def _require_transaction(self) -> Transaction:
+        if self._txn is None:
+            raise TransactionError("no transaction is in progress")
+        return self._txn
+
+    # ------------------------------------------------------------------
     def execute(self, sql: str, params: Sequence[Any] = ()):
         self._check_open()
-        return self._database.execute(sql, params)
+        return self._database.execute(sql, params, session=self)
 
     def executemany(self, sql: str, param_seq: Iterable[Sequence[Any]]) -> int:
         """Execute one statement for each parameter tuple; returns the
@@ -380,11 +532,11 @@ class Session:
 
     def executescript(self, sql: str) -> list:
         self._check_open()
-        return self._database.executescript(sql)
+        return self._database.executescript(sql, session=self)
 
     def prepare(self, sql: str) -> PreparedStatement:
         self._check_open()
-        return PreparedStatement(self._database, sql)
+        return PreparedStatement(self._database, sql, session=self)
 
     def explain(self, sql: str) -> str:
         self._check_open()
@@ -392,10 +544,13 @@ class Session:
 
     def profile(self, sql: str, params: Sequence[Any] = ()):
         self._check_open()
-        return self._database.profile(sql, params)
+        return self._database.profile(sql, params, session=self)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        if self._txn is not None:  # implicit rollback, as DB-API expects
+            self._txn.finish()
+            self._txn = None
         self.closed = True
 
     def __enter__(self) -> "Session":
@@ -410,6 +565,8 @@ class Session:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self.closed else "open"
+        if self._txn is not None:
+            state += " in-transaction"
         return f"<Session {state} @ {self._database!r}>"
 
 
@@ -418,6 +575,7 @@ __all__ = [
     "PlanCache",
     "PreparedStatement",
     "Session",
+    "Transaction",
     "expr_tables",
     "referenced_tables",
 ]

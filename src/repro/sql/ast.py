@@ -332,6 +332,24 @@ class Explain(Statement):
 
 
 @dataclass(frozen=True)
+class Begin(Statement):
+    """``BEGIN [TRANSACTION | WORK]`` — open a session transaction that
+    pins one snapshot for all its statements and buffers its writes."""
+
+
+@dataclass(frozen=True)
+class Commit(Statement):
+    """``COMMIT [TRANSACTION | WORK]`` — publish the transaction's
+    buffered writes (write-write conflicts raise a typed error)."""
+
+
+@dataclass(frozen=True)
+class Rollback(Statement):
+    """``ROLLBACK [TRANSACTION | WORK]`` — discard the transaction's
+    buffered writes, leaving every table exactly as it was."""
+
+
+@dataclass(frozen=True)
 class Analyze(Statement):
     """``ANALYZE [table]`` — collect optimizer statistics (all tables
     when no table is named)."""

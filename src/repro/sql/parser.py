@@ -159,6 +159,18 @@ class Parser:
             return self._delete()
         if token.is_keyword("UPDATE"):
             return self._update()
+        if token.is_keyword("BEGIN"):
+            self.advance()
+            self.accept_keyword("TRANSACTION", "WORK")
+            return ast.Begin()
+        if token.is_keyword("COMMIT"):
+            self.advance()
+            self.accept_keyword("TRANSACTION", "WORK")
+            return ast.Commit()
+        if token.is_keyword("ROLLBACK"):
+            self.advance()
+            self.accept_keyword("TRANSACTION", "WORK")
+            return ast.Rollback()
         if token.is_keyword("SELECT", "WITH", "VALUES") or (
             token.type == TokenType.PUNCT and token.value == "("
         ):

@@ -37,6 +37,7 @@ KEYWORDS = frozenset(
     PRIMARY KEY FOREIGN REFERENCES
     CHEAPEST SUM REACHES OVER EDGE UNNEST ORDINALITY
     INDEX GRAPH EXPLAIN ANALYZE
+    BEGIN COMMIT ROLLBACK TRANSACTION WORK
     """.split()
 )
 

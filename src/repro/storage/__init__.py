@@ -3,8 +3,16 @@
 from .column import Column
 from .locks import LockSet, RWLock
 from .schema import ColumnDef, Schema
+from .snapshot import Snapshot
 from .stats import ColumnStats, StatsManager, TableStats
-from .table import Catalog, Table
+from .table import (
+    TXN_VERSION_BASE,
+    Catalog,
+    Table,
+    TableVersion,
+    build_appended_columns,
+    next_txn_version_id,
+)
 from .types import (
     DataType,
     coerce_python_value,
@@ -21,8 +29,13 @@ __all__ = [
     "Column",
     "ColumnDef",
     "Schema",
+    "Snapshot",
     "Catalog",
     "Table",
+    "TableVersion",
+    "TXN_VERSION_BASE",
+    "build_appended_columns",
+    "next_txn_version_id",
     "DataType",
     "coerce_python_value",
     "comparable",

@@ -1,0 +1,129 @@
+"""Snapshots: the read view of one statement or transaction.
+
+A :class:`Snapshot` maps table names to pinned, immutable
+:class:`~repro.storage.table.TableVersion` objects plus each table's
+statistics marker at pin time.  Every scan, ANALYZE and ``save()``
+resolves through the snapshot rather than the live table, so readers
+take **no locks at all**: pinning is one atomic reference read per
+table, and a pinned version stays valid forever (columns are immutable
+and versions are never mutated in place).
+
+Tables not pinned up front are pinned lazily on first access — each
+individual pin is still race-free (a single reference read), it just
+reflects the table's state at first touch rather than at snapshot
+creation.  The statement layer pins a statement's whole referenced-table
+set eagerly (under the database's snapshot mutex, which COMMIT also
+holds while installing a multi-table write set) so one statement can
+never observe half of a concurrent transaction's commit.
+
+``overlay`` carries a transaction's buffered (uncommitted) table
+versions: resolution order is overlay → pinned → live catalog, which
+gives a transaction read-your-own-writes semantics while every other
+session keeps reading committed state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from .table import Catalog, TableVersion
+
+
+class Snapshot:
+    """An immutable-by-convention view ``{table → TableVersion}``.
+
+    Not thread-safe by itself (one snapshot belongs to one statement or
+    one session transaction); all shared state it touches is.
+    """
+
+    __slots__ = ("_catalog", "_stats_marker", "_versions", "_markers", "overlay")
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats_marker: Optional[Callable[[str], int]] = None,
+        overlay: Optional[dict[str, TableVersion]] = None,
+    ):
+        self._catalog = catalog
+        self._stats_marker = stats_marker or (lambda name: 0)
+        self._versions: dict[str, TableVersion] = {}
+        self._markers: dict[str, int] = {}
+        #: A transaction's buffered writes (shared dict, mutated by the
+        #: transaction as it writes); empty for statement snapshots.
+        self.overlay: dict[str, TableVersion] = (
+            overlay if overlay is not None else {}
+        )
+
+    # ------------------------------------------------------------------
+    def pin(self, names: Iterable[str]) -> None:
+        """Eagerly pin the named tables (missing ones are skipped — the
+        executor raises its regular CatalogError if they are scanned)."""
+        for name in names:
+            key = name.lower()
+            if key not in self._versions and self._catalog.has(key):
+                self._pin(key)
+
+    def _pin(self, key: str) -> TableVersion:
+        version = self._catalog.get(key).current()
+        self._versions[key] = version
+        self._markers[key] = self._stats_marker(key)
+        return version
+
+    # ------------------------------------------------------------------
+    def table_version(self, name: str) -> TableVersion:
+        """The version this snapshot reads for ``name`` (overlay first,
+        then pinned, then lazily pinned from the live catalog)."""
+        key = name.lower()
+        version = self.overlay.get(key)
+        if version is not None:
+            return version
+        version = self._versions.get(key)
+        if version is not None:
+            return version
+        return self._pin(key)
+
+    def committed_version(self, name: str) -> TableVersion:
+        """Like :meth:`table_version` but skipping the write overlay:
+        the pinned *committed* state.  Used where the result feeds
+        shared global structures (ANALYZE statistics) that must never
+        absorb uncommitted data."""
+        key = name.lower()
+        version = self._versions.get(key)
+        if version is not None:
+            return version
+        return self._pin(key)
+
+    def has(self, name: str) -> bool:
+        key = name.lower()
+        return (
+            key in self.overlay or key in self._versions or self._catalog.has(key)
+        )
+
+    def version_id(self, name: str) -> int:
+        return self.table_version(name).version_id
+
+    def fingerprint(self, name: str) -> tuple:
+        return self.table_version(name).schema.fingerprint()
+
+    def stats_marker(self, name: str) -> int:
+        """The table's ANALYZE marker at pin time (plan-cache epoch)."""
+        key = name.lower()
+        if key not in self._markers:
+            self.table_version(key)
+            # overlay-only tables never went through _pin: read live
+            if key not in self._markers:
+                self._markers[key] = self._stats_marker(key)
+        return self._markers[key]
+
+    def table_names(self) -> list[str]:
+        """All pinned table names (overlay included)."""
+        return sorted(set(self._versions) | set(self.overlay))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pinned = ", ".join(
+            f"{k}@{v.version_id}" for k, v in sorted(self._versions.items())
+        )
+        return f"<Snapshot {pinned or '(empty)'}>"
+
+
+__all__ = ["Snapshot"]

@@ -27,7 +27,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-from .table import Catalog, Table
+from .table import Catalog, Table, TableVersion
 from .types import DataType
 
 
@@ -100,21 +100,37 @@ class StatsManager:
         self._markers: dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def analyze(self, table_name: str) -> TableStats:
-        """Compute and store fresh statistics for one table."""
-        table = self._catalog.get(table_name)
-        version = table.version
-        columns = table.columns()
+    def analyze(
+        self, table_name: str, table_version: Optional[TableVersion] = None
+    ) -> TableStats:
+        """Compute and store fresh statistics for one table.
+
+        ``table_version`` pins the state to analyze (the statement's
+        snapshot version), so ANALYZE never blocks writers and never
+        observes a half-applied write; without it the table's current
+        committed version is used.
+        """
+        if table_version is None:
+            table_version = self._catalog.get(table_name).current()
         stats = TableStats(
-            table=table.name, row_count=len(columns[0]) if columns else 0,
-            version=version,
+            table=table_version.name,
+            row_count=table_version.num_rows,
+            version=table_version.version_id,
         )
-        for col_def, column in zip(table.schema, columns):
+        for col_def, column in zip(table_version.schema, table_version.columns):
             stats.columns[col_def.name] = _analyze_column(column, col_def.type)
         with self._mutex:
-            self._stats[table.name] = stats
-            self._markers[table.name] = self._markers.get(table.name, 0) + 1
+            self._stats[stats.table] = stats
+            self._markers[stats.table] = self._markers.get(stats.table, 0) + 1
         return stats
+
+    def restore(self, stats: TableStats) -> None:
+        """Install statistics recovered by ``load()`` (persisted by a
+        previous ``save()``), bumping the table's marker so plans cached
+        before the restore re-optimize against the recovered stats."""
+        with self._mutex:
+            self._stats[stats.table] = stats
+            self._markers[stats.table] = self._markers.get(stats.table, 0) + 1
 
     # ------------------------------------------------------------------
     def get(self, table_name: str) -> Optional[TableStats]:

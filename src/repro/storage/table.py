@@ -1,22 +1,36 @@
-"""Base tables: a schema plus one physical column per attribute.
+"""Base tables: a schema plus one immutable column version per state.
 
-Tables are append-only (``insert_rows``) which is all the engine needs:
-the paper's workload is analytical, and the future-work "graph indices"
-(Section 6) only require a version counter to detect staleness, which
-``Table.version`` provides.
+Tables are MVCC-versioned: all physical state (the column list) lives in
+an immutable :class:`TableVersion` that writers swap atomically under
+the table's write lock.  Readers never lock — they grab ``current()``
+(one atomic reference read under the GIL) and keep working against that
+version no matter how many writers commit after them.  This is the
+MonetDB-style snapshot design the paper's prototype inherits: columns
+themselves were already immutable, so versioning the *table state* is
+what makes whole statements (and session transactions) lock-free on the
+read side.
 
-Concurrency contract: every mutation swaps the full column list *before*
-bumping ``version`` and notifying write listeners, so a racing reader
-that pairs a version with a column snapshot can only err on the stale
-side (it re-reads), never serve new data under an old version.  Each
-table carries an :class:`~repro.storage.locks.RWLock`; the statement
-layer acquires it for the whole statement, and mutators re-acquire the
-(reentrant) write side defensively for callers that bypass SQL.
+Concurrency contract: every mutation builds a full new ``TableVersion``
+(fresh column list, ``version_id`` bumped by one) and publishes it with
+a single reference assignment *before* notifying write listeners, so a
+racing reader that pairs a version id with a column snapshot can only
+err on the stale side (it re-reads), never serve new data under an old
+version.  Writers still serialize per table among themselves through the
+write side of the table's :class:`~repro.storage.locks.RWLock`; the
+statement layer takes it for the whole statement and mutators re-acquire
+the (reentrant) write side defensively for callers that bypass SQL.
+
+Transaction buffers hold ``TableVersion`` objects too, with synthetic
+``version_id`` values drawn from :func:`next_txn_version_id` (all
+``>= TXN_VERSION_BASE``) so an uncommitted version can never be mistaken
+for a committed one by the version-keyed caches.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import CatalogError, TypeError_
@@ -24,20 +38,115 @@ from .column import Column
 from .locks import RWLock
 from .schema import Schema
 
+#: Version ids at or above this value are transaction-private (buffered,
+#: uncommitted table versions); committed table versions count up from 0
+#: and stay far below.  The version-keyed caches use this to avoid
+#: caching transaction-private state.
+TXN_VERSION_BASE = 1 << 40
+
+#: Globally unique ids for buffered (uncommitted) table versions.
+#: ``itertools.count`` increments atomically under CPython's GIL.
+_txn_version_ids = itertools.count(TXN_VERSION_BASE)
+
+
+def next_txn_version_id() -> int:
+    """A fresh transaction-private version id (``>= TXN_VERSION_BASE``)."""
+    return next(_txn_version_ids)
+
+
+@dataclass(frozen=True, eq=False)
+class TableVersion:
+    """One immutable state of a table: columns + row count + version id.
+
+    Readers resolve scans entirely through a ``TableVersion`` (pinned in
+    a :class:`~repro.storage.snapshot.Snapshot`), never through the live
+    table, so no reader ever observes a half-applied write.
+    """
+
+    name: str
+    schema: Schema
+    columns: tuple[Column, ...]
+    version_id: int
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.schema.index_of(name)]
+
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        cols = [c.to_pylist() for c in self.columns]
+        return [tuple(col[i] for col in cols) for i in range(self.num_rows)]
+
+
+# ---------------------------------------------------------------------------
+# shared column-building helpers (used by Table mutators *and* the
+# transaction write buffer, which computes new versions without touching
+# the live table)
+# ---------------------------------------------------------------------------
+def build_appended_columns(
+    schema: Schema, columns: Sequence[Column], rows: list[Sequence[Any]]
+) -> list[Column]:
+    """``columns`` with ``rows`` appended (validating width per row)."""
+    width = len(schema)
+    for row in rows:
+        if len(row) != width:
+            raise TypeError_(
+                f"row has {len(row)} values, table has {width} columns"
+            )
+    new_columns = []
+    for i, col_def in enumerate(schema):
+        fresh = Column.from_values(col_def.type, [row[i] for row in rows])
+        new_columns.append(Column.concat([columns[i], fresh]))
+    return new_columns
+
+
+def validate_columns(schema: Schema, columns: Sequence[Column]) -> int:
+    """Check count/length/type agreement; returns the common length."""
+    if len(columns) != len(schema):
+        raise TypeError_("column count mismatch")
+    lengths = {len(c) for c in columns}
+    if len(lengths) > 1:
+        raise TypeError_("columns have differing lengths")
+    for col, col_def in zip(columns, schema):
+        if col.type != col_def.type:
+            raise TypeError_(
+                f"column type {col.type} does not match {col_def.name} {col_def.type}"
+            )
+    return int(lengths.pop()) if lengths else 0
+
 
 class Table:
-    """A named base table holding materialized columns."""
+    """A named base table holding an immutable, atomically-swapped
+    :class:`TableVersion`."""
 
     def __init__(self, name: str, schema: Schema):
         self.name = name.lower()
         self.schema = schema
-        self._columns: list[Column] = [Column.empty(c.type) for c in schema]
-        #: Bumped on every mutation; used by the graph-index cache (A4)
-        #: and the plan cache to detect staleness.
-        self.version = 0
-        #: Statement-scoped reader/writer lock (see module docstring).
+        self._current = TableVersion(
+            self.name,
+            schema,
+            tuple(Column.empty(c.type) for c in schema),
+            0,
+        )
+        #: Statement-scoped writer lock (see module docstring); the read
+        #: side survives for callers that still want blocking reads.
         self.lock = RWLock()
         self._listeners: list[Callable[["Table"], None]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The current committed version id (bumped on every mutation;
+        used by the graph-index cache and the plan cache to detect
+        staleness)."""
+        return self._current.version_id
+
+    def current(self) -> TableVersion:
+        """The current committed :class:`TableVersion` — one atomic
+        reference read; the foundation of lock-free snapshot scans."""
+        return self._current
 
     # ------------------------------------------------------------------
     def add_write_listener(self, callback: Callable[["Table"], None]) -> None:
@@ -49,24 +158,28 @@ class Table:
         """
         self._listeners.append(callback)
 
-    def _bump_version(self) -> None:
-        self.version += 1
+    def _publish(self, columns: Sequence[Column]) -> None:
+        """Swap in a new committed version (caller holds the write lock)
+        and notify listeners."""
+        self._current = TableVersion(
+            self.name, self.schema, tuple(columns), self._current.version_id + 1
+        )
         for callback in self._listeners:
             callback(self)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._columns[0]) if self._columns else 0
+        return self._current.num_rows
 
     @property
     def num_rows(self) -> int:
         return len(self)
 
     def column(self, name: str) -> Column:
-        return self._columns[self.schema.index_of(name)]
+        return self._current.column(name)
 
     def columns(self) -> list[Column]:
-        return list(self._columns)
+        return list(self._current.columns)
 
     # ------------------------------------------------------------------
     def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -74,65 +187,38 @@ class Table:
         rows = list(rows)
         if not rows:
             return 0
-        width = len(self.schema)
-        for row in rows:
-            if len(row) != width:
-                raise TypeError_(
-                    f"row has {len(row)} values, table {self.name!r} has {width} columns"
-                )
         with self.lock.write_locked():
-            new_columns = []
-            for i, col_def in enumerate(self.schema):
-                fresh = Column.from_values(col_def.type, [row[i] for row in rows])
-                new_columns.append(Column.concat([self._columns[i], fresh]))
-            self._columns = new_columns
-            self._bump_version()
+            self._publish(
+                build_appended_columns(self.schema, self._current.columns, rows)
+            )
         return len(rows)
 
     def insert_columns(self, columns: Sequence[Column]) -> int:
         """Append pre-built columns (must match schema types and lengths)."""
-        if len(columns) != len(self.schema):
-            raise TypeError_("column count mismatch")
-        lengths = {len(c) for c in columns}
-        if len(lengths) > 1:
-            raise TypeError_("appended columns have differing lengths")
-        for col, col_def in zip(columns, self.schema):
-            if col.type != col_def.type:
-                raise TypeError_(
-                    f"column type {col.type} does not match {col_def.name} {col_def.type}"
-                )
+        count = validate_columns(self.schema, columns)
         with self.lock.write_locked():
-            self._columns = [
-                Column.concat([old, new]) for old, new in zip(self._columns, columns)
-            ]
-            self._bump_version()
-        return int(lengths.pop()) if lengths else 0
+            self._publish(
+                [
+                    Column.concat([old, new])
+                    for old, new in zip(self._current.columns, columns)
+                ]
+            )
+        return count
 
     def truncate(self) -> None:
         with self.lock.write_locked():
-            self._columns = [Column.empty(c.type) for c in self.schema]
-            self._bump_version()
+            self._publish([Column.empty(c.type) for c in self.schema])
 
     def replace_columns(self, columns: Sequence[Column]) -> None:
-        """Swap in a full new set of columns (DELETE/UPDATE rebuilds)."""
-        if len(columns) != len(self.schema):
-            raise TypeError_("column count mismatch")
-        lengths = {len(c) for c in columns}
-        if len(lengths) > 1:
-            raise TypeError_("replacement columns have differing lengths")
-        for col, col_def in zip(columns, self.schema):
-            if col.type != col_def.type:
-                raise TypeError_(
-                    f"column type {col.type} does not match {col_def.name} {col_def.type}"
-                )
+        """Swap in a full new set of columns (DELETE/UPDATE rebuilds and
+        transaction COMMIT installs)."""
+        validate_columns(self.schema, columns)
         with self.lock.write_locked():
-            self._columns = list(columns)
-            self._bump_version()
+            self._publish(list(columns))
 
     def to_rows(self) -> list[tuple[Any, ...]]:
         """Materialize as Python tuples (mainly for tests and examples)."""
-        cols = [c.to_pylist() for c in self._columns]
-        return [tuple(col[i] for col in cols) for i in range(len(self))]
+        return self._current.to_rows()
 
 
 class Catalog:
@@ -170,8 +256,8 @@ class Catalog:
     def publish_table(self, table: Table) -> Table:
         """Register a pre-built table (CTAS fills before publishing: a
         half-filled table must never be visible, and filling it after
-        publication would take its write lock while holding the source
-        read locks — a lock-order deadlock with concurrent statements)."""
+        publication would mutate state that concurrent snapshots could
+        pin half-built)."""
         with self._mutex:
             if table.name in self._tables:
                 raise CatalogError(f"table already exists: {table.name!r}")

@@ -1,11 +1,14 @@
-"""Concurrent sessions, per-table locking, and cache invalidation.
+"""Concurrent sessions, MVCC snapshot isolation, and cache invalidation.
 
 The default-run tests prove the ISSUE's acceptance criteria directly:
-plan-cache hits on re-execution, and DML invalidating both the plan
-cache and the graph-index cache.  The ``stress``-marked suite hammers a
-shared database from many threads mixing SELECT / INSERT / DELETE /
-CREATE GRAPH INDEX and then audits the final state against a fresh,
-single-threaded engine (no stale-cache reads, no torn results).
+plan-cache hits on re-execution, DML invalidating both the plan cache
+and the graph-index cache, and — since the MVCC refactor — snapshot
+isolation semantics: readers pinned to a snapshot see no in-flight
+writes, ROLLBACK leaves tables byte-identical to the pre-transaction
+state, and write-write conflicts surface as a typed error at COMMIT.
+The ``stress``-marked suites hammer a shared database from many threads
+(mixed DML / DDL, and churning writers against long snapshot readers)
+and then audit the final state against a fresh, single-threaded engine.
 """
 
 from __future__ import annotations
@@ -16,7 +19,11 @@ import threading
 import pytest
 
 from repro import Database, ReproError
-from repro.errors import ExecutionError
+from repro.errors import (
+    ExecutionError,
+    TransactionConflictError,
+    TransactionError,
+)
 
 
 @pytest.fixture
@@ -260,6 +267,378 @@ class TestConcurrentExecution:
             t.join()
         assert not errors
         assert graph_db.execute("SELECT count(*) FROM e").scalar() == 34
+
+
+class TestTransactions:
+    def test_reads_pin_the_begin_snapshot(self, graph_db):
+        reader, writer = graph_db.connect(), graph_db.connect()
+        reader.execute("BEGIN")
+        assert reader.execute("SELECT count(*) FROM e").scalar() == 4
+        writer.execute("INSERT INTO e VALUES (9, 10, 1)")
+        # the in-flight transaction keeps reading its snapshot ...
+        assert reader.execute("SELECT count(*) FROM e").scalar() == 4
+        reader.execute("COMMIT")
+        # ... and sees the concurrent write only after leaving it
+        assert reader.execute("SELECT count(*) FROM e").scalar() == 5
+
+    def test_read_your_own_writes(self, graph_db):
+        with graph_db.connect() as session:
+            session.execute("BEGIN")
+            session.execute("INSERT INTO e VALUES (9, 10, 1)")
+            session.execute("UPDATE e SET w = 7 WHERE s = 9")
+            assert session.execute(
+                "SELECT w FROM e WHERE s = 9"
+            ).scalar() == 7
+            # other sessions keep seeing committed state only
+            assert graph_db.execute("SELECT count(*) FROM e").scalar() == 4
+            session.execute("ROLLBACK")
+
+    def test_rollback_leaves_tables_byte_identical(self, graph_db):
+        before_version = graph_db.table("e").current()
+        before_rows = graph_db.table("e").to_rows()
+        session = graph_db.connect()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO e VALUES (9, 10, 1)")
+        session.execute("DELETE FROM e WHERE w > 5")
+        session.execute("UPDATE e SET w = w + 1")
+        session.execute("ROLLBACK")
+        # the live table was never touched: same version object, same rows
+        assert graph_db.table("e").current() is before_version
+        assert graph_db.table("e").to_rows() == before_rows
+
+    def test_commit_publishes_buffered_writes(self, graph_db):
+        graph_db.execute("CREATE TABLE totals (n INT)")
+        session = graph_db.connect()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO e VALUES (9, 10, 1)")
+        session.execute("INSERT INTO totals VALUES (5)")
+        session.execute("COMMIT")
+        assert graph_db.execute("SELECT count(*) FROM e").scalar() == 5
+        assert graph_db.execute("SELECT n FROM totals").scalar() == 5
+        assert not session.in_transaction
+
+    def test_write_write_conflict_raises_typed_error(self, graph_db):
+        first, second = graph_db.connect(), graph_db.connect()
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE e SET w = 100 WHERE s = 1")
+        second.execute("UPDATE e SET w = 200 WHERE s = 1")
+        first.execute("COMMIT")  # first committer wins
+        with pytest.raises(TransactionConflictError, match="write-write"):
+            second.execute("COMMIT")
+        # the loser is rolled back; only the winner's write is visible
+        assert not second.in_transaction
+        assert graph_db.execute(
+            "SELECT max(w) FROM e WHERE s = 1"
+        ).scalar() == 100
+        # and the conflict error is itself a TransactionError
+        assert issubclass(TransactionConflictError, TransactionError)
+
+    def test_disjoint_writes_do_not_conflict(self, graph_db):
+        graph_db.execute("CREATE TABLE other (x INT)")
+        first, second = graph_db.connect(), graph_db.connect()
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("INSERT INTO e VALUES (9, 10, 1)")
+        second.execute("INSERT INTO other VALUES (1)")
+        first.execute("COMMIT")
+        second.execute("COMMIT")  # different table: no conflict
+        assert graph_db.execute("SELECT count(*) FROM other").scalar() == 1
+
+    def test_transaction_statement_misuse(self, graph_db):
+        session = graph_db.connect()
+        with pytest.raises(TransactionError, match="no transaction"):
+            session.execute("COMMIT")
+        with pytest.raises(TransactionError, match="no transaction"):
+            session.execute("ROLLBACK")
+        session.execute("BEGIN")
+        with pytest.raises(TransactionError, match="already in progress"):
+            session.execute("BEGIN")
+        session.execute("ROLLBACK")
+
+    def test_transaction_requires_session(self, graph_db):
+        with pytest.raises(TransactionError, match="session"):
+            graph_db.execute("BEGIN")
+
+    def test_ddl_rejected_inside_transaction(self, graph_db):
+        session = graph_db.connect()
+        session.execute("BEGIN")
+        with pytest.raises(TransactionError, match="not allowed inside"):
+            session.execute("CREATE TABLE nope (x INT)")
+        session.execute("ROLLBACK")
+
+    def test_closing_a_session_rolls_back(self, graph_db):
+        session = graph_db.connect()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO e VALUES (9, 10, 1)")
+        session.close()
+        assert graph_db.execute("SELECT count(*) FROM e").scalar() == 4
+
+    def test_executescript_switches_scope_midstream(self, graph_db):
+        session = graph_db.connect()
+        session.executescript(
+            "BEGIN; INSERT INTO e VALUES (9, 10, 1); ROLLBACK;"
+            "BEGIN; INSERT INTO e VALUES (11, 12, 1); COMMIT"
+        )
+        rows = graph_db.execute("SELECT s FROM e WHERE s >= 9").rows()
+        assert rows == [(11,)]
+
+    def test_analyze_inside_transaction_ignores_uncommitted_writes(
+        self, graph_db
+    ):
+        # statistics are shared global state: ANALYZE in a transaction
+        # must describe committed data only, or a ROLLBACK would leave
+        # phantom statistics behind for every other session
+        session = graph_db.connect()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO e VALUES (9, 10, 1)")
+        session.execute("ANALYZE e")
+        session.execute("ROLLBACK")
+        assert graph_db.table_stats()["e"].row_count == 4
+
+    def test_transaction_writes_do_not_evict_shared_plans(self, graph_db):
+        sql = "SELECT count(*) FROM e"
+        graph_db.execute(sql)
+        assert graph_db.plan_cache.contains(sql)
+        with graph_db.connect() as session:
+            session.execute("BEGIN")
+            session.execute("INSERT INTO e VALUES (9, 10, 1)")
+            # reads its own buffered write, but must not overwrite the
+            # shared cache slot with a transaction-private plan
+            assert session.execute(sql).scalar() == 5
+            session.execute("ROLLBACK")
+        assert graph_db.plan_cache.contains(sql)
+        hits_before = graph_db.plan_cache.stats()["hits"]
+        assert graph_db.execute(sql).scalar() == 4
+        assert graph_db.plan_cache.stats()["hits"] == hits_before + 1
+
+    def test_cached_plans_inside_transaction_stay_snapshot_consistent(
+        self, graph_db
+    ):
+        sql = "SELECT count(*) FROM e"
+        writer = graph_db.connect()
+        with graph_db.connect() as reader:
+            reader.execute("BEGIN")
+            for _ in range(3):  # repeat: exercises the plan-cache path
+                assert reader.execute(sql).scalar() == 4
+                writer.execute("INSERT INTO e VALUES (9, 10, 1)")
+            reader.execute("ROLLBACK")
+        assert graph_db.execute(sql).scalar() == 7
+
+
+class TestSnapshotIsolation:
+    """Lock-free readers: long reads never block writers."""
+
+    def test_long_reader_does_not_block_writer(self, graph_db):
+        # a transaction's pinned snapshot is the moral equivalent of an
+        # arbitrarily long SELECT: it stays open across the writer's
+        # whole run, and the writer must finish without waiting on it
+        reader = graph_db.connect()
+        reader.execute("BEGIN")
+        assert reader.execute("SELECT count(*) FROM e").scalar() == 4
+
+        finished = threading.Event()
+
+        def writer():
+            session = graph_db.connect()
+            for i in range(25):
+                session.execute("INSERT INTO e VALUES (?, ?, 1)", (50 + i, 51 + i))
+            finished.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        thread.join(timeout=30)
+        assert finished.is_set(), "writer blocked behind an open snapshot"
+        # the reader's view is still its start-of-transaction snapshot
+        assert reader.execute("SELECT count(*) FROM e").scalar() == 4
+        reader.execute("ROLLBACK")
+        assert graph_db.execute("SELECT count(*) FROM e").scalar() == 29
+
+    def test_analyze_does_not_block_writer(self, graph_db):
+        # ANALYZE reads its own snapshot: a concurrent writer finishes
+        # even while statistics collection is in flight
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def analyzer():
+            session = graph_db.connect()
+            try:
+                while not stop.is_set():
+                    session.execute("ANALYZE e")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=analyzer)
+        thread.start()
+        writer = graph_db.connect()
+        for i in range(50):
+            writer.execute("INSERT INTO e VALUES (?, ?, 1)", (70 + i, 71 + i))
+        stop.set()
+        thread.join(timeout=30)
+        assert not thread.is_alive() and not errors
+        assert graph_db.execute("SELECT count(*) FROM e").scalar() == 54
+
+    def test_statement_sees_multi_table_commit_fully_or_not_at_all(
+        self, graph_db
+    ):
+        # one statement's snapshot pins all referenced tables under the
+        # same mutex COMMIT uses to install its write set
+        graph_db.execute("CREATE TABLE a (x INT)")
+        graph_db.execute("CREATE TABLE b (x INT)")
+        graph_db.execute("INSERT INTO a VALUES (1)")
+        graph_db.execute("INSERT INTO b VALUES (1)")
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def transfer():  # keeps a.count == b.count at every commit
+            session = graph_db.connect()
+            try:
+                for i in range(40):
+                    session.execute("BEGIN")
+                    session.execute("INSERT INTO a VALUES (?)", (i,))
+                    session.execute("INSERT INTO b VALUES (?)", (i,))
+                    session.execute("COMMIT")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def auditor():
+            session = graph_db.connect()
+            try:
+                while not stop.is_set():
+                    counts = session.execute(
+                        "SELECT (SELECT count(*) FROM a) - (SELECT count(*) FROM b)"
+                    ).scalar()
+                    assert counts == 0, "observed a half-installed commit"
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=transfer),
+            threading.Thread(target=auditor),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors[:1]
+
+
+@pytest.mark.stress
+class TestSnapshotStress:
+    """Churning writers against long snapshot readers.
+
+    Run with ``python -m pytest -m stress tests/test_concurrency.py``.
+    """
+
+    WRITERS = 4
+    READERS = 4
+    WRITES_PER_THREAD = 80
+
+    def test_long_readers_see_repeatable_state_under_churn(self):
+        db = Database()
+        db.executescript(
+            """
+            CREATE TABLE ledger (slot INT, amount INT);
+            INSERT INTO ledger VALUES (0, 100), (1, 100), (2, 100), (3, 100);
+            """
+        )
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer(writer_id: int):
+            rng = random.Random(writer_id)
+            session = db.connect()
+            try:
+                for i in range(self.WRITES_PER_THREAD):
+                    # one UPDATE statement preserves sum(amount): moves
+                    # value between slots in a single atomic publish
+                    delta = rng.randint(1, 9)
+                    session.execute(
+                        "UPDATE ledger SET amount = amount + "
+                        "CASE WHEN slot = 0 THEN ? "
+                        "WHEN slot = 1 THEN -(?) ELSE 0 END",
+                        (delta, delta),
+                    )
+                    if rng.random() < 0.3:
+                        session.execute(
+                            "INSERT INTO ledger VALUES (?, 0)",
+                            (4 + writer_id * 1000 + i,),
+                        )
+            except TransactionConflictError:
+                pass  # autocommit writers never conflict; belt and braces
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def reader():
+            session = db.connect()
+            try:
+                while not stop.is_set():
+                    session.execute("BEGIN")
+                    first = session.execute(
+                        "SELECT sum(amount), count(*) FROM ledger"
+                    ).rows()
+                    # every statement of the transaction re-reads the
+                    # same pinned snapshot: repeatable reads
+                    for _ in range(3):
+                        again = session.execute(
+                            "SELECT sum(amount), count(*) FROM ledger"
+                        ).rows()
+                        assert again == first, "non-repeatable read"
+                    assert first[0][0] == 400, "saw a torn write"
+                    session.execute("ROLLBACK")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        reader_threads = [
+            threading.Thread(target=reader) for _ in range(self.READERS)
+        ]
+        writer_threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(self.WRITERS)
+        ]
+        for t in reader_threads + writer_threads:
+            t.start()
+        for t in writer_threads:
+            t.join()
+        stop.set()
+        for t in reader_threads:
+            t.join()
+        assert not errors, errors[:3]
+        assert db.execute("SELECT sum(amount) FROM ledger").scalar() == 400
+
+    def test_conflicting_transactions_serialize_cleanly(self):
+        db = Database()
+        db.execute("CREATE TABLE counter (n INT)")
+        db.execute("INSERT INTO counter VALUES (0)")
+        committed = []
+        lock = threading.Lock()
+
+        def incrementer(thread_id: int):
+            session = db.connect()
+            for _ in range(40):
+                session.execute("BEGIN")
+                value = session.execute("SELECT max(n) FROM counter").scalar()
+                session.execute("UPDATE counter SET n = ?", (value + 1,))
+                try:
+                    session.execute("COMMIT")
+                except TransactionConflictError:
+                    continue  # lost the race; state unchanged
+                with lock:
+                    committed.append(thread_id)
+
+        threads = [
+            threading.Thread(target=incrementer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # every successful commit incremented from the value it read:
+        # first-committer-wins means the final count equals the number
+        # of commits that went through (no lost updates)
+        assert db.execute("SELECT max(n) FROM counter").scalar() == len(committed)
+        assert committed  # at least some transactions won
 
 
 @pytest.mark.stress

@@ -63,3 +63,47 @@ class TestProfile:
         # no profiler attached by default
         result = chain_db.execute("SELECT count(*) FROM edges")
         assert result.scalar() == 5
+
+
+class TestMisestimateFlag:
+    """Operators whose actual cardinality is >=10x off the estimate are
+    flagged — the hook adaptive re-optimization builds on."""
+
+    def test_ratio_is_symmetric_and_floored(self):
+        from repro.exec.profiler import misestimate_ratio
+
+        assert misestimate_ratio(100, 10) == pytest.approx(10.0)
+        assert misestimate_ratio(10, 100) == pytest.approx(10.0)
+        assert misestimate_ratio(0, 0) == pytest.approx(1.0)
+        assert misestimate_ratio(5000, 0) == pytest.approx(5000.0)
+        assert misestimate_ratio(3, 0) == pytest.approx(3.0)
+
+    def test_underestimate_is_flagged(self):
+        # 1000 identical keys, no ANALYZE: the heuristic equality
+        # selectivity estimates a handful of rows, the filter returns 1000
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("INSERT INTO t VALUES " + ", ".join("(5)" for _ in range(1000)))
+        _, report = db.profile("SELECT * FROM t WHERE x = 5")
+        assert "MISESTIMATE(" in report
+
+    def test_accurate_estimate_not_flagged(self, chain_db):
+        chain_db.execute("ANALYZE edges")
+        _, report = chain_db.profile("SELECT * FROM edges")
+        assert "MISESTIMATE" not in report
+
+    def test_misestimates_collected_programmatically(self):
+        from repro.exec.operators import ExecContext, execute_plan
+        from repro.exec.profiler import Profiler
+
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("INSERT INTO t VALUES " + ", ".join("(7)" for _ in range(500)))
+        entry = db.prepare_plan("SELECT * FROM t WHERE x = 7")
+        profiler = Profiler()
+        ctx = ExecContext(db, (), profiler=profiler)
+        execute_plan(entry.plan, ctx)
+        profiler.render(entry.plan)
+        assert profiler.misestimates
+        name, estimated, actual = profiler.misestimates[0]
+        assert actual / max(estimated, 1.0) >= 10
