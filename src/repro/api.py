@@ -60,6 +60,7 @@ from .errors import (
 )
 from .exec import graph_ops  # noqa: F401 - registers the graph operators
 from .exec.batch import Batch
+from .exec.kernels import KernelCounters
 from .exec.operators import ExecContext, execute_plan
 from .graph import GraphLibrary
 from .nested import NestedTableValue
@@ -358,6 +359,15 @@ class Database:
         When True (default) plan-cache keys are additionally normalized
         (literals become parameters, :mod:`repro.sql.normalize`) so
         textually different statements share one cached plan.
+    vectorized:
+        When True (default) key-driven operators (DISTINCT, GROUP BY,
+        equi-join probing, set operations, ORDER BY, recursive-CTE
+        dedup) run on the factorized-key kernels of
+        :mod:`repro.exec.kernels`; uncodifiable inputs fall back to the
+        row-at-a-time paths automatically (counted, see
+        :meth:`kernel_stats`).  When False every operator takes the
+        original row-at-a-time path — the correctness oracle for the
+        kernel fuzz tests and the baseline for ``BENCH_exec.json``.
     """
 
     def __init__(
@@ -368,6 +378,7 @@ class Database:
         path_workers: int | str | None = "auto",
         optimizer: bool = True,
         parameterize: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.catalog = Catalog()
         self.graph_indices = GraphIndexManager(
@@ -382,6 +393,8 @@ class Database:
         self.path_workers = path_workers
         self.optimizer_enabled = bool(optimizer)
         self.parameterize = bool(parameterize)
+        self.vectorized = bool(vectorized)
+        self.kernel_counters = KernelCounters()
         #: Serializes eager multi-table snapshot pinning against
         #: multi-table COMMIT installation, so a statement can never pin
         #: half of another transaction's committed write set.
@@ -655,6 +668,7 @@ class Database:
         result = Result(execute_plan(plan, ctx))
         profiler.plan_cache_hit = cache_hit
         profiler.cache_stats = self.cache_stats()
+        profiler.kernel_stats = self.kernel_stats()
         return result, profiler.render(plan)
 
     def explain(self, sql: str) -> str:
@@ -688,6 +702,15 @@ class Database:
             "plan_cache": self.plan_cache.stats(),
             "graph_index_cache": self.graph_indices.stats(),
         }
+
+    def kernel_stats(self) -> dict:
+        """Cumulative vectorized-kernel counters: per-operation hit and
+        fallback counts (``hits`` / ``fallbacks`` dicts plus
+        ``hit_total`` / ``fallback_total``).  A fallback means an
+        operator ran its row-at-a-time path because the key columns were
+        not codifiable (or ``vectorized=False`` — then everything is
+        simply uncounted)."""
+        return self.kernel_counters.snapshot()
 
     # ------------------------------------------------------------------
     # optimizer statistics

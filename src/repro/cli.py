@@ -7,6 +7,7 @@ and may span lines.  Meta commands:
 * ``\\d <table>`` — describe a table
 * ``\\timing`` — toggle per-statement timing
 * ``\\cache`` — plan-cache / graph-index-cache counters
+* ``\\kernels`` — vectorized-kernel hit/fallback counters
 * ``\\stats [table]`` — optimizer statistics recorded by ``ANALYZE``
 * ``\\workers [n|auto]`` — show / set the shortest-path worker budget
 * ``\\save <dir>`` / ``\\open <dir>`` — persist / load the database
@@ -153,6 +154,18 @@ class Shell:
             for cache_name, stats in self.db.cache_stats().items():
                 body = " ".join(f"{k}={v}" for k, v in stats.items())
                 self.write(f"{cache_name}: {body}")
+        elif name == "\\kernels":
+            stats = self.db.kernel_stats()
+            mode = "on" if self.db.vectorized else "off"
+            self.write(
+                f"vectorized: {mode}  hits={stats['hit_total']} "
+                f"fallbacks={stats['fallback_total']}"
+            )
+            for op in sorted(set(stats["hits"]) | set(stats["fallbacks"])):
+                self.write(
+                    f"  {op}: hits={stats['hits'].get(op, 0)} "
+                    f"fallbacks={stats['fallbacks'].get(op, 0)}"
+                )
         elif name == "\\stats":
             recorded = self.db.table_stats()
             if args:

@@ -1,8 +1,10 @@
-"""Physical execution: batches, vectorized expressions, operators and the
-graph select / graph join runtime glue."""
+"""Physical execution: batches, vectorized expressions, the factorized-key
+operator kernels, operators and the graph select / graph join runtime
+glue."""
 
 from .batch import Batch, ZeroColumnBatch
 from .evaluator import EvalContext, evaluate
+from .kernels import KernelCounters, KernelFallback
 from .operators import ExecContext, execute_plan, register_operator
 
 __all__ = [
@@ -13,4 +15,6 @@ __all__ = [
     "ExecContext",
     "execute_plan",
     "register_operator",
+    "KernelCounters",
+    "KernelFallback",
 ]

@@ -1,0 +1,623 @@
+"""Vectorized execution kernels: factorized keys for key-driven operators.
+
+The executor's full-materialization model (every operator produces whole
+:class:`~repro.exec.batch.Batch` columns) makes its key-driven operators
+— DISTINCT, GROUP BY, multi-key hash joins, UNION/INTERSECT/EXCEPT,
+ORDER BY, recursive-CTE dedup — natural targets for column-at-a-time
+kernels, yet until this module they all dropped to per-row Python
+tuples.  The core primitive here is **key codification**: each key
+column is dictionary-encoded into dense ``int64`` codes
+(:meth:`repro.storage.Column.factorize`, i.e. ``np.unique`` with SQL
+NULL handling), and a multi-column key is combined into one id per row
+by mixed-radix arithmetic.  Everything else reduces to integer kernels:
+
+* DISTINCT / dedup    — first-occurrence-of-id masks (``np.unique``);
+* GROUP BY            — dense group ids + ``bincount``/``reduceat``;
+* multi-key equi-join — sort + ``searchsorted`` over shared-dictionary
+  codes (generalizing the single-int-key sorted join of the PR-2
+  executor to any number of columns and any key type);
+* INTERSECT / EXCEPT  — ``np.isin`` over jointly-codified row ids;
+* ORDER BY            — null-aware ``np.lexsort`` over ordered codes.
+
+Key semantics mirror the row-at-a-time paths exactly: NULL keys group
+together (Python ``None == None``) but never match in joins; float NaN
+keys are each their own key (the row paths materialize a fresh Python
+``float`` per row, and ``nan != nan``), so they neither group nor join.
+
+Every kernel raises :class:`KernelFallback` instead of guessing when a
+column cannot be codified (unhashable nested-table payloads, untyped
+parameter columns in mixed-type positions); the executor then runs the
+original row-at-a-time path and counts the fallback.  The
+``Database(vectorized=False)`` knob disables the kernels wholesale,
+preserving the row paths as the correctness oracle for the on/off fuzz
+tests and the ``BENCH_exec.json`` baselines.
+
+Known (documented) deviations from the Python paths, all confined to
+degenerate or last-ULP territory: integer SUM accumulates in ``int64``
+(Python ints are unbounded), float SUM/AVG may differ from the
+sequential Python sum in the final ULP because ``reduceat``
+reassociates additions (pairwise summation — generally *more*
+accurate), and equi-joins comparing huge integers (>2^53) against
+DOUBLE keys go through float promotion.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..storage import Column, DataType, promote
+
+
+class KernelFallback(Exception):
+    """A kernel cannot handle these columns; run the row-at-a-time path."""
+
+
+class KernelCounters:
+    """Database-wide hit/fallback counters per kernel operation.
+
+    Shared by every statement of one :class:`~repro.api.Database` (like
+    the plan-cache counters); rendered by the profiler report and the
+    shell's ``\\kernels`` command.  Increments are coarse — one per
+    operator execution, never per row — so a lock keeps them exact.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.hits: dict[str, int] = {}
+        self.fallbacks: dict[str, int] = {}
+
+    def hit(self, op: str) -> None:
+        with self._mutex:
+            self.hits[op] = self.hits.get(op, 0) + 1
+
+    def fallback(self, op: str) -> None:
+        with self._mutex:
+            self.fallbacks[op] = self.fallbacks.get(op, 0) + 1
+
+    def snapshot(self) -> dict:
+        with self._mutex:
+            return {
+                "hits": dict(self.hits),
+                "fallbacks": dict(self.fallbacks),
+                "hit_total": sum(self.hits.values()),
+                "fallback_total": sum(self.fallbacks.values()),
+            }
+
+
+# ---------------------------------------------------------------------------
+# key codification
+# ---------------------------------------------------------------------------
+#: Headroom bound for the mixed-radix combine: before multiplying the
+#: accumulated radix by the next column's cardinality would approach
+#: int64 range, the intermediate ids are re-densified through np.unique.
+_MAX_RADIX = np.iinfo(np.int64).max // 4
+
+
+def _factorize(column: Column, *, nan_distinct: bool = True):
+    try:
+        return column.factorize(nan_distinct=nan_distinct)
+    except TypeError as exc:
+        raise KernelFallback(f"cannot factorize key column: {exc}") from None
+
+
+def _codify(
+    columns: Sequence[Column], n_rows: int, *, nan_distinct: bool = True
+) -> tuple[np.ndarray, int]:
+    """``(ids, radix)``: one ``int64`` id per row plus the (exclusive)
+    upper bound on the id values — the mixed-radix key-space size, which
+    downstream kernels use to pick scatter-table strategies over
+    sort-based ones when the space is small."""
+    if not columns:
+        return np.zeros(n_rows, dtype=np.int64), 1
+    codes, radix, _ = _factorize(columns[0], nan_distinct=nan_distinct)
+    ids = codes
+    for column in columns[1:]:
+        codes, cardinality, _ = _factorize(column, nan_distinct=nan_distinct)
+        if radix > _MAX_RADIX // cardinality:
+            uniques, inverse = np.unique(ids, return_inverse=True)
+            ids = inverse.reshape(-1).astype(np.int64, copy=False)
+            radix = max(len(uniques), 1)
+            if radix > _MAX_RADIX // cardinality:  # pragma: no cover - 2^62 keys
+                raise KernelFallback("key space exceeds int64 after densify")
+        ids = ids * cardinality + codes
+        radix *= cardinality
+    return ids, radix
+
+
+def codify(
+    columns: Sequence[Column], n_rows: int, *, nan_distinct: bool = True
+) -> np.ndarray:
+    """One ``int64`` id per row over the given key columns.
+
+    Two rows get equal ids iff they are equal as keys (NULLs equal,
+    NaNs distinct under ``nan_distinct``).  Ids are *not* dense — use
+    :func:`group_ids` when dense, first-occurrence-ordered ids are
+    needed.  Zero key columns put every row in one group.
+    """
+    return _codify(columns, n_rows, nan_distinct=nan_distinct)[0]
+
+
+def _small_radix(radix: int, n_rows: int) -> bool:
+    """Whether a radix-sized scatter table is cheaper than a sort."""
+    return radix <= max(4 * n_rows, 1024)
+
+
+def _first_scatter_table(ids: np.ndarray, radix: int, n_rows: int) -> np.ndarray:
+    """Radix-sized table mapping id -> its first row (``n_rows`` for
+    absent ids).  Reversed scatter: numpy fancy assignment keeps the
+    last write, so writing positions back-to-front leaves each id's
+    first row."""
+    first = np.full(radix, n_rows, dtype=np.int64)
+    first[ids[::-1]] = np.arange(n_rows - 1, -1, -1, dtype=np.int64)
+    return first
+
+
+def _first_rows_of(ids: np.ndarray, radix: int, n_rows: int) -> np.ndarray:
+    """Row index of the first occurrence of every distinct id (in
+    ascending id order for the sort path, unspecified order otherwise —
+    callers treat it as a set or sort it)."""
+    if _small_radix(radix, n_rows):
+        first = _first_scatter_table(ids, radix, n_rows)
+        return first[first < n_rows]
+    _, first = np.unique(ids, return_index=True)
+    return first
+
+
+def group_ids(
+    columns: Sequence[Column], n_rows: int
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Dense group ids in first-occurrence order.
+
+    Returns ``(ids, n_groups, first_rows)``: ``ids[i]`` is the group of
+    row ``i``, groups are numbered by first appearance (matching the
+    insertion-ordered dict of the row-at-a-time GROUP BY), and
+    ``first_rows[g]`` is the representative (first) row of group ``g``.
+    """
+    raw, radix = _codify(columns, n_rows)
+    if n_rows and _small_radix(radix, n_rows):
+        first = _first_scatter_table(raw, radix, n_rows)
+        present = np.flatnonzero(first < n_rows)  # distinct ids, id order
+        first_rows = first[present]
+        order = np.argsort(first_rows, kind="stable")  # first-appearance rank
+        lookup = np.empty(radix, dtype=np.int64)
+        lookup[present[order]] = np.arange(len(present), dtype=np.int64)
+        return lookup[raw], len(present), first_rows[order]
+    uniques, first, inverse = np.unique(
+        raw, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first, kind="stable")
+    remap = np.empty(len(uniques), dtype=np.int64)
+    remap[order] = np.arange(len(uniques), dtype=np.int64)
+    return remap[inverse.reshape(-1)], len(uniques), np.sort(first)
+
+
+def distinct_mask(columns: Sequence[Column], n_rows: int) -> np.ndarray:
+    """Boolean keep-mask selecting the first occurrence of every key."""
+    keep = np.zeros(n_rows, dtype=np.bool_)
+    if n_rows:
+        ids, radix = _codify(columns, n_rows)
+        keep[_first_rows_of(ids, radix, n_rows)] = True
+    return keep
+
+
+# ---------------------------------------------------------------------------
+# shared dictionaries across two inputs (setops, dedup-against, joins)
+# ---------------------------------------------------------------------------
+def _aligned_pair(left: Column, right: Column) -> tuple[Column, Column]:
+    """Cast a cross-input key-column pair onto one physical representation
+    so a shared dictionary can encode both sides consistently."""
+    if left.type == right.type:
+        return left, right
+    if left.type is None or right.type is None:
+        # untyped (parameter-derived) columns: only a dtype-identical
+        # pairing is safely comparable without the SQL promotion rules;
+        # relabel the untyped side so Column.concat accepts the pair
+        if left.data.dtype == right.data.dtype and left.data.dtype != np.dtype(
+            object
+        ):
+            if left.type is None:
+                left = Column(right.type, left.data, left.mask)
+            else:
+                right = Column(left.type, right.data, right.mask)
+            return left, right
+        raise KernelFallback("untyped key column in mixed-type position")
+    try:
+        target = promote(left.type, right.type)
+    except Exception:
+        raise KernelFallback(
+            f"no common key type for {left.type} and {right.type}"
+        ) from None
+    return left.cast(target), right.cast(target)
+
+
+def _joint_codes(
+    left_columns: Sequence[Column],
+    right_columns: Sequence[Column],
+    n_left: int,
+    n_right: int,
+    *,
+    nan_distinct: bool = True,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Codify two inputs' key columns through one shared dictionary:
+    ``(left_ids, right_ids, radix)``, where equal ids across the two
+    arrays mean equal keys (same semantics as :func:`codify`)."""
+    if not left_columns:
+        return (
+            np.zeros(n_left, dtype=np.int64),
+            np.zeros(n_right, dtype=np.int64),
+            1,
+        )
+    joined = []
+    for left, right in zip(left_columns, right_columns):
+        left, right = _aligned_pair(left, right)
+        joined.append(Column.concat([left, right]))
+    ids, radix = _codify(joined, n_left + n_right, nan_distinct=nan_distinct)
+    return ids[:n_left], ids[n_left:], radix
+
+
+def _membership(
+    probe_ids: np.ndarray, key_ids: np.ndarray, radix: int
+) -> np.ndarray:
+    """``probe_ids ∈ key_ids``, element-wise — a radix-sized boolean
+    table when the key space is small, ``np.isin`` (sort-based) else."""
+    if _small_radix(radix, len(probe_ids) + len(key_ids)):
+        table = np.zeros(radix, dtype=np.bool_)
+        table[key_ids] = True
+        return table[probe_ids]
+    return np.isin(probe_ids, key_ids)
+
+
+def setop_mask(
+    left_columns: Sequence[Column],
+    n_left: int,
+    right_columns: Sequence[Column],
+    n_right: int,
+    *,
+    keep_members: bool,
+) -> np.ndarray:
+    """Keep-mask over the left input for INTERSECT (``keep_members``)
+    or EXCEPT (not), with set semantics (first occurrence only)."""
+    left_ids, right_ids, radix = _joint_codes(
+        left_columns, right_columns, n_left, n_right
+    )
+    keep = np.zeros(n_left, dtype=np.bool_)
+    if n_left:
+        keep[_first_rows_of(left_ids, radix, n_left)] = True
+        member = _membership(left_ids, right_ids, radix)
+        keep &= member if keep_members else ~member
+    return keep
+
+
+def new_rows_mask(
+    seen_columns: Sequence[Column],
+    n_seen: int,
+    new_columns: Sequence[Column],
+    n_new: int,
+) -> np.ndarray:
+    """Keep-mask over the new input selecting rows not already present
+    in the seen input (first occurrence only) — recursive-CTE dedup."""
+    seen_ids, new_ids, radix = _joint_codes(
+        seen_columns, new_columns, n_seen, n_new
+    )
+    keep = np.zeros(n_new, dtype=np.bool_)
+    if n_new:
+        keep[_first_rows_of(new_ids, radix, n_new)] = True
+        if n_seen:
+            keep &= ~_membership(new_ids, seen_ids, radix)
+    return keep
+
+
+# ---------------------------------------------------------------------------
+# equi-joins
+# ---------------------------------------------------------------------------
+def join_indices(
+    left_keys: Sequence[Column],
+    right_keys: Sequence[Column],
+    guard: Optional[Callable[[int, int, int], None]] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matching ``(left row, right row)`` index pairs of an equi-join.
+
+    NULL keys never match; NaN keys never match (IEEE/Python equality).
+    Single-column numeric keys join directly on their values (the PR-2
+    sorted-join fast path, extended to DOUBLE with NaN/NULL exclusion);
+    everything else joins on shared-dictionary codes.  ``guard`` is
+    called with ``(total, n_left, n_right)`` once the output size is
+    known, before any output row is materialized.
+    """
+    left, right = left_keys[0], right_keys[0]
+    n_left, n_right = len(left), len(right)
+    if len(left_keys) == 1 and left.data.dtype.kind in "iub" and (
+        right.data.dtype.kind in "iub"
+    ):
+        lk = left.data.astype(np.int64, copy=False)
+        rk = right.data.astype(np.int64, copy=False)
+        left_valid = ~left.null_mask()
+        right_valid = ~right.null_mask()
+        if n_left and n_right:
+            # narrow integer domains probe through bincount tables
+            # (value - min as the id) instead of binary search
+            lo = min(int(lk.min()), int(rk.min()))
+            span = max(int(lk.max()), int(rk.max())) - lo + 1
+            if _small_radix(span, n_left + n_right):
+                return _equi_join_ids(
+                    lk - lo, rk - lo, left_valid, right_valid, span, guard
+                )
+        return _sorted_equi_join(lk, rk, left_valid, right_valid, guard)
+    if len(left_keys) == 1 and left.data.dtype.kind in "iubf" and (
+        right.data.dtype.kind in "iubf"
+    ):
+        # DOUBLE (or mixed numeric) single key: join on float64 values,
+        # excluding NULLs and NaNs — NaN joins nothing, like the probe
+        lk = left.data.astype(np.float64, copy=False)
+        rk = right.data.astype(np.float64, copy=False)
+        return _sorted_equi_join(
+            lk,
+            rk,
+            ~left.null_mask() & ~np.isnan(lk),
+            ~right.null_mask() & ~np.isnan(rk),
+            guard,
+        )
+    left_valid = np.ones(n_left, dtype=np.bool_)
+    for column in left_keys:
+        if column.mask is not None:
+            left_valid &= ~column.mask
+    right_valid = np.ones(n_right, dtype=np.bool_)
+    for column in right_keys:
+        if column.mask is not None:
+            right_valid &= ~column.mask
+    left_ids, right_ids, radix = _joint_codes(
+        left_keys, right_keys, n_left, n_right
+    )
+    return _equi_join_ids(
+        left_ids, right_ids, left_valid, right_valid, radix, guard
+    )
+
+
+def _equi_join_ids(
+    lk: np.ndarray,
+    rk: np.ndarray,
+    left_valid: np.ndarray,
+    right_valid: np.ndarray,
+    radix: int,
+    guard: Optional[Callable[[int, int, int], None]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Equi-join over ids in ``[0, radix)``: when the id space is small,
+    probe through radix-sized bincount start/count tables (O(1) per
+    probe row) instead of binary-searching the sorted build side."""
+    if not _small_radix(radix, len(lk) + len(rk)):
+        return _sorted_equi_join(lk, rk, left_valid, right_valid, guard)
+    right_rows = np.flatnonzero(right_valid)
+    rkv = rk[right_rows]
+    order = np.argsort(rkv, kind="stable")
+    sorted_rows = right_rows[order]  # grouped by id; ascending row within
+    counts_table = np.bincount(rkv, minlength=radix)
+    starts_table = np.concatenate(([0], np.cumsum(counts_table)[:-1]))
+    left_rows = np.flatnonzero(left_valid)
+    probe = lk[left_rows]
+    counts = counts_table[probe]
+    lo = starts_table[probe]
+    return _emit_pairs(left_rows, counts, lo, sorted_rows, len(lk), len(rk), guard)
+
+
+def _emit_pairs(
+    left_rows: np.ndarray,
+    counts: np.ndarray,
+    lo: np.ndarray,
+    sorted_right: np.ndarray,
+    n_left: int,
+    n_right: int,
+    guard: Optional[Callable[[int, int, int], None]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-probe-row match ranges (``lo``/``counts`` into the
+    key-sorted right side) to the final index pairs, guard first."""
+    total = int(counts.sum())
+    if guard is not None:
+        guard(total, n_left, n_right)
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    li = np.repeat(left_rows, counts)
+    cum = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    slots = np.repeat(lo - cum, counts) + np.arange(total, dtype=np.int64)
+    return li, sorted_right[slots]
+
+
+def _sorted_equi_join(
+    lk: np.ndarray,
+    rk: np.ndarray,
+    left_valid: np.ndarray,
+    right_valid: np.ndarray,
+    guard: Optional[Callable[[int, int, int], None]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort + searchsorted equi-join over comparable key arrays.
+
+    Emits pairs in probe order (ascending left row; equal-key right rows
+    ascending), identical to the row-at-a-time dict probe.
+    """
+    right_rows = np.flatnonzero(right_valid)
+    order = right_rows[np.argsort(rk[right_rows], kind="stable")]
+    sorted_rk = rk[order]
+    left_rows = np.flatnonzero(left_valid)
+    probe = lk[left_rows]
+    lo = np.searchsorted(sorted_rk, probe, side="left")
+    hi = np.searchsorted(sorted_rk, probe, side="right")
+    counts = (hi - lo).astype(np.int64)
+    return _emit_pairs(left_rows, counts, lo, order, len(lk), len(rk), guard)
+
+
+# ---------------------------------------------------------------------------
+# ordering
+# ---------------------------------------------------------------------------
+def sort_order(
+    keys: Sequence[tuple[Column, bool]], n_rows: int
+) -> np.ndarray:
+    """Stable sort permutation for multi-key ORDER BY via ``np.lexsort``.
+
+    Each ``(column, ascending)`` key is factorized into ordered codes
+    (NULLs coded last); descending keys flip their codes, which turns
+    NULLS LAST ascending into NULLS FIRST descending — exactly the
+    row-at-a-time comparator.  Stability across fully-tied rows matches
+    the multi-pass stable sort it replaces.
+
+    NaN-bearing float keys fall back: Python's ``sorted`` has no
+    consistent total order for NaN (comparisons are all False), and its
+    input-order-dependent result is the oracle semantics — only the
+    row path reproduces it.
+    """
+    if not keys:
+        return np.arange(n_rows, dtype=np.int64)
+    code_arrays = []
+    for column, ascending in keys:
+        if column.data.dtype.kind == "f":
+            nan = np.isnan(column.data)
+            if column.mask is not None:
+                nan &= ~column.mask
+            if nan.any():
+                raise KernelFallback("NaN sort keys have no total order")
+        codes, cardinality, uniques = _factorize(column, nan_distinct=False)
+        # non-object codes are value-ordered by construction; object
+        # codes are only ordered when np.unique could sort the payloads
+        if (
+            uniques is None
+            and cardinality > 1
+            and column.data.dtype == np.dtype(object)
+        ):
+            raise KernelFallback("sort key values are not orderable")
+        if not ascending:
+            codes = (cardinality - 1) - codes
+        code_arrays.append(codes)
+    # np.lexsort treats its *last* key as primary; plan keys are listed
+    # primary-first
+    return np.lexsort(tuple(reversed(code_arrays))).astype(np.int64, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# grouped aggregation
+# ---------------------------------------------------------------------------
+def grouped_aggregate(
+    func: str,
+    distinct: bool,
+    arg: Optional[Column],
+    ids: np.ndarray,
+    n_groups: int,
+    sort_cache: Optional[dict] = None,
+) -> Column:
+    """One aggregate over dense group ids, as a column of ``n_groups``.
+
+    Kernels exist for COUNT(*)/COUNT/SUM/MIN/MAX/AVG without DISTINCT;
+    MIN/MAX additionally work on strings through ordered codes.  Groups
+    with no non-NULL input are NULL (COUNT excepted).  Anything else
+    raises :class:`KernelFallback` and is computed per group in Python
+    by the executor.
+    """
+    if distinct:
+        raise KernelFallback("no kernel for DISTINCT aggregates")
+    if func == "count_star":
+        data = np.bincount(ids, minlength=n_groups).astype(np.int64)
+        return Column(DataType.BIGINT, data)
+    if func not in ("count", "sum", "min", "max", "avg") or arg is None:
+        raise KernelFallback(f"no kernel for aggregate {func!r}")
+    valid = None if arg.mask is None else ~arg.mask
+    vids = ids if valid is None else ids[valid]
+    if sort_cache is None:
+        sort_cache = {}
+    counts = np.bincount(vids, minlength=n_groups).astype(np.int64)
+    if func == "count":
+        return Column(DataType.BIGINT, counts)
+    present = counts > 0
+    mask = ~present
+    if arg.data.dtype == np.dtype(object):
+        return _grouped_object_minmax(
+            func, arg, vids, valid, counts, mask, sort_cache
+        )
+    if arg.type is None:
+        raise KernelFallback("untyped aggregate argument")
+    values = arg.data
+    if func in ("sum", "avg"):
+        # accumulate exactly like the Python path: float64 for DOUBLE,
+        # int64 otherwise (Python ints are unbounded; int64 is the
+        # documented kernel deviation for astronomically large sums)
+        acc_dtype = np.float64 if values.dtype.kind == "f" else np.int64
+        vals = values.astype(acc_dtype, copy=False)
+        vals = vals if valid is None else vals[valid]
+        sums = np.zeros(n_groups, dtype=acc_dtype)
+        sums[present] = _segment_reduce(vals, vids, counts, np.add, sort_cache)
+        if func == "avg":
+            data = np.zeros(n_groups, dtype=np.float64)
+            data[present] = sums[present].astype(np.float64) / counts[present]
+            return Column(DataType.DOUBLE, data, mask)
+        type_ = DataType.DOUBLE if acc_dtype == np.float64 else DataType.BIGINT
+        return Column(type_, sums, mask)
+    # min / max keep the argument's type and physical dtype
+    vals = values if valid is None else values[valid]
+    if vals.dtype.kind == "f" and np.isnan(vals).any():
+        # np.minimum/np.maximum propagate NaN; Python min()/max() (the
+        # oracle) compare it as un-ordered — only the per-group row
+        # fallback reproduces that
+        raise KernelFallback("NaN aggregate values have no total order")
+    ufunc = np.minimum if func == "min" else np.maximum
+    data = np.zeros(n_groups, dtype=values.dtype)
+    data[present] = _segment_reduce(vals, vids, counts, ufunc, sort_cache)
+    return Column(arg.type, data, mask)
+
+
+def _grouped_object_minmax(func, arg, vids, valid, counts, mask, sort_cache):
+    """MIN/MAX over strings: reduce ordered codes, map back to values."""
+    if func not in ("min", "max"):
+        raise KernelFallback(f"no kernel for {func!r} over object values")
+    codes, _, uniques = _factorize(arg)
+    if uniques is None:
+        raise KernelFallback("aggregate values are not orderable")
+    vals = codes if valid is None else codes[valid]
+    ufunc = np.minimum if func == "min" else np.maximum
+    present = ~mask
+    data = np.empty(len(counts), dtype=object)
+    if present.any():
+        data[present] = uniques[
+            _segment_reduce(vals, vids, counts, ufunc, sort_cache)
+        ]
+    return Column(arg.type or DataType.VARCHAR, data, mask)
+
+
+def _segment_reduce(vals, vids, counts, ufunc, sort_cache=None) -> np.ndarray:
+    """Per-group reduction: stable sort by group id, then ``reduceat``.
+
+    Returns one value per *non-empty* group, in group-id order.  The
+    stable sort keeps each group's values in row order; note that
+    ``np.add.reduceat`` sums segments pairwise, so float totals can
+    differ from the sequential Python sum in the final ULP (see the
+    module docstring).
+
+    ``sort_cache`` shares the argsort of ``vids`` between the
+    aggregates of one GROUP BY (SUM/MIN/MAX over the same group-id
+    array sort it once); entries keep the keyed array alive so the
+    ``id()`` key cannot be recycled.
+    """
+    order = None
+    if sort_cache is not None:
+        cached = sort_cache.get(id(vids))
+        if cached is not None and cached[0] is vids:
+            order = cached[1]
+    if order is None:
+        order = np.argsort(vids, kind="stable")
+        if sort_cache is not None:
+            sort_cache[id(vids)] = (vids, order)
+    svals = vals[order]
+    present_counts = counts[counts > 0]
+    if len(present_counts) == 0:
+        return np.empty(0, dtype=vals.dtype)
+    starts = np.concatenate(
+        ([0], np.cumsum(present_counts)[:-1])
+    ).astype(np.int64)
+    return ufunc.reduceat(svals, starts)
+
+
+def group_row_lists(ids: np.ndarray, n_groups: int) -> list[np.ndarray]:
+    """Row indices per group (group-id order) — the bridge that lets
+    unsupported aggregates run per group in Python while grouping itself
+    stays vectorized."""
+    order = np.argsort(ids, kind="stable")
+    counts = np.bincount(ids, minlength=n_groups)
+    return np.split(order, np.cumsum(counts)[:-1])

@@ -9,9 +9,21 @@ Join strategy is decided at plan time: :class:`~repro.plan.physical.PHashJoin`
 arrives with its equi-key pairs and build side already chosen,
 :class:`~repro.plan.physical.PNestedLoopJoin` and
 :class:`~repro.plan.physical.PCrossJoin` carry the guarded fallback
-paths.  Grouping and distinct use Python hash tables over row keys;
-sorting is a stable multi-pass merge with SQL null ordering (NULLS LAST
-ascending, NULLS FIRST descending).
+paths.
+
+Every key-driven operator (DISTINCT, GROUP BY, equi-join probing, set
+operations, ORDER BY, recursive-CTE dedup) runs through the vectorized
+kernels of :mod:`repro.exec.kernels` — factorized int64 key codes
+instead of per-row Python tuples — whenever the database's
+``vectorized`` knob is on and the key columns are codifiable.  The
+original row-at-a-time paths are kept verbatim underneath as the
+automatic fallback and as the ``Database(vectorized=False)``
+correctness oracle: Python hash tables over row keys for grouping and
+distinct, a stable multi-pass merge with SQL null ordering (NULLS LAST
+ascending, NULLS FIRST descending) for sorting.  Kernel hits and
+fallbacks are counted per operation on the database's
+:class:`~repro.exec.kernels.KernelCounters` and surfaced by profiler
+reports and ``Database.kernel_stats()``.
 
 Graph select / graph join are delegated to :mod:`repro.exec.graph_ops`.
 
@@ -32,8 +44,10 @@ from ..plan import exprs as bx
 from ..plan import logical as lp
 from ..plan import physical as pp
 from ..storage import Column, DataType
+from . import kernels
 from .batch import Batch, ZeroColumnBatch
 from .evaluator import EvalContext, evaluate
+from .kernels import KernelFallback
 
 #: Hard cap on materialized cross products, to fail fast instead of
 #: exhausting memory (the MonetDB prototype shares the failure mode).
@@ -46,6 +60,14 @@ MAX_JOIN_ROWS = 4 * MAX_CROSS_ROWS
 
 #: Iteration guard for WITH RECURSIVE evaluation.
 MAX_RECURSION_STEPS = 100_000
+
+#: Recursive-CTE dedup switches from the vectorized per-iteration
+#: re-codification (O(accumulated) per step, unbeatable for the big
+#: frontier deltas of graph workloads) to the incremental row-key set
+#: (O(delta) per step) once deltas shrink below this fraction of the
+#: accumulated result — long thin recursions would otherwise pay a full
+#: re-sort per row produced.
+DEDUP_DELTA_FRACTION = 8
 
 
 class ExecContext:
@@ -69,7 +91,20 @@ class ExecContext:
         #: Worker-thread budget for the graph runtime's batch solver
         #: (the Database's ``path_workers`` knob; 1 = always serial).
         self.path_workers = getattr(database, "path_workers", 1)
+        #: Whether key-driven operators use the vectorized kernels of
+        #: :mod:`repro.exec.kernels` (the Database's ``vectorized`` knob;
+        #: False preserves the row-at-a-time oracle paths).
+        self.vectorized = getattr(database, "vectorized", True)
+        self.kernel_counters = getattr(database, "kernel_counters", None)
         self._eval = EvalContext(params, self.run)
+
+    def kernel_hit(self, op: str) -> None:
+        if self.kernel_counters is not None:
+            self.kernel_counters.hit(op)
+
+    def kernel_fallback(self, op: str) -> None:
+        if self.kernel_counters is not None:
+            self.kernel_counters.fallback(op)
 
     def run(self, plan: pp.PhysicalNode) -> Batch:
         return execute_plan(plan, self)
@@ -195,7 +230,14 @@ def _batch_rows(batch: Batch) -> list[tuple]:
     return list(zip(*(col.to_pylist() for col in batch.columns)))
 
 
-def _distinct_batch(batch: Batch) -> Batch:
+def _distinct_batch(batch: Batch, ctx: Optional[ExecContext] = None) -> Batch:
+    if ctx is not None and ctx.vectorized:
+        try:
+            keep = kernels.distinct_mask(batch.columns, batch.num_rows)
+            ctx.kernel_hit("distinct")
+            return batch.filter(keep)
+        except KernelFallback:
+            ctx.kernel_fallback("distinct")
     seen: set = set()
     keep = np.zeros(batch.num_rows, dtype=np.bool_)
     for i, key in enumerate(_batch_rows(batch)):
@@ -206,23 +248,31 @@ def _distinct_batch(batch: Batch) -> Batch:
 
 
 def _exec_distinct(plan: pp.PDistinct, ctx: ExecContext) -> Batch:
-    return _distinct_batch(execute_plan(plan.input, ctx))
+    return _distinct_batch(execute_plan(plan.input, ctx), ctx)
 
 
 def _exec_sort(plan: pp.PSort, ctx: ExecContext) -> Batch:
     batch = execute_plan(plan.input, ctx)
+    keys = [(ctx.eval(key.expr, batch), key.ascending) for key in plan.keys]
+    if ctx.vectorized:
+        try:
+            order = kernels.sort_order(keys, batch.num_rows)
+            ctx.kernel_hit("sort")
+            return batch.take(order)
+        except KernelFallback:
+            ctx.kernel_fallback("sort")
     order = np.arange(batch.num_rows, dtype=np.int64)
     # stable multi-pass: least-significant key first
-    for key in reversed(plan.keys):
-        column = ctx.eval(key.expr, batch)
-        values = [column.value(int(i)) for i in order]
+    for column, ascending in reversed(keys):
+        materialized = column.to_pylist()  # one bulk conversion per key
+        values = [materialized[int(i)] for i in order]
 
         def sort_key(pos: int) -> tuple:
             value = values[pos]
             # NULLS LAST ascending; reversing makes them FIRST descending
             return (1, 0) if value is None else (0, value)
 
-        positions = sorted(range(len(order)), key=sort_key, reverse=not key.ascending)
+        positions = sorted(range(len(order)), key=sort_key, reverse=not ascending)
         order = order[np.asarray(positions, dtype=np.int64)]
     return batch.take(order)
 
@@ -237,6 +287,11 @@ def _exec_aggregate(plan: pp.PAggregate, ctx: ExecContext) -> Batch:
     arg_columns = [
         ctx.eval(a.arg, batch) if a.arg is not None else None for a in plan.aggs
     ]
+    if ctx.vectorized:
+        try:
+            return _vectorized_aggregate(plan, key_columns, arg_columns, n, ctx)
+        except KernelFallback:
+            ctx.kernel_fallback("group_by")
     groups: dict[tuple, list[int]] = {}
     if key_columns:
         key_lists = [col.to_pylist() for col in key_columns]
@@ -255,6 +310,51 @@ def _exec_aggregate(plan: pp.PAggregate, ctx: ExecContext) -> Batch:
     for col_def, values in zip(plan.schema, out_keys + out_aggs):
         type_ = col_def.type or _infer_output_type(values)
         columns.append(Column.from_values(type_, values))
+    return Batch(plan.schema, columns)
+
+
+def _vectorized_aggregate(
+    plan: pp.PAggregate,
+    key_columns: list[Column],
+    arg_columns: list[Optional[Column]],
+    n: int,
+    ctx: ExecContext,
+) -> Batch:
+    """GROUP BY over factorized group ids: keys come from each group's
+    first row; aggregates run through bincount/reduceat kernels, with a
+    per-group Python fallback only for aggregates without a kernel."""
+    if key_columns:
+        ids, n_groups, first_rows = kernels.group_ids(key_columns, n)
+    else:
+        # global aggregate: one group, even over an empty input
+        ids = np.zeros(n, dtype=np.int64)
+        n_groups, first_rows = 1, None
+    ctx.kernel_hit("group_by")
+    out_columns: list[Column] = []
+    for column in key_columns:
+        out_columns.append(column.take(first_rows))
+    group_rows = None  # lazily materialized for non-kernel aggregates
+    sort_cache: dict = {}  # one ids argsort shared by SUM/MIN/MAX & co.
+    for spec, arg_col in zip(plan.aggs, arg_columns):
+        try:
+            out_columns.append(
+                kernels.grouped_aggregate(
+                    spec.func, spec.distinct, arg_col, ids, n_groups, sort_cache
+                )
+            )
+        except KernelFallback:
+            ctx.kernel_fallback("aggregate")
+            if group_rows is None:
+                group_rows = kernels.group_row_lists(ids, n_groups)
+            values = [_compute_agg(spec, arg_col, rows) for rows in group_rows]
+            position = len(out_columns)
+            type_ = plan.schema[position].type or _infer_output_type(values)
+            out_columns.append(Column.from_values(type_, values))
+    columns = []
+    for col_def, column in zip(plan.schema, out_columns):
+        if col_def.type is not None and column.type != col_def.type:
+            column = column.cast(col_def.type)
+        columns.append(column)
     return Batch(plan.schema, columns)
 
 
@@ -377,6 +477,15 @@ def _exec_cross_join(plan: pp.PCrossJoin, ctx: ExecContext) -> Batch:
 def _hash_join_indices(left: Batch, right: Batch, pairs, ctx: ExecContext):
     left_keys = [ctx.eval(a, left) for a, _ in pairs]
     right_keys = [ctx.eval(b, right) for _, b in pairs]
+    if ctx.vectorized:
+        try:
+            result = kernels.join_indices(
+                left_keys, right_keys, guard=_guard_degenerate_join
+            )
+            ctx.kernel_hit("join")
+            return result
+        except KernelFallback:
+            ctx.kernel_fallback("join")
     if len(pairs) == 1 and (
         left_keys[0].type is not None
         and left_keys[0].type.is_numeric
@@ -385,6 +494,8 @@ def _hash_join_indices(left: Batch, right: Batch, pairs, ctx: ExecContext):
         and right_keys[0].type.is_numeric
         and right_keys[0].type != DataType.DOUBLE
     ):
+        # the PR-2 single-integer-key fast path, part of the
+        # vectorized=False oracle's behavior
         return _sorted_join_indices(left_keys[0], right_keys[0])
     table: dict[tuple, list[int]] = {}
     right_tuples = list(zip(*(col.to_pylist() for col in right_keys)))
@@ -469,7 +580,20 @@ def _exec_setop(plan: pp.PSetOp, ctx: ExecContext) -> Batch:
             result = Batch(plan.schema, columns)
         if plan.all:
             return result
-        return _distinct_batch(result)
+        return _distinct_batch(result, ctx)
+    if ctx.vectorized:
+        try:
+            keep = kernels.setop_mask(
+                left.columns,
+                left.num_rows,
+                right.columns,
+                right.num_rows,
+                keep_members=plan.op == "intersect",
+            )
+            ctx.kernel_hit("setop")
+            return left.filter(keep)
+        except KernelFallback:
+            ctx.kernel_fallback("setop")
     right_keys = set(_batch_rows(right))
     keep = np.zeros(left.num_rows, dtype=np.bool_)
     seen: set = set()
@@ -523,9 +647,27 @@ def _exec_materialize(plan: pp.PMaterialize, ctx: ExecContext) -> Batch:
 
 def _exec_recursive(plan: pp.PRecursive, ctx: ExecContext) -> Batch:
     accumulated = _coerce_batch(execute_plan(plan.base, ctx), plan.schema)
-    seen: set = set()
+    seen: Optional[set] = None
+    # vectorized dedup carries no row-key set across iterations: each
+    # delta is checked against the accumulated batch by codified ids.
+    # On the first uncodifiable batch we build the seen-set from the
+    # accumulated rows and continue row-at-a-time.
+    use_kernels = ctx.vectorized and not plan.union_all
     if not plan.union_all:
-        accumulated = _dedup_batch(accumulated, seen)
+        if use_kernels:
+            try:
+                accumulated = accumulated.filter(
+                    kernels.distinct_mask(
+                        accumulated.columns, accumulated.num_rows
+                    )
+                )
+                ctx.kernel_hit("dedup")
+            except KernelFallback:
+                ctx.kernel_fallback("dedup")
+                use_kernels = False
+        if not use_kernels:
+            seen = set()
+            accumulated = _dedup_batch(accumulated, seen)
     delta = accumulated
     steps = 0
     previous = ctx.cte_tables.get(plan.cte_name)
@@ -543,7 +685,33 @@ def _exec_recursive(plan: pp.PRecursive, ctx: ExecContext) -> Batch:
             if plan.union_all:
                 delta = produced
             else:
-                delta = _dedup_batch(produced, seen)
+                if use_kernels and (
+                    accumulated.num_rows >= 1024
+                    and produced.num_rows * DEDUP_DELTA_FRACTION
+                    < accumulated.num_rows
+                ):
+                    # thin deltas: re-codifying the whole accumulated
+                    # batch every step no longer pays — build the
+                    # incremental seen-set once and stay row-at-a-time
+                    use_kernels = False
+                    seen = set(_batch_rows(accumulated))
+                if use_kernels:
+                    try:
+                        delta = produced.filter(
+                            kernels.new_rows_mask(
+                                accumulated.columns,
+                                accumulated.num_rows,
+                                produced.columns,
+                                produced.num_rows,
+                            )
+                        )
+                        ctx.kernel_hit("dedup")
+                    except KernelFallback:
+                        ctx.kernel_fallback("dedup")
+                        use_kernels = False
+                        seen = set(_batch_rows(accumulated))
+                if not use_kernels:
+                    delta = _dedup_batch(produced, seen)
             if delta.num_rows:
                 accumulated = Batch(
                     plan.schema,

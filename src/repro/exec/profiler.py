@@ -39,6 +39,14 @@ def misestimate_ratio(estimated: float, actual: float) -> float:
     return max(estimated, actual) / min(estimated, actual)
 
 
+def _per_op(counts: dict) -> str:
+    """`` (group_by=3 join=1)`` detail for the kernel-counter line."""
+    if not counts:
+        return ""
+    body = " ".join(f"{op}={counts[op]}" for op in sorted(counts))
+    return f" ({body})"
+
+
 @dataclass
 class NodeStats:
     """Timing record of one plan-node execution."""
@@ -63,6 +71,9 @@ class Profiler:
         #: from the plan cache, and the cache counters to report.
         self.plan_cache_hit: bool | None = None
         self.cache_stats: dict | None = None
+        #: Vectorized-kernel hit/fallback counters (cumulative, like the
+        #: cache counters) — set by Database.profile().
+        self.kernel_stats: dict | None = None
         #: ``(operator name, estimated rows, actual rows-per-call)`` for
         #: every operator flagged by :func:`misestimate_ratio` — filled
         #: by :meth:`render`; groundwork for adaptive re-optimization.
@@ -108,6 +119,14 @@ class Profiler:
             lines.append(
                 f"graph index cache counters: hits={graph_stats.get('hits', 0)} "
                 f"misses={graph_stats.get('misses', 0)}"
+            )
+        if self.kernel_stats is not None:
+            lines.append(
+                "vectorized kernels: "
+                f"hits={self.kernel_stats.get('hit_total', 0)}"
+                f"{_per_op(self.kernel_stats.get('hits', {}))} "
+                f"fallbacks={self.kernel_stats.get('fallback_total', 0)}"
+                f"{_per_op(self.kernel_stats.get('fallbacks', {}))}"
             )
         return "\n".join(lines)
 

@@ -37,6 +37,43 @@ def _parse_string(value: Any, target: DataType) -> Any:
     return text  # DATE handled by coerce_python_value
 
 
+def _dense_span(values: np.ndarray) -> "tuple[int, int] | None":
+    """``(min, span)`` when integer ``values`` cover a range narrow
+    enough that ``value - min`` beats a sort-based ``np.unique`` as the
+    dictionary code (span bounded by a small multiple of the row count),
+    else None."""
+    if values.dtype.kind not in "iub" or len(values) == 0:
+        return None
+    lo = int(values.min())
+    hi = int(values.max())
+    span = hi - lo + 1
+    if span > max(4 * len(values), 1024):
+        return None
+    return lo, span
+
+
+def _factorize_objects(values: np.ndarray) -> tuple[np.ndarray, int, "np.ndarray | None"]:
+    """Dense codes for an object array (NULLs already excluded).
+
+    Sortable payloads (strings) get value-ordered codes via ``np.unique``;
+    unorderable but hashable payloads get insertion-ordered codes from a
+    dictionary (``uniques`` None).  Unhashable payloads raise TypeError.
+    """
+    try:
+        uniques, inverse = np.unique(values, return_inverse=True)
+        return inverse.reshape(-1).astype(np.int64, copy=False), len(uniques), uniques
+    except TypeError:
+        pass
+    mapping: dict = {}
+    codes = np.empty(len(values), dtype=np.int64)
+    for i, value in enumerate(values):
+        code = mapping.get(value)
+        if code is None:
+            code = mapping[value] = len(mapping)
+        codes[i] = code
+    return codes, len(mapping), None
+
+
 class Column:
     """An immutable typed vector of values.
 
@@ -196,6 +233,76 @@ class Column:
         else:
             mask = None
         return Column(type_, data, mask)
+
+    # ------------------------------------------------------------------
+    # factorization (the primitive behind the vectorized exec kernels)
+    # ------------------------------------------------------------------
+    def factorize(self, *, nan_distinct: bool = True) -> tuple[np.ndarray, int, "np.ndarray | None"]:
+        """Dictionary-encode the column into dense ``int64`` codes.
+
+        Returns ``(codes, cardinality, uniques)`` where ``codes`` assigns
+        every row an integer in ``[0, cardinality)`` such that two rows
+        share a code iff they are the same *key*:
+
+        * non-NULL, non-NaN values get ranks ``0..K-1`` in ascending value
+          order (``uniques[code]`` recovers the value), so the codes are
+          directly usable as null-aware sort keys;
+        * float NaN slots come next — one fresh code per slot when
+          ``nan_distinct`` (matching the Python-tuple identity semantics
+          of the row-at-a-time operators, where every materialized NaN is
+          its own key), or one shared code when ordering is all that
+          matters;
+        * the NULL code is always last, which makes ascending code order
+          exactly SQL's NULLS LAST.
+
+        ``uniques`` is ``None`` in two cases: the integer fast path
+        (codes are ``value - min`` — still value-ordered, no dictionary
+        materialized) and object payloads that are not orderable, which
+        fall back to insertion-ordered codes from a hash dictionary —
+        still valid grouping/join keys, but unusable for ordering
+        kernels (non-object codes are value-ordered regardless of
+        ``uniques``).  Raises ``TypeError`` for payloads that are
+        neither orderable nor hashable (nested tables); callers treat
+        that as "no kernel".
+        """
+        data, n = self.data, len(self.data)
+        valid = np.ones(n, dtype=np.bool_) if self.mask is None else ~self.mask
+        nan = None
+        if data.dtype.kind == "f":
+            nan = np.isnan(data) & valid
+            valid = valid & ~nan
+        if data.dtype == np.dtype(object):
+            codes_valid, cardinality, uniques = _factorize_objects(data[valid])
+        else:
+            values = data[valid]
+            span = _dense_span(values)
+            if span is not None:
+                # integer fast path: value - min is already a monotonic
+                # dense-enough code — no sort needed.  ``uniques`` stays
+                # None (non-object codes are value-ordered regardless).
+                lo, cardinality = span
+                codes_valid = values.astype(np.int64, copy=False) - lo
+                uniques = None
+            else:
+                uniques, inverse = np.unique(values, return_inverse=True)
+                codes_valid = inverse.reshape(-1).astype(np.int64, copy=False)
+                cardinality = len(uniques)
+        codes = np.zeros(n, dtype=np.int64)
+        codes[valid] = codes_valid
+        if nan is not None and nan.any():
+            positions = np.flatnonzero(nan)
+            if nan_distinct:
+                codes[positions] = cardinality + np.arange(
+                    len(positions), dtype=np.int64
+                )
+                cardinality += len(positions)
+            else:
+                codes[positions] = cardinality
+                cardinality += 1
+        if self.mask is not None:
+            codes[self.mask] = cardinality
+            cardinality += 1
+        return codes, max(cardinality, 1), uniques
 
     # ------------------------------------------------------------------
     # conversions
