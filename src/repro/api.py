@@ -62,6 +62,7 @@ from .exec import graph_ops  # noqa: F401 - registers the graph operators
 from .exec.batch import Batch
 from .exec.kernels import KernelCounters
 from .exec.operators import ExecContext, execute_plan
+from .exec.parallel import ExecPool
 from .graph import GraphLibrary
 from .nested import NestedTableValue
 from .plan import (
@@ -242,6 +243,39 @@ class GraphIndexManager:
         with self._mutex:
             return dict(self._specs)
 
+    def cached_library(
+        self, name: str, version_id: int
+    ) -> Optional[GraphLibrary]:
+        """The already-built library of index ``name``, but only when it
+        was built from exactly table version ``version_id`` — a pure
+        cache peek (no build, no LRU reordering), for the persistence
+        layer: ``save()`` serializes the CSRs that exist, it never pays
+        a build or evicts hot entries for an index nobody queried."""
+        with self._mutex:
+            spec = self._specs.get(name)
+            if spec is None:  # pragma: no cover - defensive
+                return None
+            cached = self._cache.get(spec)
+            if cached is not None and cached[0] == version_id:
+                return cached[1]
+            return None
+
+    def seed(self, name: str, library: GraphLibrary) -> None:
+        """Install a pre-built library for index ``name``, keyed to the
+        table's *current* committed version — the ``load()`` path that
+        restores persisted CSRs so the first graph query after a reload
+        skips the build entirely."""
+        with self._mutex:
+            spec = self._specs.get(name)
+            if spec is None:  # pragma: no cover - defensive
+                return
+            version = self._catalog.get(spec[0]).current()
+            self._cache[spec] = (version.version_id, library)
+            self._cache.move_to_end(spec)
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+                self.evictions += 1
+
     def invalidate_table(self, table: str) -> None:
         """Drop every cached library built over ``table`` (DML/DDL hook)."""
         key = table.lower()
@@ -368,6 +402,22 @@ class Database:
         :meth:`kernel_stats`).  When False every operator takes the
         original row-at-a-time path — the correctness oracle for the
         kernel fuzz tests and the baseline for ``BENCH_exec.json``.
+    exec_workers:
+        Kernel worker threads for morsel-driven parallel execution
+        (:mod:`repro.exec.parallel`): a positive int, or ``"auto"``
+        (respect ``REPRO_EXEC_WORKERS`` / the CPU count).  The pool is
+        owned by the database and shared by every session.  Large
+        key-driven operator inputs are split into fixed-size morsels
+        and run across the pool with per-partition dictionary merge;
+        results are bit-identical to ``exec_workers=1``, which runs the
+        unchanged serial kernels (the oracle for the
+        workers-equivalence suite).  Inputs below
+        :data:`repro.exec.parallel.PARALLEL_MIN_ROWS` always run
+        serially, so small queries pay no pool overhead.  Counters:
+        :meth:`parallel_stats` / the shell's ``\\workers``.
+    morsel_rows / parallel_min_rows:
+        Tuning/testing overrides for the morsel size and the serial
+        threshold (default the module constants).
     """
 
     def __init__(
@@ -379,6 +429,9 @@ class Database:
         optimizer: bool = True,
         parameterize: bool = True,
         vectorized: bool = True,
+        exec_workers: int | str | None = "auto",
+        morsel_rows: Optional[int] = None,
+        parallel_min_rows: Optional[int] = None,
     ) -> None:
         self.catalog = Catalog()
         self.graph_indices = GraphIndexManager(
@@ -395,6 +448,12 @@ class Database:
         self.parameterize = bool(parameterize)
         self.vectorized = bool(vectorized)
         self.kernel_counters = KernelCounters()
+        #: Shared morsel-execution worker pool (lazily spawned; a
+        #: 1-worker pool never starts a thread and keeps every kernel
+        #: on its serial path).
+        self.exec_pool = ExecPool(
+            exec_workers, morsel_rows=morsel_rows, min_rows=parallel_min_rows
+        )
         #: Serializes eager multi-table snapshot pinning against
         #: multi-table COMMIT installation, so a statement can never pin
         #: half of another transaction's committed write set.
@@ -669,6 +728,7 @@ class Database:
         profiler.plan_cache_hit = cache_hit
         profiler.cache_stats = self.cache_stats()
         profiler.kernel_stats = self.kernel_stats()
+        profiler.parallel_stats = self.parallel_stats()
         return result, profiler.render(plan)
 
     def explain(self, sql: str) -> str:
@@ -709,8 +769,38 @@ class Database:
         ``hit_total`` / ``fallback_total``).  A fallback means an
         operator ran its row-at-a-time path because the key columns were
         not codifiable (or ``vectorized=False`` — then everything is
-        simply uncounted)."""
+        simply uncounted).  ``fallback_reasons`` breaks every op's
+        fallbacks down by cause (uncodifiable type vs kernel-less
+        aggregate vs NaN sort key)."""
         return self.kernel_counters.snapshot()
+
+    def parallel_stats(self) -> dict:
+        """Morsel-driven execution counters of the shared kernel pool:
+        worker/morsel configuration, parallel-vs-serial kernel decisions
+        per op, and per-op morsel counts and timings (total seconds and
+        max single-morsel milliseconds).  Surfaced by profile-report
+        footers and the shell's ``\\workers`` command."""
+        pool = self.exec_pool
+        return {
+            "workers": pool.workers,
+            "morsel_rows": pool.morsel_rows,
+            "parallel_min_rows": pool.min_rows,
+            **pool.stats.snapshot(),
+        }
+
+    def set_exec_workers(self, workers: int | str | None) -> int:
+        """Resize the shared kernel pool (the ``\\workers exec`` shell
+        surface).  The old pool is shut down without waiting (in-flight
+        morsels finish on their threads); cumulative counters carry
+        over.  Returns the effective worker count."""
+        old = self.exec_pool
+        fresh = ExecPool(
+            workers, morsel_rows=old.morsel_rows, min_rows=old.min_rows
+        )
+        fresh.stats = old.stats
+        self.exec_pool = fresh
+        old.shutdown()
+        return fresh.workers
 
     # ------------------------------------------------------------------
     # optimizer statistics

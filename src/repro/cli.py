@@ -9,7 +9,9 @@ and may span lines.  Meta commands:
 * ``\\cache`` — plan-cache / graph-index-cache counters
 * ``\\kernels`` — vectorized-kernel hit/fallback counters
 * ``\\stats [table]`` — optimizer statistics recorded by ``ANALYZE``
-* ``\\workers [n|auto]`` — show / set the shortest-path worker budget
+* ``\\workers [path|exec] [n|auto]`` — show / set the shortest-path and
+  morsel-execution worker budgets, plus parallel-kernel counters
+  (a bare number keeps the historical meaning: path workers)
 * ``\\save <dir>`` / ``\\open <dir>`` — persist / load the database
 * ``\\q`` — quit
 
@@ -185,20 +187,47 @@ class Shell:
                     self.write(f"  {col_name}: {' '.join(parts)}")
         elif name == "\\workers":
             if args:
-                value = args[0]
-                if value != "auto":
-                    try:
-                        value = int(value)
-                    except ValueError:
-                        self.write(f"error: expected a number or 'auto', got {value!r}")
-                        return
-                self.db.path_workers = value
+                kind, values = "path", args
+                if args[0] in ("path", "exec"):
+                    kind, values = args[0], args[1:]
+                if values:
+                    value = values[0]
+                    if value != "auto":
+                        try:
+                            value = int(value)
+                        except ValueError:
+                            self.write(
+                                f"error: expected a number or 'auto', got {value!r}"
+                            )
+                            return
+                    if kind == "path":
+                        self.db.path_workers = value
+                    else:
+                        self.db.set_exec_workers(value)
             from .graph import resolve_workers
 
             self.write(
                 f"path workers: {self.db.path_workers} "
                 f"(effective {resolve_workers(self.db.path_workers)})"
             )
+            stats = self.db.parallel_stats()
+            self.write(
+                f"exec workers: {stats['workers']} "
+                f"(morsel rows {stats['morsel_rows']}, "
+                f"serial below {stats['parallel_min_rows']} rows)"
+            )
+            morsels = stats["morsel_total"]
+            self.write(
+                f"parallel kernels: parallel_ops={stats['parallel_op_total']} "
+                f"serial_ops={stats['serial_op_total']} morsels={morsels}"
+            )
+            for op in sorted(stats["morsels"]):
+                total_ms = stats["morsel_seconds"].get(op, 0.0) * 1000
+                self.write(
+                    f"  {op}: morsels={stats['morsels'][op]} "
+                    f"total={total_ms:.2f}ms "
+                    f"max={stats['morsel_max_ms'].get(op, 0.0):.2f}ms"
+                )
         elif name == "\\save" and args:
             try:
                 self.db.save(args[0])

@@ -1,0 +1,20 @@
+"""Environment-knob parsing shared by every layer.
+
+A dependency-free leaf module: :mod:`repro.storage`, :mod:`repro.exec`
+and :mod:`repro.graph` all read tuning knobs from the environment, and
+all of them want the same policy — a malformed value falls back to the
+default silently, because a typo'd env var must not crash imports or
+every statement that consults the knob.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def env_int(name: str, default: "int | None") -> "int | None":
+    """``int(os.environ[name])``, or ``default`` when unset/malformed."""
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default

@@ -27,10 +27,28 @@ keys are each their own key (the row paths materialize a fresh Python
 Every kernel raises :class:`KernelFallback` instead of guessing when a
 column cannot be codified (unhashable nested-table payloads, untyped
 parameter columns in mixed-type positions); the executor then runs the
-original row-at-a-time path and counts the fallback.  The
-``Database(vectorized=False)`` knob disables the kernels wholesale,
-preserving the row paths as the correctness oracle for the on/off fuzz
-tests and the ``BENCH_exec.json`` baselines.
+original row-at-a-time path and counts the fallback, *by reason* —
+:data:`REASON_UNCODIFIABLE` (the key/value type has no code space),
+:data:`REASON_NO_KERNEL` (the operation itself has no kernel, e.g.
+DISTINCT aggregates) or :data:`REASON_NAN_ORDER` (NaN keys have no
+total order, only the row comparator reproduces the oracle) — so a
+parallel-vs-serial perf regression can be traced to the fallback class
+that caused it.  The ``Database(vectorized=False)`` knob disables the
+kernels wholesale, preserving the row paths as the correctness oracle
+for the on/off fuzz tests and the ``BENCH_exec.json`` baselines.
+
+Morsel-driven parallelism: every kernel accepts an optional ``par``
+(:class:`~repro.exec.parallel.ParallelContext`) and, for inputs large
+enough to clear :data:`~repro.exec.parallel.PARALLEL_MIN_ROWS`, runs
+its per-row passes morsel-parallel on the database's shared worker pool
+— per-partition dictionary merge for codification, partial aggregates
+merged by group id, per-morsel probe/emit for joins and membership for
+setops.  The combines are deterministic in morsel order and the sort
+permutations are the (unique) stable ones, so results are
+**bit-identical** to the serial kernels for any worker count; a
+``None``/inactive ``par`` takes exactly the PR-4 serial code — which is
+why ``Database(exec_workers=1)`` stays the oracle for the
+workers-equivalence suite.
 
 Known (documented) deviations from the Python paths, all confined to
 degenerate or last-ULP territory: integer SUM accumulates in ``int64``
@@ -49,10 +67,26 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..storage import Column, DataType, promote
+from . import parallel as mp
+from .parallel import ParallelContext
+
+#: Fallback reasons (the profile-report breakdown categories).
+REASON_UNCODIFIABLE = "uncodifiable"
+REASON_NO_KERNEL = "no-kernel"
+REASON_NAN_ORDER = "nan-order"
 
 
 class KernelFallback(Exception):
-    """A kernel cannot handle these columns; run the row-at-a-time path."""
+    """A kernel cannot handle these columns; run the row-at-a-time path.
+
+    ``reason`` classifies the cause for the per-reason fallback counters
+    (:data:`REASON_UNCODIFIABLE` / :data:`REASON_NO_KERNEL` /
+    :data:`REASON_NAN_ORDER`).
+    """
+
+    def __init__(self, message: str, reason: str = REASON_UNCODIFIABLE):
+        super().__init__(message)
+        self.reason = reason
 
 
 class KernelCounters:
@@ -60,31 +94,78 @@ class KernelCounters:
 
     Shared by every statement of one :class:`~repro.api.Database` (like
     the plan-cache counters); rendered by the profiler report and the
-    shell's ``\\kernels`` command.  Increments are coarse — one per
-    operator execution, never per row — so a lock keeps them exact.
+    shell's ``\\kernels`` command.  Fallbacks are additionally broken
+    down by :class:`KernelFallback` reason, so a regression report can
+    distinguish "uncodifiable key type" from "kernel-less aggregate"
+    from "NaN sort key".  Increments are coarse — one per operator
+    execution, never per row — so a lock keeps them exact.
     """
 
     def __init__(self) -> None:
         self._mutex = threading.Lock()
         self.hits: dict[str, int] = {}
         self.fallbacks: dict[str, int] = {}
+        self.fallback_reasons: dict[str, dict[str, int]] = {}
 
     def hit(self, op: str) -> None:
         with self._mutex:
             self.hits[op] = self.hits.get(op, 0) + 1
 
-    def fallback(self, op: str) -> None:
+    def fallback(self, op: str, reason: Optional[str] = None) -> None:
         with self._mutex:
             self.fallbacks[op] = self.fallbacks.get(op, 0) + 1
+            key = reason or REASON_UNCODIFIABLE
+            per_op = self.fallback_reasons.setdefault(op, {})
+            per_op[key] = per_op.get(key, 0) + 1
 
     def snapshot(self) -> dict:
         with self._mutex:
             return {
                 "hits": dict(self.hits),
                 "fallbacks": dict(self.fallbacks),
+                "fallback_reasons": {
+                    op: dict(reasons)
+                    for op, reasons in self.fallback_reasons.items()
+                },
                 "hit_total": sum(self.hits.values()),
                 "fallback_total": sum(self.fallbacks.values()),
             }
+
+
+class ArgsortCache:
+    """Per-thread memo of stable argsorts keyed by array identity.
+
+    One instance is shared by all aggregates of one GROUP BY so
+    SUM/MIN/MAX over the same group-id array sort it once.  The PR-4
+    version was a plain dict threaded through the kernel calls; today
+    every lookup still happens on the statement thread (pool tasks are
+    leaf closures that never see the cache), but entries live in
+    ``threading.local`` storage as hardening for the scheduled next
+    step — evaluating the aggregates of one GROUP BY concurrently on
+    the pool — so that change cannot silently corrupt the memo.
+    Entries keep the keyed array alive so the ``id()`` key cannot be
+    recycled.
+    """
+
+    __slots__ = ("_local",)
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def lookup(self, keys: np.ndarray) -> Optional[np.ndarray]:
+        entries = getattr(self._local, "entries", None)
+        if entries is None:
+            return None
+        cached = entries.get(id(keys))
+        if cached is not None and cached[0] is keys:
+            return cached[1]
+        return None
+
+    def store(self, keys: np.ndarray, order: np.ndarray) -> None:
+        entries = getattr(self._local, "entries", None)
+        if entries is None:
+            entries = self._local.entries = {}
+        entries[id(keys)] = (keys, order)
 
 
 # ---------------------------------------------------------------------------
@@ -96,15 +177,37 @@ class KernelCounters:
 _MAX_RADIX = np.iinfo(np.int64).max // 4
 
 
-def _factorize(column: Column, *, nan_distinct: bool = True):
+def _use_par(par: Optional[ParallelContext], n_rows: int, op: str) -> bool:
+    """One primitive's parallel-vs-serial decision, recorded in the
+    pool stats when a live context declines (below-threshold input)."""
+    if par is None:
+        return False
+    if par.active_for(n_rows):
+        return True
+    par.note_serial(op)
+    return False
+
+
+def _factorize(
+    column: Column,
+    *,
+    nan_distinct: bool = True,
+    par: Optional[ParallelContext] = None,
+):
     try:
-        return column.factorize(nan_distinct=nan_distinct)
+        return column.factorize(nan_distinct=nan_distinct, runner=par)
     except TypeError as exc:
-        raise KernelFallback(f"cannot factorize key column: {exc}") from None
+        raise KernelFallback(
+            f"cannot factorize key column: {exc}", REASON_UNCODIFIABLE
+        ) from None
 
 
 def _codify(
-    columns: Sequence[Column], n_rows: int, *, nan_distinct: bool = True
+    columns: Sequence[Column],
+    n_rows: int,
+    *,
+    nan_distinct: bool = True,
+    par: Optional[ParallelContext] = None,
 ) -> tuple[np.ndarray, int]:
     """``(ids, radix)``: one ``int64`` id per row plus the (exclusive)
     upper bound on the id values — the mixed-radix key-space size, which
@@ -112,23 +215,51 @@ def _codify(
     sort-based ones when the space is small."""
     if not columns:
         return np.zeros(n_rows, dtype=np.int64), 1
-    codes, radix, _ = _factorize(columns[0], nan_distinct=nan_distinct)
+    use_par = _use_par(par, n_rows, "codify")
+    codes, radix, _ = _factorize(columns[0], nan_distinct=nan_distinct, par=par)
     ids = codes
     for column in columns[1:]:
-        codes, cardinality, _ = _factorize(column, nan_distinct=nan_distinct)
+        codes, cardinality, _ = _factorize(
+            column, nan_distinct=nan_distinct, par=par
+        )
         if radix > _MAX_RADIX // cardinality:
-            uniques, inverse = np.unique(ids, return_inverse=True)
-            ids = inverse.reshape(-1).astype(np.int64, copy=False)
+            # dictionary overflow: densify the intermediate ids back to
+            # a compact code space before the next radix multiply
+            if use_par:
+                uniques, ids = mp.parallel_unique_inverse(ids, par, op="codify")
+            else:
+                uniques, inverse = np.unique(ids, return_inverse=True)
+                ids = inverse.reshape(-1).astype(np.int64, copy=False)
             radix = max(len(uniques), 1)
             if radix > _MAX_RADIX // cardinality:  # pragma: no cover - 2^62 keys
-                raise KernelFallback("key space exceeds int64 after densify")
-        ids = ids * cardinality + codes
+                raise KernelFallback(
+                    "key space exceeds int64 after densify", REASON_UNCODIFIABLE
+                )
+        if use_par:
+            combined = np.empty(n_rows, dtype=np.int64)
+            local_codes = codes
+
+            def combine(span: tuple[int, int]) -> None:
+                start, stop = span
+                np.multiply(
+                    ids[start:stop], cardinality, out=combined[start:stop]
+                )
+                combined[start:stop] += local_codes[start:stop]
+
+            par.map("codify", combine, par.spans(n_rows))
+            ids = combined
+        else:
+            ids = ids * cardinality + codes
         radix *= cardinality
     return ids, radix
 
 
 def codify(
-    columns: Sequence[Column], n_rows: int, *, nan_distinct: bool = True
+    columns: Sequence[Column],
+    n_rows: int,
+    *,
+    nan_distinct: bool = True,
+    par: Optional[ParallelContext] = None,
 ) -> np.ndarray:
     """One ``int64`` id per row over the given key columns.
 
@@ -137,7 +268,7 @@ def codify(
     :func:`group_ids` when dense, first-occurrence-ordered ids are
     needed.  Zero key columns put every row in one group.
     """
-    return _codify(columns, n_rows, nan_distinct=nan_distinct)[0]
+    return _codify(columns, n_rows, nan_distinct=nan_distinct, par=par)[0]
 
 
 def _small_radix(radix: int, n_rows: int) -> bool:
@@ -155,10 +286,18 @@ def _first_scatter_table(ids: np.ndarray, radix: int, n_rows: int) -> np.ndarray
     return first
 
 
-def _first_rows_of(ids: np.ndarray, radix: int, n_rows: int) -> np.ndarray:
+def _first_rows_of(
+    ids: np.ndarray,
+    radix: int,
+    n_rows: int,
+    par: Optional[ParallelContext] = None,
+    op: str = "distinct",
+) -> np.ndarray:
     """Row index of the first occurrence of every distinct id (in
-    ascending id order for the sort path, unspecified order otherwise —
-    callers treat it as a set or sort it)."""
+    ascending id order for the sort/morsel paths, unspecified order
+    otherwise — callers treat it as a set or sort it)."""
+    if _use_par(par, n_rows, op):
+        return mp.parallel_first_rows(ids, par, op=op, radix=radix)[1]
     if _small_radix(radix, n_rows):
         first = _first_scatter_table(ids, radix, n_rows)
         return first[first < n_rows]
@@ -167,7 +306,9 @@ def _first_rows_of(ids: np.ndarray, radix: int, n_rows: int) -> np.ndarray:
 
 
 def group_ids(
-    columns: Sequence[Column], n_rows: int
+    columns: Sequence[Column],
+    n_rows: int,
+    par: Optional[ParallelContext] = None,
 ) -> tuple[np.ndarray, int, np.ndarray]:
     """Dense group ids in first-occurrence order.
 
@@ -176,7 +317,37 @@ def group_ids(
     insertion-ordered dict of the row-at-a-time GROUP BY), and
     ``first_rows[g]`` is the representative (first) row of group ``g``.
     """
-    raw, radix = _codify(columns, n_rows)
+    raw, radix = _codify(columns, n_rows, par=par)
+    if _use_par(par, n_rows, "group_by"):
+        # merged per-morsel first-occurrence maps give (unique raw ids
+        # ascending, global first row each); rank by first row = the
+        # first-appearance numbering of the serial paths
+        unique_ids, first_rows = mp.parallel_first_rows(
+            raw, par, op="group_by", radix=radix
+        )
+        order = np.argsort(first_rows, kind="stable")
+        n_groups = len(unique_ids)
+        out = np.empty(n_rows, dtype=np.int64)
+        if _small_radix(radix, n_rows):
+            lookup = np.empty(radix, dtype=np.int64)
+            lookup[unique_ids[order]] = np.arange(n_groups, dtype=np.int64)
+
+            def remap(span: tuple[int, int]) -> None:
+                start, stop = span
+                np.take(lookup, raw[start:stop], out=out[start:stop])
+
+        else:
+            remap_table = np.empty(n_groups, dtype=np.int64)
+            remap_table[order] = np.arange(n_groups, dtype=np.int64)
+
+            def remap(span: tuple[int, int]) -> None:
+                start, stop = span
+                out[start:stop] = remap_table[
+                    np.searchsorted(unique_ids, raw[start:stop])
+                ]
+
+        par.map("group_by", remap, par.spans(n_rows))
+        return out, n_groups, first_rows[order]
     if n_rows and _small_radix(radix, n_rows):
         first = _first_scatter_table(raw, radix, n_rows)
         present = np.flatnonzero(first < n_rows)  # distinct ids, id order
@@ -194,12 +365,16 @@ def group_ids(
     return remap[inverse.reshape(-1)], len(uniques), np.sort(first)
 
 
-def distinct_mask(columns: Sequence[Column], n_rows: int) -> np.ndarray:
+def distinct_mask(
+    columns: Sequence[Column],
+    n_rows: int,
+    par: Optional[ParallelContext] = None,
+) -> np.ndarray:
     """Boolean keep-mask selecting the first occurrence of every key."""
     keep = np.zeros(n_rows, dtype=np.bool_)
     if n_rows:
-        ids, radix = _codify(columns, n_rows)
-        keep[_first_rows_of(ids, radix, n_rows)] = True
+        ids, radix = _codify(columns, n_rows, par=par)
+        keep[_first_rows_of(ids, radix, n_rows, par)] = True
     return keep
 
 
@@ -223,12 +398,15 @@ def _aligned_pair(left: Column, right: Column) -> tuple[Column, Column]:
             else:
                 right = Column(left.type, right.data, right.mask)
             return left, right
-        raise KernelFallback("untyped key column in mixed-type position")
+        raise KernelFallback(
+            "untyped key column in mixed-type position", REASON_UNCODIFIABLE
+        )
     try:
         target = promote(left.type, right.type)
     except Exception:
         raise KernelFallback(
-            f"no common key type for {left.type} and {right.type}"
+            f"no common key type for {left.type} and {right.type}",
+            REASON_UNCODIFIABLE,
         ) from None
     return left.cast(target), right.cast(target)
 
@@ -240,6 +418,7 @@ def _joint_codes(
     n_right: int,
     *,
     nan_distinct: bool = True,
+    par: Optional[ParallelContext] = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Codify two inputs' key columns through one shared dictionary:
     ``(left_ids, right_ids, radix)``, where equal ids across the two
@@ -254,16 +433,27 @@ def _joint_codes(
     for left, right in zip(left_columns, right_columns):
         left, right = _aligned_pair(left, right)
         joined.append(Column.concat([left, right]))
-    ids, radix = _codify(joined, n_left + n_right, nan_distinct=nan_distinct)
+    ids, radix = _codify(
+        joined, n_left + n_right, nan_distinct=nan_distinct, par=par
+    )
     return ids[:n_left], ids[n_left:], radix
 
 
 def _membership(
-    probe_ids: np.ndarray, key_ids: np.ndarray, radix: int
+    probe_ids: np.ndarray,
+    key_ids: np.ndarray,
+    radix: int,
+    par: Optional[ParallelContext] = None,
+    op: str = "setop",
 ) -> np.ndarray:
     """``probe_ids ∈ key_ids``, element-wise — a radix-sized boolean
     table when the key space is small, ``np.isin`` (sort-based) else."""
-    if _small_radix(radix, len(probe_ids) + len(key_ids)):
+    small = _small_radix(radix, len(probe_ids) + len(key_ids))
+    if _use_par(par, len(probe_ids), op):
+        return mp.parallel_membership(
+            probe_ids, key_ids, radix, small, par, op=op
+        )
+    if small:
         table = np.zeros(radix, dtype=np.bool_)
         table[key_ids] = True
         return table[probe_ids]
@@ -277,16 +467,17 @@ def setop_mask(
     n_right: int,
     *,
     keep_members: bool,
+    par: Optional[ParallelContext] = None,
 ) -> np.ndarray:
     """Keep-mask over the left input for INTERSECT (``keep_members``)
     or EXCEPT (not), with set semantics (first occurrence only)."""
     left_ids, right_ids, radix = _joint_codes(
-        left_columns, right_columns, n_left, n_right
+        left_columns, right_columns, n_left, n_right, par=par
     )
     keep = np.zeros(n_left, dtype=np.bool_)
     if n_left:
-        keep[_first_rows_of(left_ids, radix, n_left)] = True
-        member = _membership(left_ids, right_ids, radix)
+        keep[_first_rows_of(left_ids, radix, n_left, par, op="setop")] = True
+        member = _membership(left_ids, right_ids, radix, par)
         keep &= member if keep_members else ~member
     return keep
 
@@ -296,17 +487,18 @@ def new_rows_mask(
     n_seen: int,
     new_columns: Sequence[Column],
     n_new: int,
+    par: Optional[ParallelContext] = None,
 ) -> np.ndarray:
     """Keep-mask over the new input selecting rows not already present
     in the seen input (first occurrence only) — recursive-CTE dedup."""
     seen_ids, new_ids, radix = _joint_codes(
-        seen_columns, new_columns, n_seen, n_new
+        seen_columns, new_columns, n_seen, n_new, par=par
     )
     keep = np.zeros(n_new, dtype=np.bool_)
     if n_new:
-        keep[_first_rows_of(new_ids, radix, n_new)] = True
+        keep[_first_rows_of(new_ids, radix, n_new, par, op="dedup")] = True
         if n_seen:
-            keep &= ~_membership(new_ids, seen_ids, radix)
+            keep &= ~_membership(new_ids, seen_ids, radix, par, op="dedup")
     return keep
 
 
@@ -317,6 +509,7 @@ def join_indices(
     left_keys: Sequence[Column],
     right_keys: Sequence[Column],
     guard: Optional[Callable[[int, int, int], None]] = None,
+    par: Optional[ParallelContext] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Matching ``(left row, right row)`` index pairs of an equi-join.
 
@@ -343,9 +536,9 @@ def join_indices(
             span = max(int(lk.max()), int(rk.max())) - lo + 1
             if _small_radix(span, n_left + n_right):
                 return _equi_join_ids(
-                    lk - lo, rk - lo, left_valid, right_valid, span, guard
+                    lk - lo, rk - lo, left_valid, right_valid, span, guard, par
                 )
-        return _sorted_equi_join(lk, rk, left_valid, right_valid, guard)
+        return _sorted_equi_join(lk, rk, left_valid, right_valid, guard, par)
     if len(left_keys) == 1 and left.data.dtype.kind in "iubf" and (
         right.data.dtype.kind in "iubf"
     ):
@@ -359,6 +552,7 @@ def join_indices(
             ~left.null_mask() & ~np.isnan(lk),
             ~right.null_mask() & ~np.isnan(rk),
             guard,
+            par,
         )
     left_valid = np.ones(n_left, dtype=np.bool_)
     for column in left_keys:
@@ -369,10 +563,10 @@ def join_indices(
         if column.mask is not None:
             right_valid &= ~column.mask
     left_ids, right_ids, radix = _joint_codes(
-        left_keys, right_keys, n_left, n_right
+        left_keys, right_keys, n_left, n_right, par=par
     )
     return _equi_join_ids(
-        left_ids, right_ids, left_valid, right_valid, radix, guard
+        left_ids, right_ids, left_valid, right_valid, radix, guard, par
     )
 
 
@@ -383,23 +577,38 @@ def _equi_join_ids(
     right_valid: np.ndarray,
     radix: int,
     guard: Optional[Callable[[int, int, int], None]],
+    par: Optional[ParallelContext] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Equi-join over ids in ``[0, radix)``: when the id space is small,
     probe through radix-sized bincount start/count tables (O(1) per
     probe row) instead of binary-searching the sorted build side."""
     if not _small_radix(radix, len(lk) + len(rk)):
-        return _sorted_equi_join(lk, rk, left_valid, right_valid, guard)
+        return _sorted_equi_join(lk, rk, left_valid, right_valid, guard, par)
     right_rows = np.flatnonzero(right_valid)
     rkv = rk[right_rows]
-    order = np.argsort(rkv, kind="stable")
+    order = _stable_argsort(rkv, par, op="join", radix=radix)
     sorted_rows = right_rows[order]  # grouped by id; ascending row within
-    counts_table = np.bincount(rkv, minlength=radix)
+    if _use_par(par, len(rkv), "join"):
+        counts_table = mp.parallel_bincount(rkv, radix, par, op="join")
+    else:
+        counts_table = np.bincount(rkv, minlength=radix)
     starts_table = np.concatenate(([0], np.cumsum(counts_table)[:-1]))
     left_rows = np.flatnonzero(left_valid)
-    probe = lk[left_rows]
-    counts = counts_table[probe]
-    lo = starts_table[probe]
-    return _emit_pairs(left_rows, counts, lo, sorted_rows, len(lk), len(rk), guard)
+    if _use_par(par, len(left_rows), "join"):
+        probe = mp.parallel_take(lk, left_rows, par, op="join")
+        counts = mp.parallel_take(
+            np.asarray(counts_table, dtype=np.int64), probe, par, op="join"
+        )
+        lo = mp.parallel_take(
+            np.asarray(starts_table, dtype=np.int64), probe, par, op="join"
+        )
+    else:
+        probe = lk[left_rows]
+        counts = counts_table[probe]
+        lo = starts_table[probe]
+    return _emit_pairs(
+        left_rows, counts, lo, sorted_rows, len(lk), len(rk), guard, par
+    )
 
 
 def _emit_pairs(
@@ -410,14 +619,48 @@ def _emit_pairs(
     n_left: int,
     n_right: int,
     guard: Optional[Callable[[int, int, int], None]],
+    par: Optional[ParallelContext] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Expand per-probe-row match ranges (``lo``/``counts`` into the
-    key-sorted right side) to the final index pairs, guard first."""
+    key-sorted right side) to the final index pairs, guard first.
+
+    Pairs come out in probe order; the morsel path gives every probe
+    morsel its own output slice (offsets from the per-morsel totals), so
+    the concatenation is exactly the serial emission.
+    """
+    counts = counts.astype(np.int64, copy=False)
     total = int(counts.sum())
     if guard is not None:
         guard(total, n_left, n_right)
     if total == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    if _use_par(par, len(left_rows), "join"):
+        spans = par.spans(len(left_rows))
+        sums = [int(counts[start:stop].sum()) for start, stop in spans]
+        offsets = [0]
+        for chunk in sums[:-1]:
+            offsets.append(offsets[-1] + chunk)
+        li = np.empty(total, dtype=np.int64)
+        ri = np.empty(total, dtype=np.int64)
+
+        def emit(task: tuple[tuple[int, int], int, int]) -> None:
+            (start, stop), out_start, out_total = task
+            if out_total == 0:
+                return
+            span_counts = counts[start:stop]
+            li[out_start : out_start + out_total] = np.repeat(
+                left_rows[start:stop], span_counts
+            )
+            cum = np.concatenate(([0], np.cumsum(span_counts)[:-1]))
+            slots = np.repeat(lo[start:stop] - cum, span_counts) + np.arange(
+                out_total, dtype=np.int64
+            )
+            np.take(
+                sorted_right, slots, out=ri[out_start : out_start + out_total]
+            )
+
+        par.map("join", emit, list(zip(spans, offsets, sums)))
+        return li, ri
     li = np.repeat(left_rows, counts)
     cum = np.concatenate(([0], np.cumsum(counts)[:-1]))
     slots = np.repeat(lo - cum, counts) + np.arange(total, dtype=np.int64)
@@ -430,6 +673,7 @@ def _sorted_equi_join(
     left_valid: np.ndarray,
     right_valid: np.ndarray,
     guard: Optional[Callable[[int, int, int], None]],
+    par: Optional[ParallelContext] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sort + searchsorted equi-join over comparable key arrays.
 
@@ -437,21 +681,53 @@ def _sorted_equi_join(
     ascending), identical to the row-at-a-time dict probe.
     """
     right_rows = np.flatnonzero(right_valid)
-    order = right_rows[np.argsort(rk[right_rows], kind="stable")]
+    rkv = rk[right_rows]
+    order = right_rows[_stable_argsort(rkv, par, op="join")]
     sorted_rk = rk[order]
     left_rows = np.flatnonzero(left_valid)
-    probe = lk[left_rows]
-    lo = np.searchsorted(sorted_rk, probe, side="left")
-    hi = np.searchsorted(sorted_rk, probe, side="right")
+    if _use_par(par, len(left_rows), "join"):
+        probe = mp.parallel_take(lk, left_rows, par, op="join")
+        n_probe = len(probe)
+        lo = np.empty(n_probe, dtype=np.int64)
+        hi = np.empty(n_probe, dtype=np.int64)
+
+        def search(span: tuple[int, int]) -> None:
+            start, stop = span
+            chunk = probe[start:stop]
+            lo[start:stop] = np.searchsorted(sorted_rk, chunk, side="left")
+            hi[start:stop] = np.searchsorted(sorted_rk, chunk, side="right")
+
+        par.map("join", search, par.spans(n_probe))
+    else:
+        probe = lk[left_rows]
+        lo = np.searchsorted(sorted_rk, probe, side="left")
+        hi = np.searchsorted(sorted_rk, probe, side="right")
     counts = (hi - lo).astype(np.int64)
-    return _emit_pairs(left_rows, counts, lo, order, len(lk), len(rk), guard)
+    return _emit_pairs(
+        left_rows, counts, lo, order, len(lk), len(rk), guard, par
+    )
+
+
+def _stable_argsort(
+    keys: np.ndarray,
+    par: Optional[ParallelContext],
+    op: str = "argsort",
+    radix: Optional[int] = None,
+) -> np.ndarray:
+    """``np.argsort(kind="stable")``, morsel-parallel when worthwhile.
+    The stable permutation is unique, so both paths agree bitwise."""
+    if _use_par(par, len(keys), op):
+        return mp.parallel_stable_argsort(keys, par, op=op, radix=radix)
+    return np.argsort(keys, kind="stable")
 
 
 # ---------------------------------------------------------------------------
 # ordering
 # ---------------------------------------------------------------------------
 def sort_order(
-    keys: Sequence[tuple[Column, bool]], n_rows: int
+    keys: Sequence[tuple[Column, bool]],
+    n_rows: int,
+    par: Optional[ParallelContext] = None,
 ) -> np.ndarray:
     """Stable sort permutation for multi-key ORDER BY via ``np.lexsort``.
 
@@ -459,7 +735,9 @@ def sort_order(
     (NULLs coded last); descending keys flip their codes, which turns
     NULLS LAST ascending into NULLS FIRST descending — exactly the
     row-at-a-time comparator.  Stability across fully-tied rows matches
-    the multi-pass stable sort it replaces.
+    the multi-pass stable sort it replaces.  Codification runs
+    morsel-parallel under ``par``; the final ``np.lexsort`` is serial
+    (it is one fused multi-key sort, already the minority of the time).
 
     NaN-bearing float keys fall back: Python's ``sorted`` has no
     consistent total order for NaN (comparisons are all False), and its
@@ -475,8 +753,12 @@ def sort_order(
             if column.mask is not None:
                 nan &= ~column.mask
             if nan.any():
-                raise KernelFallback("NaN sort keys have no total order")
-        codes, cardinality, uniques = _factorize(column, nan_distinct=False)
+                raise KernelFallback(
+                    "NaN sort keys have no total order", REASON_NAN_ORDER
+                )
+        codes, cardinality, uniques = _factorize(
+            column, nan_distinct=False, par=par
+        )
         # non-object codes are value-ordered by construction; object
         # codes are only ordered when np.unique could sort the payloads
         if (
@@ -484,7 +766,9 @@ def sort_order(
             and cardinality > 1
             and column.data.dtype == np.dtype(object)
         ):
-            raise KernelFallback("sort key values are not orderable")
+            raise KernelFallback(
+                "sort key values are not orderable", REASON_UNCODIFIABLE
+            )
         if not ascending:
             codes = (cardinality - 1) - codes
         code_arrays.append(codes)
@@ -502,7 +786,8 @@ def grouped_aggregate(
     arg: Optional[Column],
     ids: np.ndarray,
     n_groups: int,
-    sort_cache: Optional[dict] = None,
+    sort_cache: Optional[ArgsortCache] = None,
+    par: Optional[ParallelContext] = None,
 ) -> Column:
     """One aggregate over dense group ids, as a column of ``n_groups``.
 
@@ -511,29 +796,47 @@ def grouped_aggregate(
     with no non-NULL input are NULL (COUNT excepted).  Anything else
     raises :class:`KernelFallback` and is computed per group in Python
     by the executor.
+
+    Counts are morsel-parallel ``bincount`` partials merged by group id
+    (exact — integer addition).  SUM/MIN/MAX/AVG reduce the values in
+    stable group order: the permutation comes from the (parallel) stable
+    argsort and the gather from morsel-parallel ``take``, so the serial
+    ``reduceat`` sees bit-for-bit the array the serial kernel would —
+    float totals do not depend on the worker count.
     """
     if distinct:
-        raise KernelFallback("no kernel for DISTINCT aggregates")
+        raise KernelFallback(
+            "no kernel for DISTINCT aggregates", REASON_NO_KERNEL
+        )
+    use_par = _use_par(par, len(ids), "aggregate")
     if func == "count_star":
-        data = np.bincount(ids, minlength=n_groups).astype(np.int64)
+        if use_par:
+            data = mp.parallel_bincount(ids, n_groups, par)
+        else:
+            data = np.bincount(ids, minlength=n_groups).astype(np.int64)
         return Column(DataType.BIGINT, data)
     if func not in ("count", "sum", "min", "max", "avg") or arg is None:
-        raise KernelFallback(f"no kernel for aggregate {func!r}")
+        raise KernelFallback(
+            f"no kernel for aggregate {func!r}", REASON_NO_KERNEL
+        )
     valid = None if arg.mask is None else ~arg.mask
     vids = ids if valid is None else ids[valid]
     if sort_cache is None:
-        sort_cache = {}
-    counts = np.bincount(vids, minlength=n_groups).astype(np.int64)
+        sort_cache = ArgsortCache()
+    if use_par:
+        counts = mp.parallel_bincount(ids, n_groups, par, valid=valid)
+    else:
+        counts = np.bincount(vids, minlength=n_groups).astype(np.int64)
     if func == "count":
         return Column(DataType.BIGINT, counts)
     present = counts > 0
     mask = ~present
     if arg.data.dtype == np.dtype(object):
         return _grouped_object_minmax(
-            func, arg, vids, valid, counts, mask, sort_cache
+            func, arg, vids, valid, counts, mask, sort_cache, par
         )
     if arg.type is None:
-        raise KernelFallback("untyped aggregate argument")
+        raise KernelFallback("untyped aggregate argument", REASON_UNCODIFIABLE)
     values = arg.data
     if func in ("sum", "avg"):
         # accumulate exactly like the Python path: float64 for DOUBLE,
@@ -543,7 +846,9 @@ def grouped_aggregate(
         vals = values.astype(acc_dtype, copy=False)
         vals = vals if valid is None else vals[valid]
         sums = np.zeros(n_groups, dtype=acc_dtype)
-        sums[present] = _segment_reduce(vals, vids, counts, np.add, sort_cache)
+        sums[present] = _segment_reduce(
+            vals, vids, counts, np.add, sort_cache, par
+        )
         if func == "avg":
             data = np.zeros(n_groups, dtype=np.float64)
             data[present] = sums[present].astype(np.float64) / counts[present]
@@ -556,32 +861,42 @@ def grouped_aggregate(
         # np.minimum/np.maximum propagate NaN; Python min()/max() (the
         # oracle) compare it as un-ordered — only the per-group row
         # fallback reproduces that
-        raise KernelFallback("NaN aggregate values have no total order")
+        raise KernelFallback(
+            "NaN aggregate values have no total order", REASON_NAN_ORDER
+        )
     ufunc = np.minimum if func == "min" else np.maximum
     data = np.zeros(n_groups, dtype=values.dtype)
-    data[present] = _segment_reduce(vals, vids, counts, ufunc, sort_cache)
+    data[present] = _segment_reduce(vals, vids, counts, ufunc, sort_cache, par)
     return Column(arg.type, data, mask)
 
 
-def _grouped_object_minmax(func, arg, vids, valid, counts, mask, sort_cache):
+def _grouped_object_minmax(
+    func, arg, vids, valid, counts, mask, sort_cache, par=None
+):
     """MIN/MAX over strings: reduce ordered codes, map back to values."""
     if func not in ("min", "max"):
-        raise KernelFallback(f"no kernel for {func!r} over object values")
-    codes, _, uniques = _factorize(arg)
+        raise KernelFallback(
+            f"no kernel for {func!r} over object values", REASON_NO_KERNEL
+        )
+    codes, _, uniques = _factorize(arg, par=par)
     if uniques is None:
-        raise KernelFallback("aggregate values are not orderable")
+        raise KernelFallback(
+            "aggregate values are not orderable", REASON_UNCODIFIABLE
+        )
     vals = codes if valid is None else codes[valid]
     ufunc = np.minimum if func == "min" else np.maximum
     present = ~mask
     data = np.empty(len(counts), dtype=object)
     if present.any():
         data[present] = uniques[
-            _segment_reduce(vals, vids, counts, ufunc, sort_cache)
+            _segment_reduce(vals, vids, counts, ufunc, sort_cache, par)
         ]
     return Column(arg.type or DataType.VARCHAR, data, mask)
 
 
-def _segment_reduce(vals, vids, counts, ufunc, sort_cache=None) -> np.ndarray:
+def _segment_reduce(
+    vals, vids, counts, ufunc, sort_cache=None, par=None
+) -> np.ndarray:
     """Per-group reduction: stable sort by group id, then ``reduceat``.
 
     Returns one value per *non-empty* group, in group-id order.  The
@@ -590,21 +905,25 @@ def _segment_reduce(vals, vids, counts, ufunc, sort_cache=None) -> np.ndarray:
     differ from the sequential Python sum in the final ULP (see the
     module docstring).
 
-    ``sort_cache`` shares the argsort of ``vids`` between the
-    aggregates of one GROUP BY (SUM/MIN/MAX over the same group-id
-    array sort it once); entries keep the keyed array alive so the
-    ``id()`` key cannot be recycled.
+    ``sort_cache`` (an :class:`ArgsortCache`) shares the argsort of
+    ``vids`` between the aggregates of one GROUP BY (SUM/MIN/MAX over
+    the same group-id array sort it once).  Under ``par`` the argsort
+    and the value gather run morsel-parallel; the ``reduceat`` itself
+    stays serial over the fully sorted array, which is what keeps float
+    reductions bit-identical to the serial kernel.
     """
     order = None
     if sort_cache is not None:
-        cached = sort_cache.get(id(vids))
-        if cached is not None and cached[0] is vids:
-            order = cached[1]
+        order = sort_cache.lookup(vids)
     if order is None:
-        order = np.argsort(vids, kind="stable")
+        # group ids are dense: len(counts) == n_groups is the radix
+        order = _stable_argsort(vids, par, op="aggregate", radix=len(counts))
         if sort_cache is not None:
-            sort_cache[id(vids)] = (vids, order)
-    svals = vals[order]
+            sort_cache.store(vids, order)
+    if par is not None and par.active_for(len(order)):  # decision already counted by the argsort
+        svals = mp.parallel_take(vals, order, par, op="aggregate")
+    else:
+        svals = vals[order]
     present_counts = counts[counts > 0]
     if len(present_counts) == 0:
         return np.empty(0, dtype=vals.dtype)

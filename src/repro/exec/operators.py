@@ -15,7 +15,11 @@ Every key-driven operator (DISTINCT, GROUP BY, equi-join probing, set
 operations, ORDER BY, recursive-CTE dedup) runs through the vectorized
 kernels of :mod:`repro.exec.kernels` — factorized int64 key codes
 instead of per-row Python tuples — whenever the database's
-``vectorized`` knob is on and the key columns are codifiable.  The
+``vectorized`` knob is on and the key columns are codifiable.  Large
+inputs additionally run those kernels morsel-parallel on the database's
+shared worker pool (:mod:`repro.exec.parallel`, ``exec_workers``), with
+results bit-identical to the serial kernels; join/sort payload gathers
+are spread column-per-task over the same pool.  The
 original row-at-a-time paths are kept verbatim underneath as the
 automatic fallback and as the ``Database(vectorized=False)``
 correctness oracle: Python hash tables over row keys for grouping and
@@ -96,15 +100,24 @@ class ExecContext:
         #: False preserves the row-at-a-time oracle paths).
         self.vectorized = getattr(database, "vectorized", True)
         self.kernel_counters = getattr(database, "kernel_counters", None)
+        #: Morsel-parallel handle on the database's shared kernel worker
+        #: pool (:class:`~repro.exec.parallel.ExecPool`); None when the
+        #: pool has one worker or the kernels are off — kernels then run
+        #: their unchanged serial paths (the ``exec_workers=1`` oracle).
+        self.parallel = None
+        if self.vectorized:
+            pool = getattr(database, "exec_pool", None)
+            if pool is not None:
+                self.parallel = pool.context()
         self._eval = EvalContext(params, self.run)
 
     def kernel_hit(self, op: str) -> None:
         if self.kernel_counters is not None:
             self.kernel_counters.hit(op)
 
-    def kernel_fallback(self, op: str) -> None:
+    def kernel_fallback(self, op: str, exc: Optional[Exception] = None) -> None:
         if self.kernel_counters is not None:
-            self.kernel_counters.fallback(op)
+            self.kernel_counters.fallback(op, getattr(exc, "reason", None))
 
     def run(self, plan: pp.PhysicalNode) -> Batch:
         return execute_plan(plan, self)
@@ -230,14 +243,29 @@ def _batch_rows(batch: Batch) -> list[tuple]:
     return list(zip(*(col.to_pylist() for col in batch.columns)))
 
 
+def _take_columns(
+    columns: list[Column], indices: np.ndarray, ctx: ExecContext
+) -> list[Column]:
+    """Gather each column by ``indices``, one pooled task per column when
+    the morsel layer is active (payload gathers dominate wide joins and
+    sorts; column granularity parallelizes them without any reordering
+    concern — each task fills exactly one output column)."""
+    par = ctx.parallel
+    if par is None or len(columns) <= 1 or not par.active_for(len(indices)):
+        return [c.take(indices) for c in columns]
+    return par.map("gather", lambda c: c.take(indices), list(columns))
+
+
 def _distinct_batch(batch: Batch, ctx: Optional[ExecContext] = None) -> Batch:
     if ctx is not None and ctx.vectorized:
         try:
-            keep = kernels.distinct_mask(batch.columns, batch.num_rows)
+            keep = kernels.distinct_mask(
+                batch.columns, batch.num_rows, ctx.parallel
+            )
             ctx.kernel_hit("distinct")
             return batch.filter(keep)
-        except KernelFallback:
-            ctx.kernel_fallback("distinct")
+        except KernelFallback as exc:
+            ctx.kernel_fallback("distinct", exc)
     seen: set = set()
     keep = np.zeros(batch.num_rows, dtype=np.bool_)
     for i, key in enumerate(_batch_rows(batch)):
@@ -256,11 +284,13 @@ def _exec_sort(plan: pp.PSort, ctx: ExecContext) -> Batch:
     keys = [(ctx.eval(key.expr, batch), key.ascending) for key in plan.keys]
     if ctx.vectorized:
         try:
-            order = kernels.sort_order(keys, batch.num_rows)
+            order = kernels.sort_order(keys, batch.num_rows, ctx.parallel)
             ctx.kernel_hit("sort")
-            return batch.take(order)
-        except KernelFallback:
-            ctx.kernel_fallback("sort")
+            if not batch.columns:
+                return batch.take(order)
+            return Batch(batch.schema, _take_columns(batch.columns, order, ctx))
+        except KernelFallback as exc:
+            ctx.kernel_fallback("sort", exc)
     order = np.arange(batch.num_rows, dtype=np.int64)
     # stable multi-pass: least-significant key first
     for column, ascending in reversed(keys):
@@ -290,8 +320,8 @@ def _exec_aggregate(plan: pp.PAggregate, ctx: ExecContext) -> Batch:
     if ctx.vectorized:
         try:
             return _vectorized_aggregate(plan, key_columns, arg_columns, n, ctx)
-        except KernelFallback:
-            ctx.kernel_fallback("group_by")
+        except KernelFallback as exc:
+            ctx.kernel_fallback("group_by", exc)
     groups: dict[tuple, list[int]] = {}
     if key_columns:
         key_lists = [col.to_pylist() for col in key_columns]
@@ -324,7 +354,7 @@ def _vectorized_aggregate(
     first row; aggregates run through bincount/reduceat kernels, with a
     per-group Python fallback only for aggregates without a kernel."""
     if key_columns:
-        ids, n_groups, first_rows = kernels.group_ids(key_columns, n)
+        ids, n_groups, first_rows = kernels.group_ids(key_columns, n, ctx.parallel)
     else:
         # global aggregate: one group, even over an empty input
         ids = np.zeros(n, dtype=np.int64)
@@ -334,16 +364,23 @@ def _vectorized_aggregate(
     for column in key_columns:
         out_columns.append(column.take(first_rows))
     group_rows = None  # lazily materialized for non-kernel aggregates
-    sort_cache: dict = {}  # one ids argsort shared by SUM/MIN/MAX & co.
+    # one ids argsort shared by SUM/MIN/MAX & co. (thread-local entries)
+    sort_cache = kernels.ArgsortCache()
     for spec, arg_col in zip(plan.aggs, arg_columns):
         try:
             out_columns.append(
                 kernels.grouped_aggregate(
-                    spec.func, spec.distinct, arg_col, ids, n_groups, sort_cache
+                    spec.func,
+                    spec.distinct,
+                    arg_col,
+                    ids,
+                    n_groups,
+                    sort_cache,
+                    ctx.parallel,
                 )
             )
-        except KernelFallback:
-            ctx.kernel_fallback("aggregate")
+        except KernelFallback as exc:
+            ctx.kernel_fallback("aggregate", exc)
             if group_rows is None:
                 group_rows = kernels.group_row_lists(ids, n_groups)
             values = [_compute_agg(spec, arg_col, rows) for rows in group_rows]
@@ -424,7 +461,7 @@ def _exec_hash_join(plan: pp.PHashJoin, ctx: ExecContext) -> Batch:
         li, ri = _hash_join_indices(left, right, plan.pairs, ctx)
     joined = Batch(
         plan.left.schema + plan.right.schema,
-        [c.take(li) for c in left.columns] + [c.take(ri) for c in right.columns],
+        _take_columns(left.columns, li, ctx) + _take_columns(right.columns, ri, ctx),
     )
     if plan.residual:
         joined, li = _apply_residual(plan.residual, joined, li, ctx)
@@ -480,12 +517,15 @@ def _hash_join_indices(left: Batch, right: Batch, pairs, ctx: ExecContext):
     if ctx.vectorized:
         try:
             result = kernels.join_indices(
-                left_keys, right_keys, guard=_guard_degenerate_join
+                left_keys,
+                right_keys,
+                guard=_guard_degenerate_join,
+                par=ctx.parallel,
             )
             ctx.kernel_hit("join")
             return result
-        except KernelFallback:
-            ctx.kernel_fallback("join")
+        except KernelFallback as exc:
+            ctx.kernel_fallback("join", exc)
     if len(pairs) == 1 and (
         left_keys[0].type is not None
         and left_keys[0].type.is_numeric
@@ -589,11 +629,12 @@ def _exec_setop(plan: pp.PSetOp, ctx: ExecContext) -> Batch:
                 right.columns,
                 right.num_rows,
                 keep_members=plan.op == "intersect",
+                par=ctx.parallel,
             )
             ctx.kernel_hit("setop")
             return left.filter(keep)
-        except KernelFallback:
-            ctx.kernel_fallback("setop")
+        except KernelFallback as exc:
+            ctx.kernel_fallback("setop", exc)
     right_keys = set(_batch_rows(right))
     keep = np.zeros(left.num_rows, dtype=np.bool_)
     seen: set = set()
@@ -658,12 +699,12 @@ def _exec_recursive(plan: pp.PRecursive, ctx: ExecContext) -> Batch:
             try:
                 accumulated = accumulated.filter(
                     kernels.distinct_mask(
-                        accumulated.columns, accumulated.num_rows
+                        accumulated.columns, accumulated.num_rows, ctx.parallel
                     )
                 )
                 ctx.kernel_hit("dedup")
-            except KernelFallback:
-                ctx.kernel_fallback("dedup")
+            except KernelFallback as exc:
+                ctx.kernel_fallback("dedup", exc)
                 use_kernels = False
         if not use_kernels:
             seen = set()
@@ -703,11 +744,12 @@ def _exec_recursive(plan: pp.PRecursive, ctx: ExecContext) -> Batch:
                                 accumulated.num_rows,
                                 produced.columns,
                                 produced.num_rows,
+                                ctx.parallel,
                             )
                         )
                         ctx.kernel_hit("dedup")
-                    except KernelFallback:
-                        ctx.kernel_fallback("dedup")
+                    except KernelFallback as exc:
+                        ctx.kernel_fallback("dedup", exc)
                         use_kernels = False
                         seen = set(_batch_rows(accumulated))
                 if not use_kernels:

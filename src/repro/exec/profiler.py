@@ -47,6 +47,19 @@ def _per_op(counts: dict) -> str:
     return f" ({body})"
 
 
+def _per_reason(reasons: dict) -> str:
+    """`` (sort:nan-order=1 group_by:uncodifiable=2)`` — fallbacks broken
+    down by operation *and* cause, so a parallel-vs-serial regression is
+    attributable to the fallback class that produced it."""
+    if not reasons:
+        return ""
+    parts = []
+    for op in sorted(reasons):
+        for reason in sorted(reasons[op]):
+            parts.append(f"{op}:{reason}={reasons[op][reason]}")
+    return f" ({' '.join(parts)})"
+
+
 @dataclass
 class NodeStats:
     """Timing record of one plan-node execution."""
@@ -74,6 +87,10 @@ class Profiler:
         #: Vectorized-kernel hit/fallback counters (cumulative, like the
         #: cache counters) — set by Database.profile().
         self.kernel_stats: dict | None = None
+        #: Morsel-parallel execution counters (worker pool config,
+        #: parallel/serial op decisions, per-morsel timings) — set by
+        #: Database.profile().
+        self.parallel_stats: dict | None = None
         #: ``(operator name, estimated rows, actual rows-per-call)`` for
         #: every operator flagged by :func:`misestimate_ratio` — filled
         #: by :meth:`render`; groundwork for adaptive re-optimization.
@@ -126,7 +143,21 @@ class Profiler:
                 f"hits={self.kernel_stats.get('hit_total', 0)}"
                 f"{_per_op(self.kernel_stats.get('hits', {}))} "
                 f"fallbacks={self.kernel_stats.get('fallback_total', 0)}"
-                f"{_per_op(self.kernel_stats.get('fallbacks', {}))}"
+                f"{_per_reason(self.kernel_stats.get('fallback_reasons', {}))}"
+            )
+        if self.parallel_stats is not None:
+            stats = self.parallel_stats
+            morsels = stats.get("morsel_total", 0)
+            seconds = stats.get("morsel_seconds_total", 0.0)
+            avg_ms = (seconds / morsels * 1000) if morsels else 0.0
+            max_ms = max(stats.get("morsel_max_ms", {}).values(), default=0.0)
+            lines.append(
+                f"parallel kernels: workers={stats.get('workers', 1)} "
+                f"parallel_ops={stats.get('parallel_op_total', 0)}"
+                f"{_per_op(stats.get('parallel_ops', {}))} "
+                f"serial_ops={stats.get('serial_op_total', 0)} "
+                f"morsels={morsels}{_per_op(stats.get('morsels', {}))} "
+                f"avg_morsel={avg_ms:.2f}ms max_morsel={max_ms:.2f}ms"
             )
         return "\n".join(lines)
 

@@ -44,6 +44,22 @@ class VertexDomain:
             self._lookup = {key: i for i, key in enumerate(self.values)}
         self._sorted_ok = True
 
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "VertexDomain":
+        """Rebuild a domain from its (sorted, unique) ``values`` array —
+        the persistence path: a saved graph index stores the dictionary
+        instead of re-deriving it from the edge endpoints on load."""
+        domain = cls.__new__(cls)
+        domain.values = values
+        domain._is_integer = values.dtype.kind in "iu"
+        domain._lookup = (
+            None
+            if domain._is_integer
+            else {key: i for i, key in enumerate(values)}
+        )
+        domain._sorted_ok = True
+        return domain
+
     def __len__(self) -> int:
         return len(self.values)
 

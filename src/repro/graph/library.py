@@ -45,14 +45,7 @@ from .csr import CSRGraph, build_csr
 from .dijkstra import dijkstra
 from .domain import NOT_A_VERTEX, VertexDomain
 
-def _env_int(name: str, default: int | None) -> int | None:
-    """An integer environment knob; malformed values fall back silently
-    (a typo'd env var must not crash imports or every graph query)."""
-    try:
-        return int(os.environ[name])
-    except (KeyError, ValueError):
-        return default
-
+from ..envutil import env_int as _env_int
 
 #: Below this many valid pairs a batch is always solved serially.
 PARALLEL_MIN_PAIRS = _env_int("REPRO_PARALLEL_MIN_PAIRS", 32)
@@ -112,6 +105,33 @@ class GraphLibrary:
         )
         self.weighted = weights is not None
         self._reverse_csr: CSRGraph | None = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        domain_values: np.ndarray,
+        indptr: np.ndarray,
+        dst: np.ndarray,
+        src: np.ndarray,
+        edge_rows: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> "GraphLibrary":
+        """Reassemble a prepared library from its persisted arrays —
+        the ``save()``/``load()`` path that skips both the domain
+        ``np.unique`` and the CSR build sort entirely."""
+        library = cls.__new__(cls)
+        library.domain = VertexDomain.from_values(domain_values)
+        library.csr = CSRGraph(
+            num_vertices=len(domain_values),
+            indptr=np.asarray(indptr, dtype=np.int64),
+            dst=np.asarray(dst, dtype=np.int64),
+            src=np.asarray(src, dtype=np.int64),
+            weights=weights,
+            edge_rows=np.asarray(edge_rows, dtype=np.int64),
+        )
+        library.weighted = weights is not None
+        library._reverse_csr = None
+        return library
 
     @property
     def reverse(self) -> CSRGraph:

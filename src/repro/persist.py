@@ -25,6 +25,11 @@ Two properties ride on the MVCC refactor:
 Optimizer statistics recorded by ``ANALYZE`` are persisted alongside the
 schemas and restored on load, so a reloaded database plans with real
 selectivities instead of magic-number fallbacks until the next ANALYZE.
+
+Built graph indices are persisted too (format v3): each index's vertex
+dictionary and CSR arrays land in ``graphindex-<name>.npz`` and are
+seeded straight into the reloaded database's index cache, so the first
+graph query after ``load()`` pays no lazy rebuild.
 """
 
 from __future__ import annotations
@@ -43,10 +48,11 @@ from .storage import Column, ColumnStats, DataType, Schema, Snapshot, TableStats
 if TYPE_CHECKING:  # pragma: no cover
     from .api import Database
 
-#: Version 2 added the ``stats`` block (optional on load, so version-1
-#: images written before it still load).
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: Version 2 added the ``stats`` block; version 3 added persisted graph
+#: index CSRs (``graphindex-<name>.npz``).  Both are optional on load,
+#: so older images still load (their CSRs rebuild lazily as before).
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def save_database(
@@ -107,10 +113,78 @@ def _write_image(db: "Database", snapshot: Snapshot, directory: str) -> None:
             index_name: list(spec)
             for index_name, spec in db.graph_indices.specs().items()
         },
+        "graph_index_files": _write_graph_indices(db, snapshot, directory),
         "stats": _dump_stats(db, snapshot),
     }
     with open(os.path.join(directory, "catalog.json"), "w") as handle:
         json.dump(meta, handle, indent=2)
+
+
+# ---------------------------------------------------------------------------
+# graph index CSRs
+# ---------------------------------------------------------------------------
+def _write_graph_indices(db: "Database", snapshot: Snapshot, directory: str) -> dict:
+    """Persist each *built* graph index's domain + CSR, so ``load()``
+    restores prepared indices instead of rebuilding them lazily on the
+    first query.  Only libraries already in the cache — and built from
+    exactly the table version being saved — are serialized: ``save()``
+    never pays a CSR build for an index nobody queried (nor evicts hot
+    cache entries doing so); an unbuilt/stale index simply rebuilds
+    lazily after load, as in pre-v3 images.  Filenames use a ``-`` that
+    no SQL identifier can contain, so they can never collide with a
+    ``<table>.npz`` archive.
+    """
+    files = {}
+    for index_name, spec in db.graph_indices.specs().items():
+        table = spec[0]
+        library = db.graph_indices.cached_library(
+            index_name, snapshot.table_version(table).version_id
+        )
+        if library is None:
+            continue  # never built (or stale): lazy rebuild after load
+        values = library.domain.values
+        domain_kind = "object" if values.dtype == np.dtype(object) else "numeric"
+        if domain_kind == "object":
+            values = np.array(
+                ["" if v is None else v for v in values], dtype=np.str_
+            )
+        file_name = f"graphindex-{index_name}.npz"
+        np.savez_compressed(
+            os.path.join(directory, file_name),
+            domain_values=values,
+            indptr=library.csr.indptr,
+            dst=library.csr.dst,
+            src=library.csr.src,
+            edge_rows=library.csr.edge_rows,
+        )
+        files[index_name] = {"file": file_name, "domain_kind": domain_kind}
+    return files
+
+
+def _restore_graph_indices(db: "Database", directory: str, meta: dict) -> None:
+    from .graph import GraphLibrary
+
+    for index_name, entry in meta.get("graph_index_files", {}).items():
+        path = os.path.join(directory, entry["file"])
+        if not os.path.exists(path):  # pragma: no cover - defensive
+            continue
+        archive = np.load(path)
+        values = archive["domain_values"]
+        if entry.get("domain_kind") == "object":
+            decoded = np.empty(len(values), dtype=object)
+            for i, value in enumerate(values):
+                decoded[i] = str(value)
+            values = decoded
+        db.graph_indices.seed(
+            index_name,
+            GraphLibrary.from_parts(
+                values,
+                archive["indptr"],
+                archive["dst"],
+                archive["src"],
+                archive["edge_rows"],
+            ),
+        )
 
 
 def _swap_into_place(staging: str, target: str) -> None:
@@ -230,5 +304,6 @@ def load_database(directory: str) -> "Database":
             table.insert_columns(columns)
     for index_name, spec in meta.get("graph_indices", {}).items():
         db.graph_indices.create(index_name, *spec)
+    _restore_graph_indices(db, directory, meta)
     _restore_stats(db, meta.get("stats", {}))
     return db

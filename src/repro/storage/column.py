@@ -12,6 +12,7 @@ from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..envutil import env_int as _env_int
 from ..errors import TypeError_
 from .types import DataType, coerce_python_value, days_to_date
 
@@ -37,17 +38,25 @@ def _parse_string(value: Any, target: DataType) -> Any:
     return text  # DATE handled by coerce_python_value
 
 
+def _dense_span_bound(n_values: int) -> int:
+    """Largest ``value - min`` code span worth a scatter table instead
+    of a sort-based dictionary (shared by the serial and morsel
+    factorize paths, which must take the same branch to stay
+    bit-identical)."""
+    return max(4 * n_values, 1024)
+
+
 def _dense_span(values: np.ndarray) -> "tuple[int, int] | None":
     """``(min, span)`` when integer ``values`` cover a range narrow
     enough that ``value - min`` beats a sort-based ``np.unique`` as the
-    dictionary code (span bounded by a small multiple of the row count),
-    else None."""
+    dictionary code (span bounded by :func:`_dense_span_bound`), else
+    None."""
     if values.dtype.kind not in "iub" or len(values) == 0:
         return None
     lo = int(values.min())
     hi = int(values.max())
     span = hi - lo + 1
-    if span > max(4 * len(values), 1024):
+    if span > _dense_span_bound(len(values)):
         return None
     return lo, span
 
@@ -74,6 +83,75 @@ def _factorize_objects(values: np.ndarray) -> tuple[np.ndarray, int, "np.ndarray
     return codes, len(mapping), None
 
 
+#: Columns longer than this are factorized afresh per statement instead
+#: of memoizing: the memo pins a full-size int64 codes array (plus the
+#: dictionary) for the column version's lifetime, and above this bound
+#: (128MB of codes by default) the resident-memory cost outweighs the
+#: repeat-statement win.  Env knob ``REPRO_FACTORIZE_MEMO_ROWS``;
+#: DML releases memos naturally because writers build new columns.
+FACTORIZE_MEMO_MAX_ROWS = _env_int("REPRO_FACTORIZE_MEMO_ROWS", 16_777_216)
+
+
+def unique_inverse_morsels(
+    values: np.ndarray, runner, op: str = "factorize"
+) -> tuple[np.ndarray, np.ndarray]:
+    """``np.unique(values, return_inverse=True)`` via per-partition
+    dictionary merge — *the* single implementation of the merge (the
+    exec layer's ``parallel_unique_inverse`` delegates here), because
+    the bit-identity guarantee depends on every caller encoding the
+    same way: each morsel builds its own sorted dictionary, the local
+    dictionaries merge into the global sorted unique set, and each
+    morsel remaps with ``searchsorted`` (exactly ``np.unique``'s
+    inverse)."""
+    spans = runner.spans(len(values))
+    locals_ = runner.map(op, lambda s: np.unique(values[s[0] : s[1]]), spans)
+    uniques = np.unique(np.concatenate(locals_)) if locals_ else values[:0]
+    inverse = np.empty(len(values), dtype=np.int64)
+
+    def remap(s: "tuple[int, int]") -> None:
+        inverse[s[0] : s[1]] = np.searchsorted(uniques, values[s[0] : s[1]])
+
+    runner.map(op, remap, spans)
+    return uniques, inverse
+
+
+def _factorize_morsels(
+    values: np.ndarray, runner
+) -> tuple[np.ndarray, int, "np.ndarray | None"]:
+    """Morsel-parallel dictionary codes for a primitive-dtype value array
+    (NULLs and NaNs already excluded), bit-identical to the serial path.
+
+    The dense-span fast path distributes the min/max scan and the
+    ``value - min`` subtraction; the dictionary path builds one sorted
+    dictionary *per morsel*, merges them into the global code space
+    (``np.unique`` over the concatenated dictionaries — the same sorted
+    unique set one big ``np.unique`` would produce), and remaps every
+    morsel into it with ``searchsorted`` (exactly ``np.unique``'s
+    inverse).
+    """
+    spans = runner.spans(len(values))
+    if values.dtype.kind in "iub":
+        bounds = runner.map(
+            "factorize",
+            lambda s: (int(values[s[0] : s[1]].min()), int(values[s[0] : s[1]].max())),
+            spans,
+        )
+        lo = min(b[0] for b in bounds)
+        hi = max(b[1] for b in bounds)
+        span = hi - lo + 1
+        if span <= _dense_span_bound(len(values)):
+            codes = np.empty(len(values), dtype=np.int64)
+
+            def subtract(s: "tuple[int, int]") -> None:
+                chunk = values[s[0] : s[1]].astype(np.int64, copy=False)
+                np.subtract(chunk, lo, out=codes[s[0] : s[1]])
+
+            runner.map("factorize", subtract, spans)
+            return codes, span, None
+    uniques, codes = unique_inverse_morsels(values, runner)
+    return codes, len(uniques), uniques
+
+
 class Column:
     """An immutable typed vector of values.
 
@@ -90,7 +168,7 @@ class Column:
         column contains no NULLs.
     """
 
-    __slots__ = ("type", "data", "mask")
+    __slots__ = ("type", "data", "mask", "_fact_memo")
 
     def __init__(self, type_: DataType, data: np.ndarray, mask: np.ndarray | None = None):
         if mask is not None and len(mask) != len(data):
@@ -100,6 +178,8 @@ class Column:
         self.type = type_
         self.data = data
         self.mask = mask
+        #: nan_distinct -> (codes, cardinality, uniques); see factorize().
+        self._fact_memo: dict | None = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -237,7 +317,9 @@ class Column:
     # ------------------------------------------------------------------
     # factorization (the primitive behind the vectorized exec kernels)
     # ------------------------------------------------------------------
-    def factorize(self, *, nan_distinct: bool = True) -> tuple[np.ndarray, int, "np.ndarray | None"]:
+    def factorize(
+        self, *, nan_distinct: bool = True, runner=None
+    ) -> tuple[np.ndarray, int, "np.ndarray | None"]:
         """Dictionary-encode the column into dense ``int64`` codes.
 
         Returns ``(codes, cardinality, uniques)`` where ``codes`` assigns
@@ -264,7 +346,40 @@ class Column:
         ``uniques``).  Raises ``TypeError`` for payloads that are
         neither orderable nor hashable (nested tables); callers treat
         that as "no kernel".
+
+        The method is pure and re-entrant: concurrent calls (kernels on
+        the shared worker pool) are safe.  Results are memoized on the
+        column (up to :data:`FACTORIZE_MEMO_MAX_ROWS` rows — the memo
+        pins a codes array as large as the column) — immutable, so the
+        memo is write-once per key; a benign double-compute race just
+        stores the identical result twice.  Callers must treat the
+        returned arrays as read-only.
+
+        ``runner``, when given, is a duck-typed morsel scheduler (the
+        :class:`repro.exec.parallel.ParallelContext` protocol:
+        ``active_for`` / ``spans`` / ``map``).  Large primitive-dtype
+        columns are then factorized morsel-parallel with **per-partition
+        dictionary merge**: every morsel builds its own sorted
+        dictionary, the local dictionaries merge into one global code
+        space, and each morsel remaps into it — bit-identical to the
+        serial encoding for any worker count or morsel size.
         """
+        memo = self._fact_memo
+        key = bool(nan_distinct)
+        if memo is not None:
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+        result = self._factorize_impl(nan_distinct, runner)
+        if len(self.data) <= FACTORIZE_MEMO_MAX_ROWS:
+            if memo is None:
+                memo = self._fact_memo = {}
+            memo[key] = result
+        return result
+
+    def _factorize_impl(
+        self, nan_distinct: bool, runner
+    ) -> tuple[np.ndarray, int, "np.ndarray | None"]:
         data, n = self.data, len(self.data)
         valid = np.ones(n, dtype=np.bool_) if self.mask is None else ~self.mask
         nan = None
@@ -275,18 +390,23 @@ class Column:
             codes_valid, cardinality, uniques = _factorize_objects(data[valid])
         else:
             values = data[valid]
-            span = _dense_span(values)
-            if span is not None:
-                # integer fast path: value - min is already a monotonic
-                # dense-enough code — no sort needed.  ``uniques`` stays
-                # None (non-object codes are value-ordered regardless).
-                lo, cardinality = span
-                codes_valid = values.astype(np.int64, copy=False) - lo
-                uniques = None
+            if runner is not None and runner.active_for(len(values)):
+                codes_valid, cardinality, uniques = _factorize_morsels(
+                    values, runner
+                )
             else:
-                uniques, inverse = np.unique(values, return_inverse=True)
-                codes_valid = inverse.reshape(-1).astype(np.int64, copy=False)
-                cardinality = len(uniques)
+                span = _dense_span(values)
+                if span is not None:
+                    # integer fast path: value - min is already a monotonic
+                    # dense-enough code — no sort needed.  ``uniques`` stays
+                    # None (non-object codes are value-ordered regardless).
+                    lo, cardinality = span
+                    codes_valid = values.astype(np.int64, copy=False) - lo
+                    uniques = None
+                else:
+                    uniques, inverse = np.unique(values, return_inverse=True)
+                    codes_valid = inverse.reshape(-1).astype(np.int64, copy=False)
+                    cardinality = len(uniques)
         codes = np.zeros(n, dtype=np.int64)
         codes[valid] = codes_valid
         if nan is not None and nan.any():

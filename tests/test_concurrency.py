@@ -747,3 +747,95 @@ class TestStress:
             .scalar()
             == 6 * per_thread
         )
+
+
+@pytest.mark.stress
+class TestSharedExecPoolStress:
+    """Morsel-driven kernels under concurrent sessions: many threads
+    drive group-by/join/distinct queries through one shared worker pool
+    (tiny morsels so every statement really fans out) while writers
+    churn, and every result must equal the serial-oracle answer.
+
+    Run with ``python -m pytest -m stress tests/test_concurrency.py``.
+    """
+
+    def test_readers_on_shared_pool_match_serial_oracle(self):
+        import numpy as np
+
+        from repro.storage import Column, DataType
+
+        db = Database(exec_workers=4, morsel_rows=256, parallel_min_rows=0)
+        oracle = Database(exec_workers=1)
+        rng = np.random.default_rng(42)
+        k = rng.integers(0, 31, size=20_000, dtype=np.int64)
+        v = rng.random(20_000)
+        for engine in (db, oracle):
+            engine.execute("CREATE TABLE f (k BIGINT, v DOUBLE)")
+            engine.table("f").insert_columns(
+                [Column(DataType.BIGINT, k.copy()), Column(DataType.DOUBLE, v.copy())]
+            )
+        queries = [
+            "SELECT k, count(*), sum(v), min(v), max(v) FROM f GROUP BY k ORDER BY k",
+            "SELECT DISTINCT k FROM f ORDER BY k",
+            "SELECT count(*) FROM f x JOIN f y ON x.k = y.k WHERE x.v < 0.0005",
+            "SELECT k FROM f EXCEPT SELECT k FROM f WHERE k < 5 ORDER BY 1",
+        ]
+        expected = {sql: oracle.execute(sql).rows() for sql in queries}
+        errors: list = []
+
+        def reader(seed: int):
+            rng_local = random.Random(seed)
+            try:
+                with db.connect() as session:
+                    for _ in range(12):
+                        sql = rng_local.choice(queries)
+                        assert session.execute(sql).rows() == expected[sql]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_churning_writers_against_parallel_readers(self):
+        db = Database(exec_workers=4, morsel_rows=128, parallel_min_rows=0)
+        db.execute("CREATE TABLE log (worker INT, seq INT)")
+        stop = threading.Event()
+        errors: list = []
+
+        def writer(worker_id: int):
+            try:
+                with db.connect() as session:
+                    for seq in range(200):
+                        session.execute(
+                            "INSERT INTO log VALUES (?, ?)", (worker_id, seq)
+                        )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                with db.connect() as session:
+                    while not stop.is_set():
+                        rows = session.execute(
+                            "SELECT worker, count(*) FROM log GROUP BY worker"
+                        ).rows()
+                        # snapshot reads: per-worker counts are plausible
+                        # prefixes, never torn
+                        assert all(0 < count <= 200 for _, count in rows)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writers = [threading.Thread(target=writer, args=(i,)) for i in range(3)]
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in writers + readers:
+            t.start()
+        for t in writers + readers:
+            t.join()
+        assert errors == []
+        assert db.execute("SELECT count(*) FROM log").scalar() == 3 * 200

@@ -189,3 +189,101 @@ class TestStatsPersistence:
         db.save(str(tmp_path / "db"))
         loaded = Database.load(str(tmp_path / "db"))
         assert loaded.table_stats() == {}
+
+
+class TestGraphIndexPersistence:
+    """Format v3: built CSR indices are saved and seeded on load."""
+
+    def test_csr_archive_written_and_no_rebuild_on_load(self, tmp_path, chain_db):
+        chain_db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        target = tmp_path / "db"
+        chain_db.save(str(target))
+        assert (target / "graphindex-gi.npz").exists()
+        loaded = Database.load(str(target))
+        # the first graph query is served from the seeded cache: a hit,
+        # zero builds
+        assert loaded.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 5 OVER edges EDGE (s, d)"
+        ).scalar() == 1
+        stats = loaded.graph_indices.stats()
+        assert stats["builds"] == 0
+        assert stats["hits"] >= 1
+
+    def test_seeded_csr_matches_a_fresh_build(self, tmp_path, social_db):
+        social_db.execute(
+            "CREATE GRAPH INDEX fr ON friends EDGE (person1, person2)"
+        )
+        social_db.save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        fresh = Database.load(str(tmp_path / "db"))
+        fresh.graph_indices._cache.clear()  # force a rebuild on `fresh`
+        sql = (
+            "SELECT CHEAPEST SUM(k: weight) WHERE ? REACHES ? "
+            "OVER friends k EDGE (person1, person2)"
+        )
+        for src, dst in [(933, 8333), (8333, 4139), (933, 933), (1, 933)]:
+            assert (
+                loaded.execute(sql, (src, dst)).rows()
+                == fresh.execute(sql, (src, dst)).rows()
+            )
+        assert loaded.graph_indices.stats()["builds"] == 0
+        assert fresh.graph_indices.stats()["builds"] >= 1
+
+    def test_string_keyed_domain_round_trips(self, tmp_path):
+        db = Database()
+        db.executescript(
+            """
+            CREATE TABLE se (s VARCHAR, d VARCHAR);
+            INSERT INTO se VALUES ('ada', 'bob'), ('bob', 'cyd'), ('cyd', 'ada');
+            CREATE GRAPH INDEX sgi ON se EDGE (s, d);
+            """
+        )
+        db.save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        assert loaded.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 'ada' REACHES 'cyd' OVER se EDGE (s, d)"
+        ).scalar() == 2
+        assert loaded.graph_indices.stats()["builds"] == 0
+
+    def test_dml_after_load_invalidates_seeded_csr(self, tmp_path, chain_db):
+        chain_db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        chain_db.save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        loaded.execute("INSERT INTO edges VALUES (5, 6, 1)")
+        assert loaded.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 6 OVER edges EDGE (s, d)"
+        ).scalar() == 2  # sees the new edge: the stale CSR was dropped
+        assert loaded.graph_indices.stats()["builds"] >= 1
+
+    def test_unbuilt_index_is_not_force_built_by_save(self, tmp_path, chain_db):
+        chain_db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        # drop the eagerly-built library: save must NOT rebuild it
+        chain_db.graph_indices.invalidate_table("edges")
+        builds_before = chain_db.graph_indices.stats()["builds"]
+        target = tmp_path / "db"
+        chain_db.save(str(target))
+        assert chain_db.graph_indices.stats()["builds"] == builds_before
+        assert not (target / "graphindex-gi.npz").exists()
+        loaded = Database.load(str(target))  # lazy rebuild, pre-v3 style
+        assert loaded.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 5 OVER edges EDGE (s, d)"
+        ).scalar() == 1
+        assert loaded.graph_indices.stats()["builds"] >= 1
+
+    def test_old_format_v2_image_still_loads(self, tmp_path, chain_db):
+        import json
+
+        chain_db.execute("CREATE GRAPH INDEX gi ON edges EDGE (s, d)")
+        target = tmp_path / "db"
+        chain_db.save(str(target))
+        # rewrite the catalog as a v2 image without CSR files
+        meta = json.loads((target / "catalog.json").read_text())
+        meta["format_version"] = 2
+        meta.pop("graph_index_files", None)
+        (target / "catalog.json").write_text(json.dumps(meta))
+        (target / "graphindex-gi.npz").unlink()
+        loaded = Database.load(str(target))
+        assert loaded.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 5 OVER edges EDGE (s, d)"
+        ).scalar() == 1  # lazily rebuilt, as before v3
+        assert loaded.graph_indices.stats()["builds"] >= 1

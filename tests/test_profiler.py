@@ -107,3 +107,58 @@ class TestMisestimateFlag:
         assert profiler.misestimates
         name, estimated, actual = profiler.misestimates[0]
         assert actual / max(estimated, 1.0) >= 10
+
+
+class TestFallbackReasonBreakdown:
+    """The footer breaks kernel fallbacks down by cause, not one counter."""
+
+    def test_nan_sort_key_reason(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v DOUBLE)")
+        db.execute(
+            "INSERT INTO t VALUES (1.0), (?), (0.5)", (float("nan"),)
+        )
+        _, report = db.profile("SELECT v FROM t ORDER BY v")
+        assert "sort:nan-order=1" in report
+        stats = db.kernel_stats()
+        assert stats["fallback_reasons"]["sort"]["nan-order"] == 1
+
+    def test_kernel_less_aggregate_reason(self):
+        db = Database()
+        db.executescript(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (1), (2);"
+        )
+        _, report = db.profile("SELECT count(DISTINCT a) FROM t")
+        assert "aggregate:no-kernel=1" in report
+
+    def test_uncodifiable_type_reason(self):
+        db = Database()
+        db.executescript(
+            """
+            CREATE TABLE e (s INT, d INT);
+            INSERT INTO e VALUES (1, 2), (2, 3), (4, 5);
+            CREATE TABLE p (src INT, dst INT);
+            INSERT INTO p VALUES (1, 3), (4, 5);
+            """
+        )
+        # nested-table (path) sort keys have no order: the kernel
+        # declines with the uncodifiable reason (and the row comparator
+        # then raises its own pre-existing TypeError — unchanged)
+        with pytest.raises(TypeError):
+            db.execute(
+                "SELECT T.c FROM (SELECT p.src, CHEAPEST SUM(1) AS (c, pa) "
+                "FROM p WHERE p.src REACHES p.dst OVER e EDGE (s, d)) T "
+                "ORDER BY T.pa"
+            )
+        stats = db.kernel_stats()
+        assert stats["fallback_reasons"]["sort"]["uncodifiable"] == 1
+
+    def test_reasons_accumulate_per_op(self):
+        db = Database()
+        db.execute("CREATE TABLE t (v DOUBLE)")
+        db.execute("INSERT INTO t VALUES (1.0), (?)", (float("nan"),))
+        db.execute("SELECT v FROM t ORDER BY v")
+        db.execute("SELECT v FROM t ORDER BY v DESC")
+        stats = db.kernel_stats()
+        assert stats["fallback_reasons"]["sort"]["nan-order"] == 2
+        assert stats["fallbacks"]["sort"] == 2
