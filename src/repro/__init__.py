@@ -11,15 +11,26 @@ that regenerates the paper's tables and figures.
 from .api import Database, Result, connect
 from .session import PlanCache, PreparedStatement, Session
 from .errors import (
+    BackpressureError,
     BindError,
     CatalogError,
+    DatabaseClosedError,
     ExecutionError,
     GraphRuntimeError,
     LexError,
     NotSupportedError,
     ParseError,
+    ProtocolError,
     ReproError,
+    ResourceLimitError,
+    ServerError,
+    ServerShutdownError,
     SqlError,
+    StatementTimeoutError,
+    TransactionConflictError,
+    TransactionError,
+    TypeError_,
+    error_from_code,
 )
 from .nested import NestedTableValue
 from .storage import DataType
@@ -41,7 +52,18 @@ __all__ = [
     "ParseError",
     "BindError",
     "CatalogError",
+    "TypeError_",
+    "TransactionError",
+    "TransactionConflictError",
     "ExecutionError",
+    "ResourceLimitError",
     "GraphRuntimeError",
     "NotSupportedError",
+    "DatabaseClosedError",
+    "ServerError",
+    "ProtocolError",
+    "BackpressureError",
+    "StatementTimeoutError",
+    "ServerShutdownError",
+    "error_from_code",
 ]

@@ -1,4 +1,5 @@
-"""``python -m repro`` — launch the interactive SQL shell."""
+"""``python -m repro`` — the interactive SQL shell, or (with
+``--serve HOST:PORT``) the TCP database server."""
 
 import sys
 

@@ -53,6 +53,7 @@ from typing import Any, Iterable, Optional, Sequence
 
 from .errors import (
     CatalogError,
+    DatabaseClosedError,
     ExecutionError,
     ReproError,
     TransactionConflictError,
@@ -276,6 +277,13 @@ class GraphIndexManager:
                 self._cache.popitem(last=False)
                 self.evictions += 1
 
+    def clear_cache(self) -> None:
+        """Drop every cached library (the :meth:`Database.close` path:
+        a cached CSR pins the table version it was built from — clearing
+        releases those references; index *definitions* survive)."""
+        with self._mutex:
+            self._cache.clear()
+
     def invalidate_table(self, table: str) -> None:
         """Drop every cached library built over ``table`` (DML/DDL hook)."""
         key = table.lower()
@@ -458,6 +466,10 @@ class Database:
         #: multi-table COMMIT installation, so a statement can never pin
         #: half of another transaction's committed write set.
         self._snapshot_mutex = threading.Lock()
+        #: True once :meth:`close` ran; guarded by ``_close_mutex`` so
+        #: concurrent closers tear down exactly once.
+        self.closed = False
+        self._close_mutex = threading.Lock()
         # every committed table mutation invalidates both caches and
         # refreshes the recorded statistics row counts
         self.catalog.add_write_listener(self._on_table_write)
@@ -474,12 +486,44 @@ class Database:
         )
 
     # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear the engine down: join the kernel worker-pool threads and
+        drop both caches (releasing every pinned table version they
+        hold).  Idempotent, and safe to call while sessions still exist
+        — a statement arriving after close raises a typed
+        :class:`~repro.errors.DatabaseClosedError` instead of touching
+        retired threads (the server's graceful-shutdown path closes the
+        database while client sessions may still be connected).  The
+        catalog itself stays readable so post-mortem inspection
+        (``db.table(...)``) keeps working."""
+        with self._close_mutex:
+            if self.closed:
+                return
+            self.closed = True
+        self.exec_pool.shutdown(wait=True)
+        self.plan_cache.clear()
+        self.graph_indices.clear_cache()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise DatabaseClosedError("database is closed")
+
+    # ------------------------------------------------------------------
     # sessions
     # ------------------------------------------------------------------
     def connect(self) -> Session:
         """Open a :class:`~repro.session.Session` (cursor) on this
         database.  Create one per thread; all sessions share the catalog,
         the plan cache and the graph-index cache."""
+        self._check_open()
         return Session(self)
 
     # ------------------------------------------------------------------
@@ -577,6 +621,7 @@ class Database:
         buffers its writes; without a session (or outside BEGIN/COMMIT)
         the statement autocommits against its own snapshot.
         """
+        self._check_open()
         txn = self._active_transaction(session)
         entry, bound, _, slots = self._lookup_or_plan(sql, txn=txn)
         params = tuple(params)
@@ -679,6 +724,7 @@ class Database:
         """Parse, bind, optimize and cache a statement without executing
         it (the back end of ``Session.prepare``).  Statements the cache
         cannot hold (DDL, UPDATE, DELETE) are validated but not cached."""
+        self._check_open()
         entry, _, _, _ = self._lookup_or_plan(sql)
         return entry
 
@@ -686,6 +732,7 @@ class Database:
         self, sql: str, *, session: Optional[Session] = None
     ) -> list[Result]:
         """Execute a semicolon-separated list of statements (no params)."""
+        self._check_open()
         results = []
         for stmt in parse_script(sql):
             bound = Binder(self.catalog).bind_statement(stmt)
@@ -711,6 +758,7 @@ class Database:
         """
         from .exec.profiler import Profiler
 
+        self._check_open()
         txn = self._active_transaction(session)
         entry, _, cache_hit, slots = self._lookup_or_plan(sql, txn=txn)
         if entry is None or entry.kind != "query":

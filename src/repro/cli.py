@@ -1,7 +1,11 @@
-"""Interactive SQL shell for the engine.
+"""Interactive SQL shell — and the ``--serve`` server launcher.
 
-Run with ``python -m repro [database-dir]``.  Statements end with ``;``
-and may span lines.  Meta commands:
+Run with ``python -m repro [database-dir]`` for the shell, or
+``python -m repro --serve HOST:PORT [database-dir]`` to run the TCP
+database server (see :mod:`repro.server`; ``--queue-depth``,
+``--statement-timeout`` and ``--exec-workers`` tune admission control
+and the worker pool).  Statements end with ``;`` and may span lines.
+Meta commands:
 
 * ``\\dt`` — list tables (and graph indices)
 * ``\\d <table>`` — describe a table
@@ -248,8 +252,81 @@ class Shell:
             self.write(f"unknown meta command: {command}")
 
 
+def serve_main(argv: list[str]) -> int:
+    """``python -m repro --serve HOST:PORT [database-dir]`` — run the
+    TCP database server (:mod:`repro.server`) until SIGTERM/SIGINT,
+    then drain in-flight statements and shut down gracefully.
+
+    Options: ``--queue-depth N`` (admission high-water mark),
+    ``--statement-timeout S`` (per-statement ceiling, seconds),
+    ``--exec-workers N`` (kernel + statement worker threads).
+    """
+    from .server import serve
+
+    address: Optional[str] = None
+    directory: Optional[str] = None
+    options: dict = {}
+    try:
+        index = 0
+        while index < len(argv):
+            arg = argv[index]
+            if arg == "--serve":
+                index += 1
+                address = argv[index]
+            elif arg == "--queue-depth":
+                index += 1
+                options["max_queue"] = int(argv[index])
+            elif arg == "--statement-timeout":
+                index += 1
+                options["statement_timeout"] = float(argv[index])
+            elif arg == "--exec-workers":
+                index += 1
+                options["exec_workers"] = int(argv[index])
+            elif arg.startswith("--"):
+                print(f"error: unknown option {arg}", file=sys.stderr)
+                return 2
+            elif directory is None:
+                directory = arg
+            else:
+                print(f"error: unexpected argument {arg!r}", file=sys.stderr)
+                return 2
+            index += 1
+    except (IndexError, ValueError):
+        print(
+            "usage: python -m repro --serve HOST:PORT [database-dir] "
+            "[--queue-depth N] [--statement-timeout S] [--exec-workers N]",
+            file=sys.stderr,
+        )
+        return 2
+    host, _, port_text = (address or "").rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"error: --serve expects HOST:PORT, got {address!r}", file=sys.stderr
+        )
+        return 2
+    exec_workers = options.pop("exec_workers", None)
+    try:
+        if directory is not None:
+            db = Database.load(directory)
+            if exec_workers is not None:
+                db.set_exec_workers(exec_workers)
+        elif exec_workers is not None:
+            db = Database(exec_workers=exec_workers)
+        else:
+            db = Database()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    serve(db, host or "127.0.0.1", port, **options)
+    return 0
+
+
 def main(argv: Optional[Iterable[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if "--serve" in argv:
+        return serve_main(argv)
     shell = Shell()
     if argv:
         shell.db = Database.load(argv[0])

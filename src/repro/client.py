@@ -1,0 +1,224 @@
+"""Blocking client for the database server (:mod:`repro.server`).
+
+A tiny, dependency-free socket client speaking the length-prefixed JSON
+protocol of :mod:`repro.server.protocol`.  Mirrors the in-process API
+shapes — ``execute`` returns a :class:`ClientResult` with ``rows()`` /
+``scalar()`` / ``to_dicts()``, ``prepare`` returns a re-executable
+handle — and raises the *same typed exceptions* the engine would raise
+in process: the server ships ``{code, message}`` pairs and
+:func:`repro.errors.error_from_code` rebuilds them here, so
+``except TransactionConflictError`` works identically over the wire.
+
+::
+
+    from repro.client import Client
+
+    with Client("127.0.0.1", 4242) as client:
+        client.execute("CREATE TABLE t (x INT)")
+        client.execute("INSERT INTO t VALUES (?)", (1,))
+        stmt = client.prepare("SELECT sum(x) FROM t WHERE x >= ?")
+        print(stmt.execute((0,)).scalar())
+        client.execute("BEGIN")       # the connection is one session:
+        client.execute("ROLLBACK")    # transactions work unchanged
+
+One :class:`Client` is one server-side session (one socket, one
+transaction scope); it is *not* thread-safe — open one per thread, the
+server multiplexes them onto the shared engine.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterator, Optional, Sequence
+
+from .errors import ExecutionError, ProtocolError, error_from_code
+from .server.protocol import (
+    HEADER,
+    decode_rows,
+    encode_frame,
+    encode_value,
+    frame_length,
+)
+
+
+class ClientResult:
+    """One statement's outcome, shaped like :class:`repro.api.Result`."""
+
+    def __init__(self, payload: dict):
+        self._columns: list[str] = payload.get("columns") or []
+        self._rows: Optional[list[tuple]] = (
+            decode_rows(payload["rows"]) if payload.get("kind") == "rows" else None
+        )
+        self.rowcount: int = payload.get("rowcount", -1)
+
+    @property
+    def is_query(self) -> bool:
+        return self._rows is not None
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def rows(self) -> list[tuple]:
+        return list(self._rows) if self._rows is not None else []
+
+    fetchall = rows
+
+    def __len__(self) -> int:
+        return len(self._rows) if self._rows is not None else 0
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows())
+
+    def scalar(self) -> Any:
+        rows = self.rows()
+        if not rows:
+            return None
+        if len(rows) > 1 or len(rows[0]) != 1:
+            raise ExecutionError("scalar() requires a single-row, single-column result")
+        return rows[0][0]
+
+    def to_dicts(self) -> list[dict]:
+        return [dict(zip(self._columns, row)) for row in self.rows()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._rows is None:
+            return f"<ClientResult rowcount={self.rowcount}>"
+        return f"<ClientResult {len(self._rows)} rows: {', '.join(self._columns)}>"
+
+
+class ClientPreparedStatement:
+    """A server-side prepared statement, re-executable by handle."""
+
+    __slots__ = ("sql", "handle", "_client")
+
+    def __init__(self, client: "Client", sql: str, handle: int):
+        self._client = client
+        self.sql = sql
+        self.handle = handle
+
+    def execute(self, params: Sequence[Any] = ()) -> ClientResult:
+        return ClientResult(
+            self._client._request(
+                {
+                    "op": "execute_prepared",
+                    "handle": self.handle,
+                    "params": [encode_value(p) for p in params],
+                }
+            )
+        )
+
+    def close(self) -> None:
+        self._client._request({"op": "close_prepared", "handle": self.handle})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClientPreparedStatement #{self.handle} {self.sql!r}>"
+
+
+class Client:
+    """A blocking connection to a :class:`repro.server.ReproServer`.
+
+    ``timeout`` bounds every socket operation (connect and response
+    wait), complementing the server-side statement timeout.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: Optional[float] = None,
+    ):
+        self.host = host
+        self.port = port
+        self._sock: Optional[socket.socket] = socket.create_connection(
+            (host, port), timeout=timeout
+        )
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        *,
+        timeout: Optional[float] = None,
+    ) -> ClientResult:
+        """Execute one statement; ``timeout`` (seconds) asks the server
+        for a per-statement limit below its configured ceiling."""
+        request: dict = {
+            "op": "execute",
+            "sql": sql,
+            "params": [encode_value(p) for p in params],
+        }
+        if timeout is not None:
+            request["timeout"] = timeout
+        return ClientResult(self._request(request))
+
+    def prepare(self, sql: str) -> ClientPreparedStatement:
+        payload = self._request({"op": "prepare", "sql": sql})
+        return ClientPreparedStatement(self, sql, payload["handle"])
+
+    def ping(self) -> dict:
+        """Liveness probe; returns the server's stats snapshot."""
+        return self._request({"op": "ping"}).get("stats", {})
+
+    # ------------------------------------------------------------------
+    def _request(self, request: dict) -> dict:
+        sock = self._sock
+        if sock is None:
+            raise ProtocolError("client is closed")
+        try:
+            sock.sendall(encode_frame(request))
+            header = self._read_exactly(sock, HEADER.size)
+            payload_bytes = self._read_exactly(sock, frame_length(header))
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            self.close()
+            raise ProtocolError(f"connection to server lost: {exc}") from None
+        from .server.protocol import decode_payload
+
+        payload = decode_payload(payload_bytes)
+        if payload.get("ok"):
+            return payload
+        error = payload.get("error") or {}
+        raise error_from_code(
+            error.get("code", "SERVER_ERROR"), error.get("message", "unknown error")
+        )
+
+    @staticmethod
+    def _read_exactly(sock: socket.socket, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                raise ConnectionResetError("server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"<Client {state} {self.host}:{self.port}>"
+
+
+__all__ = ["Client", "ClientPreparedStatement", "ClientResult"]

@@ -5,6 +5,13 @@ detected by the SQL front-end (lexing, parsing, semantic analysis) versus
 problems raised by the runtime (the executor and the external graph
 library).  Everything derives from :class:`ReproError` so applications can
 catch engine failures with a single ``except`` clause.
+
+Every user-facing class carries a stable, machine-readable :attr:`code`
+(``ReproError.code``) so errors survive serialization: the database
+server (:mod:`repro.server`) ships ``{code, message}`` pairs over the
+wire instead of tracebacks, and :func:`error_from_code` rebuilds the
+matching typed exception on the client.  Codes are part of the wire
+protocol — never renamed, only added.
 """
 
 from __future__ import annotations
@@ -13,9 +20,15 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for every error raised by this package."""
 
+    #: Stable machine-readable identifier, serialized by the wire
+    #: protocol; subclasses override it (never reuse or rename a code).
+    code = "ERROR"
+
 
 class SqlError(ReproError):
     """Base class for errors detected by the SQL front-end."""
+
+    code = "SQL_ERROR"
 
 
 class LexError(SqlError):
@@ -23,6 +36,8 @@ class LexError(SqlError):
 
     Carries the 1-based ``line`` and ``column`` of the offending character.
     """
+
+    code = "LEX_ERROR"
 
     def __init__(self, message: str, line: int, column: int):
         super().__init__(f"{message} at line {line}:{column}")
@@ -32,6 +47,8 @@ class LexError(SqlError):
 
 class ParseError(SqlError):
     """The token stream does not form a valid statement."""
+
+    code = "PARSE_ERROR"
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         location = f" at line {line}:{column}" if line else ""
@@ -48,9 +65,13 @@ class BindError(SqlError):
     "otherwise a semantic error arises" (Section 2).
     """
 
+    code = "BIND_ERROR"
+
 
 class CatalogError(ReproError):
     """Unknown or duplicate table/column at the catalog level."""
+
+    code = "CATALOG_ERROR"
 
 
 class TypeError_(ReproError):
@@ -59,11 +80,15 @@ class TypeError_(ReproError):
     Named with a trailing underscore to avoid shadowing the builtin.
     """
 
+    code = "TYPE_ERROR"
+
 
 class TransactionError(ReproError):
     """Transaction-control misuse: BEGIN inside a transaction, COMMIT or
     ROLLBACK without one, DDL inside an explicit transaction, or
     transaction statements outside a session."""
+
+    code = "TRANSACTION_ERROR"
 
 
 class TransactionConflictError(TransactionError):
@@ -72,15 +97,21 @@ class TransactionConflictError(TransactionError):
     snapshot was pinned.  The losing transaction is rolled back; retry
     it against fresh state."""
 
+    code = "TRANSACTION_CONFLICT"
+
 
 class ExecutionError(ReproError):
     """Generic runtime failure inside a physical operator."""
+
+    code = "EXECUTION_ERROR"
 
 
 class ResourceLimitError(ExecutionError):
     """A materialization guard tripped (cross products, nested-loop
     joins and graph-join pair grids all fail fast instead of exhausting
     memory; the MonetDB prototype shares the failure mode)."""
+
+    code = "RESOURCE_LIMIT"
 
 
 class GraphRuntimeError(ExecutionError):
@@ -91,6 +122,86 @@ class GraphRuntimeError(ExecutionError):
     runtime exception is raised" (Section 2).
     """
 
+    code = "GRAPH_RUNTIME_ERROR"
+
 
 class NotSupportedError(ReproError):
     """A recognized SQL feature that this engine deliberately omits."""
+
+    code = "NOT_SUPPORTED"
+
+
+class DatabaseClosedError(ReproError):
+    """A statement reached a :class:`~repro.api.Database` after
+    :meth:`~repro.api.Database.close` — the session outlived the engine
+    (the server's graceful-shutdown path closes the database while
+    client sessions may still exist)."""
+
+    code = "DATABASE_CLOSED"
+
+
+class ServerError(ReproError):
+    """Base class for failures of the network service layer
+    (:mod:`repro.server`) as opposed to the engine underneath."""
+
+    code = "SERVER_ERROR"
+
+
+class ProtocolError(ServerError):
+    """A malformed wire frame: bad length prefix, oversized frame,
+    invalid JSON, or an unknown request operation."""
+
+    code = "PROTOCOL_ERROR"
+
+
+class BackpressureError(ServerError):
+    """Admission control rejected the statement: the server's bounded
+    request queue is past its high-water mark.  The request was *not*
+    executed; retry after a backoff."""
+
+    code = "BACKPRESSURE"
+
+
+class StatementTimeoutError(ServerError):
+    """The per-statement server timeout elapsed before the statement
+    finished.  The statement keeps running to completion on its worker
+    (pure-Python kernels cannot be interrupted mid-numpy-call) but its
+    result is discarded and never sent."""
+
+    code = "STATEMENT_TIMEOUT"
+
+
+class ServerShutdownError(ServerError):
+    """The server is draining for shutdown and accepts no new
+    statements; in-flight statements still complete."""
+
+    code = "SERVER_SHUTDOWN"
+
+
+def _walk_subclasses(cls) -> "list[type[ReproError]]":
+    out = [cls]
+    for sub in cls.__subclasses__():
+        out.extend(_walk_subclasses(sub))
+    return out
+
+
+#: code -> exception class, for wire-protocol round-trips.  Built once at
+#: import; every class above is reachable from :class:`ReproError`.
+ERROR_CODES: "dict[str, type[ReproError]]" = {
+    cls.code: cls for cls in _walk_subclasses(ReproError)
+}
+
+
+def error_from_code(code: str, message: str) -> ReproError:
+    """Rebuild the typed exception a server serialized as ``{code,
+    message}``.  Unknown codes (a newer server) degrade to the base
+    :class:`ReproError`; classes with positional constructor extras
+    (:class:`LexError`) are rebuilt through ``__new__`` so the message
+    survives verbatim."""
+    cls = ERROR_CODES.get(code, ReproError)
+    try:
+        return cls(message)
+    except TypeError:
+        exc = cls.__new__(cls)
+        Exception.__init__(exc, message)
+        return exc

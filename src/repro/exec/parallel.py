@@ -60,6 +60,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..envutil import env_int as _env_int
+from ..errors import ExecutionError
 
 #: Rows per morsel: large enough that numpy kernel launch + thread
 #: hand-off overhead is amortized, small enough that a 1M-row input
@@ -82,7 +83,12 @@ def resolve_exec_workers(workers) -> int:
             return len(os.sched_getaffinity(0))
         except AttributeError:  # pragma: no cover - non-Linux fallback
             return os.cpu_count() or 1
-    return max(1, int(workers))
+    try:
+        return max(1, int(workers))
+    except (TypeError, ValueError):
+        raise ExecutionError(
+            f"exec_workers must be a positive integer or 'auto', got {workers!r}"
+        ) from None
 
 
 def morsel_spans(n_rows: int, morsel_rows: int) -> list[tuple[int, int]]:
@@ -187,12 +193,17 @@ class ExecPool:
                 )
             return self._executor
 
-    def shutdown(self) -> None:
+    def shutdown(self, wait: bool = False) -> None:
+        """Retire the pool.  ``wait=False`` (the ``set_exec_workers``
+        resize path) lets in-flight morsels finish on their threads;
+        ``wait=True`` (the :meth:`~repro.api.Database.close` teardown
+        path) joins every worker thread so nothing dangles at
+        interpreter exit."""
         with self._mutex:
             self._closed = True
             executor, self._executor = self._executor, None
         if executor is not None:
-            executor.shutdown(wait=False)
+            executor.shutdown(wait=wait)
 
     def context(self) -> Optional["ParallelContext"]:
         """The per-statement handle kernels receive (None when the pool

@@ -1,0 +1,28 @@
+"""The network service layer: an asyncio TCP server over one shared
+:class:`~repro.api.Database`.
+
+* :mod:`repro.server.protocol` — length-prefixed JSON framing and the
+  typed-value / typed-error encoding shared with :mod:`repro.client`;
+* :mod:`repro.server.admission` — the bounded in-flight statement
+  budget (backpressure past high water);
+* :mod:`repro.server.server` — the server itself: one
+  :class:`~repro.session.Session` per connection, statement execution
+  on a worker thread pool, per-statement timeouts, graceful drain.
+
+Launch with ``python -m repro --serve HOST:PORT`` or embed via
+:class:`ReproServer` / :func:`serve` / :class:`ServerThread`.
+"""
+
+from .admission import AdmissionController
+from .protocol import MAX_FRAME_BYTES, WirePath
+from .server import ReproServer, ServerThread, default_queue_depth, serve
+
+__all__ = [
+    "AdmissionController",
+    "MAX_FRAME_BYTES",
+    "ReproServer",
+    "ServerThread",
+    "WirePath",
+    "default_queue_depth",
+    "serve",
+]

@@ -1,0 +1,96 @@
+"""Admission control: a bounded in-flight statement budget.
+
+The server shares one :class:`~repro.api.Database` — and one kernel
+worker pool — across every connection.  Without a bound, a burst of
+slow statements queues without limit inside the executor and every
+client sees unbounded latency.  Instead the server admits at most
+``limit`` statements at a time (executing + waiting for an executor
+thread, across all connections); a statement arriving past the
+high-water mark is rejected *immediately* with the typed
+:class:`~repro.errors.BackpressureError` — a cheap, explicit signal the
+client can back off on, instead of a hang or a timeout.
+
+The controller lives on the server's event loop: all state transitions
+happen on loop callbacks (admit on dispatch, release from the executor
+future's done callback), so plain counters suffice — no lock.  ``drain``
+is the graceful-shutdown barrier: it resolves once every admitted
+statement has finished.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+
+class AdmissionController:
+    """Counting admission gate + drain barrier (event-loop confined)."""
+
+    def __init__(self, limit: int):
+        self.limit = max(1, int(limit))
+        self.inflight = 0
+        #: Totals for observability (the server's ``stats()`` surface).
+        self.admitted = 0
+        self.rejected = 0
+        self.peak_inflight = 0
+        self._idle: Optional[asyncio.Event] = None
+
+    def try_admit(self) -> bool:
+        """Admit one statement, or refuse (the caller then answers with
+        BACKPRESSURE and never touches the engine)."""
+        if self.inflight >= self.limit:
+            self.rejected += 1
+            return False
+        self.inflight += 1
+        self.admitted += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+        if self._idle is not None:
+            self._idle.clear()
+        return True
+
+    def release(self) -> None:
+        self.inflight -= 1
+        if self.inflight == 0 and self._idle is not None:
+            self._idle.set()
+
+    def attach(self, future: asyncio.Future) -> None:
+        """Release the admitted slot when ``future`` (the executor task)
+        completes — *not* when the awaiting coroutine gives up on it: a
+        timed-out statement still occupies its slot until its worker
+        thread actually finishes, so the budget always reflects real
+        engine load.  The done callback also retrieves the exception of
+        abandoned futures so asyncio never logs it as unretrieved."""
+
+        def _done(f: asyncio.Future) -> None:
+            self.release()
+            if not f.cancelled():
+                f.exception()
+
+        future.add_done_callback(_done)
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until no statement is in flight (the graceful-shutdown
+        barrier).  Returns False if ``timeout`` elapsed first."""
+        if self.inflight == 0:
+            return True
+        if self._idle is None:
+            self._idle = asyncio.Event()
+        if self.inflight == 0:  # raced to zero while creating the event
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def stats(self) -> dict:
+        return {
+            "limit": self.limit,
+            "inflight": self.inflight,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "peak_inflight": self.peak_inflight,
+        }
+
+
+__all__ = ["AdmissionController"]

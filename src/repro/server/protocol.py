@@ -1,0 +1,229 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests and responses are JSON objects; the
+framing is symmetric, so both ends share this module.
+
+Requests
+--------
+``{"op": "execute", "sql": ..., "params": [...], "timeout": s?}``
+    Execute one statement through the connection's session (so
+    BEGIN/COMMIT/ROLLBACK and snapshot isolation work unchanged over the
+    wire).  ``timeout`` optionally overrides the server's per-statement
+    timeout for this statement only (seconds; capped by the server).
+``{"op": "prepare", "sql": ...}`` → ``{"ok": true, "handle": n}``
+    Prepare a statement; repeat executions through the handle are
+    plan-cache hits by construction.
+``{"op": "execute_prepared", "handle": n, "params": [...]}``
+    Execute a previously prepared statement.
+``{"op": "close_prepared", "handle": n}``
+    Release a prepared-statement handle.
+``{"op": "ping"}`` → ``{"ok": true, "pong": true}``
+    Liveness probe; never queued behind admission control.
+
+Responses
+---------
+``{"ok": true, "kind": "rows", "columns": [...], "rows": [[...], ...]}``
+    A query result.
+``{"ok": true, "kind": "count", "rowcount": n}``
+    A DDL/DML result.
+``{"ok": false, "error": {"code": ..., "message": ...}}``
+    A typed engine or server error — ``code`` is the stable
+    :attr:`repro.errors.ReproError.code` identifier, reconstructed
+    client-side by :func:`repro.errors.error_from_code`.  Tracebacks
+    never cross the wire.
+
+Values
+------
+JSON covers NULL/bool/int/float/string natively (Python's ``json``
+round-trips floats exactly via ``repr``, which is what keeps served
+results bit-identical to the in-process API).  The two engine types JSON
+lacks are tagged objects — unambiguous because the engine has no
+map/object column type:
+
+* DATE → ``{"$": "date", "v": "YYYY-MM-DD"}``
+* nested-table path → ``{"$": "path", "columns": [...], "rows": [...]}``
+  (decoded to :class:`WirePath`, which mirrors the
+  :class:`~repro.nested.NestedTableValue` accessors)
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import struct
+from typing import Any, Optional
+
+from ..errors import ProtocolError, ReproError
+
+#: Frame length header: 4-byte big-endian unsigned.
+HEADER = struct.Struct(">I")
+
+#: Hard per-frame cap — a corrupt or hostile length prefix must not make
+#: either end allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class WirePath:
+    """Client-side stand-in for a :class:`~repro.nested.NestedTableValue`
+    (a shortest path): the referenced edge rows, already materialized.
+
+    Mirrors the accessors servers of the in-process API use most —
+    ``to_rows()`` / ``to_dicts()`` / ``len`` — so code consuming path
+    results works unchanged against either API.
+    """
+
+    __slots__ = ("columns", "_rows")
+
+    def __init__(self, columns: list, rows: list):
+        self.columns = list(columns)
+        self._rows = [tuple(r) for r in rows]
+
+    def column_names(self) -> list:
+        return list(self.columns)
+
+    def to_rows(self) -> list:
+        return list(self._rows)
+
+    def to_dicts(self) -> list:
+        return [dict(zip(self.columns, row)) for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: Any) -> bool:
+        to_rows = getattr(other, "to_rows", None)
+        if to_rows is None:
+            return NotImplemented
+        return self._rows == to_rows()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WirePath {len(self._rows)} edges>"
+
+
+def encode_value(value: Any) -> Any:
+    """One result/parameter value → its JSON-safe form."""
+    if isinstance(value, datetime.date):
+        return {"$": "date", "v": value.isoformat()}
+    # NestedTableValue duck-typed to avoid importing the exec layer here
+    to_rows = getattr(value, "to_rows", None)
+    if to_rows is not None and hasattr(value, "column_names"):
+        return {
+            "$": "path",
+            "columns": value.column_names(),
+            "rows": [[encode_value(v) for v in row] for row in to_rows()],
+        }
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        tag = value.get("$")
+        if tag == "date":
+            return datetime.date.fromisoformat(value["v"])
+        if tag == "path":
+            return WirePath(
+                value["columns"],
+                [[decode_value(v) for v in row] for row in value["rows"]],
+            )
+        raise ProtocolError(f"unknown value tag: {value.get('$')!r}")
+    return value
+
+
+def encode_rows(rows: list) -> list:
+    return [[encode_value(v) for v in row] for row in rows]
+
+
+def decode_rows(rows: list) -> list:
+    return [tuple(decode_value(v) for v in row) for row in rows]
+
+
+def result_payload(result) -> dict:
+    """A :class:`repro.api.Result` → its response payload."""
+    if result.is_query:
+        return {
+            "ok": True,
+            "kind": "rows",
+            "columns": result.column_names,
+            "rows": encode_rows(result.rows()),
+        }
+    return {"ok": True, "kind": "count", "rowcount": result.rowcount}
+
+
+def error_payload(exc: Exception) -> dict:
+    """Any exception → a typed, traceback-free error response.  Non-
+    :class:`~repro.errors.ReproError` failures degrade to the generic
+    SERVER_ERROR code with the exception text only."""
+    if isinstance(exc, ReproError):
+        return {"ok": False, "error": {"code": exc.code, "message": str(exc)}}
+    return {
+        "ok": False,
+        "error": {
+            "code": "SERVER_ERROR",
+            "message": f"internal error: {type(exc).__name__}: {exc}",
+        },
+    }
+
+
+def encode_frame(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def frame_length(header: bytes) -> int:
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return length
+
+
+async def read_frame(reader) -> Optional[dict]:
+    """Read one frame from an :class:`asyncio.StreamReader`; None on a
+    clean EOF at a frame boundary."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ProtocolError("connection closed inside a frame header") from None
+    length = frame_length(header)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed inside a frame body") from None
+    return decode_payload(body)
+
+
+__all__ = [
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "WirePath",
+    "decode_payload",
+    "decode_rows",
+    "decode_value",
+    "encode_frame",
+    "encode_rows",
+    "encode_value",
+    "error_payload",
+    "frame_length",
+    "read_frame",
+    "result_payload",
+]

@@ -1,0 +1,417 @@
+"""The asyncio TCP database server.
+
+One :class:`ReproServer` fronts one shared :class:`~repro.api.Database`.
+Each accepted connection gets its own :class:`~repro.session.Session`,
+so explicit transactions, snapshot isolation, first-committer-wins
+conflicts and prepared-statement reuse all work unchanged over the wire
+— the engine's concurrency stack (MVCC snapshots, the shared morsel
+worker pool) was built for exactly this shape.
+
+Statements are *executed* on a thread pool sized to the database's
+``exec_workers`` (the engine is synchronous; numpy releases the GIL
+inside the kernels, so worker threads genuinely overlap), while the
+event loop only does framing and dispatch.  Requests are serialized per
+connection — the loop reads the next frame only after answering the
+previous one — which preserves the one-thread-at-a-time contract of
+:class:`~repro.session.Session`.
+
+Three service-layer guarantees sit on top:
+
+* **Admission control** (:mod:`repro.server.admission`): at most
+  ``max_queue`` statements in flight across all connections; past the
+  high-water mark requests fail fast with the typed
+  :class:`~repro.errors.BackpressureError` instead of queueing without
+  bound.
+* **Per-statement timeouts**: ``statement_timeout`` seconds (request
+  field ``timeout`` lowers it per statement).  A timed-out statement
+  answers :class:`~repro.errors.StatementTimeoutError`; its worker
+  thread runs to completion (pure-Python kernels cannot be interrupted)
+  and keeps holding its admission slot until it does, so the budget
+  reflects true engine load.
+* **Graceful shutdown**: :meth:`ReproServer.shutdown` (wired to
+  SIGTERM/SIGINT by :func:`serve`) stops admitting new statements
+  (typed :class:`~repro.errors.ServerShutdownError`), drains every
+  in-flight statement, then closes listeners and connections, joins the
+  executor threads and closes the database — no dangling threads at
+  interpreter exit.
+
+Entry points: ``python -m repro --serve HOST:PORT`` (the CLI),
+:func:`serve` (blocking), :class:`ReproServer` (asyncio-native), and
+:class:`ServerThread` (background thread, used by the tests and the
+throughput benchmark).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..api import Database
+from ..errors import (
+    BackpressureError,
+    ProtocolError,
+    ServerShutdownError,
+    StatementTimeoutError,
+)
+from .admission import AdmissionController
+from .protocol import (
+    decode_value,
+    encode_frame,
+    error_payload,
+    read_frame,
+    result_payload,
+)
+
+
+def default_queue_depth(exec_workers: int) -> int:
+    """The admission high-water mark when none is given: enough to keep
+    every kernel worker busy with a short backlog behind it, small
+    enough that rejected clients learn about saturation in milliseconds
+    rather than sitting in an unbounded queue."""
+    return max(8, 4 * int(exec_workers))
+
+
+class ReproServer:
+    """An asyncio TCP server over one shared :class:`Database`.
+
+    Parameters
+    ----------
+    db:
+        The shared engine instance.  ``own_database=True`` hands its
+        lifecycle to the server: graceful shutdown closes it.
+    host / port:
+        Listen address; ``port=0`` picks a free port (see
+        :attr:`address` after :meth:`start`).
+    max_queue:
+        Admission high-water mark — statements in flight (executing or
+        waiting for a worker thread) across all connections.  Default
+        :func:`default_queue_depth` of the database's kernel workers.
+    statement_timeout:
+        Per-statement ceiling in seconds (None: no timeout).  A
+        request's ``timeout`` field can only lower it.
+    drain_timeout:
+        How long graceful shutdown waits for in-flight statements
+        before giving up and closing anyway.
+    executor_workers:
+        Statement executor thread count (default: the database's
+        ``exec_workers``); tests pin it to 1 for deterministic
+        saturation.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_queue: Optional[int] = None,
+        statement_timeout: Optional[float] = None,
+        drain_timeout: float = 30.0,
+        executor_workers: Optional[int] = None,
+        own_database: bool = False,
+    ):
+        self.db = db
+        self.host = host
+        self.port = port
+        self.statement_timeout = statement_timeout
+        self.drain_timeout = drain_timeout
+        self.own_database = own_database
+        workers = (
+            int(executor_workers)
+            if executor_workers is not None
+            else db.exec_pool.workers
+        )
+        self.admission = AdmissionController(
+            default_queue_depth(workers) if max_queue is None else max_queue
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-serve"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self.connections_served = 0
+        self.statements_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` after start."""
+        if self._server is not None and self._server.sockets:
+            host, port = self._server.sockets[0].getsockname()[:2]
+            return host, port
+        return self.host, self.port
+
+    async def start(self) -> "ReproServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` (or a SIGTERM/SIGINT wired in by
+        :func:`serve`) completes."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful shutdown: refuse new statements, drain in-flight
+        work, then close listeners, connections, the executor and
+        (when owned) the database."""
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        # drain before closing anything: in-flight statements finish and
+        # their responses still reach their clients
+        await self.admission.drain(self.drain_timeout)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        self._executor.shutdown(wait=True)
+        if self.own_database:
+            self.db.close()
+        self._stopped.set()
+
+    def stats(self) -> dict:
+        return {
+            "connections": len(self._connections),
+            "connections_served": self.connections_served,
+            "statements_served": self.statements_served,
+            "draining": self._draining,
+            "admission": self.admission.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = self.db.connect()
+        prepared: dict[int, object] = {}
+        self._connections.add(writer)
+        self.connections_served += 1
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    # a malformed frame poisons the stream: answer once,
+                    # then hang up (resync is impossible mid-garbage)
+                    await self._respond(writer, error_payload(exc))
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(session, prepared, request)
+                if not await self._respond(writer, response):
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            session.close()  # rolls back any open transaction
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _respond(self, writer: asyncio.StreamWriter, payload: dict) -> bool:
+        """Send one response frame; False when the client went away
+        mid-statement (the connection loop then winds down — the
+        statement itself already completed against the engine)."""
+        try:
+            writer.write(encode_frame(payload))
+            await writer.drain()
+            return True
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return False
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, session, prepared: dict, request: dict) -> dict:
+        try:
+            op = request.get("op")
+            if op == "ping":
+                return {"ok": True, "pong": True, "stats": self.stats()}
+            if op == "close_prepared":
+                prepared.pop(request.get("handle"), None)
+                return {"ok": True, "kind": "count", "rowcount": 0}
+            if op not in ("execute", "prepare", "execute_prepared"):
+                raise ProtocolError(f"unknown request op: {op!r}")
+            if self._draining:
+                raise ServerShutdownError(
+                    "server is shutting down; no new statements accepted"
+                )
+            if not self.admission.try_admit():
+                raise BackpressureError(
+                    f"admission queue full ({self.admission.limit} statements "
+                    "in flight); back off and retry"
+                )
+            return await self._run_admitted(session, prepared, request)
+        except Exception as exc:  # noqa: BLE001 - every error becomes typed wire data
+            return error_payload(exc)
+
+    async def _run_admitted(self, session, prepared: dict, request: dict) -> dict:
+        """Run one admitted statement on the executor, with the
+        per-statement timeout.  The admission slot is released by the
+        future's done callback — when the worker actually finishes."""
+        op = request["op"]
+
+        def work() -> dict:
+            if op == "prepare":
+                statement = session.prepare(str(request.get("sql", "")))
+                handle = max(prepared, default=0) + 1
+                prepared[handle] = statement
+                return {"ok": True, "handle": handle}
+            params = tuple(
+                decode_value(p) for p in request.get("params") or ()
+            )
+            if op == "execute_prepared":
+                statement = prepared.get(request.get("handle"))
+                if statement is None:
+                    raise ProtocolError(
+                        f"unknown prepared-statement handle: "
+                        f"{request.get('handle')!r}"
+                    )
+                result = statement.execute(params)
+            else:
+                result = session.execute(str(request.get("sql", "")), params)
+            return result_payload(result)
+
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, work)
+        self.admission.attach(future)
+        timeout = self._effective_timeout(request.get("timeout"))
+        try:
+            response = await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            raise StatementTimeoutError(
+                f"statement exceeded the {timeout:g}s server timeout "
+                "(it keeps running; its result is discarded)"
+            ) from None
+        self.statements_served += 1
+        return response
+
+    def _effective_timeout(self, requested) -> Optional[float]:
+        """The request's ``timeout`` can only lower the server ceiling —
+        a client must not be able to opt out of the server's limit."""
+        try:
+            requested = None if requested is None else float(requested)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"timeout must be a number, got {requested!r}"
+            ) from None
+        if requested is not None and requested <= 0:
+            raise ProtocolError("timeout must be positive")
+        if self.statement_timeout is None:
+            return requested
+        if requested is None:
+            return self.statement_timeout
+        return min(requested, self.statement_timeout)
+
+
+async def _serve_until_signalled(server: ReproServer) -> None:
+    await server.start()
+    host, port = server.address
+    print(f"repro server listening on {host}:{port}")
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-Unix loops: Ctrl-C arrives as KeyboardInterrupt
+    try:
+        await stop.wait()
+    finally:
+        print("repro server draining ...")
+        await server.shutdown()
+        print("repro server stopped")
+
+
+def serve(
+    db: Database,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs,
+) -> None:
+    """Blocking entry point (the ``--serve`` CLI path): run the server
+    until SIGTERM/SIGINT, then shut down gracefully — drain in-flight
+    statements, close listeners, close the database."""
+    server = ReproServer(db, host, port, own_database=True, **kwargs)
+    try:
+        asyncio.run(_serve_until_signalled(server))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+
+
+class ServerThread:
+    """A :class:`ReproServer` on a background thread — the in-process
+    harness the tests and the throughput benchmark drive clients
+    against.  Context-manager: entering starts the loop and waits for
+    the listener; exiting performs the same graceful shutdown as
+    SIGTERM.
+
+    ::
+
+        with ServerThread(db, max_queue=8) as server:
+            client = Client(*server.address)
+    """
+
+    def __init__(self, db: Database, **kwargs):
+        self._db = db
+        self._kwargs = kwargs
+        self.server: Optional[ReproServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.server is not None
+        return self.server.address
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = ReproServer(self._db, **self._kwargs)
+        try:
+            await self.server.start()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to __enter__
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self, join_timeout: float = 60.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=join_timeout)
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = ["ReproServer", "ServerThread", "default_queue_depth", "serve"]

@@ -115,3 +115,71 @@ class TestResult:
             "SELECT p1.id, p2.id FROM persons p1, persons p2 LIMIT 1"
         )
         assert result.column_names == ["id", "id"]
+
+
+class TestDatabaseLifecycle:
+    def test_close_is_idempotent(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        db.close()
+        db.close()  # second close is a no-op, not an error
+        assert db.closed
+
+    def test_context_manager_closes(self):
+        with Database() as db:
+            db.execute("CREATE TABLE t (x INT)")
+            assert not db.closed
+        assert db.closed
+
+    def test_execute_after_close_is_typed(self):
+        from repro.errors import DatabaseClosedError
+
+        db = Database()
+        db.close()
+        for call in (
+            lambda: db.execute("SELECT 1"),
+            lambda: db.connect(),
+            lambda: db.executescript("SELECT 1;"),
+        ):
+            with pytest.raises(DatabaseClosedError) as excinfo:
+                call()
+            assert excinfo.value.code == "DATABASE_CLOSED"
+
+    def test_close_joins_worker_threads(self):
+        import threading
+
+        db = Database(exec_workers=2, parallel_min_rows=0, morsel_rows=16)
+        db.execute("CREATE TABLE t (k INT, v INT)")
+        db.table("t").insert_rows([(i, i) for i in range(256)])
+        db.execute("SELECT k, count(*) FROM t GROUP BY k")  # spin up the pool
+        db.close()
+        alive = [
+            t.name
+            for t in threading.enumerate()
+            if t.is_alive() and t.name.startswith("repro-exec")
+        ]
+        assert alive == []
+
+    def test_close_with_live_session_is_safe(self):
+        from repro.errors import DatabaseClosedError
+
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        session = db.connect()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1)")
+        db.close()
+        with pytest.raises(DatabaseClosedError):
+            session.execute("COMMIT")
+        session.close()  # rolls back quietly against the closed engine
+
+    def test_save_still_works_after_close(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("INSERT INTO t VALUES (7)")
+        db.close()
+        target = tmp_path / "snap"
+        db.save(str(target))  # catalog stays readable for a final dump
+        reloaded = Database.load(str(target))
+        assert reloaded.execute("SELECT x FROM t").scalar() == 7
+        reloaded.close()

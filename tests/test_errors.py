@@ -136,3 +136,86 @@ class TestStatementLevelValidation:
         db.execute("CREATE TABLE t (a INT, b INT)")
         with pytest.raises(BindError, match="'b'"):
             db.execute("SELECT b, count(*) FROM t GROUP BY a")
+
+
+class TestErrorCodes:
+    """Every user-facing exception carries a stable machine-readable
+    code — the contract the wire protocol's error frames rest on."""
+
+    def test_codes_are_stable(self):
+        from repro import errors
+
+        expected = {
+            errors.ReproError: "ERROR",
+            errors.SqlError: "SQL_ERROR",
+            errors.LexError: "LEX_ERROR",
+            errors.ParseError: "PARSE_ERROR",
+            errors.BindError: "BIND_ERROR",
+            errors.CatalogError: "CATALOG_ERROR",
+            errors.TypeError_: "TYPE_ERROR",
+            errors.TransactionError: "TRANSACTION_ERROR",
+            errors.TransactionConflictError: "TRANSACTION_CONFLICT",
+            errors.ExecutionError: "EXECUTION_ERROR",
+            errors.ResourceLimitError: "RESOURCE_LIMIT",
+            errors.GraphRuntimeError: "GRAPH_RUNTIME_ERROR",
+            errors.NotSupportedError: "NOT_SUPPORTED",
+            errors.DatabaseClosedError: "DATABASE_CLOSED",
+            errors.ServerError: "SERVER_ERROR",
+            errors.ProtocolError: "PROTOCOL_ERROR",
+            errors.BackpressureError: "BACKPRESSURE",
+            errors.StatementTimeoutError: "STATEMENT_TIMEOUT",
+            errors.ServerShutdownError: "SERVER_SHUTDOWN",
+        }
+        for cls, code in expected.items():
+            assert cls.code == code, cls
+
+    def test_every_subclass_has_a_distinct_code(self):
+        from repro.errors import ERROR_CODES, ReproError
+
+        def walk(cls):
+            yield cls
+            for sub in cls.__subclasses__():
+                yield from walk(sub)
+
+        classes = list(walk(ReproError))
+        codes = [cls.code for cls in classes]
+        assert len(set(codes)) == len(codes), "duplicate error codes"
+        # the registry covers the full hierarchy
+        assert set(ERROR_CODES.values()) == set(classes)
+
+    def test_instances_expose_their_code(self):
+        from repro.errors import CatalogError
+
+        db = Database()
+        with pytest.raises(CatalogError) as excinfo:
+            db.execute("SELECT 1 FROM nope")
+        assert excinfo.value.code == "CATALOG_ERROR"
+
+    def test_error_from_code_round_trip(self):
+        from repro.errors import ERROR_CODES, error_from_code
+
+        for code, cls in ERROR_CODES.items():
+            rebuilt = error_from_code(code, "boom")
+            assert type(rebuilt) is cls
+            assert str(rebuilt) == "boom"
+
+    def test_error_from_code_handles_positional_constructors(self):
+        # LexError takes (message, line, column); reconstruction from a
+        # bare message must still yield the right type
+        from repro.errors import LexError, error_from_code
+
+        rebuilt = error_from_code("LEX_ERROR", "bad token")
+        assert isinstance(rebuilt, LexError)
+        assert str(rebuilt) == "bad token"
+
+    def test_unknown_code_degrades_to_base(self):
+        from repro.errors import ReproError, error_from_code
+
+        rebuilt = error_from_code("NO_SUCH_CODE", "mystery")
+        assert type(rebuilt) is ReproError
+
+    def test_typed_exec_workers_validation(self):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError, match="exec_workers"):
+            Database(exec_workers="bogus")
