@@ -97,10 +97,13 @@ from .storage import (
     Schema,
     Snapshot,
     StatsManager,
+    StorageCounters,
     Table,
     TableVersion,
     build_appended_columns,
     days_to_date,
+    encode_columns,
+    factorize_counters,
 )
 
 
@@ -426,6 +429,18 @@ class Database:
     morsel_rows / parallel_min_rows:
         Tuning/testing overrides for the morsel size and the serial
         threshold (default the module constants).
+    compression:
+        When True (default) ANALYZE attaches *resting encodings*
+        (dictionary, run-length, bit-packing — :mod:`repro.storage.encoding`)
+        to columns where they pay off, builds per-morsel zone maps
+        (:mod:`repro.storage.zonemap`) that scans consult to skip whole
+        morsels under pushed-down filters, and :meth:`save` writes the
+        encoded format-v4 image that :meth:`load` memory-maps lazily.
+        Decode is transparent — every kernel and row path sees the same
+        arrays — and results are bit-identical to ``compression=False``,
+        which preserves the plain-array storage paths wholesale (the
+        correctness oracle for ``tests/test_storage_compression.py``).
+        Counters: :meth:`storage_stats` / the shell's ``\\storage``.
     """
 
     def __init__(
@@ -440,6 +455,7 @@ class Database:
         exec_workers: int | str | None = "auto",
         morsel_rows: Optional[int] = None,
         parallel_min_rows: Optional[int] = None,
+        compression: bool = True,
     ) -> None:
         self.catalog = Catalog()
         self.graph_indices = GraphIndexManager(
@@ -456,6 +472,14 @@ class Database:
         self.parameterize = bool(parameterize)
         self.vectorized = bool(vectorized)
         self.kernel_counters = KernelCounters()
+        #: Compressed-storage knob: when True (default), ANALYZE and
+        #: save() attach resting encodings (dict/RLE/bit-pack) to
+        #: columns and scans consult per-morsel zone maps to skip
+        #: morsels under pushed-down filters.  False preserves the
+        #: plain-array storage paths wholesale — the correctness oracle
+        #: for tests/test_storage_compression.py.
+        self.compression = bool(compression)
+        self.storage_counters = StorageCounters()
         #: Shared morsel-execution worker pool (lazily spawned; a
         #: 1-worker pool never starts a thread and keeps every kernel
         #: on its serial path).
@@ -777,6 +801,7 @@ class Database:
         profiler.cache_stats = self.cache_stats()
         profiler.kernel_stats = self.kernel_stats()
         profiler.parallel_stats = self.parallel_stats()
+        profiler.storage_stats = self.storage_stats()
         return result, profiler.render(plan)
 
     def explain(self, sql: str) -> str:
@@ -836,6 +861,19 @@ class Database:
             **pool.stats.snapshot(),
         }
 
+    def storage_stats(self) -> dict:
+        """Compressed-storage counters: whether compression is on, the
+        zone-map scan counters (scans consulted, morsels total/skipped,
+        per-table breakdown) and the factorize counters (full encodes vs
+        resting-code / memo hits vs shared-dictionary joins).  Surfaced
+        by profile-report footers and the shell's ``\\storage``
+        command."""
+        return {
+            "compression": self.compression,
+            **self.storage_counters.snapshot(),
+            "factorize": factorize_counters.snapshot(),
+        }
+
     def set_exec_workers(self, workers: int | str | None) -> int:
         """Resize the shared kernel pool (the ``\\workers exec`` shell
         surface).  The old pool is shut down without waiting (in-flight
@@ -878,6 +916,11 @@ class Database:
                 version = snapshot.committed_version(name)
             except CatalogError:
                 continue  # tolerate concurrent DROPs
+            if self.compression:
+                # encode first: _analyze_column then reads distinct /
+                # min / max straight off the resting dictionaries
+                encode_columns(version)
+                version.build_zone_maps()
             self.stats.analyze(name, version)
             analyzed.append(name)
         return analyzed
@@ -915,11 +958,16 @@ class Database:
         save_database(self, directory)
 
     @staticmethod
-    def load(directory: str) -> "Database":
-        """Load a database previously written by :meth:`save`."""
+    def load(directory: str, **options) -> "Database":
+        """Load a database previously written by :meth:`save`.
+
+        Keyword options are forwarded to the :class:`Database`
+        constructor (e.g. ``compression=False`` materializes every
+        column eagerly to plain arrays instead of memory-mapping the
+        encoded format-v4 files)."""
         from .persist import load_database
 
-        return load_database(directory)
+        return load_database(directory, **options)
 
     # ------------------------------------------------------------------
     # statement-scoped locking (writers only — readers pin snapshots)

@@ -13,6 +13,8 @@ Meta commands:
 * ``\\cache`` — plan-cache / graph-index-cache counters
 * ``\\kernels`` — vectorized-kernel hit/fallback counters
 * ``\\stats [table]`` — optimizer statistics recorded by ``ANALYZE``
+* ``\\storage [table]`` — per-column resting encodings and bytes, plus
+  zone-map morsel-skip and factorize counters
 * ``\\workers [path|exec] [n|auto]`` — show / set the shortest-path and
   morsel-execution worker budgets, plus parallel-kernel counters
   (a bare number keeps the historical meaning: path workers)
@@ -189,6 +191,31 @@ class Shell:
                         parts.append(f"min={col.min_value}")
                         parts.append(f"max={col.max_value}")
                     self.write(f"  {col_name}: {' '.join(parts)}")
+        elif name == "\\storage":
+            stats = self.db.storage_stats()
+            self.write(
+                f"compression: {'on' if stats['compression'] else 'off'}"
+            )
+            table_names = self.db.catalog.table_names()
+            if args:
+                table_names = [n for n in table_names if n == args[0].lower()]
+            for table_name in sorted(table_names):
+                version = self.db.table(table_name).current()
+                self.write(f"{table_name}: rows={version.num_rows}")
+                for col_name, (kind, nbytes) in version.resting_info().items():
+                    self.write(f"  {col_name}: encoding={kind} bytes={nbytes}")
+            self.write(
+                f"zone maps: scans={stats['zone_scans']} "
+                f"morsels_skipped={stats['morsels_skipped']}/"
+                f"{stats['morsels_total']}"
+            )
+            fact = stats["factorize"]
+            self.write(
+                f"factorize: encodes={fact['encodes']} "
+                f"resting_hits={fact['resting_hits']} "
+                f"memo_hits={fact['memo_hits']} "
+                f"shared_dict_joins={fact['shared_dict_joins']}"
+            )
         elif name == "\\workers":
             if args:
                 kind, values = "path", args

@@ -67,6 +67,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..storage import Column, DataType, promote
+from ..storage.encoding import DictEncoding, factorize_counters
 from . import parallel as mp
 from .parallel import ParallelContext
 
@@ -411,6 +412,42 @@ def _aligned_pair(left: Column, right: Column) -> tuple[Column, Column]:
     return left.cast(target), right.cast(target)
 
 
+def _shared_dict_codes(
+    left: Column, right: Column
+) -> "tuple[np.ndarray, np.ndarray, int] | None":
+    """Resting-code fast path: when both sides of a key pair rest in
+    dictionary encodings over the *same* dictionary, their stored codes
+    are already a shared code space (value-ranked, NULL last) — the
+    concat + re-factorize of the general path is skipped entirely.
+
+    Only id *equality* matters to the downstream kernels (joins match,
+    setops/dedup test membership), which the shared dictionary gives by
+    construction; NULL rows on both sides carry the reserved last code,
+    matching the concat path's NULL semantics.  Dict-encoded columns
+    never contain NaN, so ``nan_distinct`` cannot bite here.
+    """
+    enc_l, enc_r = left.encoding, right.encoding
+    if not (isinstance(enc_l, DictEncoding) and isinstance(enc_r, DictEncoding)):
+        return None
+    if left.type != right.type:
+        return None
+    uniques_l, uniques_r = enc_l.uniques, enc_r.uniques
+    if uniques_l is not uniques_r:
+        if (
+            len(uniques_l) != len(uniques_r)
+            or uniques_l.dtype != uniques_r.dtype
+            or not np.array_equal(uniques_l, uniques_r)
+        ):
+            return None
+    radix = len(uniques_l) + 1  # reserve the shared NULL-last code
+    factorize_counters.note("shared_dict_joins")
+    return (
+        enc_l.codes.astype(np.int64),
+        enc_r.codes.astype(np.int64),
+        radix,
+    )
+
+
 def _joint_codes(
     left_columns: Sequence[Column],
     right_columns: Sequence[Column],
@@ -429,6 +466,10 @@ def _joint_codes(
             np.zeros(n_right, dtype=np.int64),
             1,
         )
+    if len(left_columns) == 1:
+        shared = _shared_dict_codes(left_columns[0], right_columns[0])
+        if shared is not None:
+            return shared
     joined = []
     for left, right in zip(left_columns, right_columns):
         left, right = _aligned_pair(left, right)

@@ -48,6 +48,7 @@ from ..plan import exprs as bx
 from ..plan import logical as lp
 from ..plan import physical as pp
 from ..storage import Column, DataType
+from ..storage.zonemap import select_zone_spans
 from . import kernels
 from .batch import Batch, ZeroColumnBatch
 from .evaluator import EvalContext, evaluate
@@ -109,6 +110,10 @@ class ExecContext:
             pool = getattr(database, "exec_pool", None)
             if pool is not None:
                 self.parallel = pool.context()
+        #: Whether scans consult per-morsel zone maps (the Database's
+        #: ``compression`` knob; False is the plain-storage oracle).
+        self.compression = getattr(database, "compression", True)
+        self.storage_counters = getattr(database, "storage_counters", None)
         self._eval = EvalContext(params, self.run)
 
     def kernel_hit(self, op: str) -> None:
@@ -155,6 +160,25 @@ def _exec_scan(plan: pp.PScan, ctx: ExecContext) -> Batch:
         columns = [
             columns[version.schema.index_of(c.name)] for c in plan.schema
         ]
+    if plan.zone_filters and ctx.compression:
+        spans, skipped, total = select_zone_spans(
+            version, plan.zone_filters, ctx.params
+        )
+        if ctx.storage_counters is not None:
+            ctx.storage_counters.note_scan(plan.table, total, skipped)
+        if spans is not None:
+            # whole morsels proven empty by the zone maps are dropped
+            # before the residual filter ever touches them; kept morsels
+            # stay in row order, so results are bit-identical
+            if not spans:
+                columns = [c.slice(0, 0) for c in columns]
+            elif len(spans) == 1:
+                columns = [c.slice(*spans[0]) for c in columns]
+            else:
+                columns = [
+                    Column.concat([c.slice(s, e) for s, e in spans])
+                    for c in columns
+                ]
     return Batch(plan.schema, columns)
 
 

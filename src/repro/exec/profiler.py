@@ -91,6 +91,9 @@ class Profiler:
         #: parallel/serial op decisions, per-morsel timings) — set by
         #: Database.profile().
         self.parallel_stats: dict | None = None
+        #: Compressed-storage counters (zone-map morsel skipping,
+        #: factorize resting-code hits) — set by Database.profile().
+        self.storage_stats: dict | None = None
         #: ``(operator name, estimated rows, actual rows-per-call)`` for
         #: every operator flagged by :func:`misestimate_ratio` — filled
         #: by :meth:`render`; groundwork for adaptive re-optimization.
@@ -158,6 +161,18 @@ class Profiler:
                 f"serial_ops={stats.get('serial_op_total', 0)} "
                 f"morsels={morsels}{_per_op(stats.get('morsels', {}))} "
                 f"avg_morsel={avg_ms:.2f}ms max_morsel={max_ms:.2f}ms"
+            )
+        if self.storage_stats is not None:
+            stats = self.storage_stats
+            fact = stats.get("factorize", {})
+            lines.append(
+                "storage: "
+                f"compression={'on' if stats.get('compression') else 'off'} "
+                f"zone_scans={stats.get('zone_scans', 0)} "
+                f"morsels_skipped={stats.get('morsels_skipped', 0)}/"
+                f"{stats.get('morsels_total', 0)} "
+                f"factorize_encodes={fact.get('encodes', 0)} "
+                f"resting_hits={fact.get('resting_hits', 0)}"
             )
         return "\n".join(lines)
 

@@ -1,15 +1,31 @@
 """Database persistence: save/load a catalog to a directory.
 
-Layout::
+Format-v4 layout::
 
-    <dir>/catalog.json        # table schemas + graph index specs + stats
-    <dir>/<table>.npz         # one compressed archive per table
+    <dir>/catalog.json        # table schemas + storage descriptors +
+                              # graph index specs + stats
+    <dir>/<table>.tbl/        # one directory per table
+        col<i>.npy            #   plain data  (+ col<i>.mask.npy)
+        col<i>.codes.npy      #   dictionary codes + col<i>.dict.npy
+        col<i>.rvals.npy      #   RLE runs (+ .rlens.npy / .rmask.npy)
+        col<i>.packed.npy     #   subtract-min packed ints (+ mask)
+        col<i>.zones.npz      #   persisted per-morsel zone map
 
-Numeric columns are stored as their numpy arrays; VARCHAR columns as
-fixed-width unicode arrays (NULLs carried by the mask, their slots store
-empty strings).  Nested-table columns never occur in base tables (the
-engine rejects storing them), so every column is serializable without
-pickle.
+Columns are written in their *resting* encoding
+(:mod:`repro.storage.encoding`) as raw ``.npy`` files, which —
+unlike ``npz`` members — ``np.load(mmap_mode="r")`` can memory-map:
+``load()`` installs zero-arg loader thunks in the encodings, so a
+reopened database materializes columns lazily on first touch.
+``Database(compression=False)`` opts out on both ends: ``save``
+writes plain arrays and ``load`` materializes everything eagerly.
+Persisted zone maps are discarded on load when their recorded row
+count disagrees with the column (the stale case).
+
+Numeric payloads are stored as their numpy arrays; VARCHAR payloads
+as fixed-width unicode arrays (NULLs carried by the mask, their slots
+store empty strings).  Nested-table columns never occur in base
+tables (the engine rejects storing them), so every column is
+serializable without pickle.
 
 Two properties ride on the MVCC refactor:
 
@@ -43,16 +59,32 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from .errors import ReproError
-from .storage import Column, ColumnStats, DataType, Schema, Snapshot, TableStats
+from .storage import (
+    Column,
+    ColumnStats,
+    DataType,
+    DictEncoding,
+    PackedEncoding,
+    PlainEncoding,
+    RLEEncoding,
+    Schema,
+    Snapshot,
+    TableStats,
+    encode_columns,
+)
+from .storage.zonemap import ZONE_ROWS, ColumnZoneMap
 
 if TYPE_CHECKING:  # pragma: no cover
     from .api import Database
 
 #: Version 2 added the ``stats`` block; version 3 added persisted graph
-#: index CSRs (``graphindex-<name>.npz``).  Both are optional on load,
-#: so older images still load (their CSRs rebuild lazily as before).
-_FORMAT_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
+#: index CSRs (``graphindex-<name>.npz``); version 4 replaced the
+#: per-table npz archive with a ``<table>.tbl/`` directory of raw,
+#: mmap-able per-column ``.npy`` files in their resting encodings, plus
+#: persisted zone maps.  Every older layout still loads (v1/v2/v3 keep
+#: the eager npz reader; missing blocks degrade gracefully).
+_FORMAT_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 
 def save_database(
@@ -87,25 +119,22 @@ def save_database(
 
 
 def _write_image(db: "Database", snapshot: Snapshot, directory: str) -> None:
+    compression = getattr(db, "compression", True)
     tables_meta = {}
     for name in snapshot.table_names():
         version = snapshot.table_version(name)
+        if compression:
+            # make encoded storage the resting format of the image: any
+            # column ANALYZE has not visited yet gets its encoding (and
+            # zone maps) here, at write time
+            encode_columns(version)
+            version.build_zone_maps()
         tables_meta[name] = {
             "columns": [[c.name, c.type.value] for c in version.schema],
+            "storage": _write_table(
+                version, os.path.join(directory, f"{name}.tbl"), compression
+            ),
         }
-        arrays = {}
-        for i, column in enumerate(version.columns):
-            if column.type == DataType.NESTED_TABLE:  # pragma: no cover
-                raise ReproError("nested tables cannot be persisted")
-            if column.type.numpy_dtype == np.dtype(object):
-                data = np.array(
-                    ["" if v is None else v for v in column.data], dtype=np.str_
-                )
-            else:
-                data = column.data
-            arrays[f"col{i}_data"] = data
-            arrays[f"col{i}_mask"] = column.null_mask()
-        np.savez_compressed(os.path.join(directory, f"{name}.npz"), **arrays)
     meta = {
         "format_version": _FORMAT_VERSION,
         "tables": tables_meta,
@@ -118,6 +147,166 @@ def _write_image(db: "Database", snapshot: Snapshot, directory: str) -> None:
     }
     with open(os.path.join(directory, "catalog.json"), "w") as handle:
         json.dump(meta, handle, indent=2)
+
+
+# ---------------------------------------------------------------------------
+# format-v4 per-column files
+# ---------------------------------------------------------------------------
+def _strify(values) -> np.ndarray:
+    """Object payload → fixed-width unicode; NULL slots store ""."""
+    return np.array(["" if v is None else v for v in values], dtype=np.str_)
+
+
+def _write_table(version, table_dir: str, compression: bool) -> list:
+    """Write every column of ``version`` as per-column ``.npy`` files in
+    its resting encoding; returns the per-column storage descriptors
+    recorded in ``catalog.json`` (the layout the loader rebuilds from).
+    """
+    os.makedirs(table_dir, exist_ok=True)
+    descriptors = []
+    for i, column in enumerate(version.columns):
+        if column.type == DataType.NESTED_TABLE:  # pragma: no cover
+            raise ReproError("nested tables cannot be persisted")
+        base = os.path.join(table_dir, f"col{i}")
+        is_str = column.type.numpy_dtype == np.dtype(object)
+        n = len(column)
+        enc = column.encoding if compression else None
+        if isinstance(enc, DictEncoding):
+            np.save(base + ".codes.npy", enc.codes, allow_pickle=False)
+            uniques = _strify(enc.uniques) if is_str else enc.uniques
+            np.save(base + ".dict.npy", uniques, allow_pickle=False)
+            desc = {
+                "kind": "dict", "n": n,
+                "has_null": enc.has_null, "str": is_str,
+            }
+        elif isinstance(enc, RLEEncoding):
+            values = _strify(enc.values) if is_str else enc.values
+            np.save(base + ".rvals.npy", values, allow_pickle=False)
+            np.save(base + ".rlens.npy", enc.lengths, allow_pickle=False)
+            if enc.run_mask is not None:
+                np.save(base + ".rmask.npy", enc.run_mask, allow_pickle=False)
+            desc = {
+                "kind": "rle", "n": n,
+                "mask": enc.run_mask is not None, "str": is_str,
+            }
+        elif isinstance(enc, PackedEncoding):
+            np.save(base + ".packed.npy", enc.packed, allow_pickle=False)
+            mask = enc.null_mask()
+            if mask is not None:
+                np.save(base + ".mask.npy", mask, allow_pickle=False)
+            desc = {
+                "kind": "pack", "n": n, "mask": mask is not None,
+                "lo": enc.lo, "span": enc.span,
+            }
+        else:
+            data = _strify(column.data) if is_str else column.data
+            np.save(base + ".npy", data, allow_pickle=False)
+            mask = column.mask
+            if mask is not None:
+                np.save(base + ".mask.npy", mask, allow_pickle=False)
+            desc = {
+                "kind": "plain", "n": n,
+                "mask": mask is not None, "str": is_str,
+            }
+        zone_map = (column._zones or {}).get(ZONE_ROWS)
+        if compression and zone_map is not None:
+            np.savez(
+                base + ".zones.npz",
+                mins=zone_map.mins,
+                maxs=zone_map.maxs,
+                null_counts=zone_map.null_counts,
+                has_values=zone_map.has_values,
+                meta=np.array(
+                    [zone_map.granularity, zone_map.n_rows], dtype=np.int64
+                ),
+            )
+            desc["zones"] = True
+        descriptors.append(desc)
+    return descriptors
+
+
+def _lazy(path: str):
+    """Zero-arg mmap loader thunk for one ``.npy`` payload."""
+    return lambda: np.load(path, mmap_mode="r")
+
+
+def _lazy_str(path: str, mask_path: "str | None" = None):
+    """Loader thunk decoding a fixed-width unicode file back to the
+    engine's object arrays (None restored from ``mask_path`` slots)."""
+
+    def thunk():
+        raw = np.load(path, mmap_mode="r")
+        mask = np.load(mask_path) if mask_path is not None else None
+        out = np.empty(len(raw), dtype=object)
+        for j, value in enumerate(raw):
+            out[j] = None if mask is not None and mask[j] else str(value)
+        return out
+
+    return thunk
+
+
+def _load_column_v4(
+    type_: DataType, desc: dict, base: str, compression: bool
+) -> Column:
+    """Rebuild one column from its storage descriptor, lazily.
+
+    Every payload slot holds an ``np.load(mmap_mode="r")`` thunk, so
+    nothing is read until the column is first touched; with
+    ``compression=False`` the column is materialized eagerly to a plain
+    array instead.
+    """
+    n = int(desc["n"])
+    kind = desc["kind"]
+    is_str = bool(desc.get("str"))
+    has_mask = bool(desc.get("mask"))
+    if kind == "dict":
+        uniques = (
+            _lazy_str(base + ".dict.npy") if is_str else _lazy(base + ".dict.npy")
+        )
+        enc = DictEncoding(
+            n, _lazy(base + ".codes.npy"), uniques,
+            bool(desc.get("has_null")), type_.numpy_dtype,
+        )
+    elif kind == "rle":
+        mask_path = base + ".rmask.npy" if has_mask else None
+        values = (
+            _lazy_str(base + ".rvals.npy", mask_path)
+            if is_str
+            else _lazy(base + ".rvals.npy")
+        )
+        enc = RLEEncoding(
+            n, values, _lazy(base + ".rlens.npy"),
+            _lazy(mask_path) if mask_path else None, type_,
+        )
+    elif kind == "pack":
+        enc = PackedEncoding(
+            n, _lazy(base + ".packed.npy"),
+            _lazy(base + ".mask.npy") if has_mask else None,
+            int(desc["lo"]), int(desc["span"]), type_.numpy_dtype,
+        )
+    else:
+        mask_path = base + ".mask.npy" if has_mask else None
+        data = (
+            _lazy_str(base + ".npy", mask_path) if is_str else _lazy(base + ".npy")
+        )
+        enc = PlainEncoding(n, data, _lazy(mask_path) if mask_path else None)
+    column = Column.from_encoding(type_, enc)
+    if compression and desc.get("zones") and os.path.exists(base + ".zones.npz"):
+        archive = np.load(base + ".zones.npz")
+        granularity, n_rows = (int(v) for v in archive["meta"])
+        # stale guard: a zone map recorded against a different version's
+        # row count is silently dropped (it rebuilds lazily at scan time)
+        if n_rows == n:
+            column._zones = {
+                granularity: ColumnZoneMap(
+                    granularity, n_rows,
+                    archive["mins"], archive["maxs"],
+                    archive["null_counts"], archive["has_values"],
+                )
+            }
+    if not compression:
+        column = Column(type_, column.data, column.mask)
+    return column
 
 
 # ---------------------------------------------------------------------------
@@ -267,8 +456,15 @@ def _restore_stats(db: "Database", dumped: dict) -> None:
         db.stats.restore(stats)
 
 
-def load_database(directory: str) -> "Database":
-    """Recreate a Database previously written by :func:`save_database`."""
+def load_database(directory: str, **options) -> "Database":
+    """Recreate a Database previously written by :func:`save_database`.
+
+    Keyword ``options`` are forwarded to the :class:`Database`
+    constructor.  Format-v4 images load lazily — per-column
+    ``np.load(mmap_mode="r")`` thunks materialize on first touch —
+    unless ``compression=False``, which decodes everything eagerly to
+    plain arrays.  v1–v3 npz images load eagerly, as always.
+    """
     from .api import Database
 
     meta_path = os.path.join(directory, "catalog.json")
@@ -280,26 +476,40 @@ def load_database(directory: str) -> "Database":
         raise ReproError(
             f"unsupported database format {meta.get('format_version')!r}"
         )
-    db = Database()
+    db = Database(**options)
+    v4 = meta.get("format_version", 1) >= 4
     for name, table_meta in meta["tables"].items():
         columns_spec = [
             (column_name, DataType(type_name))
             for column_name, type_name in table_meta["columns"]
         ]
         table = db.catalog.create_table(name, Schema(columns_spec))
-        archive = np.load(os.path.join(directory, f"{name}.npz"))
-        columns = []
-        for i, (_, type_) in enumerate(columns_spec):
-            data = archive[f"col{i}_data"]
-            mask = archive[f"col{i}_mask"]
-            if type_.numpy_dtype == np.dtype(object):
-                decoded = np.empty(len(data), dtype=object)
-                for j, value in enumerate(data):
-                    decoded[j] = None if mask[j] else str(value)
-                data = decoded
-            else:
-                data = data.astype(type_.numpy_dtype)
-            columns.append(Column(type_, data, mask if mask.any() else None))
+        if v4:
+            table_dir = os.path.join(directory, f"{name}.tbl")
+            storage = table_meta.get("storage", [])
+            columns = [
+                _load_column_v4(
+                    type_,
+                    storage[i],
+                    os.path.join(table_dir, f"col{i}"),
+                    db.compression,
+                )
+                for i, (_, type_) in enumerate(columns_spec)
+            ]
+        else:
+            archive = np.load(os.path.join(directory, f"{name}.npz"))
+            columns = []
+            for i, (_, type_) in enumerate(columns_spec):
+                data = archive[f"col{i}_data"]
+                mask = archive[f"col{i}_mask"]
+                if type_.numpy_dtype == np.dtype(object):
+                    decoded = np.empty(len(data), dtype=object)
+                    for j, value in enumerate(data):
+                        decoded[j] = None if mask[j] else str(value)
+                    data = decoded
+                else:
+                    data = data.astype(type_.numpy_dtype)
+                columns.append(Column(type_, data, mask if mask.any() else None))
         if columns and len(columns[0]):
             table.insert_columns(columns)
     for index_name, spec in meta.get("graph_indices", {}).items():

@@ -37,6 +37,7 @@ from dataclasses import replace
 from typing import Callable, Optional
 
 from ..storage import DataType
+from ..storage.zonemap import ZonePredicate
 from . import exprs as bx
 from . import logical as lp
 from . import physical as pp
@@ -750,6 +751,8 @@ class _Lowering:
         if required is not None:
             child_req = required | self._refs(predicate)
         child = self.lower(node.input, child_req)
+        if self.enabled:
+            child = self._attach_zone_filter(child, predicate)
         sel = self.est.selectivity(predicate)
         return pp.PFilter(
             child,
@@ -758,6 +761,87 @@ class _Lowering:
             est_rows=max(child.est_rows * sel, 0.0),
             est_cost=child.est_cost + child.est_rows,
         )
+
+    # -- zone-map pushdown ---------------------------------------------
+    def _attach_zone_filter(self, child, predicate):
+        """When a filter sits on a (chain of filters over a) base-table
+        scan, record its zone-testable form on the PScan so the executor
+        can skip whole morsels.  The filter itself stays in the plan —
+        zone maps are morsel-granular, the residual filter guarantees
+        row-level exactness."""
+        base = child
+        while isinstance(base, pp.PFilter):
+            base = base.input
+        if not isinstance(base, pp.PScan):
+            return child
+        zone = self._zone_predicate(predicate, base.table)
+        if zone is None:
+            return child
+
+        def rebuild(node):
+            if isinstance(node, pp.PScan):
+                return replace(node, zone_filters=node.zone_filters + (zone,))
+            return replace(node, input=rebuild(node.input))
+
+        return rebuild(child)
+
+    def _zone_operand(self, expr):
+        """``("lit", v)`` / ``("param", i)`` for a parameter-free scalar
+        operand, else None.  The plan cache normalizes literals into
+        params, so both shapes occur for the same SQL text."""
+        if isinstance(expr, bx.BLiteral):
+            return ("lit", expr.value)
+        if isinstance(expr, bx.BParam):
+            return ("param", expr.index)
+        return None
+
+    def _zone_column(self, expr, table):
+        """The base-column name when ``expr`` is a bare column of
+        ``table`` (by origin), else None."""
+        if not isinstance(expr, bx.BColumn):
+            return None
+        origin = self.est.origins.get(expr.col_id)
+        if origin is None or origin[0] != table:
+            return None
+        return origin[1]
+
+    def _zone_predicate(self, predicate, table):
+        if isinstance(predicate, bx.BCall) and predicate.op in (
+            "=", "<", "<=", ">", ">=",
+        ) and len(predicate.args) == 2:
+            left, right = predicate.args
+            column = self._zone_column(left, table)
+            operand = self._zone_operand(right)
+            op = predicate.op
+            if column is None:
+                # reversed comparison: literal <op> column
+                column = self._zone_column(right, table)
+                operand = self._zone_operand(left)
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            if column is None or operand is None:
+                return None
+            return ZonePredicate(column, op, (operand,))
+        if isinstance(predicate, bx.BInList) and not predicate.negated:
+            column = self._zone_column(predicate.operand, table)
+            if column is None:
+                return None
+            operands = []
+            for item in predicate.items:
+                operand = self._zone_operand(item)
+                if operand is None:
+                    return None
+                operands.append(operand)
+            if not operands:
+                return None
+            return ZonePredicate(column, "in", tuple(operands))
+        if isinstance(predicate, bx.BIsNull):
+            column = self._zone_column(predicate.operand, table)
+            if column is None:
+                return None
+            return ZonePredicate(
+                column, "notnull" if predicate.negated else "isnull"
+            )
+        return None
 
     def _lower_project(self, node: lp.LProject, required):
         exprs = self._exprs(node.exprs)

@@ -47,12 +47,20 @@ class PhysicalNode:
 class PScan(PhysicalNode):
     """Scan of a base table.  ``schema`` may be a *subset* of the table's
     columns — the optimizer's projection-pruning pass narrows scans to
-    the columns the statement actually references."""
+    the columns the statement actually references.
+
+    ``zone_filters`` are the zone-testable conjuncts
+    (:class:`~repro.storage.zonemap.ZonePredicate`) of filters sitting
+    directly above this scan: the executor consults per-morsel zone maps
+    to skip whole morsels before the residual filter runs.  They are an
+    *optimization hint only* — the filters stay in the plan, so dropping
+    ``zone_filters`` never changes results."""
 
     table: str
     schema: tuple[PlanColumn, ...]
     est_rows: float = 0.0
     est_cost: float = 0.0
+    zone_filters: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -321,6 +329,9 @@ def node_name(node: PhysicalNode) -> str:
 def node_detail(node: PhysicalNode) -> str:
     """Operator-specific annotation used by EXPLAIN and the profiler."""
     if isinstance(node, PScan):
+        if node.zone_filters:
+            zones = ", ".join(zf.describe() for zf in node.zone_filters)
+            return f" {node.table} [zone-skip: {zones}]"
         return f" {node.table}"
     if isinstance(node, PHashJoin):
         build = "left" if node.build_left else "right"

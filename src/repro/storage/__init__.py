@@ -1,6 +1,16 @@
 """Column-store storage substrate (the engine's MonetDB stand-in)."""
 
 from .column import Column
+from .encoding import (
+    DictEncoding,
+    Encoding,
+    PackedEncoding,
+    PlainEncoding,
+    RLEEncoding,
+    choose_encoding,
+    encode_columns,
+    factorize_counters,
+)
 from .locks import LockSet, RWLock
 from .schema import ColumnDef, Schema
 from .snapshot import Snapshot
@@ -12,6 +22,15 @@ from .table import (
     TableVersion,
     build_appended_columns,
     next_txn_version_id,
+)
+from .zonemap import (
+    ZONE_ROWS,
+    ColumnZoneMap,
+    StorageCounters,
+    ZonePredicate,
+    build_column_zone_map,
+    select_zone_spans,
+    zone_map_for,
 )
 from .types import (
     DataType,
@@ -27,6 +46,21 @@ from .types import (
 
 __all__ = [
     "Column",
+    "Encoding",
+    "PlainEncoding",
+    "DictEncoding",
+    "RLEEncoding",
+    "PackedEncoding",
+    "choose_encoding",
+    "encode_columns",
+    "factorize_counters",
+    "ZONE_ROWS",
+    "ColumnZoneMap",
+    "StorageCounters",
+    "ZonePredicate",
+    "build_column_zone_map",
+    "select_zone_spans",
+    "zone_map_for",
     "ColumnDef",
     "Schema",
     "Snapshot",

@@ -14,7 +14,12 @@ import numpy as np
 
 from ..envutil import env_int as _env_int
 from ..errors import TypeError_
+from .encoding import Encoding, factorize_counters
 from .types import DataType, coerce_python_value, days_to_date
+
+#: Sentinel distinguishing "mask not derived yet" from a legitimate
+#: ``None`` (= no NULLs) on lazily-decoded columns.
+_UNSET = object()
 
 
 def _parse_string(value: Any, target: DataType) -> Any:
@@ -83,13 +88,18 @@ def _factorize_objects(values: np.ndarray) -> tuple[np.ndarray, int, "np.ndarray
     return codes, len(mapping), None
 
 
-#: Columns longer than this are factorized afresh per statement instead
-#: of memoizing: the memo pins a full-size int64 codes array (plus the
-#: dictionary) for the column version's lifetime, and above this bound
-#: (128MB of codes by default) the resident-memory cost outweighs the
-#: repeat-statement win.  Env knob ``REPRO_FACTORIZE_MEMO_ROWS``;
-#: DML releases memos naturally because writers build new columns.
-FACTORIZE_MEMO_MAX_ROWS = _env_int("REPRO_FACTORIZE_MEMO_ROWS", 16_777_216)
+#: Columns longer than this skip the *plain-path* factorize memo: the
+#: memo pins a full-size int64 codes array (plus the dictionary) for
+#: the column version's lifetime, and above this bound (512MB of codes
+#: by default) the resident-memory cost outweighs the repeat-statement
+#: win.  The threshold no longer creates a re-*encode* cliff: columns
+#: carrying a resting :class:`~repro.storage.encoding.DictEncoding`
+#: (attached by ANALYZE / ``save()``) answer factorize from their
+#: stored codes with one ``astype`` regardless of size, so only
+#: never-analyzed plain columns above the bound pay a per-statement
+#: sort-based encode.  Env knob ``REPRO_FACTORIZE_MEMO_ROWS``; DML
+#: releases memos naturally because writers build new columns.
+FACTORIZE_MEMO_MAX_ROWS = _env_int("REPRO_FACTORIZE_MEMO_ROWS", 67_108_864)
 
 
 def unique_inverse_morsels(
@@ -168,7 +178,7 @@ class Column:
         column contains no NULLs.
     """
 
-    __slots__ = ("type", "data", "mask", "_fact_memo")
+    __slots__ = ("type", "_data", "_mask", "_fact_memo", "_encoding", "_zones")
 
     def __init__(self, type_: DataType, data: np.ndarray, mask: np.ndarray | None = None):
         if mask is not None and len(mask) != len(data):
@@ -176,10 +186,76 @@ class Column:
         if mask is not None and not mask.any():
             mask = None
         self.type = type_
-        self.data = data
-        self.mask = mask
+        self._data = data
+        self._mask = mask
         #: nan_distinct -> (codes, cardinality, uniques); see factorize().
         self._fact_memo: dict | None = None
+        #: resting Encoding (see storage/encoding.py) or None for plain.
+        self._encoding: Encoding | None = None
+        #: granularity -> ColumnZoneMap | None; see storage/zonemap.py.
+        self._zones: dict | None = None
+
+    # ------------------------------------------------------------------
+    # physical representation (decoded lazily when resting-encoded)
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The physical value array, decoding the resting encoding on
+        first touch (cached).  Treat as read-only — loaded columns may
+        be read-only memory maps."""
+        d = self._data
+        if d is None:
+            d, mask = self._encoding.materialize()
+            if self._mask is _UNSET:
+                self._mask = mask
+            self._data = d
+        return d
+
+    @property
+    def mask(self) -> "np.ndarray | None":
+        """The null mask (None = no NULLs), decoded lazily like data."""
+        m = self._mask
+        if m is _UNSET:
+            m = self._mask = self._encoding.null_mask()
+        return m
+
+    @property
+    def encoding(self) -> "Encoding | None":
+        """The resting encoding, or None for a plain column."""
+        return self._encoding
+
+    @classmethod
+    def from_encoding(cls, type_: DataType, encoding: Encoding) -> "Column":
+        """A column resting entirely in ``encoding`` — ``data``/``mask``
+        decode (and cache) on first access, so loaded images
+        materialize lazily per column."""
+        column = cls.__new__(cls)
+        column.type = type_
+        column._data = None
+        column._mask = _UNSET
+        column._fact_memo = None
+        column._encoding = encoding
+        column._zones = None
+        return column
+
+    def set_resting_encoding(self, encoding: Encoding) -> None:
+        """Attach a resting encoding produced *from this column* (an
+        observably-pure cache install: the encoding decodes to exactly
+        the current values, so snapshots sharing this column object are
+        unaffected)."""
+        self._encoding = encoding
+
+    def resting_info(self) -> "tuple[str, int]":
+        """``(encoding kind, resting bytes)`` for introspection — the
+        ``\\storage`` shell command and storage_stats() report these."""
+        enc = self._encoding
+        if enc is not None:
+            return enc.kind, enc.nbytes()
+        d = self._data
+        nbytes = int(d.nbytes) if d is not None else 0
+        if self._mask is not None and self._mask is not _UNSET:
+            nbytes += int(self._mask.nbytes)
+        return "plain", nbytes
 
     # ------------------------------------------------------------------
     # constructors
@@ -233,7 +309,12 @@ class Column:
     # basics
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.data)
+        # materialization-free: lazy columns know their length from the
+        # encoding, so catalogs/row counts never force a decode
+        d = self._data
+        if d is None:
+            return self._encoding.length
+        return len(d)
 
     @property
     def has_nulls(self) -> bool:
@@ -242,7 +323,7 @@ class Column:
     def null_mask(self) -> np.ndarray:
         """The null mask as a real array (all-False when mask is None)."""
         if self.mask is None:
-            return np.zeros(len(self.data), dtype=np.bool_)
+            return np.zeros(len(self), dtype=np.bool_)
         return self.mask
 
     def value(self, index: int) -> Any:
@@ -307,6 +388,12 @@ class Column:
         type_ = columns[0].type
         if any(c.type != type_ for c in columns):
             raise TypeError_("concat requires identical column types")
+        non_empty = [c for c in columns if len(c)]
+        if len(non_empty) == 1:
+            # single contributor: share it (columns are immutable), which
+            # keeps resting encodings / lazy mmaps intact — e.g. the
+            # empty-table insert that persist.load_database performs
+            return non_empty[0]
         data = np.concatenate([c.data for c in columns])
         if any(c.mask is not None for c in columns):
             mask = np.concatenate([c.null_mask() for c in columns])
@@ -369,9 +456,17 @@ class Column:
         if memo is not None:
             cached = memo.get(key)
             if cached is not None:
+                factorize_counters.note("memo_hits")
                 return cached
+        encoding = self._encoding
+        if encoding is not None:
+            # resting codes: a lookup/astype, never a re-encode — this is
+            # what retires the re-factorize cliff for analyzed columns
+            result = encoding.factorize(key)
+            if result is not None:
+                return result
         result = self._factorize_impl(nan_distinct, runner)
-        if len(self.data) <= FACTORIZE_MEMO_MAX_ROWS:
+        if len(self) <= FACTORIZE_MEMO_MAX_ROWS:
             if memo is None:
                 memo = self._fact_memo = {}
             memo[key] = result
@@ -380,6 +475,7 @@ class Column:
     def _factorize_impl(
         self, nan_distinct: bool, runner
     ) -> tuple[np.ndarray, int, "np.ndarray | None"]:
+        factorize_counters.note("encodes")
         data, n = self.data, len(self.data)
         valid = np.ones(n, dtype=np.bool_) if self.mask is None else ~self.mask
         nan = None

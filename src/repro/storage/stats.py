@@ -60,6 +60,22 @@ class TableStats:
 
 
 def _analyze_column(column, type_: DataType) -> ColumnStats:
+    enc = column.encoding
+    if enc is not None and enc.kind == "dict":
+        # resting dictionary: distinct/min/max are free — the sorted
+        # dictionary *is* the distinct set
+        null_count = int(column.null_mask().sum())
+        uniques = enc.uniques
+        min_value = max_value = None
+        if len(uniques) and (type_.is_numeric or type_ == DataType.DATE):
+            min_value = np.asarray(uniques)[0].item()
+            max_value = np.asarray(uniques)[-1].item()
+        return ColumnStats(
+            null_count=null_count,
+            distinct=int(len(uniques)),
+            min_value=min_value,
+            max_value=max_value,
+        )
     null_count = int(column.null_mask().sum())
     data = column.data
     valid = ~column.null_mask()

@@ -79,6 +79,29 @@ class TableVersion:
         cols = [c.to_pylist() for c in self.columns]
         return [tuple(col[i] for col in cols) for i in range(self.num_rows)]
 
+    # -- storage introspection -----------------------------------------
+    def resting_info(self) -> "dict[str, tuple[str, int]]":
+        """``{column name: (encoding kind, resting bytes)}`` for this
+        version (``\\storage`` / ``Database.storage_stats()``)."""
+        return {
+            col_def.name: col.resting_info()
+            for col_def, col in zip(self.schema, self.columns)
+        }
+
+    def build_zone_maps(self) -> int:
+        """Eagerly build per-morsel zone maps for every eligible column
+        (ANALYZE calls this; scans otherwise build them lazily).  The
+        maps cache on the immutable Column objects, so columns untouched
+        by later DML keep their maps across versions.  Returns how many
+        columns now carry a map."""
+        from .zonemap import zone_map_for
+
+        built = 0
+        for col in self.columns:
+            if zone_map_for(col) is not None:
+                built += 1
+        return built
+
 
 # ---------------------------------------------------------------------------
 # shared column-building helpers (used by Table mutators *and* the
