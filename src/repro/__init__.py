@@ -8,7 +8,7 @@ runtime, an LDBC-SNB-like workload generator, and the benchmark harness
 that regenerates the paper's tables and figures.
 """
 
-from .api import Database, Result, connect
+from .api import Appender, Database, Result, connect
 from .session import PlanCache, PreparedStatement, Session
 from .errors import (
     BackpressureError,
@@ -38,6 +38,7 @@ from .storage import DataType
 __version__ = "1.0.0"
 
 __all__ = [
+    "Appender",
     "Database",
     "Result",
     "connect",

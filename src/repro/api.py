@@ -48,7 +48,7 @@ runtime uses to partition large shortest-path batches; see
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Any, Iterable, Optional, Sequence
 
 from .errors import (
@@ -64,7 +64,7 @@ from .exec.batch import Batch
 from .exec.kernels import KernelCounters
 from .exec.operators import ExecContext, execute_plan
 from .exec.parallel import ExecPool
-from .graph import GraphLibrary
+from .graph import GraphLibrary, GraphOverlayState, edge_valid_mask
 from .nested import NestedTableValue
 from .plan import (
     Binder,
@@ -72,6 +72,7 @@ from .plan import (
     BoundBegin,
     BoundCommit,
     BoundRollback,
+    BoundCopy,
     BoundCreateGraphIndex,
     BoundCreateTable,
     BoundCreateTableAs,
@@ -100,10 +101,15 @@ from .storage import (
     StorageCounters,
     Table,
     TableVersion,
+    WriteInfo,
     build_appended_columns,
+    bulk_columns,
+    concat_for_append,
     days_to_date,
     encode_columns,
     factorize_counters,
+    read_csv_vectors,
+    read_npz_vectors,
 )
 
 
@@ -196,14 +202,36 @@ class GraphIndexManager:
 
     The cache of built libraries is thread-safe, capacity-bounded (LRU)
     and *versioned*: every entry records the edge table's version counter
-    at build time.  Entries are dropped explicitly when DML/DDL touches
-    the underlying table (:meth:`invalidate_table`, wired to the table
-    write listeners by :class:`Database`) and re-validated against the
-    live version on every lookup as a backstop, so a stale CSR is never
-    served.
+    at build time.  Without overlays, entries are dropped when DML/DDL
+    touches the underlying table (:meth:`invalidate_table`, wired to the
+    table write listeners by :class:`Database`) and re-validated against
+    the live version on every lookup as a backstop, so a stale CSR is
+    never served.
+
+    With ``overlay=True`` (the ``Database(graph_overlay=...)`` knob) the
+    manager instead maintains a :class:`~repro.graph.overlay.GraphOverlayState`
+    per cached index: committed appends/deletes/updates fold into a CSR
+    delta (:meth:`apply_write`), lookups serve base+overlay merged
+    libraries, and once the delta crosses ``compact_threshold``
+    operations the index compacts back into a canonical fresh build —
+    on the next lookup (``eager``), in the Database's background
+    compaction thread (``background``), or never (``off``).  Writes the
+    overlay cannot interpret (truncate, whole-table replace, commits of
+    multi-statement transactions, endpoint-column updates) fall back to
+    the historical invalidate-and-rebuild path, so a stale or wrong CSR
+    is still never served.
     """
 
-    def __init__(self, catalog: Catalog, capacity: int = 16):
+    def __init__(
+        self,
+        catalog: Catalog,
+        capacity: int = 16,
+        *,
+        overlay: bool = False,
+        compact_threshold: int = 8192,
+        compact_mode: str = "eager",
+        compact_callback=None,
+    ):
         self._catalog = catalog
         self.capacity = max(1, int(capacity))
         self._mutex = threading.RLock()
@@ -211,11 +239,23 @@ class GraphIndexManager:
         self._cache: "OrderedDict[tuple[str, str, str], tuple[int, GraphLibrary]]" = (
             OrderedDict()
         )
+        self.overlay_enabled = bool(overlay)
+        self.compact_threshold = max(1, int(compact_threshold))
+        self.compact_mode = compact_mode
+        #: Background-mode hook: called (outside the mutex) with a spec
+        #: whose delta crossed the threshold; owned by the Database.
+        self._compact_callback = compact_callback
+        #: spec -> GraphOverlayState for every cached base build; kept in
+        #: lockstep with ``_cache`` (evicting one drops the other).
+        self._states: "dict[tuple[str, str, str], GraphOverlayState]" = {}
         self.hits = 0
         self.misses = 0
         self.builds = 0
         self.evictions = 0
         self.invalidations = 0
+        self.overlay_hits = 0
+        self.overlay_applied = 0
+        self.overlay_merges = 0
 
     def create(self, name: str, table: str, src_col: str, dst_col: str) -> None:
         schema = self._catalog.get(table).schema
@@ -237,6 +277,7 @@ class GraphIndexManager:
                 raise CatalogError(f"unknown graph index: {name!r}") from None
             if spec not in self._specs.values():
                 self._cache.pop(spec, None)
+                self._states.pop(spec, None)
 
     def names(self) -> list[str]:
         with self._mutex:
@@ -276,9 +317,16 @@ class GraphIndexManager:
             version = self._catalog.get(spec[0]).current()
             self._cache[spec] = (version.version_id, library)
             self._cache.move_to_end(spec)
-            while len(self._cache) > self.capacity:
-                self._cache.popitem(last=False)
-                self.evictions += 1
+            self._states.pop(spec, None)
+            self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        """LRU-evict cache entries past capacity (mutex held), dropping
+        the paired overlay state with each."""
+        while len(self._cache) > self.capacity:
+            spec, _ = self._cache.popitem(last=False)
+            self._states.pop(spec, None)
+            self.evictions += 1
 
     def clear_cache(self) -> None:
         """Drop every cached library (the :meth:`Database.close` path:
@@ -286,6 +334,7 @@ class GraphIndexManager:
         releases those references; index *definitions* survive)."""
         with self._mutex:
             self._cache.clear()
+            self._states.clear()
 
     def invalidate_table(self, table: str) -> None:
         """Drop every cached library built over ``table`` (DML/DDL hook)."""
@@ -294,6 +343,7 @@ class GraphIndexManager:
             stale = [spec for spec in self._cache if spec[0] == key]
             for spec in stale:
                 del self._cache[spec]
+                self._states.pop(spec, None)
             self.invalidations += len(stale)
 
     def drop_for_table(self, table: str) -> None:
@@ -308,7 +358,200 @@ class GraphIndexManager:
             stale = [spec for spec in self._cache if spec[0] == key]
             for spec in stale:
                 del self._cache[spec]
+                self._states.pop(spec, None)
             self.invalidations += len(stale)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (overlay mode)
+    # ------------------------------------------------------------------
+    def apply_write(self, table: Table, info: WriteInfo) -> None:
+        """Fold one committed mutation into the overlay state of every
+        index over ``table`` (the overlay-mode write-listener hook).
+
+        A write the overlay cannot interpret — or a table with a cached
+        build but no state — degrades to invalidation: the next lookup
+        rebuilds from scratch, exactly like the non-overlay path.
+        """
+        key = table.name
+        with self._mutex:
+            specs = [s for s in set(self._specs.values()) if s[0] == key]
+            if not specs:
+                return
+            version = table.current()
+            over_threshold = []
+            for spec in specs:
+                state = self._states.get(spec)
+                if state is None:
+                    if self._cache.pop(spec, None) is not None:
+                        self.invalidations += 1
+                    continue
+                ok = False
+                try:
+                    with state.lock:
+                        if info.kind == "append":
+                            ok = state.apply_append(
+                                version,
+                                version.column(spec[1]),
+                                version.column(spec[2]),
+                                info.appended,
+                            )
+                        elif (
+                            info.kind == "delete"
+                            and info.dropped_rows is not None
+                        ):
+                            ok = state.apply_delete(version, info.dropped_rows)
+                        elif info.kind == "update":
+                            ok = state.apply_update(
+                                version, info.columns, (spec[1], spec[2])
+                            )
+                        if ok:
+                            over_threshold_now = (
+                                state.delta_size >= self.compact_threshold
+                            )
+                except Exception:
+                    ok = False
+                if not ok:
+                    self._states.pop(spec, None)
+                    self._cache.pop(spec, None)
+                    self.invalidations += 1
+                    continue
+                self.overlay_applied += 1
+                if over_threshold_now:
+                    over_threshold.append(spec)
+            callback = self._compact_callback
+        if callback is not None and self.compact_mode == "background":
+            for spec in over_threshold:
+                callback(spec)
+
+    def compact(self, spec: tuple) -> bool:
+        """Merge ``spec``'s overlay into a fresh canonical build (the
+        background-compaction entry point).  Returns True when a new
+        base was installed."""
+        with self._mutex:
+            if spec not in self._specs.values():
+                return False
+            state = self._states.get(spec)
+            if state is None:
+                return False
+        try:
+            version = self._catalog.get(spec[0]).current()
+        except CatalogError:
+            return False
+        with state.lock:
+            if (
+                state.applied_version != version.version_id
+                or state.delta_size == 0
+            ):
+                return False
+        library, valid = self._build_library(version, spec[1], spec[2])
+        self._install_build(spec, version, library, valid, compacted=True)
+        return True
+
+    @staticmethod
+    def _build_library(
+        version: TableVersion, src_col: str, dst_col: str
+    ) -> tuple[GraphLibrary, "Any"]:
+        """A canonical fresh build from an immutable table version (run
+        outside the mutex: CSR construction can be slow and must not
+        serialize lookups of other indices)."""
+        src = version.column(src_col)
+        dst = version.column(dst_col)
+        valid = ~(src.null_mask() | dst.null_mask())
+        return GraphLibrary(src.data[valid], dst.data[valid]), valid
+
+    def _install_build(
+        self,
+        spec: tuple,
+        version: TableVersion,
+        library: GraphLibrary,
+        valid,
+        compacted: bool = False,
+    ) -> None:
+        """Cache a fresh build (and, in overlay mode, its new state)."""
+        with self._mutex:
+            self.builds += 1
+            cached = self._cache.get(spec)
+            if version.version_id < TXN_VERSION_BASE and (
+                cached is None or cached[0] <= version.version_id
+            ):
+                # never cache transaction-private (uncommitted) builds,
+                # and never let an old-snapshot build clobber a fresher
+                # cached CSR (a long transaction would otherwise thrash
+                # the slot against current-version queries)
+                self._cache[spec] = (version.version_id, library)
+                self._cache.move_to_end(spec)
+                if self.overlay_enabled:
+                    existing = self._states.get(spec)
+                    if (
+                        existing is None
+                        or existing.applied_version <= version.version_id
+                    ):
+                        self._states[spec] = GraphOverlayState(
+                            library, version.version_id, valid
+                        )
+                if compacted:
+                    self.overlay_merges += 1
+                self._evict_over_capacity()
+
+    def library_for_save(
+        self, name: str, version_id: int
+    ) -> Optional[GraphLibrary]:
+        """The library to persist for index ``name`` at table version
+        ``version_id``, or None when nothing is cached (``save()`` never
+        force-builds an index nobody queried).
+
+        With a zero-delta overlay state the canonical base serves; a
+        state carrying deltas is compacted first, since the on-disk
+        format stores a sorted vertex dictionary and a tombstone-free
+        CSR — the compaction also benefits every later query.
+        """
+        with self._mutex:
+            spec = self._specs.get(name)
+            if spec is None:  # pragma: no cover - defensive
+                return None
+            cached = self._cache.get(spec)
+            if cached is not None and cached[0] == version_id:
+                return cached[1]
+            state = self._states.get(spec)
+        if state is None:
+            return None
+        with state.lock:
+            if state.applied_version != version_id:
+                return None
+            if state.delta_size == 0:
+                return state.base
+        try:
+            version = self._catalog.get(spec[0]).current()
+        except CatalogError:  # pragma: no cover - concurrent drop
+            return None
+        if version.version_id != version_id:
+            return None
+        library, valid = self._build_library(version, spec[1], spec[2])
+        self._install_build(spec, version, library, valid, compacted=True)
+        return library
+
+    def overlay_info(self) -> dict:
+        """Per-index overlay introspection for ``\\graph`` and tests."""
+        with self._mutex:
+            named = dict(self._specs)
+            states = dict(self._states)
+        indices = {}
+        for name, spec in sorted(named.items()):
+            state = states.get(spec)
+            if state is None:
+                indices[name] = None
+            else:
+                with state.lock:
+                    indices[name] = state.describe()
+        return {
+            "enabled": self.overlay_enabled,
+            "compact_threshold": self.compact_threshold,
+            "compact_mode": self.compact_mode,
+            "overlay_hits": self.overlay_hits,
+            "overlay_applied": self.overlay_applied,
+            "overlay_merges": self.overlay_merges,
+            "indices": indices,
+        }
 
     def lookup(
         self,
@@ -325,8 +568,15 @@ class GraphIndexManager:
         immutable columns.  Without it the table's current committed
         version is used.  Rebuilds happen lazily whenever the requested
         version differs from the cached build.
+
+        In overlay mode a state tracking the requested version serves
+        its base (zero delta) or the base+overlay merged library — no
+        rebuild after DML; a delta past ``compact_threshold`` compacts
+        here first when ``compact_mode`` is ``eager``.
         """
         spec = (table.lower(), src_col.lower(), dst_col.lower())
+        seed_library = None
+        compacting = False
         with self._mutex:
             if spec not in self._specs.values():
                 return None
@@ -335,35 +585,59 @@ class GraphIndexManager:
                 if table_version is not None
                 else self._catalog.get(spec[0]).current()
             )
-            cached = self._cache.get(spec)
-            if cached is not None and cached[0] == version.version_id:
-                self._cache.move_to_end(spec)
-                self.hits += 1
-                return cached[1]
-            self.misses += 1
+            state = self._states.get(spec) if self.overlay_enabled else None
+            if state is not None:
+                with state.lock:
+                    library = state.library_for(version.version_id)
+                    delta = state.delta_size
+                if library is not None:
+                    if delta < self.compact_threshold or self.compact_mode != "eager":
+                        self.hits += 1
+                        if delta:
+                            self.overlay_hits += 1
+                        if spec in self._cache:
+                            self._cache.move_to_end(spec)
+                        return library
+                    compacting = True  # fall through to a canonical build
+            if not compacting:
+                cached = self._cache.get(spec)
+                if cached is not None and cached[0] == version.version_id:
+                    self._cache.move_to_end(spec)
+                    self.hits += 1
+                    if not (
+                        self.overlay_enabled
+                        and state is None
+                        and version.version_id < TXN_VERSION_BASE
+                    ):
+                        return cached[1]
+                    # a seeded/loaded build with no overlay state yet:
+                    # create one so later DML maintains it incrementally
+                    seed_library = cached[1]
+                else:
+                    self.misses += 1
+        if seed_library is not None:
+            valid = edge_valid_mask(
+                version.column(src_col),
+                version.column(dst_col),
+                version.num_rows,
+            )
+            with self._mutex:
+                cached = self._cache.get(spec)
+                if (
+                    cached is not None
+                    and cached[0] == version.version_id
+                    and spec not in self._states
+                ):
+                    self._states[spec] = GraphOverlayState(
+                        seed_library, version.version_id, valid
+                    )
+            return seed_library
         # Build outside the mutex: CSR construction can be slow and must
         # not serialize lookups of other indices.  No locks at all — the
         # TableVersion is immutable, so the build can never observe a
         # half-applied write, and its version id keys the cache entry.
-        src = version.column(src_col)
-        dst = version.column(dst_col)
-        valid = ~(src.null_mask() | dst.null_mask())
-        library = GraphLibrary(src.data[valid], dst.data[valid])
-        with self._mutex:
-            self.builds += 1
-            cached = self._cache.get(spec)
-            if version.version_id < TXN_VERSION_BASE and (
-                cached is None or cached[0] <= version.version_id
-            ):
-                # never cache transaction-private (uncommitted) builds,
-                # and never let an old-snapshot build clobber a fresher
-                # cached CSR (a long transaction would otherwise thrash
-                # the slot against current-version queries)
-                self._cache[spec] = (version.version_id, library)
-                self._cache.move_to_end(spec)
-                while len(self._cache) > self.capacity:
-                    self._cache.popitem(last=False)
-                    self.evictions += 1
+        library, valid = self._build_library(version, src_col, dst_col)
+        self._install_build(spec, version, library, valid, compacted=compacting)
         return library
 
     def stats(self) -> dict[str, int]:
@@ -376,7 +650,98 @@ class GraphIndexManager:
                 "capacity": self.capacity,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "overlay_enabled": self.overlay_enabled,
+                "overlay_states": len(self._states),
+                "overlay_hits": self.overlay_hits,
+                "overlay_applied": self.overlay_applied,
+                "overlay_merges": self.overlay_merges,
             }
+
+
+class Appender:
+    """A bulk-append channel for one table (DuckDB-appender flavoured).
+
+    Obtained from :meth:`Database.appender` (or
+    :meth:`~repro.session.Session.appender`).  Each :meth:`append` call
+    takes whole **column vectors** — numpy arrays ride the vectorized
+    ingest path, lists the chunked per-value coercion path — and commits
+    them as ONE columnar batch: one new table version, zone maps extended
+    over the tail, graph overlays fed the append delta.  No per-row
+    Python loop anywhere.
+
+    With a session whose transaction is open, appends buffer into the
+    transaction (visible to its own statements, published on COMMIT,
+    first-committer-wins unchanged); otherwise each append autocommits.
+
+    Usage::
+
+        app = db.appender("edges")
+        app.append({"src": src_array, "dst": dst_array})
+        app.append([src_list, dst_list, weights], columns=["src", "dst", "w"])
+    """
+
+    __slots__ = ("_database", "table", "_session", "closed")
+
+    def __init__(self, database: "Database", table: str, session=None):
+        self._database = database
+        self.table = database.catalog.get(table).name
+        self._session = session
+        self.closed = False
+
+    def append(self, values, columns: Optional[Sequence[str]] = None) -> int:
+        """Append one columnar batch; returns the row count.
+
+        ``values`` is a mapping of column name → vector, or a sequence
+        of vectors aligned with ``columns`` (or the table's column
+        order).  Missing columns fill with NULLs.
+        """
+        if self.closed:
+            raise ExecutionError("appender is closed")
+        db = self._database
+        db._check_open()
+        txn = db._active_transaction(self._session)
+        if txn is not None:
+            version = txn.snapshot.table_version(self.table)
+            fresh = bulk_columns(
+                version.schema, values, db.exec_pool.context(), columns
+            )
+            count = len(fresh[0]) if fresh else 0
+            if count == 0:
+                return 0
+            combined = [
+                concat_for_append(old, new)
+                for old, new in zip(version.columns, fresh)
+            ]
+            txn.record_write(self.table, combined)
+            return count
+        with db._write_locks({self.table}):
+            table = db.catalog.get(self.table)
+            fresh = bulk_columns(
+                table.schema, values, db.exec_pool.context(), columns
+            )
+            if not fresh or len(fresh[0]) == 0:
+                return 0
+            return table.insert_columns(fresh)
+
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Row-tuple convenience: transpose into column vectors and
+        :meth:`append` them (still one columnar commit)."""
+        rows = list(rows)
+        if not rows:
+            return 0
+        return self.append([list(column) for column in zip(*rows)])
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __enter__(self) -> "Appender":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Appender table={self.table!r}>"
 
 
 class Database:
@@ -441,6 +806,24 @@ class Database:
         which preserves the plain-array storage paths wholesale (the
         correctness oracle for ``tests/test_storage_compression.py``).
         Counters: :meth:`storage_stats` / the shell's ``\\storage``.
+    graph_overlay:
+        When True (default) committed DML on an edge table folds into a
+        CSR delta overlay (:mod:`repro.graph.overlay`) instead of
+        invalidating the cached graph index: appends extend the
+        adjacency, deletes tombstone CSR slots, and path queries run on
+        a base+overlay merged library — no full rebuild per write.  When
+        False every committed write drops the cached CSR and the next
+        query rebuilds from scratch, preserved wholesale as the
+        correctness oracle for ``tests/test_graph_overlay.py``.
+    graph_compact_threshold:
+        Overlay delta size (appended edges + tombstones) at which an
+        index compacts back into a canonical fresh CSR.
+    graph_compact_mode:
+        ``"eager"`` (default) compacts on the first lookup past the
+        threshold; ``"background"`` compacts in a daemon thread owned by
+        this database (lookups keep serving the merged overlay
+        meanwhile); ``"off"`` never compacts (the overlay grows until a
+        write it cannot interpret forces a rebuild).
     """
 
     def __init__(
@@ -456,11 +839,32 @@ class Database:
         morsel_rows: Optional[int] = None,
         parallel_min_rows: Optional[int] = None,
         compression: bool = True,
+        graph_overlay: bool = True,
+        graph_compact_threshold: int = 8192,
+        graph_compact_mode: str = "eager",
     ) -> None:
+        if graph_compact_mode not in ("eager", "background", "off"):
+            raise ValueError(
+                "graph_compact_mode must be 'eager', 'background' or 'off', "
+                f"got {graph_compact_mode!r}"
+            )
         self.catalog = Catalog()
+        self.graph_overlay = bool(graph_overlay)
         self.graph_indices = GraphIndexManager(
-            self.catalog, capacity=graph_cache_capacity
+            self.catalog,
+            capacity=graph_cache_capacity,
+            overlay=self.graph_overlay,
+            compact_threshold=graph_compact_threshold,
+            compact_mode=graph_compact_mode,
+            compact_callback=self._schedule_graph_compaction,
         )
+        #: Background graph-compaction worker state (lazily started;
+        #: only used when ``graph_compact_mode="background"``).
+        self._compact_cond = threading.Condition()
+        self._compact_queue: "deque[tuple]" = deque()
+        self._compact_pending: set = set()
+        self._compact_thread: Optional[threading.Thread] = None
+        self._compact_stop = False
         self.stats = StatsManager(self.catalog)
         self.plan_cache = PlanCache(
             self.catalog,
@@ -498,10 +902,47 @@ class Database:
         # refreshes the recorded statistics row counts
         self.catalog.add_write_listener(self._on_table_write)
 
-    def _on_table_write(self, table: Table) -> None:
+    def _on_table_write(self, table: Table, info: WriteInfo) -> None:
         self.plan_cache.invalidate_writes(table.name)
-        self.graph_indices.invalidate_table(table.name)
+        if self.graph_overlay:
+            self.graph_indices.apply_write(table, info)
+        else:
+            self.graph_indices.invalidate_table(table.name)
         self.stats.on_table_write(table)
+
+    # ------------------------------------------------------------------
+    # background graph compaction
+    # ------------------------------------------------------------------
+    def _schedule_graph_compaction(self, spec: tuple) -> None:
+        """Queue one index for background compaction (deduplicated);
+        the worker thread starts lazily on the first request."""
+        with self._compact_cond:
+            if self.closed or self._compact_stop or spec in self._compact_pending:
+                return
+            self._compact_pending.add(spec)
+            self._compact_queue.append(spec)
+            if self._compact_thread is None:
+                self._compact_thread = threading.Thread(
+                    target=self._compaction_loop,
+                    name="repro-graph-compact",
+                    daemon=True,
+                )
+                self._compact_thread.start()
+            self._compact_cond.notify()
+
+    def _compaction_loop(self) -> None:
+        while True:
+            with self._compact_cond:
+                while not self._compact_queue and not self._compact_stop:
+                    self._compact_cond.wait()
+                if not self._compact_queue:
+                    return  # stop requested, queue drained
+                spec = self._compact_queue.popleft()
+                self._compact_pending.discard(spec)
+            try:
+                self.graph_indices.compact(spec)
+            except ReproError:  # pragma: no cover - table racing away
+                pass
 
     def _optimize(self, plan):
         """Lower a bound logical plan through the optimizer."""
@@ -526,6 +967,14 @@ class Database:
             if self.closed:
                 return
             self.closed = True
+        with self._compact_cond:
+            self._compact_stop = True
+            self._compact_queue.clear()
+            self._compact_pending.clear()
+            worker = self._compact_thread
+            self._compact_cond.notify_all()
+        if worker is not None:
+            worker.join(timeout=10.0)
         self.exec_pool.shutdown(wait=True)
         self.plan_cache.clear()
         self.graph_indices.clear_cache()
@@ -816,13 +1265,21 @@ class Database:
     def _cache_footer(self) -> str:
         plan = self.plan_cache.stats()
         graph = self.graph_indices.stats()
-        return (
+        footer = (
             f"-- plan cache: hits={plan['hits']} misses={plan['misses']} "
             f"entries={plan['entries']}/{plan['capacity']}\n"
             f"-- graph index cache: hits={graph['hits']} "
             f"misses={graph['misses']} entries={graph['entries']}/"
             f"{graph['capacity']}"
         )
+        if graph.get("overlay_enabled"):
+            footer += (
+                f"\n-- graph overlay: states={graph['overlay_states']} "
+                f"hits={graph['overlay_hits']} "
+                f"applied={graph['overlay_applied']} "
+                f"merges={graph['overlay_merges']}"
+            )
+        return footer
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Counters of both caches, for monitoring and tests.
@@ -938,6 +1395,16 @@ class Database:
     def insert_rows(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         return self.catalog.get(table).insert_rows(rows)
 
+    def appender(
+        self, table: str, *, session: Optional[Session] = None
+    ) -> Appender:
+        """A bulk-append channel for ``table`` (see :class:`Appender`).
+
+        Pass ``session`` to buffer appends into that session's open
+        transaction instead of autocommitting each batch."""
+        self._check_open()
+        return Appender(self, table, session)
+
     def table(self, name: str) -> Table:
         return self.catalog.get(name)
 
@@ -947,6 +1414,11 @@ class Database:
         return self.graph_indices.lookup(
             table, src_col, dst_col, table_version=table_version
         )
+
+    def graph_overlay_info(self) -> dict:
+        """Per-index overlay state (delta sizes, base versions) plus the
+        manager-level overlay counters — the ``\\graph`` shell surface."""
+        return self.graph_indices.overlay_info()
 
     # ------------------------------------------------------------------
     # persistence
@@ -1074,6 +1546,8 @@ class Database:
                     referenced_tables(plan) | {bound.table}
                 )
                 return self._run_insert(bound, plan, params, snapshot)
+        if isinstance(bound, BoundCopy):
+            return self._run_copy(bound, txn)
         if isinstance(bound, BoundCreateTableAs):
             snapshot = self.pin_snapshot(referenced_tables(bound.plan))
             return self._run_create_table_as(bound, params, snapshot)
@@ -1082,13 +1556,19 @@ class Database:
             if bound.predicate is not None:
                 reads |= expr_tables(bound.predicate)
             if txn is not None:
-                columns, count = self._delete_columns(bound, params, txn.snapshot)
+                columns, count, _ = self._delete_columns(
+                    bound, params, txn.snapshot
+                )
                 txn.record_write(bound.table, columns)
                 return Result(None, rowcount=count)
             with self._write_locks({bound.table}):
                 snapshot = self.pin_snapshot(reads | {bound.table})
-                columns, count = self._delete_columns(bound, params, snapshot)
-                self.catalog.get(bound.table).replace_columns(columns)
+                columns, count, dropped = self._delete_columns(
+                    bound, params, snapshot
+                )
+                self.catalog.get(bound.table).replace_columns(
+                    columns, WriteInfo("delete", dropped_rows=dropped)
+                )
                 return Result(None, rowcount=count)
         if isinstance(bound, BoundUpdate):
             reads = referenced_tables(bound.scan)
@@ -1102,8 +1582,15 @@ class Database:
                 return Result(None, rowcount=count)
             with self._write_locks({bound.table}):
                 snapshot = self.pin_snapshot(reads | {bound.table})
+                schema = snapshot.table_version(bound.table).schema
+                touched = tuple(
+                    schema.columns[position].name
+                    for position, _ in bound.assignments
+                )
                 columns, count = self._update_columns(bound, params, snapshot)
-                self.catalog.get(bound.table).replace_columns(columns)
+                self.catalog.get(bound.table).replace_columns(
+                    columns, WriteInfo("update", columns=touched)
+                )
                 return Result(None, rowcount=count)
         if isinstance(bound, BoundCreateGraphIndex):
             self.graph_indices.create(
@@ -1156,21 +1643,33 @@ class Database:
 
     def _delete_columns(
         self, bound: BoundDelete, params: tuple, snapshot: Snapshot
-    ) -> tuple[list[Column], int]:
-        """The surviving column set (and deleted-row count) of a DELETE,
-        computed from the snapshot without touching the live table."""
+    ) -> tuple[list[Column], int, "Any"]:
+        """The surviving column set, deleted-row count and dropped
+        positions (pre-delete row order — ``bound.scan`` is the raw
+        unoptimized table scan, so batch rows align with table rows) of
+        a DELETE, computed from the snapshot without touching the live
+        table.  The dropped positions feed the graph overlay's delete
+        tombstones."""
+        import numpy as np
+
         ctx = ExecContext(self, params, snapshot=snapshot)
         batch = execute_plan(bound.scan, ctx)
         if bound.predicate is None:
             schema = snapshot.table_version(bound.table).schema
-            return [Column.empty(c.type) for c in schema], batch.num_rows
-        import numpy as np
-
+            return (
+                [Column.empty(c.type) for c in schema],
+                batch.num_rows,
+                np.arange(batch.num_rows, dtype=np.int64),
+            )
         predicate = ctx.eval(bound.predicate, batch)
         drop = predicate.data.astype(np.bool_)
         if predicate.mask is not None:
             drop = drop & ~predicate.mask
-        return [c.filter(~drop) for c in batch.columns], int(drop.sum())
+        return (
+            [c.filter(~drop) for c in batch.columns],
+            int(drop.sum()),
+            np.flatnonzero(drop).astype(np.int64),
+        )
 
     def _update_columns(
         self, bound: BoundUpdate, params: tuple, snapshot: Snapshot
@@ -1242,6 +1741,77 @@ class Database:
         txn.record_write(bound.table, columns)
         return Result(None, rowcount=len(rows))
 
+    def _copy_vectors(self, bound: BoundCopy, schema: Schema):
+        """Read a COPY statement's source file into per-column vectors."""
+        try:
+            if bound.format == "npz":
+                vectors = read_npz_vectors(bound.path)
+                if bound.columns:
+                    allowed = set(bound.columns)
+                    unknown = {str(k).lower() for k in vectors} - allowed
+                    if unknown:
+                        raise ExecutionError(
+                            f"COPY: file columns {sorted(unknown)} are not "
+                            "in the statement's column list"
+                        )
+                return vectors
+            names = (
+                list(bound.columns)
+                if bound.columns
+                else [c.name for c in schema]
+            )
+            types = [schema.columns[schema.index_of(n)].type for n in names]
+            return read_csv_vectors(
+                bound.path,
+                types,
+                header=bound.header,
+                delimiter=bound.delimiter,
+            )
+        except OSError as exc:
+            raise ExecutionError(
+                f"COPY: cannot read {bound.path!r}: {exc}"
+            ) from None
+
+    def _run_copy(self, bound: BoundCopy, txn: Optional[Transaction]) -> Result:
+        """``COPY <table> FROM '<file>'`` — the bulk-ingest fast path.
+
+        Reads the whole file into per-column vectors and commits them as
+        ONE columnar batch through :func:`~repro.storage.bulk_columns`
+        (morsel-parallel on the shared kernel pool): one new table
+        version, zone maps extended over the appended tail, graph
+        overlays fed the append delta.  Inside a transaction the batch
+        buffers into the transaction's table version like any other DML
+        (MVCC and first-committer-wins unchanged)."""
+        if txn is not None:
+            version = txn.snapshot.table_version(bound.table)
+            vectors = self._copy_vectors(bound, version.schema)
+            fresh = bulk_columns(
+                version.schema,
+                vectors,
+                self.exec_pool.context(),
+                bound.columns or None,
+            )
+            count = len(fresh[0]) if fresh else 0
+            if count:
+                combined = [
+                    concat_for_append(old, new)
+                    for old, new in zip(version.columns, fresh)
+                ]
+                txn.record_write(bound.table, combined)
+            return Result(None, rowcount=count)
+        with self._write_locks({bound.table}):
+            table = self.catalog.get(bound.table)
+            vectors = self._copy_vectors(bound, table.schema)
+            fresh = bulk_columns(
+                table.schema,
+                vectors,
+                self.exec_pool.context(),
+                bound.columns or None,
+            )
+            if not fresh or len(fresh[0]) == 0:
+                return Result(None, rowcount=0)
+            return Result(None, rowcount=table.insert_columns(fresh))
+
 
 def connect(**kwargs: Any) -> Database:
     """Create a fresh in-memory database (DB-API-flavoured spelling).
@@ -1256,6 +1826,7 @@ def connect(**kwargs: Any) -> Database:
 
 
 __all__ = [
+    "Appender",
     "Database",
     "Result",
     "GraphIndexManager",

@@ -15,6 +15,8 @@ Meta commands:
 * ``\\stats [table]`` — optimizer statistics recorded by ``ANALYZE``
 * ``\\storage [table]`` — per-column resting encodings and bytes, plus
   zone-map morsel-skip and factorize counters
+* ``\\graph [index]`` — graph-overlay state per index (base/overlay edge
+  counts, tombstones, compaction config) and overlay hit/merge counters
 * ``\\workers [path|exec] [n|auto]`` — show / set the shortest-path and
   morsel-execution worker budgets, plus parallel-kernel counters
   (a bare number keeps the historical meaning: path workers)
@@ -216,6 +218,37 @@ class Shell:
                 f"memo_hits={fact['memo_hits']} "
                 f"shared_dict_joins={fact['shared_dict_joins']}"
             )
+        elif name == "\\graph":
+            info = self.db.graph_overlay_info()
+            self.write(
+                f"overlay: {'on' if info['enabled'] else 'off'} "
+                f"(compact threshold {info['compact_threshold']}, "
+                f"mode {info['compact_mode']})"
+            )
+            self.write(
+                f"counters: overlay_hits={info['overlay_hits']} "
+                f"applied={info['overlay_applied']} "
+                f"merges={info['overlay_merges']}"
+            )
+            names = self.db.graph_indices.names()
+            if args:
+                names = [n for n in names if n == args[0].lower()]
+            for index_name in sorted(names):
+                state = info["indices"].get(index_name)
+                if state is None:
+                    self.write(f"{index_name}: no overlay state (not built)")
+                    continue
+                self.write(
+                    f"{index_name}: base_edges={state['base_edges']} "
+                    f"overlay_edges={state['overlay_edges']} "
+                    f"tombstones={state['tombstones']} "
+                    f"extra_vertices={state['extra_vertices']} "
+                    f"versions={state['base_version']}->"
+                    f"{state['applied_version']} "
+                    f"merged_cached={'yes' if state['merged_cached'] else 'no'}"
+                )
+            if not names:
+                self.write("no graph indices")
         elif name == "\\workers":
             if args:
                 kind, values = "path", args

@@ -12,6 +12,7 @@ from .library import (
     ShortestPathResult,
     resolve_workers,
 )
+from .overlay import GraphOverlayState, OverlayDomain, edge_valid_mask
 from .radix_queue import RadixQueue
 
 __all__ = [
@@ -29,6 +30,9 @@ __all__ = [
     "VertexDomain",
     "GraphLibrary",
     "ShortestPathResult",
+    "GraphOverlayState",
+    "OverlayDomain",
+    "edge_valid_mask",
     "RadixQueue",
     "PARALLEL_MIN_PAIRS",
     "resolve_workers",

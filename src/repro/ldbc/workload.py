@@ -47,8 +47,14 @@ Q13_BATCH_SQL = (
 )
 
 
-def load_into(db: Database, network: SocialNetwork) -> None:
-    """Create and populate the persons / knows tables."""
+def load_into(db: Database, network: SocialNetwork, *, bulk: bool = True) -> None:
+    """Create and populate the persons / knows tables.
+
+    ``bulk=True`` (default) ingests each table as one columnar batch
+    through :meth:`Database.appender` — the fast path.  ``bulk=False``
+    funnels every tuple through row INSERTs instead, the A/B baseline
+    for ``benchmarks/test_ingest.py``; both load bit-identical tables.
+    """
     db.executescript(
         """
         CREATE TABLE persons (
@@ -59,37 +65,50 @@ def load_into(db: Database, network: SocialNetwork) -> None:
         );
         """
     )
-    from ..storage import Column, DataType
-
-    def _strings(values: list[str]) -> Column:
-        data = np.empty(len(values), dtype=object)
-        data[:] = values
-        return Column(DataType.VARCHAR, data)
-
-    persons = db.table("persons")
-    persons.insert_columns(
-        [
-            Column(DataType.BIGINT, network.person_ids.astype(np.int64)),
-            _strings(network.first_names),
-            _strings(network.last_names),
-            _strings(network.genders),
-        ]
-    )
-    knows = db.table("knows")
     src, dst, days, weights = network.directed_edges()
-    knows.insert_columns(
-        [
-            Column(DataType.BIGINT, src.astype(np.int64)),
-            Column(DataType.BIGINT, dst.astype(np.int64)),
-            Column(DataType.DATE, days.astype(np.int64)),
-            Column(DataType.DOUBLE, weights.astype(np.float64)),
-        ]
-    )
+    if bulk:
+        db.appender("persons").append(
+            [
+                network.person_ids.astype(np.int64),
+                list(network.first_names),
+                list(network.last_names),
+                list(network.genders),
+            ]
+        )
+        db.appender("knows").append(
+            [
+                src.astype(np.int64),
+                dst.astype(np.int64),
+                days.astype(np.int64),
+                weights.astype(np.float64),
+            ]
+        )
+        return
+    with db.connect() as session:
+        session.executemany(
+            "INSERT INTO persons VALUES (?, ?, ?, ?)",
+            [
+                (int(pid), first, last, gender)
+                for pid, first, last, gender in zip(
+                    network.person_ids,
+                    network.first_names,
+                    network.last_names,
+                    network.genders,
+                )
+            ],
+        )
+        session.executemany(
+            "INSERT INTO knows VALUES (?, ?, ?, ?)",
+            [
+                (int(a), int(b), int(day), float(w))
+                for a, b, day, w in zip(src, dst, days, weights)
+            ],
+        )
 
 
-def make_database(network: SocialNetwork) -> Database:
+def make_database(network: SocialNetwork, *, bulk: bool = True) -> Database:
     db = Database()
-    load_into(db, network)
+    load_into(db, network, bulk=bulk)
     return db
 
 

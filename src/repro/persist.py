@@ -319,14 +319,18 @@ def _write_graph_indices(db: "Database", snapshot: Snapshot, directory: str) -> 
     exactly the table version being saved — are serialized: ``save()``
     never pays a CSR build for an index nobody queried (nor evicts hot
     cache entries doing so); an unbuilt/stale index simply rebuilds
-    lazily after load, as in pre-v3 images.  Filenames use a ``-`` that
+    lazily after load, as in pre-v3 images.  An index carrying a live
+    overlay delta is compacted into a canonical CSR first
+    (``library_for_save``), so images never contain overlay state —
+    a reloaded database starts from a fresh base and re-accumulates
+    deltas as DML arrives.  Filenames use a ``-`` that
     no SQL identifier can contain, so they can never collide with a
     ``<table>.npz`` archive.
     """
     files = {}
     for index_name, spec in db.graph_indices.specs().items():
         table = spec[0]
-        library = db.graph_indices.cached_library(
+        library = db.graph_indices.library_for_save(
             index_name, snapshot.table_version(table).version_id
         )
         if library is None:

@@ -8,6 +8,7 @@ from .binder import (
     BoundAnalyze,
     BoundBegin,
     BoundCommit,
+    BoundCopy,
     BoundCreateGraphIndex,
     BoundCreateTable,
     BoundCreateTableAs,
@@ -34,6 +35,7 @@ __all__ = [
     "BoundBegin",
     "BoundCommit",
     "BoundRollback",
+    "BoundCopy",
     "BoundCreateGraphIndex",
     "BoundCreateTable",
     "BoundCreateTableAs",

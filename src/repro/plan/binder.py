@@ -101,6 +101,18 @@ class BoundCreateTableAs:
 
 
 @dataclass(frozen=True)
+class BoundCopy:
+    """``COPY table [(cols)] FROM 'file'``: one-batch columnar ingest."""
+
+    table: str
+    columns: tuple[str, ...]
+    path: str
+    format: str  # 'csv' | 'npz'
+    header: bool
+    delimiter: str
+
+
+@dataclass(frozen=True)
 class BoundDelete:
     table: str
     scan: lp.LogicalNode
@@ -252,6 +264,8 @@ class Binder:
         if isinstance(stmt, ast.InsertSelect):
             plan = self.bind_query(stmt.query, {})
             return BoundInsert(stmt.table.lower(), stmt.columns, plan)
+        if isinstance(stmt, ast.Copy):
+            return self._bind_copy(stmt)
         if isinstance(stmt, ast.CreateTableAs):
             return BoundCreateTableAs(stmt.name.lower(), self.bind_query(stmt.query, {}))
         if isinstance(stmt, ast.Delete):
@@ -307,6 +321,46 @@ class Binder:
         return BoundInsert(
             stmt.table.lower(), stmt.columns, lp.LValues(tuple(bound_rows), schema)
         )
+
+    def _bind_copy(self, stmt: ast.Copy) -> BoundCopy:
+        table = self.catalog.get(stmt.table)
+        columns = tuple(c.lower() for c in stmt.columns)
+        seen: set[str] = set()
+        for name in columns:
+            table.schema.index_of(name)  # raises CatalogError if unknown
+            if name in seen:
+                raise BindError(f"column {name!r} listed twice in COPY")
+            seen.add(name)
+        fmt: Optional[str] = None
+        header = True
+        delimiter = ","
+        for name, value in stmt.options:
+            key = name.lower()
+            if key == "format":
+                fmt = str(value).lower()
+                if fmt not in ("csv", "npz"):
+                    raise BindError(f"unsupported COPY format {value!r}")
+            elif key == "header":
+                if isinstance(value, bool):
+                    header = value
+                else:
+                    header = str(value).lower() not in (
+                        "false",
+                        "0",
+                        "off",
+                        "no",
+                    )
+            elif key == "no_header":
+                header = False
+            elif key == "delimiter":
+                if not isinstance(value, str) or len(value) != 1:
+                    raise BindError("COPY delimiter must be a single character")
+                delimiter = value
+            else:
+                raise BindError(f"unknown COPY option {name!r}")
+        if fmt is None:
+            fmt = "npz" if str(stmt.path).lower().endswith(".npz") else "csv"
+        return BoundCopy(table.name, columns, stmt.path, fmt, header, delimiter)
 
     def _table_scan_scope(self, table_name: str) -> tuple[lp.LScan, Scope]:
         table = self.catalog.get(table_name)

@@ -538,6 +538,13 @@ class Session:
         self._check_open()
         return PreparedStatement(self._database, sql, session=self)
 
+    def appender(self, table: str):
+        """A bulk-append channel bound to this session: batches buffer
+        into the session's open transaction (or autocommit without
+        one).  See :class:`repro.api.Appender`."""
+        self._check_open()
+        return self._database.appender(table, session=self)
+
     def explain(self, sql: str) -> str:
         self._check_open()
         return self._database.explain(sql)

@@ -389,6 +389,22 @@ class InsertSelect(Statement):
 
 
 @dataclass(frozen=True)
+class Copy(Statement):
+    """``COPY table [(cols)] FROM 'file' [WITH (opt [value], ...)]``.
+
+    The bulk-ingest statement: the file loads as one columnar batch
+    instead of per-row INSERTs.  Options (parsed as identifiers):
+    ``FORMAT CSV|NPZ`` (default by file extension), ``HEADER`` /
+    ``NO_HEADER``, ``DELIMITER ','``.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    path: str
+    options: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
 class CreateTableAs(Statement):
     """``CREATE TABLE name AS query``."""
 

@@ -21,7 +21,7 @@ Grammar notes specific to the paper (Section 2 / 3.1):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..errors import ParseError
 from . import ast
@@ -146,6 +146,8 @@ class Parser:
             return self._drop()
         if token.is_keyword("INSERT"):
             return self._insert()
+        if token.is_keyword("COPY"):
+            return self._copy()
         if token.is_keyword("EXPLAIN"):
             self.advance()
             return ast.Explain(self.query())
@@ -270,6 +272,46 @@ class Parser:
                 rows.append(self._value_row())
             return ast.InsertValues(table, columns, tuple(rows))
         return ast.InsertSelect(table, columns, self.query())
+
+    def _copy(self) -> ast.Copy:
+        """``COPY table [(cols)] FROM 'file' [WITH (opt [value], ...)]``."""
+        self.expect_keyword("COPY")
+        table = self.expect_identifier("table name")
+        columns: tuple[str, ...] = ()
+        if self.accept_punct("("):
+            names = [self.expect_identifier("column name")]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier("column name"))
+            self.expect_punct(")")
+            columns = tuple(names)
+        self.expect_keyword("FROM")
+        token = self.peek()
+        if token.type != TokenType.STRING:
+            raise self.error("expected a file path string after FROM")
+        self.advance()
+        path = token.value
+        options: list[tuple[str, Any]] = []
+        if self.accept_keyword("WITH"):
+            self.expect_punct("(")
+            while True:
+                name = self.expect_identifier("option name").lower()
+                value: Any = True
+                nxt = self.peek()
+                if nxt.type in (
+                    TokenType.STRING,
+                    TokenType.IDENT,
+                    TokenType.INTEGER,
+                ):
+                    self.advance()
+                    value = nxt.value
+                elif nxt.is_keyword("TRUE", "FALSE"):
+                    self.advance()
+                    value = nxt.value == "TRUE"
+                options.append((name, value))
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct(")")
+        return ast.Copy(table, columns, path, tuple(options))
 
     def _value_row(self) -> tuple[ast.Expr, ...]:
         self.expect_punct("(")

@@ -36,7 +36,7 @@ KEYWORDS = frozenset(
     WITH RECURSIVE VALUES INSERT INTO CREATE TABLE DROP DELETE UPDATE SET
     PRIMARY KEY FOREIGN REFERENCES
     CHEAPEST SUM REACHES OVER EDGE UNNEST ORDINALITY
-    INDEX GRAPH EXPLAIN ANALYZE
+    INDEX GRAPH EXPLAIN ANALYZE COPY
     BEGIN COMMIT ROLLBACK TRANSACTION WORK
     """.split()
 )

@@ -15,12 +15,15 @@ from .locks import LockSet, RWLock
 from .schema import ColumnDef, Schema
 from .snapshot import Snapshot
 from .stats import ColumnStats, StatsManager, TableStats
+from .ingest import bulk_column, bulk_columns, read_csv_vectors, read_npz_vectors
 from .table import (
     TXN_VERSION_BASE,
     Catalog,
     Table,
     TableVersion,
+    WriteInfo,
     build_appended_columns,
+    concat_for_append,
     next_txn_version_id,
 )
 from .zonemap import (
@@ -29,6 +32,7 @@ from .zonemap import (
     StorageCounters,
     ZonePredicate,
     build_column_zone_map,
+    extend_zone_map,
     select_zone_spans,
     zone_map_for,
 )
@@ -59,8 +63,13 @@ __all__ = [
     "StorageCounters",
     "ZonePredicate",
     "build_column_zone_map",
+    "extend_zone_map",
     "select_zone_spans",
     "zone_map_for",
+    "bulk_column",
+    "bulk_columns",
+    "read_csv_vectors",
+    "read_npz_vectors",
     "ColumnDef",
     "Schema",
     "Snapshot",
@@ -68,7 +77,9 @@ __all__ = [
     "Table",
     "TableVersion",
     "TXN_VERSION_BASE",
+    "WriteInfo",
     "build_appended_columns",
+    "concat_for_append",
     "next_txn_version_id",
     "DataType",
     "coerce_python_value",

@@ -38,6 +38,26 @@ from .column import Column
 from .locks import RWLock
 from .schema import Schema
 
+@dataclass(frozen=True)
+class WriteInfo:
+    """What a committed mutation did, delivered to write listeners.
+
+    ``kind`` is one of ``"append"``, ``"delete"``, ``"update"``,
+    ``"truncate"``, ``"replace"``.  For appends, ``appended`` is the
+    tail row count of the new version.  For deletes, ``dropped_rows``
+    holds the dropped positions in *pre-delete* row order.  For updates,
+    ``columns`` names the assigned columns (row count and order
+    unchanged).  Listeners that cannot interpret a payload treat it as
+    ``"replace"`` (invalidate everything) — the conservative default a
+    bare ``callback(table)`` used to imply.
+    """
+
+    kind: str
+    appended: int = 0
+    dropped_rows: Any = None  # np.ndarray | None
+    columns: tuple = ()
+
+
 #: Version ids at or above this value are transaction-private (buffered,
 #: uncommitted table versions); committed table versions count up from 0
 #: and stay far below.  The version-keyed caches use this to avoid
@@ -108,6 +128,29 @@ class TableVersion:
 # transaction write buffer, which computes new versions without touching
 # the live table)
 # ---------------------------------------------------------------------------
+def concat_for_append(old: Column, new: Column) -> Column:
+    """``Column.concat`` for the append path, with zone maps *extended*
+    instead of discarded: any map cached on ``old`` is carried onto the
+    combined column by rescanning only the appended tail, so selective
+    scans keep zone-skipping after an append without a re-ANALYZE."""
+    combined = Column.concat([old, new])
+    if combined is old or combined is new:
+        return combined  # single contributor: maps already attached
+    zones = old._zones
+    if zones:
+        from .zonemap import extend_zone_map
+
+        for granularity, zm in zones.items():
+            if zm is None:
+                continue
+            extended = extend_zone_map(zm, combined, granularity)
+            if extended is not None:
+                if combined._zones is None:
+                    combined._zones = {}
+                combined._zones[granularity] = extended
+    return combined
+
+
 def build_appended_columns(
     schema: Schema, columns: Sequence[Column], rows: list[Sequence[Any]]
 ) -> list[Column]:
@@ -121,7 +164,7 @@ def build_appended_columns(
     new_columns = []
     for i, col_def in enumerate(schema):
         fresh = Column.from_values(col_def.type, [row[i] for row in rows])
-        new_columns.append(Column.concat([columns[i], fresh]))
+        new_columns.append(concat_for_append(columns[i], fresh))
     return new_columns
 
 
@@ -156,7 +199,7 @@ class Table:
         #: Statement-scoped writer lock (see module docstring); the read
         #: side survives for callers that still want blocking reads.
         self.lock = RWLock()
-        self._listeners: list[Callable[["Table"], None]] = []
+        self._listeners: list[Callable[["Table", "WriteInfo"], None]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -172,23 +215,32 @@ class Table:
         return self._current
 
     # ------------------------------------------------------------------
-    def add_write_listener(self, callback: Callable[["Table"], None]) -> None:
+    def add_write_listener(
+        self, callback: Callable[["Table", WriteInfo], None]
+    ) -> None:
         """Register a callback fired after every committed mutation.
 
         The caches (plan cache, graph-index cache) subscribe here so DML
-        invalidates them explicitly instead of relying on lazy version
-        checks alone.
+        invalidates (or incrementally maintains — see
+        ``repro.graph.overlay``) their state explicitly instead of
+        relying on lazy version checks alone.  Callbacks receive the
+        table plus a :class:`WriteInfo` describing what the mutation
+        did.
         """
         self._listeners.append(callback)
 
-    def _publish(self, columns: Sequence[Column]) -> None:
+    def _publish(
+        self, columns: Sequence[Column], info: "WriteInfo | None" = None
+    ) -> None:
         """Swap in a new committed version (caller holds the write lock)
-        and notify listeners."""
+        and notify listeners with what the write did."""
         self._current = TableVersion(
             self.name, self.schema, tuple(columns), self._current.version_id + 1
         )
+        if info is None:
+            info = WriteInfo("replace")
         for callback in self._listeners:
-            callback(self)
+            callback(self, info)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -212,32 +264,47 @@ class Table:
             return 0
         with self.lock.write_locked():
             self._publish(
-                build_appended_columns(self.schema, self._current.columns, rows)
+                build_appended_columns(self.schema, self._current.columns, rows),
+                WriteInfo("append", appended=len(rows)),
             )
         return len(rows)
 
     def insert_columns(self, columns: Sequence[Column]) -> int:
-        """Append pre-built columns (must match schema types and lengths)."""
+        """Append pre-built columns (must match schema types and lengths).
+
+        This is the bulk-ingest commit point: zone maps on the existing
+        columns are extended over the appended tail (not discarded), and
+        listeners learn the append size so the graph overlay can fold
+        the new edges in without a CSR rebuild.
+        """
         count = validate_columns(self.schema, columns)
         with self.lock.write_locked():
             self._publish(
                 [
-                    Column.concat([old, new])
+                    concat_for_append(old, new)
                     for old, new in zip(self._current.columns, columns)
-                ]
+                ],
+                WriteInfo("append", appended=count),
             )
         return count
 
     def truncate(self) -> None:
         with self.lock.write_locked():
-            self._publish([Column.empty(c.type) for c in self.schema])
+            self._publish(
+                [Column.empty(c.type) for c in self.schema],
+                WriteInfo("truncate"),
+            )
 
-    def replace_columns(self, columns: Sequence[Column]) -> None:
+    def replace_columns(
+        self, columns: Sequence[Column], info: "WriteInfo | None" = None
+    ) -> None:
         """Swap in a full new set of columns (DELETE/UPDATE rebuilds and
-        transaction COMMIT installs)."""
+        transaction COMMIT installs).  Callers that know what the
+        replacement did pass a :class:`WriteInfo` so listeners can react
+        incrementally; without one it counts as an opaque replace."""
         validate_columns(self.schema, columns)
         with self.lock.write_locked():
-            self._publish(list(columns))
+            self._publish(list(columns), info)
 
     def to_rows(self) -> list[tuple[Any, ...]]:
         """Materialize as Python tuples (mainly for tests and examples)."""
@@ -256,9 +323,11 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._mutex = threading.RLock()
-        self._write_listeners: list[Callable[[Table], None]] = []
+        self._write_listeners: list[Callable[[Table, WriteInfo], None]] = []
 
-    def add_write_listener(self, callback: Callable[[Table], None]) -> None:
+    def add_write_listener(
+        self, callback: Callable[[Table, WriteInfo], None]
+    ) -> None:
         """Subscribe ``callback`` to mutations of every (future) table."""
         with self._mutex:
             self._write_listeners.append(callback)

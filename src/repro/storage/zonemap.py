@@ -128,6 +128,59 @@ def build_column_zone_map(column, granularity: int = ZONE_ROWS) -> "ColumnZoneMa
     return ColumnZoneMap(granularity, n, mins, maxs, null_counts, has_values)
 
 
+def extend_zone_map(
+    old_map: "ColumnZoneMap | None", column, granularity: int = ZONE_ROWS
+) -> "ColumnZoneMap | None":
+    """Zone map for ``column`` reusing ``old_map``, which was built over
+    the first ``old_map.n_rows`` rows of the same data.
+
+    Only the old partial last zone (if any) and the appended tail are
+    scanned — an append of ``k`` rows costs ``O(k + granularity)``
+    instead of ``O(n)``, which is what keeps bulk ingest from discarding
+    and rebuilding maps on every batch.  Falls back to a full build when
+    the shapes do not line up.
+    """
+    if column.type not in _ZONE_TYPES:
+        return None
+    n = len(column)
+    if (
+        old_map is None
+        or old_map.granularity != granularity
+        or old_map.n_rows > n
+    ):
+        return build_column_zone_map(column, granularity)
+    old_n = old_map.n_rows
+    #: zones wholly inside the old data are reused verbatim
+    intact = old_n // granularity
+    data = column.data
+    mask = column.mask
+    is_float = data.dtype.kind == "f"
+    n_zones = max(1, -(-n // granularity))
+    mins = np.zeros(n_zones, dtype=data.dtype)
+    maxs = np.zeros(n_zones, dtype=data.dtype)
+    null_counts = np.zeros(n_zones, dtype=np.int64)
+    has_values = np.zeros(n_zones, dtype=np.bool_)
+    mins[:intact] = old_map.mins[:intact]
+    maxs[:intact] = old_map.maxs[:intact]
+    null_counts[:intact] = old_map.null_counts[:intact]
+    has_values[:intact] = old_map.has_values[:intact]
+    for zone in range(intact, n_zones):
+        start = zone * granularity
+        stop = min(start + granularity, n)
+        chunk = data[start:stop]
+        if mask is not None:
+            null_chunk = mask[start:stop]
+            null_counts[zone] = int(np.count_nonzero(null_chunk))
+            chunk = chunk[~null_chunk]
+        if is_float and len(chunk):
+            chunk = chunk[~np.isnan(chunk)]
+        if len(chunk):
+            mins[zone] = chunk.min()
+            maxs[zone] = chunk.max()
+            has_values[zone] = True
+    return ColumnZoneMap(granularity, n, mins, maxs, null_counts, has_values)
+
+
 def zone_map_for(column, granularity: int = ZONE_ROWS) -> "ColumnZoneMap | None":
     """The (lazily built, column-cached) zone map for ``column``.
 

@@ -183,20 +183,46 @@ class TestPlanCache:
 
 
 class TestGraphIndexCacheInvalidation:
-    def test_dml_invalidates_graph_index_cache(self, graph_db):
+    def test_dml_invalidates_graph_index_cache(self):
+        # overlay off: the pre-overlay contract — committed DML drops
+        # the cached CSR and the next query rebuilds from scratch
+        db = Database(graph_overlay=False)
+        db.executescript(
+            """
+            CREATE TABLE e (s INT, d INT, w INT);
+            INSERT INTO e VALUES (1, 2, 1), (2, 3, 2), (3, 4, 1), (1, 4, 10);
+            """
+        )
+        db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)")
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 4 OVER e EDGE (s, d)"
+        ).scalar() == 1
+        stats = db.graph_indices.stats()
+        assert stats["entries"] == 1 and stats["hits"] >= 1
+        db.execute("INSERT INTO e VALUES (4, 9, 1)")
+        stats = db.graph_indices.stats()
+        assert stats["entries"] == 0 and stats["invalidations"] >= 1
+        # the rebuilt index must see the new edge (no stale-cache read)
+        assert db.execute(
+            "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 9 OVER e EDGE (s, d)"
+        ).scalar() == 2
+
+    def test_dml_folds_into_graph_overlay(self, graph_db):
+        # overlay on (default): committed DML keeps the cache entry and
+        # applies the delta instead of invalidating
         graph_db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)")
         assert graph_db.execute(
             "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 4 OVER e EDGE (s, d)"
         ).scalar() == 1
-        stats = graph_db.graph_indices.stats()
-        assert stats["entries"] == 1 and stats["hits"] >= 1
         graph_db.execute("INSERT INTO e VALUES (4, 9, 1)")
         stats = graph_db.graph_indices.stats()
-        assert stats["entries"] == 0 and stats["invalidations"] >= 1
-        # the rebuilt index must see the new edge (no stale-cache read)
+        assert stats["overlay_applied"] >= 1
+        assert stats["entries"] == 1  # not dropped
+        # the merged base+overlay library must see the new edge
         assert graph_db.execute(
             "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 9 OVER e EDGE (s, d)"
         ).scalar() == 2
+        assert graph_db.graph_indices.stats()["overlay_hits"] >= 1
 
     def test_direct_table_mutation_also_invalidates(self, graph_db):
         graph_db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)")
