@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict, deque
+from contextlib import nullcontext
 from typing import Any, Iterable, Optional, Sequence
 
 from .errors import (
@@ -721,7 +722,14 @@ class Appender:
             )
             if not fresh or len(fresh[0]) == 0:
                 return 0
-            return table.insert_columns(fresh)
+            if db.wal is None:
+                return table.insert_columns(fresh)
+            # bulk batches log columnar (raw npy blobs), not row JSON
+            with db.wal.mutex:
+                lsn = db.wal.log_append(table.name, fresh)
+                count = table.insert_columns(fresh)
+        db.wal.sync(lsn)
+        return count
 
     def append_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Row-tuple convenience: transpose into column vectors and
@@ -824,6 +832,26 @@ class Database:
         this database (lookups keep serving the merged overlay
         meanwhile); ``"off"`` never compacts (the overlay grows until a
         write it cannot interpret forces a rebuild).
+    durability:
+        ``"off"`` (default) keeps today's behavior exactly: no
+        write-ahead log, durability only through explicit :meth:`save`.
+        ``"commit"`` appends every committed write to the WAL
+        (:mod:`repro.storage.wal`) and fsyncs before acknowledging;
+        ``"batch"`` appends the same records but coalesces concurrent
+        committers into one group-commit fsync.  Either way
+        :meth:`save` becomes a checkpoint that rotates the log, and
+        :meth:`open` replays the log over the last checkpoint image on
+        startup.
+    wal_dir:
+        Where the log lives.  Direct construction with durability
+        requires an explicit (empty or absent) directory; use
+        :meth:`Database.open` for the common case — it derives
+        ``<directory>.wal`` and *recovers* whatever is there.
+    faults:
+        A :class:`~repro.faults.FaultInjector` (or spec string/dict)
+        arming named crashpoints on the WAL and checkpoint paths; None
+        consults the ``REPRO_CRASHPOINT`` environment variable.  Test
+        machinery — see :mod:`repro.faults`.
     """
 
     def __init__(
@@ -842,11 +870,19 @@ class Database:
         graph_overlay: bool = True,
         graph_compact_threshold: int = 8192,
         graph_compact_mode: str = "eager",
+        durability: str = "off",
+        wal_dir: Optional[str] = None,
+        faults=None,
     ) -> None:
         if graph_compact_mode not in ("eager", "background", "off"):
             raise ValueError(
                 "graph_compact_mode must be 'eager', 'background' or 'off', "
                 f"got {graph_compact_mode!r}"
+            )
+        if durability not in ("off", "commit", "batch"):
+            raise ValueError(
+                "durability must be 'off', 'commit' or 'batch', "
+                f"got {durability!r}"
             )
         self.catalog = Catalog()
         self.graph_overlay = bool(graph_overlay)
@@ -898,6 +934,31 @@ class Database:
         #: concurrent closers tear down exactly once.
         self.closed = False
         self._close_mutex = threading.Lock()
+        from .faults import FaultInjector
+
+        self.durability = durability
+        self.faults = FaultInjector.coerce(faults)
+        #: Recovery summary (records replayed, tail truncated, ...) set
+        #: by :meth:`open`; None for a database born fresh.
+        self.recovery_info: Optional[dict] = None
+        #: The write-ahead log, or None under ``durability="off"`` —
+        #: in which case every write path below is byte-for-byte the
+        #: pre-WAL code (the ``_wal_lock`` helper degrades to a
+        #: nullcontext and no logging call runs).
+        self.wal = None
+        if durability != "off":
+            if wal_dir is None:
+                raise ValueError(
+                    "a durable Database needs a wal_dir on direct "
+                    "construction; use Database.open(directory, "
+                    "durability=...) to pair the log with a database "
+                    "directory (and recover whatever is already there)"
+                )
+            from .storage.wal import WriteAheadLog
+
+            self.wal = WriteAheadLog.create(
+                wal_dir, durability=durability, faults=self.faults
+            )
         # every committed table mutation invalidates both caches and
         # refreshes the recorded statistics row counts
         self.catalog.add_write_listener(self._on_table_write)
@@ -978,6 +1039,10 @@ class Database:
         self.exec_pool.shutdown(wait=True)
         self.plan_cache.clear()
         self.graph_indices.clear_cache()
+        if self.wal is not None:
+            # final fsync: a clean close loses nothing even under the
+            # group-commit policy
+            self.wal.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -1067,11 +1132,52 @@ class Database:
                         f"version {live.version} is newer than this "
                         f"transaction's base version {txn.base[name]}"
                     )
-            with self._snapshot_mutex:
-                for name in names:
-                    self.catalog.get(name).replace_columns(
-                        list(txn.writes[name].columns)
+            with self._wal_lock():
+                lsn = None
+                if self.wal is not None:
+                    # one atomic record for the whole write set, logged
+                    # after the conflict checks and before the install
+                    # becomes visible — recovery replays all or nothing
+                    lsn = self.wal.log_txn(
+                        (name, list(txn.writes[name].columns))
+                        for name in names
                     )
+                with self._snapshot_mutex:
+                    for name in names:
+                        self.catalog.get(name).replace_columns(
+                            list(txn.writes[name].columns)
+                        )
+        self._wal_sync(lsn)
+
+    # ------------------------------------------------------------------
+    # write-ahead logging
+    # ------------------------------------------------------------------
+    def _wal_lock(self):
+        """The WAL append+install mutex — or a no-op context under
+        ``durability="off"``, keeping the off path identical to the
+        pre-WAL engine (no lock, no logging)."""
+        wal = self.wal
+        return wal.mutex if wal is not None else nullcontext()
+
+    def _wal_sync(self, lsn: Optional[int]) -> None:
+        """Make the commit durable per the sync policy before it is
+        acknowledged.  Runs *outside* the WAL mutex and the table write
+        locks, so the fsync (the slow part) never serializes other
+        committers — that's what group commit coalesces."""
+        if lsn is not None and self.wal is not None:
+            self.wal.sync(lsn)
+
+    def wal_stats(self) -> dict:
+        """WAL counters (appends, fsyncs, group-commit coalescing,
+        checkpoints) plus the recovery summary — the ``\\storage``
+        shell surface and the server's ``ping`` stats."""
+        if self.wal is None:
+            return {"enabled": False, "durability": self.durability}
+        stats = self.wal.stats()
+        stats["enabled"] = True
+        if self.recovery_info is not None:
+            stats["recovery"] = self.recovery_info
+        return stats
 
     # ------------------------------------------------------------------
     # SQL entry points
@@ -1393,7 +1499,24 @@ class Database:
         return self.catalog.create_table(name, Schema(columns))
 
     def insert_rows(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
-        return self.catalog.get(table).insert_rows(rows)
+        target = self.catalog.get(table)
+        if self.wal is None:
+            return target.insert_rows(rows)
+        rows = list(rows)
+        if not rows:
+            return 0
+        with self._write_locks({target.name}):
+            version = target.current()
+            combined = build_appended_columns(
+                version.schema, version.columns, rows
+            )
+            with self.wal.mutex:
+                lsn = self.wal.log_insert(target.name, rows)
+                target.replace_columns(
+                    combined, WriteInfo("append", appended=len(rows))
+                )
+        self.wal.sync(lsn)
+        return len(rows)
 
     def appender(
         self, table: str, *, session: Optional[Session] = None
@@ -1436,10 +1559,31 @@ class Database:
         Keyword options are forwarded to the :class:`Database`
         constructor (e.g. ``compression=False`` materializes every
         column eagerly to plain arrays instead of memory-mapping the
-        encoded format-v4 files)."""
+        encoded format-v4 files).  When a write-ahead log sits next to
+        the image (``<directory>.wal``), its records are replayed over
+        it — pass ``durability="commit"``/``"batch"`` to keep logging
+        afterwards, see :meth:`open`."""
         from .persist import load_database
 
         return load_database(directory, **options)
+
+    @classmethod
+    def open(
+        cls, directory: str, *, durability: str = "commit", **options
+    ) -> "Database":
+        """Open (or create) a durable database at ``directory``.
+
+        The recovery entry point: loads the last checkpoint image if
+        one exists, replays the paired write-ahead log
+        (``<directory>.wal`` unless ``wal_dir`` overrides it) in commit
+        order — truncating a torn tail rather than failing — and
+        attaches a live log so further commits are durable.  A
+        directory with neither image nor log starts fresh.  The
+        recovery summary lands in :attr:`recovery_info`.
+        """
+        from .persist import open_database
+
+        return open_database(directory, durability=durability, **options)
 
     # ------------------------------------------------------------------
     # statement-scoped locking (writers only — readers pin snapshots)
@@ -1520,17 +1664,36 @@ class Database:
             )
             return Result.from_text_lines("plan", text.splitlines())
         if isinstance(bound, BoundCreateTable):
-            self.catalog.create_table(bound.name, Schema(list(bound.columns)))
+            # DDL logs after the catalog op succeeds (a rejected CREATE
+            # must leave no record), both under the WAL mutex so log
+            # order always equals install order
+            with self._wal_lock():
+                table = self.catalog.create_table(
+                    bound.name, Schema(list(bound.columns))
+                )
+                lsn = (
+                    self.wal.log_create_table(table.name, table.schema)
+                    if self.wal is not None
+                    else None
+                )
+            self._wal_sync(lsn)
             return Result(None, rowcount=0)
         if isinstance(bound, BoundDropTable):
             # take the table's write lock first: in-flight writers
             # holding it finish before the table disappears under them
             # (lock-free readers keep their pinned versions regardless)
             with self._write_locks({bound.name}):
-                self.catalog.drop_table(bound.name)
+                with self._wal_lock():
+                    self.catalog.drop_table(bound.name)
+                    lsn = (
+                        self.wal.log_simple("drop_table", table=bound.name)
+                        if self.wal is not None
+                        else None
+                    )
             self.plan_cache.invalidate_table(bound.name)
             self.graph_indices.drop_for_table(bound.name)
             self.stats.drop(bound.name)
+            self._wal_sync(lsn)
             return Result(None, rowcount=0)
         if isinstance(bound, BoundAnalyze):
             snapshot = txn.snapshot if txn is not None else None
@@ -1566,10 +1729,17 @@ class Database:
                 columns, count, dropped = self._delete_columns(
                     bound, params, snapshot
                 )
-                self.catalog.get(bound.table).replace_columns(
-                    columns, WriteInfo("delete", dropped_rows=dropped)
-                )
-                return Result(None, rowcount=count)
+                with self._wal_lock():
+                    lsn = (
+                        self.wal.log_delete(bound.table, dropped)
+                        if self.wal is not None
+                        else None
+                    )
+                    self.catalog.get(bound.table).replace_columns(
+                        columns, WriteInfo("delete", dropped_rows=dropped)
+                    )
+            self._wal_sync(lsn)
+            return Result(None, rowcount=count)
         if isinstance(bound, BoundUpdate):
             reads = referenced_tables(bound.scan)
             if bound.predicate is not None:
@@ -1588,20 +1758,52 @@ class Database:
                     for position, _ in bound.assignments
                 )
                 columns, count = self._update_columns(bound, params, snapshot)
-                self.catalog.get(bound.table).replace_columns(
-                    columns, WriteInfo("update", columns=touched)
-                )
-                return Result(None, rowcount=count)
+                with self._wal_lock():
+                    lsn = None
+                    if self.wal is not None:
+                        positions = sorted(
+                            {position for position, _ in bound.assignments}
+                        )
+                        lsn = self.wal.log_update(
+                            bound.table,
+                            [schema.columns[p].name for p in positions],
+                            [columns[p] for p in positions],
+                        )
+                    self.catalog.get(bound.table).replace_columns(
+                        columns, WriteInfo("update", columns=touched)
+                    )
+            self._wal_sync(lsn)
+            return Result(None, rowcount=count)
         if isinstance(bound, BoundCreateGraphIndex):
-            self.graph_indices.create(
-                bound.name, bound.table, bound.src_col, bound.dst_col
-            )
+            with self._wal_lock():
+                self.graph_indices.create(
+                    bound.name, bound.table, bound.src_col, bound.dst_col
+                )
+                lsn = (
+                    self.wal.log_simple(
+                        "create_graph_index",
+                        name=bound.name,
+                        table=bound.table,
+                        src=bound.src_col,
+                        dst=bound.dst_col,
+                    )
+                    if self.wal is not None
+                    else None
+                )
+            self._wal_sync(lsn)
             # build eagerly so the first query benefits (lock-free: the
             # build reads the table's current immutable version)
             self.graph_indices.lookup(bound.table, bound.src_col, bound.dst_col)
             return Result(None, rowcount=0)
         if isinstance(bound, BoundDropGraphIndex):
-            self.graph_indices.drop(bound.name)
+            with self._wal_lock():
+                self.graph_indices.drop(bound.name)
+                lsn = (
+                    self.wal.log_simple("drop_graph_index", name=bound.name)
+                    if self.wal is not None
+                    else None
+                )
+            self._wal_sync(lsn)
             return Result(None, rowcount=0)
         raise ExecutionError(f"cannot execute {type(bound).__name__}")
 
@@ -1638,7 +1840,16 @@ class Database:
                 for col, (_, type_) in zip(batch.columns, columns)
             ]
         )
-        self.catalog.publish_table(table)
+        with self._wal_lock():
+            self.catalog.publish_table(table)
+            lsn = (
+                self.wal.log_ctas(
+                    table.name, table.schema, list(table.current().columns)
+                )
+                if self.wal is not None
+                else None
+            )
+        self._wal_sync(lsn)
         return Result(None, rowcount=batch.num_rows)
 
     def _delete_columns(
@@ -1727,8 +1938,22 @@ class Database:
         self, bound: BoundInsert, plan, params: tuple, snapshot: Snapshot
     ) -> Result:
         rows = self._insert_rows_for(bound, plan, params, snapshot)
-        count = self.catalog.get(bound.table).insert_rows(rows)
-        return Result(None, rowcount=count)
+        table = self.catalog.get(bound.table)
+        if self.wal is None or not rows:
+            count = table.insert_rows(rows)
+            return Result(None, rowcount=count)
+        # validate + coerce *before* logging: a rejected INSERT must
+        # not leave a record that recovery would replay.  The caller
+        # holds the table's write lock, so current() is stable.
+        version = table.current()
+        combined = build_appended_columns(version.schema, version.columns, rows)
+        with self.wal.mutex:
+            lsn = self.wal.log_insert(table.name, rows)
+            table.replace_columns(
+                combined, WriteInfo("append", appended=len(rows))
+            )
+        self.wal.sync(lsn)
+        return Result(None, rowcount=len(rows))
 
     def _txn_insert(
         self, txn: Transaction, bound: BoundInsert, plan, params: tuple
@@ -1810,7 +2035,15 @@ class Database:
             )
             if not fresh or len(fresh[0]) == 0:
                 return Result(None, rowcount=0)
-            return Result(None, rowcount=table.insert_columns(fresh))
+            if self.wal is None:
+                return Result(None, rowcount=table.insert_columns(fresh))
+            # the file's contents are logged, not its path: recovery
+            # must not depend on the CSV still existing (or matching)
+            with self.wal.mutex:
+                lsn = self.wal.log_append(table.name, fresh)
+                count = table.insert_columns(fresh)
+        self.wal.sync(lsn)
+        return Result(None, rowcount=count)
 
 
 def connect(**kwargs: Any) -> Database:

@@ -218,6 +218,18 @@ class Shell:
                 f"memo_hits={fact['memo_hits']} "
                 f"shared_dict_joins={fact['shared_dict_joins']}"
             )
+            wal = self.db.wal_stats()
+            if wal.get("enabled"):
+                self.write(
+                    f"wal: durability={wal['durability']} "
+                    f"lsn={wal['last_lsn']} synced={wal['synced_lsn']} "
+                    f"appends={wal['appends']} syncs={wal['syncs']}/"
+                    f"{wal['sync_requests']} "
+                    f"bytes={wal['bytes_written']} "
+                    f"checkpoints={wal['checkpoints']}"
+                )
+            else:
+                self.write("wal: durability=off")
         elif name == "\\graph":
             info = self.db.graph_overlay_info()
             self.write(
@@ -319,12 +331,16 @@ def serve_main(argv: list[str]) -> int:
 
     Options: ``--queue-depth N`` (admission high-water mark),
     ``--statement-timeout S`` (per-statement ceiling, seconds),
-    ``--exec-workers N`` (kernel + statement worker threads).
+    ``--exec-workers N`` (kernel + statement worker threads),
+    ``--durability off|commit|batch`` (write-ahead logging policy; with
+    a database directory the server recovers it — checkpoint image plus
+    WAL replay — *before* accepting connections).
     """
     from .server import serve
 
     address: Optional[str] = None
     directory: Optional[str] = None
+    durability: Optional[str] = None
     options: dict = {}
     try:
         index = 0
@@ -342,6 +358,16 @@ def serve_main(argv: list[str]) -> int:
             elif arg == "--exec-workers":
                 index += 1
                 options["exec_workers"] = int(argv[index])
+            elif arg == "--durability":
+                index += 1
+                durability = argv[index]
+                if durability not in ("off", "commit", "batch"):
+                    print(
+                        f"error: --durability expects off|commit|batch, "
+                        f"got {durability!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
             elif arg.startswith("--"):
                 print(f"error: unknown option {arg}", file=sys.stderr)
                 return 2
@@ -354,7 +380,8 @@ def serve_main(argv: list[str]) -> int:
     except (IndexError, ValueError):
         print(
             "usage: python -m repro --serve HOST:PORT [database-dir] "
-            "[--queue-depth N] [--statement-timeout S] [--exec-workers N]",
+            "[--queue-depth N] [--statement-timeout S] [--exec-workers N] "
+            "[--durability off|commit|batch]",
             file=sys.stderr,
         )
         return 2
@@ -368,10 +395,35 @@ def serve_main(argv: list[str]) -> int:
         return 2
     exec_workers = options.pop("exec_workers", None)
     try:
-        if directory is not None:
+        if directory is not None and durability is not None:
+            # recovery runs here, before the listening socket opens: no
+            # client ever observes a partially replayed database
+            db = Database.open(directory, durability=durability)
+            if exec_workers is not None:
+                db.set_exec_workers(exec_workers)
+            info = db.recovery_info or {}
+            torn = (
+                f", torn tail truncated ({info.get('truncate_reason')}, "
+                f"{info.get('truncated_bytes')} bytes)"
+                if info.get("truncate_reason")
+                else ""
+            )
+            print(
+                f"recovered {directory}: checkpoint lsn "
+                f"{info.get('checkpoint_lsn', 0)}, "
+                f"{info.get('replayed', 0)} wal record(s) replayed{torn}; "
+                f"durability={durability}"
+            )
+        elif directory is not None:
             db = Database.load(directory)
             if exec_workers is not None:
                 db.set_exec_workers(exec_workers)
+        elif durability is not None:
+            print(
+                "error: --durability requires a database directory",
+                file=sys.stderr,
+            )
+            return 2
         elif exec_workers is not None:
             db = Database(exec_workers=exec_workers)
         else:

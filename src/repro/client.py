@@ -28,10 +28,17 @@ server multiplexes them onto the shared engine.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Iterator, Optional, Sequence
 
-from .errors import ExecutionError, ProtocolError, error_from_code
+from .errors import (
+    BackpressureError,
+    ExecutionError,
+    ProtocolError,
+    error_from_code,
+)
 from .server.protocol import (
     HEADER,
     decode_rows,
@@ -115,11 +122,42 @@ class ClientPreparedStatement:
         return f"<ClientPreparedStatement #{self.handle} {self.sql!r}>"
 
 
+#: Statement prefixes safe to transparently re-send after an
+#: *ambiguous* disconnect (the request may or may not have executed):
+#: re-running a read observes the same or newer state, never a double
+#: effect.  Everything else — DML, DDL, COPY, transaction control — is
+#: surfaced to the caller instead of risking a duplicate apply.
+_IDEMPOTENT_PREFIXES = ("SELECT", "WITH", "VALUES", "EXPLAIN")
+
+
+def _first_keyword(sql: str) -> str:
+    for token in sql.replace("(", " ").split():
+        return token.upper()
+    return ""
+
+
 class Client:
     """A blocking connection to a :class:`repro.server.ReproServer`.
 
     ``timeout`` bounds every socket operation (connect and response
     wait), complementing the server-side statement timeout.
+
+    ``retries`` enables bounded retry with exponential backoff and
+    jitter for the two transient failure shapes a well-behaved client
+    should absorb:
+
+    * :class:`~repro.errors.BackpressureError` — the server shed the
+      request before running it, so *any* statement is safe to re-send;
+    * connection failure — on the initial connect, on reconnect, or a
+      connection *lost before a response arrived*.  A lost connection
+      is ambiguous (the statement may have committed server-side), so
+      only idempotent read statements are re-sent, and never inside an
+      open transaction (the server rolled the session's transaction
+      back with the connection).
+
+    ``backoff`` is the base delay in seconds; attempt *n* sleeps
+    ``min(backoff_cap, backoff * 2**(n-1))`` scaled by 0.5–1.0 jitter
+    so a thundering herd of retrying clients decorrelates.
     """
 
     def __init__(
@@ -128,13 +166,45 @@ class Client:
         port: int = 0,
         *,
         timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
     ):
         self.host = host
         self.port = port
-        self._sock: Optional[socket.socket] = socket.create_connection(
-            (host, port), timeout=timeout
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._sock: Optional[socket.socket] = None
+        self._user_closed = False
+        self._in_transaction = False
+        attempt = 0
+        while True:
+            try:
+                self._connect()
+                break
+            except OSError:
+                # surfaced as the raw OSError (ConnectionRefusedError
+                # etc.) once the retry budget is spent
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                self._sleep(attempt)
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
         )
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        # a fresh connection is a fresh server session: any transaction
+        # the old session had open was rolled back with it
+        self._in_transaction = False
+
+    def _sleep(self, attempt: int) -> None:
+        delay = min(self.backoff_cap, self.backoff * (2 ** (attempt - 1)))
+        time.sleep(delay * (0.5 + random.random() / 2))
 
     # ------------------------------------------------------------------
     def execute(
@@ -145,7 +215,9 @@ class Client:
         timeout: Optional[float] = None,
     ) -> ClientResult:
         """Execute one statement; ``timeout`` (seconds) asks the server
-        for a per-statement limit below its configured ceiling."""
+        for a per-statement limit below its configured ceiling.  With
+        ``retries`` configured, transient failures are retried per the
+        class docstring."""
         request: dict = {
             "op": "execute",
             "sql": sql,
@@ -153,7 +225,48 @@ class Client:
         }
         if timeout is not None:
             request["timeout"] = timeout
-        return ClientResult(self._request(request))
+        attempt = 0
+        while True:
+            reconnect_failed = False
+            try:
+                if self._sock is None:
+                    if self._user_closed:
+                        raise ProtocolError("client is closed")
+                    try:
+                        self._connect()
+                    except OSError as exc:
+                        # the request was never sent: unambiguous, any
+                        # statement may be retried
+                        reconnect_failed = True
+                        raise ProtocolError(
+                            f"could not connect to server: {exc}"
+                        ) from None
+                payload = self._request(request)
+            except BackpressureError:
+                # shed before execution: unambiguous, always retryable
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                self._sleep(attempt)
+                continue
+            except ProtocolError:
+                if self._user_closed:
+                    raise
+                retryable = reconnect_failed or (
+                    _first_keyword(sql) in _IDEMPOTENT_PREFIXES
+                    and not self._in_transaction
+                )
+                attempt += 1
+                if not retryable or attempt > self.retries:
+                    raise
+                self._sleep(attempt)
+                continue
+            keyword = _first_keyword(sql)
+            if keyword == "BEGIN":
+                self._in_transaction = True
+            elif keyword in ("COMMIT", "ROLLBACK"):
+                self._in_transaction = False
+            return ClientResult(payload)
 
     def prepare(self, sql: str) -> ClientPreparedStatement:
         payload = self._request({"op": "prepare", "sql": sql})
@@ -167,13 +280,17 @@ class Client:
     def _request(self, request: dict) -> dict:
         sock = self._sock
         if sock is None:
-            raise ProtocolError("client is closed")
+            raise ProtocolError(
+                "client is closed"
+                if self._user_closed
+                else "connection to server lost"
+            )
         try:
             sock.sendall(encode_frame(request))
             header = self._read_exactly(sock, HEADER.size)
             payload_bytes = self._read_exactly(sock, frame_length(header))
         except (ConnectionError, socket.timeout, OSError) as exc:
-            self.close()
+            self._drop()
             raise ProtocolError(f"connection to server lost: {exc}") from None
         from .server.protocol import decode_payload
 
@@ -198,13 +315,19 @@ class Client:
         return b"".join(chunks)
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
+    def _drop(self) -> None:
+        """Tear down the socket after a connection failure, *without*
+        marking the client user-closed — ``execute`` may reconnect."""
         sock, self._sock = self._sock, None
         if sock is not None:
             try:
                 sock.close()
             except OSError:  # pragma: no cover - close is best-effort
                 pass
+
+    def close(self) -> None:
+        self._user_closed = True
+        self._drop()
 
     @property
     def closed(self) -> bool:

@@ -178,6 +178,24 @@ class ServerShutdownError(ServerError):
     code = "SERVER_SHUTDOWN"
 
 
+class WalError(ReproError):
+    """The write-ahead log is unusable: the log directory holds
+    unreplayed records but the database was constructed without
+    recovery, the log is missing records the image's checkpoint
+    expects, or a segment's structure is corrupt beyond the
+    truncate-the-torn-tail repair."""
+
+    code = "WAL_ERROR"
+
+
+class FaultInjectedError(ReproError):
+    """Raised by an ``error``-action crashpoint
+    (:mod:`repro.faults`) — the fault-injection analogue of an I/O
+    error, used by tests to exercise failure paths in-process."""
+
+    code = "FAULT_INJECTED"
+
+
 def _walk_subclasses(cls) -> "list[type[ReproError]]":
     out = [cls]
     for sub in cls.__subclasses__():

@@ -1,0 +1,149 @@
+"""Fault injection: named crashpoints on the durability paths.
+
+The WAL append/fsync paths (:mod:`repro.storage.wal`) and the
+checkpoint/rename paths (:mod:`repro.persist`) call
+``injector.fire("<point>")`` at the instants where a crash is
+interesting.  With no injector attached those calls don't exist
+(``Database.faults`` is ``None`` unless configured), so production
+code pays nothing.
+
+An injector is configured per database — ``Database(faults=...)`` /
+``Database.open(..., faults=...)`` — or process-wide through the
+``REPRO_CRASHPOINT`` environment variable, which is how the
+crash-torture suite arms its subprocess workloads.  The spec grammar::
+
+    <point>[:<action>[:<count>]][,<more specs>]
+
+    wal.append.after                  # hard-exit on the 1st hit
+    wal.append.write:torn             # write half the record, then exit
+    wal.sync.before:exit:5            # hard-exit on the 5th hit
+    save.swap.mid:error               # raise FaultInjectedError instead
+
+Actions:
+
+* ``exit`` (default) — ``os._exit(FAULT_EXIT_CODE)``: a hard kill, no
+  atexit handlers, no flushes — the closest a test can get to
+  ``kill -9`` from inside the process.
+* ``torn`` — at points that pass the bytes being written, write a
+  prefix of them (a torn/short write) and then hard-exit; at other
+  points it degrades to a plain exit.
+* ``error`` — raise :class:`~repro.errors.FaultInjectedError`, for
+  in-process tests that want the failure path without losing the
+  process.
+
+``count`` arms the point on its Nth hit (default 1) and the rule fires
+exactly once, so a recovered run re-armed with the same spec can crash
+*again* at a later occurrence of the same point.
+
+Crashpoints currently wired in (grep for ``_fire(`` / ``.fire(``):
+
+==========================  ================================================
+``wal.append.before``       before the record bytes are written
+``wal.append.write``        the record write itself (supports ``torn``)
+``wal.append.after``        record written+flushed, version not yet installed
+``wal.sync.before``         before the commit fsync
+``wal.sync.after``          after the fsync, before the commit is acked
+``save.image.before``       checkpoint image about to be written to staging
+``save.swap.before``        image staged, atomic swap not yet started
+``save.swap.mid``           old image renamed aside, new one not yet in place
+``save.swap.after``         new image in place, old one not yet removed
+==========================  ================================================
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+from .errors import FaultInjectedError, WalError
+
+#: Subprocess exit status used by ``exit``/``torn`` actions, so the
+#: torture harness can tell "killed at the armed crashpoint" from a
+#: workload bug (any other non-zero status fails the trial).
+FAULT_EXIT_CODE = 86
+
+_ACTIONS = ("exit", "torn", "error")
+
+#: Environment variable holding a spec; inherited by subprocesses,
+#: which is how the crash-torture suite arms its workload children.
+ENV_VAR = "REPRO_CRASHPOINT"
+
+
+class FaultInjector:
+    """Parsed crashpoint rules plus per-point hit counters.
+
+    Thread-safe: committers on different threads may hit the same
+    point concurrently; the counter and the one-shot trigger are
+    updated under a lock (the action itself — exiting or raising —
+    runs outside it).
+    """
+
+    def __init__(self, spec: "str | dict | None" = None):
+        self._mutex = threading.Lock()
+        self._rules: dict[str, dict] = {}
+        self.hits: dict[str, int] = {}
+        if isinstance(spec, dict):
+            for point, action in spec.items():
+                self._add_rule(f"{point}:{action}" if action else point)
+        elif spec:
+            for part in str(spec).split(","):
+                part = part.strip()
+                if part:
+                    self._add_rule(part)
+
+    def _add_rule(self, text: str) -> None:
+        fields = text.split(":")
+        if not 1 <= len(fields) <= 3 or not fields[0]:
+            raise WalError(f"bad crashpoint spec: {text!r}")
+        point = fields[0]
+        action = fields[1] if len(fields) > 1 and fields[1] else "exit"
+        if action not in _ACTIONS:
+            raise WalError(
+                f"bad crashpoint action {action!r} in {text!r} "
+                f"(expected one of {', '.join(_ACTIONS)})"
+            )
+        try:
+            count = int(fields[2]) if len(fields) > 2 else 1
+        except ValueError:
+            raise WalError(f"bad crashpoint count in {text!r}") from None
+        if count < 1:
+            raise WalError(f"bad crashpoint count in {text!r}")
+        self._rules[point] = {"action": action, "count": count, "fired": False}
+
+    @classmethod
+    def coerce(cls, value) -> "Optional[FaultInjector]":
+        """``Database(faults=...)`` accepts a spec string, a
+        ``{point: action}`` dict, an injector, or None — in which case
+        the ``REPRO_CRASHPOINT`` environment variable is consulted so
+        subprocess workloads inherit their kill schedule."""
+        if value is None:
+            env = os.environ.get(ENV_VAR)
+            return cls(env) if env else None
+        if isinstance(value, FaultInjector):
+            return value
+        return cls(value)
+
+    def fire(self, point: str, data: "bytes | None" = None, handle=None) -> None:
+        """Hit ``point``; trigger its rule's action if this is the
+        armed occurrence.  ``data``/``handle`` let write-path points
+        support the ``torn`` action (a prefix of ``data`` is written
+        to ``handle`` before the hard exit)."""
+        rule = self._rules.get(point)
+        if rule is None:
+            return
+        with self._mutex:
+            self.hits[point] = self.hits.get(point, 0) + 1
+            if rule["fired"] or self.hits[point] != rule["count"]:
+                return
+            rule["fired"] = True
+            action = rule["action"]
+        if action == "error":
+            raise FaultInjectedError(f"injected fault at crashpoint {point!r}")
+        if action == "torn" and data is not None and handle is not None:
+            handle.write(data[: max(1, len(data) // 2)])
+            handle.flush()
+        os._exit(FAULT_EXIT_CODE)
+
+
+__all__ = ["ENV_VAR", "FAULT_EXIT_CODE", "FaultInjector"]

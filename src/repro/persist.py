@@ -58,7 +58,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from .errors import ReproError
+from .errors import ReproError, WalError
 from .storage import (
     Column,
     ColumnStats,
@@ -97,9 +97,34 @@ def save_database(
     whole-catalog snapshot is pinned, so the image is point-in-time
     consistent and concurrent writers are never blocked.
     """
-    if snapshot is None:
-        snapshot = db.pin_snapshot()
     target = os.path.abspath(directory)
+    wal = getattr(db, "wal", None)
+    faults = getattr(db, "faults", None)
+    checkpoint = None  # (checkpoint_lsn, rotated-out segment seq)
+    checkpoint_lsn = None
+    if snapshot is None:
+        if wal is not None:
+            # pin + rotate under the WAL mutex: no commit can slip
+            # between the snapshot and its recorded log position
+            with wal.mutex:
+                snapshot = db.pin_snapshot()
+                if wal.paired_target is None:
+                    # the first save establishes the image this log
+                    # checkpoints against; saves elsewhere are backups
+                    # and must never rotate/prune a log they don't own
+                    wal.paired_target = target
+                if wal.paired_target == target:
+                    checkpoint = wal.begin_checkpoint()
+                    checkpoint_lsn = checkpoint[0]
+                else:
+                    checkpoint_lsn = wal.last_lsn
+        else:
+            snapshot = db.pin_snapshot()
+    elif wal is not None:
+        raise WalError(
+            "cannot checkpoint a durable database from an externally "
+            "pinned snapshot: its position in the log is unknown"
+        )
     parent = os.path.dirname(target) or os.curdir
     os.makedirs(parent, exist_ok=True)
     staging = tempfile.mkdtemp(
@@ -112,13 +137,52 @@ def save_database(
     os.umask(umask)
     os.chmod(staging, 0o777 & ~umask)
     try:
-        _write_image(db, snapshot, staging)
-        _swap_into_place(staging, target)
+        if faults is not None:
+            faults.fire("save.image.before")
+        _write_image(db, snapshot, staging, checkpoint_lsn=checkpoint_lsn)
+        # fsync every data file and directory *before* the rename: a
+        # crash right after the swap must never leave a renamed-in
+        # image whose contents are still unwritten page cache
+        _fsync_tree(staging)
+        if faults is not None:
+            faults.fire("save.swap.before")
+        _swap_into_place(staging, target, faults=faults)
     finally:
         shutil.rmtree(staging, ignore_errors=True)
+    if checkpoint is not None:
+        # only after the image swap succeeded are the covered segments
+        # disposable
+        wal.finish_checkpoint(checkpoint[1])
 
 
-def _write_image(db: "Database", snapshot: Snapshot, directory: str) -> None:
+def _fsync_tree(root: str) -> None:
+    """fsync every file, then every directory, under ``root`` — the
+    staged image is fully on disk before the atomic rename publishes
+    it (rename metadata can otherwise be reordered past data writes)."""
+    for dirpath, _dirnames, filenames in os.walk(root, topdown=False):
+        for filename in filenames:
+            with open(os.path.join(dirpath, filename), "rb") as handle:
+                os.fsync(handle.fileno())
+        _fsync_dir_entry(dirpath)
+
+
+def _fsync_dir_entry(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_image(
+    db: "Database",
+    snapshot: Snapshot,
+    directory: str,
+    checkpoint_lsn: "Optional[int]" = None,
+) -> None:
     compression = getattr(db, "compression", True)
     tables_meta = {}
     for name in snapshot.table_names():
@@ -145,6 +209,10 @@ def _write_image(db: "Database", snapshot: Snapshot, directory: str) -> None:
         "graph_index_files": _write_graph_indices(db, snapshot, directory),
         "stats": _dump_stats(db, snapshot),
     }
+    if checkpoint_lsn is not None:
+        # recovery skips WAL records at or below this LSN: the image
+        # already contains their effects
+        meta["wal"] = {"checkpoint_lsn": int(checkpoint_lsn)}
     with open(os.path.join(directory, "catalog.json"), "w") as handle:
         json.dump(meta, handle, indent=2)
 
@@ -380,31 +448,68 @@ def _restore_graph_indices(db: "Database", directory: str, meta: dict) -> None:
         )
 
 
-def _swap_into_place(staging: str, target: str) -> None:
+def _swap_into_place(staging: str, target: str, faults=None) -> None:
     """Move the fully-written ``staging`` directory over ``target``.
 
     POSIX ``rename`` cannot replace a non-empty directory, so an
     existing target is renamed aside first and removed only after the
     new image is in place — at every instant at least one complete
-    image exists under some name.
+    image exists under some name.  The parent directory is fsynced
+    after the renames so the swap itself is durable, and
+    :func:`_recover_interrupted_save` can put things right if the
+    process dies between the two renames.
     """
+    parent = os.path.dirname(target) or os.curdir
     displaced = None
     if os.path.exists(target):
         holding = tempfile.mkdtemp(
-            prefix=os.path.basename(target) + ".replaced-",
-            dir=os.path.dirname(target) or os.curdir,
+            prefix=os.path.basename(target) + ".replaced-", dir=parent
         )
         displaced = os.path.join(holding, "old")
         os.rename(target, displaced)
+        if faults is not None:
+            faults.fire("save.swap.mid")
     try:
         os.rename(staging, target)
     except OSError:
         if displaced is not None:  # restore the old image, best effort
             os.rename(displaced, target)
-        raise
-    finally:
-        if displaced is not None:
             shutil.rmtree(os.path.dirname(displaced), ignore_errors=True)
+        _fsync_dir_entry(parent)
+        raise
+    _fsync_dir_entry(parent)
+    if faults is not None:
+        faults.fire("save.swap.after")
+    if displaced is not None:
+        shutil.rmtree(os.path.dirname(displaced), ignore_errors=True)
+        _fsync_dir_entry(parent)
+
+
+def _recover_interrupted_save(target: str) -> None:
+    """Clean up the debris of a save that was killed mid-flight.
+
+    ``<base>.saving-*`` staging directories are incomplete by
+    construction and are removed.  A ``<base>.replaced-*/old`` entry is
+    the previous complete image renamed aside during the swap: if the
+    crash landed between the two renames the target itself is missing,
+    so the old image is restored; otherwise the holding directory is
+    leftover garbage and is dropped.
+    """
+    parent = os.path.dirname(target) or os.curdir
+    base = os.path.basename(target)
+    if not os.path.isdir(parent):
+        return
+    for entry in sorted(os.listdir(parent)):
+        path = os.path.join(parent, entry)
+        if not os.path.isdir(path):
+            continue
+        if entry.startswith(base + ".saving-"):
+            shutil.rmtree(path, ignore_errors=True)
+        elif entry.startswith(base + ".replaced-"):
+            displaced = os.path.join(path, "old")
+            if not os.path.exists(target) and os.path.isdir(displaced):
+                os.rename(displaced, target)
+            shutil.rmtree(path, ignore_errors=True)
 
 
 # ---------------------------------------------------------------------------
@@ -468,12 +573,152 @@ def load_database(directory: str, **options) -> "Database":
     ``np.load(mmap_mode="r")`` thunks materialize on first touch —
     unless ``compression=False``, which decodes everything eagerly to
     plain arrays.  v1–v3 npz images load eagerly, as always.
+
+    If a write-ahead log sits next to the image (or at ``wal_dir``),
+    records past the image's checkpoint are replayed, so the reloaded
+    database contains every change the log made durable — including
+    commits a crash prevented from ever being checkpointed.  Pass
+    ``durability="commit"``/``"batch"`` to keep logging after the load
+    (:meth:`Database.open` defaults to that); the default here is
+    ``durability="off"``: recover, then run in-memory.
     """
+    durability = options.pop("durability", "off")
+    wal_dir = options.pop("wal_dir", None)
+    return _open_database(
+        directory,
+        durability=durability,
+        wal_dir=wal_dir,
+        create_missing=False,
+        options=options,
+    )
+
+
+def open_database(
+    directory: str,
+    *,
+    durability: str = "commit",
+    wal_dir: Optional[str] = None,
+    **options,
+) -> "Database":
+    """Open ``directory`` as a durable database.
+
+    The recovery entry point behind :meth:`Database.open`:
+
+    1. leftover temp directories from a save killed mid-swap are
+       cleaned up (the previous complete image is restored if the kill
+       landed between the two renames);
+    2. the newest checkpoint image — if any — is loaded;
+    3. the write-ahead log is scanned, a torn tail (from a crash during
+       an append) is truncated, and every intact record past the
+       image's checkpoint LSN is replayed through the live write paths,
+       in commit order;
+    4. a :class:`~repro.storage.wal.WriteAheadLog` continuing at the
+       recovered LSN is attached (unless ``durability="off"``), so new
+       commits keep being logged.
+
+    Unlike :func:`load_database`, a directory with neither an image nor
+    a log is not an error: a fresh empty database is created and its
+    log started — ``open`` is idempotent "create or recover".
+    ``db.recovery_info`` describes what recovery did.
+    """
+    return _open_database(
+        directory,
+        durability=durability,
+        wal_dir=wal_dir,
+        create_missing=True,
+        options=options,
+    )
+
+
+def _open_database(
+    directory: str,
+    *,
+    durability: str,
+    wal_dir: Optional[str],
+    create_missing: bool,
+    options: dict,
+) -> "Database":
+    from .api import Database
+    from .storage.wal import (
+        WriteAheadLog,
+        apply_record,
+        default_wal_directory,
+        scan_wal,
+        wal_exists,
+    )
+
+    if durability not in ("off", "commit", "batch"):
+        raise ValueError(
+            f"durability must be 'off', 'commit' or 'batch', "
+            f"not {durability!r}"
+        )
+    target = os.path.abspath(directory)
+    _recover_interrupted_save(target)
+    wal_path = (
+        os.path.abspath(wal_dir) if wal_dir else default_wal_directory(target)
+    )
+    has_image = os.path.exists(os.path.join(target, "catalog.json"))
+    has_wal = wal_exists(wal_path)
+    if not has_image and not has_wal and not create_missing:
+        raise ReproError(f"not a saved database: {directory!r}")
+    if has_image:
+        db, checkpoint_lsn = _load_image(target, options)
+    else:
+        db = Database(**options)
+        checkpoint_lsn = 0
+    scan = scan_wal(wal_path) if has_wal else None
+    replayed = skipped = 0
+    if scan is not None:
+        live = [r for r in scan.records if r.lsn > checkpoint_lsn]
+        skipped = len(scan.records) - len(live)
+        if live and live[0].lsn > checkpoint_lsn + 1:
+            raise WalError(
+                f"write-ahead log at {wal_path!r} is missing records: the "
+                f"image checkpoints at lsn {checkpoint_lsn} but the first "
+                f"surviving log record is lsn {live[0].lsn}"
+            )
+        # db.wal is still None here, so replay installs versions
+        # without re-logging the records it is reading
+        for record in live:
+            apply_record(db, record)
+            replayed += 1
+    last_lsn = max(checkpoint_lsn, scan.last_lsn if scan is not None else 0)
+    db.recovery_info = {
+        "directory": target,
+        "wal_directory": wal_path,
+        "had_image": has_image,
+        "had_wal": has_wal,
+        "checkpoint_lsn": checkpoint_lsn,
+        "last_lsn": last_lsn,
+        "replayed": replayed,
+        "skipped": skipped,
+        "duplicates": scan.duplicates if scan is not None else 0,
+        "segments": scan.segments if scan is not None else 0,
+        "truncated_bytes": scan.truncated_bytes if scan is not None else 0,
+        "truncate_reason": scan.truncate_reason if scan is not None else None,
+        "dropped_segments": scan.dropped_segments if scan is not None else 0,
+    }
+    if durability != "off":
+        wal = WriteAheadLog(
+            wal_path,
+            durability=durability,
+            faults=db.faults,
+            start_lsn=last_lsn,
+            start_seq=scan.next_seq if scan is not None else 1,
+        )
+        wal.paired_target = target
+        db.durability = durability
+        db.wal = wal
+    return db
+
+
+def _load_image(directory: str, options: dict) -> "tuple[Database, int]":
+    """Load one checkpoint image; returns the database plus the
+    checkpoint LSN its WAL block recorded (0 for images saved without
+    an active log — every log record is then past the checkpoint)."""
     from .api import Database
 
     meta_path = os.path.join(directory, "catalog.json")
-    if not os.path.exists(meta_path):
-        raise ReproError(f"not a saved database: {directory!r}")
     with open(meta_path) as handle:
         meta = json.load(handle)
     if meta.get("format_version") not in _SUPPORTED_VERSIONS:
@@ -520,4 +765,4 @@ def load_database(directory: str, **options) -> "Database":
         db.graph_indices.create(index_name, *spec)
     _restore_graph_indices(db, directory, meta)
     _restore_stats(db, meta.get("stats", {}))
-    return db
+    return db, int(meta.get("wal", {}).get("checkpoint_lsn", 0))

@@ -187,6 +187,7 @@ class ReproServer:
             "statements_served": self.statements_served,
             "draining": self._draining,
             "admission": self.admission.stats(),
+            "wal": self.db.wal_stats(),
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,146 @@
+"""Crash-torture workload child (not a test module).
+
+Run as a subprocess by ``tests/test_crash_torture.py``::
+
+    python tests/crash_workload.py <dbdir> <intents.log> <acks.log> \
+        <seed> <ops> <durability>
+
+With ``REPRO_CRASHPOINT`` armed in the environment, the process
+hard-exits (status :data:`repro.faults.FAULT_EXIT_CODE`) somewhere in
+the durability path.  The protocol that lets the parent reconstruct
+exactly what was promised:
+
+* before executing an op, its JSON is appended to ``intents.log`` and
+  fsynced — so the parent knows the *one* op that may have been in
+  flight at the kill;
+* after the engine acknowledges the op (WAL append + fsync complete),
+  the same JSON is appended to ``acks.log`` and fsynced — every line
+  here is a durability promise the recovered database must honor.
+
+Ops are self-contained SQL (deterministic given the line itself), so
+the parent replays ``acks.log`` through :func:`apply_op` on a fresh
+in-memory database to build the oracle state.
+"""
+
+import json
+import os
+import random
+import sys
+
+
+def apply_op(db, op):
+    """Replay one op; shared by the child (live) and the parent
+    (oracle rebuild).  ``save`` ops are durability events with no
+    logical effect — the oracle skips them (the child checkpoints)."""
+    if op["kind"] == "save":
+        return
+    if op["kind"] == "txn":
+        session = db.connect()
+        session.execute("BEGIN")
+        for sql in op["sqls"]:
+            session.execute(sql)
+        session.execute("COMMIT")
+    else:
+        db.execute(op["sql"])
+
+
+def generate_ops(rng, count, existing_tables, seed):
+    """A deterministic randomized DML mix.  Table creation is emitted
+    only when the (recovered) database lacks the table, so repeated
+    trials over the same directory compose."""
+    ops = []
+    if "t" not in existing_tables:
+        ops.append(
+            {
+                "kind": "ddl",
+                "sql": "CREATE TABLE t (a INT, b VARCHAR)",
+                "id": f"{seed}-create-t",
+            }
+        )
+    if "u" not in existing_tables:
+        ops.append(
+            {
+                "kind": "ddl",
+                "sql": "CREATE TABLE u (x INT, y DOUBLE)",
+                "id": f"{seed}-create-u",
+            }
+        )
+    for index in range(count):
+        roll = rng.random()
+        if roll < 0.35:
+            values = ", ".join(
+                f"({rng.randint(0, 999)}, 'w{seed}-{index}-{j}')"
+                for j in range(rng.randint(1, 3))
+            )
+            op = {"kind": "dml", "sql": f"INSERT INTO t VALUES {values}"}
+        elif roll < 0.50:
+            op = {
+                "kind": "dml",
+                "sql": (
+                    f"UPDATE t SET b = 'u{seed}-{index}' "
+                    f"WHERE a % 7 = {rng.randint(0, 6)}"
+                ),
+            }
+        elif roll < 0.60:
+            op = {
+                "kind": "dml",
+                "sql": f"DELETE FROM t WHERE a % 23 = {rng.randint(0, 22)}",
+            }
+        elif roll < 0.75:
+            op = {
+                "kind": "dml",
+                "sql": (
+                    f"INSERT INTO u VALUES ({rng.randint(0, 99)}, "
+                    f"{rng.randint(0, 9)}.5)"
+                ),
+            }
+        elif roll < 0.85:
+            op = {
+                "kind": "dml",
+                "sql": f"UPDATE u SET y = y + 1 WHERE x % 5 = {rng.randint(0, 4)}",
+            }
+        elif roll < 0.95:
+            op = {
+                "kind": "txn",
+                "sqls": [
+                    f"INSERT INTO t VALUES ({rng.randint(0, 999)}, "
+                    f"'txn{seed}-{index}')",
+                    f"UPDATE u SET y = y + 2 WHERE x % 4 = {rng.randint(0, 3)}",
+                ],
+            }
+        else:
+            op = {"kind": "save"}
+        op["id"] = f"{seed}-{index}"
+        ops.append(op)
+    return ops
+
+
+def _append_line(handle, op):
+    handle.write(json.dumps(op, separators=(",", ":")) + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def main(argv):
+    target, intents_path, acks_path, seed_text, ops_text, durability = argv
+    seed, count = int(seed_text), int(ops_text)
+
+    from repro import Database
+
+    db = Database.open(target, durability=durability)
+    rng = random.Random(seed)
+    ops = generate_ops(rng, count, set(db.catalog.table_names()), seed)
+    with open(intents_path, "a") as intents, open(acks_path, "a") as acks:
+        for op in ops:
+            _append_line(intents, op)
+            if op["kind"] == "save":
+                db.save(target)
+            else:
+                apply_op(db, op)
+            _append_line(acks, op)
+    db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,257 @@
+"""Client retry policy against a scripted flaky server.
+
+A minimal in-process fake speaks just enough of the length-prefixed
+frame protocol to script failure shapes per connection: respond OK,
+respond BACKPRESSURE, or drop the connection without answering.  The
+tests pin down the retry matrix:
+
+* backpressure  → retried for any statement (bounded, with backoff);
+* dropped mid-request → retried only for idempotent reads, never for
+  DML, and never inside an open transaction;
+* connect/reconnect failure → retried for anything (nothing was sent).
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.client import Client
+from repro.errors import BackpressureError, ProtocolError
+from repro.server.protocol import HEADER, decode_payload, encode_frame, frame_length
+
+
+class FakeServer:
+    """One scripted action list per accepted connection.
+
+    Actions: ``"ok"`` (count result), ``"rows"`` (one-row result),
+    ``"backpressure"`` (typed error), ``"drop"`` (read the request,
+    close without responding).
+    """
+
+    def __init__(self, script):
+        self.script = [list(actions) for actions in script]
+        self.requests = []
+        self.connections = 0
+        self._listener = socket.socket()
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while self.script:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            actions = self.script.pop(0)
+            try:
+                for action in actions:
+                    request = self._read(conn)
+                    if request is None:
+                        break
+                    self.requests.append(request)
+                    if action == "drop":
+                        break
+                    conn.sendall(encode_frame(self._payload(action)))
+            finally:
+                conn.close()
+
+    @staticmethod
+    def _payload(action):
+        if action == "backpressure":
+            return {
+                "ok": False,
+                "error": {"code": "BACKPRESSURE", "message": "queue full"},
+            }
+        if action == "rows":
+            return {
+                "ok": True,
+                "kind": "rows",
+                "columns": ["v"],
+                "rows": [[1]],
+            }
+        return {"ok": True, "kind": "count", "rowcount": 1}
+
+    @staticmethod
+    def _read(conn):
+        try:
+            header = b""
+            while len(header) < HEADER.size:
+                chunk = conn.recv(HEADER.size - len(header))
+                if not chunk:
+                    return None
+                header += chunk
+            need = frame_length(header)
+            payload = b""
+            while len(payload) < need:
+                chunk = conn.recv(need - len(payload))
+                if not chunk:
+                    return None
+                payload += chunk
+            return decode_payload(payload)
+        except OSError:
+            return None
+
+    def close(self):
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def make_server():
+    servers = []
+
+    def factory(script):
+        server = FakeServer(script)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.close()
+
+
+def make_client(server, **kwargs):
+    kwargs.setdefault("timeout", 5)
+    kwargs.setdefault("backoff", 0.001)
+    return Client("127.0.0.1", server.port, **kwargs)
+
+
+class TestBackpressureRetry:
+    def test_retries_until_success(self, make_server):
+        server = make_server([["backpressure", "backpressure", "ok"]])
+        with make_client(server, retries=3) as client:
+            result = client.execute("INSERT INTO t VALUES (1)")
+        assert result.rowcount == 1
+        assert len(server.requests) == 3  # original + 2 retries
+
+    def test_bounded_budget_then_raises(self, make_server):
+        server = make_server([["backpressure"] * 3])
+        with make_client(server, retries=1) as client:
+            with pytest.raises(BackpressureError):
+                client.execute("SELECT 1")
+        assert len(server.requests) == 2  # original + 1 retry, then give up
+
+    def test_no_retry_by_default(self, make_server):
+        server = make_server([["backpressure", "ok"]])
+        with make_client(server) as client:
+            with pytest.raises(BackpressureError):
+                client.execute("SELECT 1")
+        assert len(server.requests) == 1
+
+    def test_backoff_sleeps_between_attempts(self, make_server, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
+        server = make_server([["backpressure", "backpressure", "ok"]])
+        with make_client(server, retries=2, backoff=0.1) as client:
+            client.execute("SELECT 1")
+        assert len(sleeps) == 2
+        # exponential with 0.5-1.0 jitter: attempt n in [base/2, base]
+        assert 0.05 <= sleeps[0] <= 0.1
+        assert 0.1 <= sleeps[1] <= 0.2
+
+
+class TestDisconnectRetry:
+    def test_idempotent_select_reconnects_and_retries(self, make_server):
+        server = make_server([["drop"], ["rows"]])
+        with make_client(server, retries=2) as client:
+            result = client.execute("SELECT v FROM t")
+        assert result.rows() == [(1,)]
+        assert server.connections == 2
+
+    def test_dml_is_never_retried_after_ambiguous_drop(self, make_server):
+        server = make_server([["drop"], ["ok"]])
+        with make_client(server, retries=5) as client:
+            with pytest.raises(ProtocolError, match="lost"):
+                client.execute("INSERT INTO t VALUES (1)")
+        assert server.connections == 1  # no reconnect attempt
+        assert len(server.requests) == 1
+
+    def test_no_retry_inside_open_transaction(self, make_server):
+        server = make_server([["ok", "drop"], ["rows"]])
+        with make_client(server, retries=5) as client:
+            client.execute("BEGIN")
+            with pytest.raises(ProtocolError):
+                client.execute("SELECT v FROM t")
+        assert server.connections == 1
+
+    def test_select_after_commit_is_retryable_again(self, make_server):
+        server = make_server([["ok", "ok", "ok", "drop"], ["rows"]])
+        with make_client(server, retries=2) as client:
+            client.execute("BEGIN")
+            client.execute("INSERT INTO t VALUES (1)")
+            client.execute("COMMIT")
+            result = client.execute("SELECT v FROM t")
+        assert result.rows() == [(1,)]
+        assert server.connections == 2
+
+    def test_user_closed_client_never_reconnects(self, make_server):
+        server = make_server([["ok"], ["rows"]])
+        client = make_client(server, retries=5)
+        client.execute("VALUES (1)")
+        client.close()
+        with pytest.raises(ProtocolError, match="closed"):
+            client.execute("SELECT 1")
+        assert server.connections == 1
+
+
+class TestConnectRetry:
+    def test_initial_connect_retries_through_refusals(self, monkeypatch):
+        real_create = socket.create_connection
+        failures = {"left": 2}
+        server = FakeServer([["ok"]])
+
+        def flaky(address, **kwargs):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise ConnectionRefusedError("scripted refusal")
+            return real_create(address, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.client.socket.create_connection", flaky
+        )
+        try:
+            with Client(
+                "127.0.0.1", server.port, retries=3, backoff=0.001
+            ) as client:
+                assert client.execute("SELECT 1").rowcount == 1
+        finally:
+            server.close()
+
+    def test_initial_connect_budget_exhausted_raises_oserror(
+        self, monkeypatch
+    ):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
+
+        def refuse(address, **kwargs):
+            raise ConnectionRefusedError("nobody home")
+
+        monkeypatch.setattr(
+            "repro.client.socket.create_connection", refuse
+        )
+        with pytest.raises(OSError):
+            Client("127.0.0.1", 1, retries=2, backoff=0.001)
+        assert len(sleeps) == 2
+
+    def test_reconnect_failure_is_retried_even_for_dml(
+        self, make_server, monkeypatch
+    ):
+        # the drop kills the connection *after* the INSERT executed —
+        # ambiguous, so the client must surface it.  But if the next
+        # attempt cannot even connect, that attempt was never sent and
+        # burning a retry on the reconnect is safe for any statement.
+        server = make_server([["rows"], ["rows"]])
+        client = make_client(server, retries=3)
+        client._drop()  # simulate a lost connection, request never sent
+        result = client.execute("SELECT v FROM t")
+        assert result.rows() == [(1,)]
+        client.close()

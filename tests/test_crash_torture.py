@@ -1,0 +1,211 @@
+"""Crash torture: kill the engine at random crashpoints, recover, and
+assert the acknowledged-commit prefix against a shadow oracle.
+
+Each trial runs :mod:`tests.crash_workload` in a subprocess with
+``REPRO_CRASHPOINT`` armed at a random point/occurrence, then recovers
+the directory and checks the fundamental durability contract:
+
+* **no lost acked commit** — every op fsync-logged to ``acks.log``
+  before the kill is present in the recovered state;
+* **no resurrected unacked write** — at most the *single* op that was
+  in flight at the kill may additionally appear (its WAL record can
+  survive in the OS page cache across ``os._exit``); anything else is
+  corruption.  A surviving in-flight op is promoted into the ack log so
+  subsequent trials over the same directory keep composing.
+
+Trials accumulate state in one directory — recover, run more DML,
+crash again — including periodic ``save()`` checkpoints, so rotation,
+pruning and image+log recovery all get exercised under fire.
+
+The tier-1 run keeps a handful of trials; the full matrix (default 200,
+``REPRO_TORTURE_TRIALS`` to override) is ``stress``-marked for the CI
+fault-injection job.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro import Database
+from repro.faults import ENV_VAR, FAULT_EXIT_CODE
+
+from tests.crash_workload import apply_op
+
+WORKLOAD = os.path.join(os.path.dirname(__file__), "crash_workload.py")
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+#: The crashpoint pool; (point, action) pairs are sampled per trial and
+#: armed on a random occurrence so kills land everywhere in the op
+#: stream — mid-append, between fsync and ack, inside checkpoint swaps.
+CRASHPOINTS = [
+    ("wal.append.before", "exit"),
+    ("wal.append.write", "exit"),
+    ("wal.append.write", "torn"),
+    ("wal.append.after", "exit"),
+    ("wal.sync.before", "exit"),
+    ("wal.sync.after", "exit"),
+    ("save.image.before", "exit"),
+    ("save.swap.before", "exit"),
+    ("save.swap.mid", "exit"),
+    ("save.swap.after", "exit"),
+]
+
+
+def read_ops(path):
+    """Complete JSON lines only: the log being appended at the kill may
+    itself end mid-line."""
+    if not os.path.exists(path):
+        return []
+    ops = []
+    with open(path) as handle:
+        for line in handle:
+            if not line.endswith("\n"):
+                break
+            ops.append(json.loads(line))
+    return ops
+
+
+def dump(db):
+    out = {}
+    for name in sorted(db.catalog.table_names()):
+        result = db.execute(f"SELECT * FROM {name}")
+        out[name] = (result.column_names, sorted(result.rows(), key=repr))
+    return out
+
+
+def oracle_state(acked):
+    oracle = Database()
+    for op in acked:
+        apply_op(oracle, op)
+    state = dump(oracle)
+    oracle.close()
+    return state
+
+
+def run_trial(workdir, rng, trial):
+    target = os.path.join(workdir, "db")
+    intents_path = os.path.join(workdir, "intents.log")
+    acks_path = os.path.join(workdir, "acks.log")
+    point, action = rng.choice(CRASHPOINTS)
+    spec = f"{point}:{action}:{rng.randint(1, 14)}"
+    seed = rng.randint(0, 10**9)
+    durability = rng.choice(["commit", "batch"])
+    env = dict(
+        os.environ,
+        PYTHONPATH=SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        **{ENV_VAR: spec},
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            WORKLOAD,
+            target,
+            intents_path,
+            acks_path,
+            str(seed),
+            "24",
+            durability,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    context = (
+        f"trial {trial}: spec={spec} seed={seed} durability={durability}\n"
+        f"stderr: {proc.stderr[-2000:]}"
+    )
+    # 86 = killed at the armed crashpoint; 0 = the workload finished
+    # before reaching the armed occurrence (both are valid trials)
+    assert proc.returncode in (0, FAULT_EXIT_CODE), context
+
+    acked = read_ops(acks_path)
+    intents = read_ops(intents_path)
+    recovered = Database.open(target, durability="off")
+    state = dump(recovered)
+    recovered.close()
+
+    if state == oracle_state(acked):
+        return proc.returncode
+    # the single in-flight op's record may have survived the kill
+    # (os._exit leaves the page cache intact) even though the child
+    # died before acknowledging it
+    acked_ids = {op["id"] for op in acked}
+    candidate = (
+        intents[-1]
+        if intents and intents[-1]["id"] not in acked_ids
+        else None
+    )
+    if candidate is not None and state == oracle_state(acked + [candidate]):
+        # promote: it *is* in the durable state, so later trials (and
+        # their oracles) must count it
+        with open(acks_path, "a") as handle:
+            handle.write(json.dumps(candidate, separators=(",", ":")) + "\n")
+        return proc.returncode
+    raise AssertionError(
+        f"recovered state matches neither acks nor acks+in-flight\n{context}"
+    )
+
+
+def torture(tmp_path, trials, seed):
+    rng = random.Random(seed)
+    crashed = 0
+    workdir = str(tmp_path)
+    for trial in range(trials):
+        crashed += run_trial(workdir, rng, trial) == FAULT_EXIT_CODE
+    # the matrix must actually kill things, not run to completion
+    assert crashed >= trials // 4, f"only {crashed}/{trials} trials crashed"
+
+
+class TestCrashTorture:
+    def test_smoke(self, tmp_path):
+        """A handful of kills on every tier-1 run."""
+        torture(tmp_path, trials=int(os.environ.get("REPRO_TORTURE_SMOKE", "6")), seed=1234)
+
+    @pytest.mark.stress
+    def test_full_matrix(self, tmp_path):
+        """The acceptance matrix: hundreds of randomized kill points
+        over one accumulating directory."""
+        torture(
+            tmp_path,
+            trials=int(os.environ.get("REPRO_TORTURE_TRIALS", "200")),
+            seed=987,
+        )
+
+    def test_clean_run_without_crashpoint(self, tmp_path):
+        """The workload itself is sound: no armed point, no crash, the
+        final state equals the full oracle."""
+        rng = random.Random(42)
+        env = dict(
+            os.environ,
+            PYTHONPATH=SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        )
+        env.pop(ENV_VAR, None)
+        target = str(tmp_path / "db")
+        acks = str(tmp_path / "acks.log")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                WORKLOAD,
+                target,
+                str(tmp_path / "intents.log"),
+                acks,
+                "7",
+                "30",
+                "commit",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert proc.returncode == 0, proc.stderr
+        recovered = Database.open(target, durability="off")
+        assert dump(recovered) == oracle_state(read_ops(acks))
+        recovered.close()

@@ -152,7 +152,7 @@ class TestAtomicSave:
         # survive untouched (no half-written mix)
         from repro import persist
 
-        def exploding_write(db_, snapshot, directory):
+        def exploding_write(db_, snapshot, directory, **kwargs):
             (tmp_path / "db.partial-marker").write_text("")
             raise RuntimeError("disk full")
 
