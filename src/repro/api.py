@@ -65,6 +65,7 @@ from .exec.batch import Batch
 from .exec.kernels import KernelCounters
 from .exec.operators import ExecContext, execute_plan
 from .exec.parallel import ExecPool
+from .envutil import env_int
 from .graph import GraphLibrary, GraphOverlayState, edge_valid_mask
 from .nested import NestedTableValue
 from .plan import (
@@ -112,6 +113,7 @@ from .storage import (
     read_csv_vectors,
     read_npz_vectors,
 )
+from .storage.spill import SpillCounters, SpillManager
 
 
 #: Leading words of the statement kinds the plan cache can hold; other
@@ -852,6 +854,19 @@ class Database:
         arming named crashpoints on the WAL and checkpoint paths; None
         consults the ``REPRO_CRASHPOINT`` environment variable.  Test
         machinery — see :mod:`repro.faults`.
+    memory_budget:
+        Soft per-query working-memory target in bytes.  ``"auto"``
+        (default) consults ``REPRO_MEMORY_BUDGET``; unset / ``None`` /
+        ``<= 0`` means unlimited — today's fully materialized execution,
+        byte for byte.  With a budget, scans stream morsels through
+        fused filter/project/aggregate pipelines, grouped aggregation
+        and equi-joins partition oversized inputs to spill files
+        (:mod:`repro.storage.spill`), and ORDER BY falls back to an
+        external merge sort.  Every budgeted path reuses the unchanged
+        kernels per partition, so results are bit-identical to the
+        unbudgeted oracle for any budget (the forced-budget fuzz suite,
+        ``tests/test_memory_budget.py``).  Counters:
+        :meth:`memory_stats` / the shell's ``\\memory``.
     """
 
     def __init__(
@@ -873,6 +888,7 @@ class Database:
         durability: str = "off",
         wal_dir: Optional[str] = None,
         faults=None,
+        memory_budget: int | str | None = "auto",
     ) -> None:
         if graph_compact_mode not in ("eager", "background", "off"):
             raise ValueError(
@@ -920,6 +936,28 @@ class Database:
         #: for tests/test_storage_compression.py.
         self.compression = bool(compression)
         self.storage_counters = StorageCounters()
+        #: Memory-budgeted execution knob (bytes).  ``None`` (the
+        #: default, also reachable with ``memory_budget<=0`` or an unset
+        #: ``REPRO_MEMORY_BUDGET``) keeps every operator on its fully
+        #: materialized path — the bit-identical oracle.  A positive
+        #: budget turns on streaming scans and lets grouped
+        #: aggregation, equi-joins and ORDER BY spill partitioned
+        #: inputs to disk instead of materializing over-budget working
+        #: sets.  Results are identical for any budget.
+        if memory_budget == "auto":
+            memory_budget = env_int("REPRO_MEMORY_BUDGET", None)
+        if memory_budget is not None:
+            memory_budget = int(memory_budget)
+            if memory_budget <= 0:
+                memory_budget = None
+        self.memory_budget = memory_budget
+        self.spill_counters = SpillCounters()
+        #: Owner of the temp files partitioned operators write; a
+        #: directory-backed database swaps in a manager rooted under
+        #: ``<dir>/spill`` on open (swept on recovery), anonymous
+        #: databases use a ``repro-spill-*`` tempdir created on first
+        #: spill.
+        self.spill_manager = SpillManager(counters=self.spill_counters)
         #: Shared morsel-execution worker pool (lazily spawned; a
         #: 1-worker pool never starts a thread and keeps every kernel
         #: on its serial path).
@@ -1039,6 +1077,7 @@ class Database:
         self.exec_pool.shutdown(wait=True)
         self.plan_cache.clear()
         self.graph_indices.clear_cache()
+        self.spill_manager.close()
         if self.wal is not None:
             # final fsync: a clean close loses nothing even under the
             # group-commit policy
@@ -1357,6 +1396,10 @@ class Database:
         profiler.kernel_stats = self.kernel_stats()
         profiler.parallel_stats = self.parallel_stats()
         profiler.storage_stats = self.storage_stats()
+        profiler.memory_stats = {
+            **self.memory_stats(),
+            "decisions": ctx.accountant.snapshot()["decisions"],
+        }
         return result, profiler.render(plan)
 
     def explain(self, sql: str) -> str:
@@ -1385,6 +1428,21 @@ class Database:
                 f"applied={graph['overlay_applied']} "
                 f"merges={graph['overlay_merges']}"
             )
+        if self.memory_budget is not None:
+            mem = self.memory_stats()
+            footer += (
+                f"\n-- memory budget: {self.memory_budget} bytes "
+                f"spills={mem['spills']} partitions={mem['partitions']} "
+                f"streams={mem['streams']} sort_runs={mem['sort_runs']}"
+            )
+        dynamic = self.storage_counters.snapshot().get(
+            "dynamic_zone_filters", {}
+        )
+        if dynamic:
+            rendered = " ".join(
+                f"{source}={count}" for source, count in sorted(dynamic.items())
+            )
+            footer += f"\n-- dynamic zone filters: {rendered}"
         return footer
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
@@ -1435,6 +1493,19 @@ class Database:
             "compression": self.compression,
             **self.storage_counters.snapshot(),
             "factorize": factorize_counters.snapshot(),
+            "spill": self.memory_stats(),
+        }
+
+    def memory_stats(self) -> dict:
+        """Memory-budget counters: the configured budget (None =
+        unlimited) plus the cumulative spill/stream totals — spill
+        decisions taken, partitions and temp files written, bytes
+        written/read through spill files, streamed pipelines and their
+        morsel counts, external-sort runs and merges.  Surfaced by
+        profile-report footers and the shell's ``\\memory`` command."""
+        return {
+            "memory_budget": self.memory_budget,
+            **self.spill_counters.snapshot(),
         }
 
     def set_exec_workers(self, workers: int | str | None) -> int:
@@ -1991,6 +2062,7 @@ class Database:
                 types,
                 header=bound.header,
                 delimiter=bound.delimiter,
+                pool=self.exec_pool,
             )
         except OSError as exc:
             raise ExecutionError(

@@ -15,6 +15,8 @@ Meta commands:
 * ``\\stats [table]`` — optimizer statistics recorded by ``ANALYZE``
 * ``\\storage [table]`` — per-column resting encodings and bytes, plus
   zone-map morsel-skip and factorize counters
+* ``\\memory`` — memory budget and spill/stream counters (budgeted
+  execution: streaming scans, partitioned spills, external sorts)
 * ``\\graph [index]`` — graph-overlay state per index (base/overlay edge
   counts, tombstones, compaction config) and overlay hit/merge counters
 * ``\\workers [path|exec] [n|auto]`` — show / set the shortest-path and
@@ -230,6 +232,25 @@ class Shell:
                 )
             else:
                 self.write("wal: durability=off")
+        elif name == "\\memory":
+            stats = self.db.memory_stats()
+            budget = stats["memory_budget"]
+            self.write(
+                "memory budget: "
+                + ("unlimited" if budget is None else f"{budget} bytes")
+            )
+            self.write(
+                f"spills: decisions={stats['spills']} "
+                f"partitions={stats['partitions']} "
+                f"files={stats['files']} "
+                f"bytes_written={stats['bytes_written']} "
+                f"bytes_read={stats['bytes_read']}"
+            )
+            self.write(
+                f"streaming: pipelines={stats['streams']} "
+                f"morsels={stats['stream_morsels']} "
+                f"sort_runs={stats['sort_runs']} merges={stats['merges']}"
+            )
         elif name == "\\graph":
             info = self.db.graph_overlay_info()
             self.write(

@@ -765,6 +765,79 @@ def _stable_argsort(
 # ---------------------------------------------------------------------------
 # ordering
 # ---------------------------------------------------------------------------
+def ordered_sort_codes(
+    column: Column,
+    ascending: bool,
+    par: Optional[ParallelContext] = None,
+) -> tuple[np.ndarray, int]:
+    """Value-ordered int64 codes (and their cardinality) for one ORDER BY
+    key: NULLs coded last; descending keys flip their codes, which turns
+    NULLS LAST ascending into NULLS FIRST descending — exactly the
+    row-at-a-time comparator.  Raises :class:`KernelFallback` for NaN
+    float keys (no total order; only the row path reproduces Python's
+    input-order-dependent result) and unorderable object keys.
+    """
+    # resting-encoded columns are NaN-free by construction (ANALYZE
+    # never adopts an encoding over NaN floats), so the probe — which
+    # would decode the whole column just to inspect it — only touches
+    # plain storage
+    if column.encoding is None and column.data.dtype.kind == "f":
+        nan = np.isnan(column.data)
+        if column.mask is not None:
+            nan &= ~column.mask
+        if nan.any():
+            raise KernelFallback(
+                "NaN sort keys have no total order", REASON_NAN_ORDER
+            )
+    codes, cardinality, uniques = _factorize(column, nan_distinct=False, par=par)
+    # non-object codes are value-ordered by construction; object
+    # codes are only ordered when np.unique could sort the payloads.
+    # A resting encoding with uniques=None is the integer-pack fast
+    # path — never object payloads — so only plain columns need the
+    # dtype probe (which would otherwise decode the whole column)
+    if (
+        uniques is None
+        and cardinality > 1
+        and column.encoding is None
+        and column.data.dtype == np.dtype(object)
+    ):
+        raise KernelFallback(
+            "sort key values are not orderable", REASON_UNCODIFIABLE
+        )
+    if not ascending:
+        codes = (cardinality - 1) - codes
+    return codes, cardinality
+
+
+def composite_sort_rank(
+    keys: Sequence[tuple[Column, bool]],
+    n_rows: int,
+    par: Optional[ParallelContext] = None,
+) -> "np.ndarray | None":
+    """One mixed-radix int64 rank per row whose *stable argsort* equals
+    :func:`sort_order` over the same keys (ties in the rank are exactly
+    ties in every key, and the stable permutation of equal keys is
+    unique).  The external merge sort runs over this single array, so
+    sorted runs can merge with plain ``searchsorted``.  Returns None
+    when the combined code space would overflow int64 — callers then
+    fall back to the fused in-memory ``np.lexsort``.
+    """
+    if not keys:
+        return np.zeros(n_rows, dtype=np.int64)
+    rank: "np.ndarray | None" = None
+    total = 1
+    for column, ascending in keys:
+        codes, cardinality = ordered_sort_codes(column, ascending, par)
+        total *= max(cardinality, 1)
+        if total > (1 << 62):
+            return None
+        if rank is None:
+            rank = codes
+        else:
+            rank = rank * cardinality + codes
+    return rank
+
+
 def sort_order(
     keys: Sequence[tuple[Column, bool]],
     n_rows: int,
@@ -772,47 +845,18 @@ def sort_order(
 ) -> np.ndarray:
     """Stable sort permutation for multi-key ORDER BY via ``np.lexsort``.
 
-    Each ``(column, ascending)`` key is factorized into ordered codes
-    (NULLs coded last); descending keys flip their codes, which turns
-    NULLS LAST ascending into NULLS FIRST descending — exactly the
-    row-at-a-time comparator.  Stability across fully-tied rows matches
-    the multi-pass stable sort it replaces.  Codification runs
+    Each ``(column, ascending)`` key is factorized into ordered codes by
+    :func:`ordered_sort_codes`.  Stability across fully-tied rows
+    matches the multi-pass stable sort it replaces.  Codification runs
     morsel-parallel under ``par``; the final ``np.lexsort`` is serial
     (it is one fused multi-key sort, already the minority of the time).
-
-    NaN-bearing float keys fall back: Python's ``sorted`` has no
-    consistent total order for NaN (comparisons are all False), and its
-    input-order-dependent result is the oracle semantics — only the
-    row path reproduces it.
     """
     if not keys:
         return np.arange(n_rows, dtype=np.int64)
-    code_arrays = []
-    for column, ascending in keys:
-        if column.data.dtype.kind == "f":
-            nan = np.isnan(column.data)
-            if column.mask is not None:
-                nan &= ~column.mask
-            if nan.any():
-                raise KernelFallback(
-                    "NaN sort keys have no total order", REASON_NAN_ORDER
-                )
-        codes, cardinality, uniques = _factorize(
-            column, nan_distinct=False, par=par
-        )
-        # non-object codes are value-ordered by construction; object
-        # codes are only ordered when np.unique could sort the payloads
-        if (
-            uniques is None
-            and cardinality > 1
-            and column.data.dtype == np.dtype(object)
-        ):
-            raise KernelFallback(
-                "sort key values are not orderable", REASON_UNCODIFIABLE
-            )
-        if not ascending:
-            codes = (cardinality - 1) - codes
-        code_arrays.append(codes)
+    code_arrays = [
+        ordered_sort_codes(column, ascending, par)[0]
+        for column, ascending in keys
+    ]
     # np.lexsort treats its *last* key as primary; plan keys are listed
     # primary-first
     return np.lexsort(tuple(reversed(code_arrays))).astype(np.int64, copy=False)

@@ -48,7 +48,13 @@ from ..plan import exprs as bx
 from ..plan import logical as lp
 from ..plan import physical as pp
 from ..storage import Column, DataType
-from ..storage.zonemap import select_zone_spans
+from ..storage.spill import (
+    SPILL_CHUNK_ROWS,
+    MemoryAccountant,
+    estimate_batch_bytes,
+)
+from ..storage.types import coerce_python_value
+from ..storage.zonemap import ZONE_ROWS, ZonePredicate, select_zone_spans
 from . import kernels
 from .batch import Batch, ZeroColumnBatch
 from .evaluator import EvalContext, evaluate
@@ -114,6 +120,20 @@ class ExecContext:
         #: ``compression`` knob; False is the plain-storage oracle).
         self.compression = getattr(database, "compression", True)
         self.storage_counters = getattr(database, "storage_counters", None)
+        #: Memory-budgeted execution (the Database's ``memory_budget``
+        #: knob; None = unlimited = the fully-materialized oracle).  The
+        #: accountant records per-query stream/spill decisions for the
+        #: profiler and EXPLAIN footers; the spill manager owns the
+        #: temp files partitioned operators write.
+        self.spill_manager = getattr(database, "spill_manager", None)
+        self.accountant = MemoryAccountant(
+            getattr(database, "memory_budget", None),
+            getattr(database, "spill_counters", None),
+        )
+        #: Runtime zone predicates installed for the duration of a
+        #: probe-side execution by the hash-join operator
+        #: (``id(PScan) -> list[ZonePredicate]``).
+        self.dynamic_zones: dict[int, list] = {}
         self._eval = EvalContext(params, self.run)
 
     def kernel_hit(self, op: str) -> None:
@@ -149,36 +169,108 @@ def execute_plan(plan: pp.PhysicalNode, ctx: ExecContext) -> Batch:
 # ---------------------------------------------------------------------------
 # leaves
 # ---------------------------------------------------------------------------
-def _exec_scan(plan: pp.PScan, ctx: ExecContext) -> Batch:
+def _scan_version(plan: pp.PScan, ctx: ExecContext):
     if ctx.snapshot is not None:
-        version = ctx.snapshot.table_version(plan.table)
-    else:
-        version = ctx.catalog.get(plan.table).current()
+        return ctx.snapshot.table_version(plan.table)
+    return ctx.catalog.get(plan.table).current()
+
+
+def _scan_columns(plan: pp.PScan, ctx: ExecContext, version) -> list[Column]:
     columns = list(version.columns)
     if len(plan.schema) != len(version.schema):
         # narrowed scan (projection pruning): select the kept columns
         columns = [
             columns[version.schema.index_of(c.name)] for c in plan.schema
         ]
-    if plan.zone_filters and ctx.compression:
-        spans, skipped, total = select_zone_spans(
-            version, plan.zone_filters, ctx.params
-        )
+    return columns
+
+
+def _insub_resolver(ctx: ExecContext):
+    """The ``select_zone_spans`` resolver for ``insub`` zone predicates:
+    runs the IN-subquery's physical plan and reports its values' (lo,
+    hi) range, ``()`` when the probe set has no matchable value, or None
+    when the result is undecidable (strings, coercion failure, error —
+    the residual filter then decides every row, so keeping all zones is
+    always safe).  The subquery may run a second time inside the
+    residual filter; zone pruning trades that re-execution for skipped
+    morsels, which wins exactly when the probed table is large."""
+
+    def resolve(zf, col_type):
+        (_, plan), = zf.operands
+        try:
+            batch = ctx.run(plan)
+        except Exception:
+            return None
+        if not batch.columns:
+            return None
+        values = []
+        for value in batch.columns[0].to_pylist():
+            if value is None:
+                continue
+            try:
+                value = coerce_python_value(value, col_type)
+            except Exception:
+                return None
+            if value is None or isinstance(value, str):
+                return None
+            if isinstance(value, float) and value != value:
+                continue  # NaN probe value never equals anything
+            values.append(value)
         if ctx.storage_counters is not None:
-            ctx.storage_counters.note_scan(plan.table, total, skipped)
-        if spans is not None:
-            # whole morsels proven empty by the zone maps are dropped
-            # before the residual filter ever touches them; kept morsels
-            # stay in row order, so results are bit-identical
-            if not spans:
-                columns = [c.slice(0, 0) for c in columns]
-            elif len(spans) == 1:
-                columns = [c.slice(*spans[0]) for c in columns]
-            else:
-                columns = [
-                    Column.concat([c.slice(s, e) for s, e in spans])
-                    for c in columns
-                ]
+            ctx.storage_counters.note_dynamic("in_subquery")
+        if not values:
+            return ()
+        return (min(values), max(values))
+
+    return resolve
+
+
+def _scan_spans(plan: pp.PScan, ctx: ExecContext, version):
+    """Surviving row spans after static + dynamic zone filters, or None
+    when nothing can be skipped (callers then scan zero-copy)."""
+    if not ctx.compression:
+        return None
+    dynamic = ctx.dynamic_zones.get(id(plan), ())
+    zone_filters = tuple(plan.zone_filters) + tuple(dynamic)
+    if not zone_filters:
+        return None
+    spans, skipped, total = select_zone_spans(
+        version, zone_filters, ctx.params, resolver=_insub_resolver(ctx)
+    )
+    if plan.zone_filters and ctx.storage_counters is not None:
+        ctx.storage_counters.note_scan(plan.table, total, skipped)
+    return spans
+
+
+def _exec_scan(plan: pp.PScan, ctx: ExecContext) -> Batch:
+    version = _scan_version(plan, ctx)
+    columns = _scan_columns(plan, ctx, version)
+    spans = _scan_spans(plan, ctx, version)
+    if spans is not None:
+        # whole morsels proven empty by the zone maps are dropped
+        # before the residual filter ever touches them; kept morsels
+        # stay in row order, so results are bit-identical.  Budgeted
+        # execution slices through slice_morsel (same values, bounded
+        # decode) instead of the full-column decode of .slice
+        if ctx.accountant.active:
+            if columns and spans == [(0, len(columns[0]))]:
+                # nothing pruned: keep the resting-encoded columns as
+                # they are (a [0, n) slice is the identity) so later
+                # budgeted operators can decode morsel-wise instead of
+                # inheriting a fully decoded copy
+                return Batch(plan.schema, columns)
+            cut = lambda c, s, e: c.slice_morsel(s, e)  # noqa: E731
+        else:
+            cut = lambda c, s, e: c.slice(s, e)  # noqa: E731
+        if not spans:
+            columns = [c.slice(0, 0) for c in columns]
+        elif len(spans) == 1:
+            columns = [cut(c, *spans[0]) for c in columns]
+        else:
+            columns = [
+                Column.concat([cut(c, s, e) for s, e in spans])
+                for c in columns
+            ]
     return Batch(plan.schema, columns)
 
 
@@ -229,12 +321,87 @@ def _exec_cte_ref(plan: pp.PCTERef, ctx: ExecContext) -> Batch:
 # unary
 # ---------------------------------------------------------------------------
 def _exec_filter(plan: pp.PFilter, ctx: ExecContext) -> Batch:
+    if plan.streamable and ctx.accountant.active:
+        streamed = _streamed_filter(plan, ctx)
+        if streamed is not None:
+            return streamed
     batch = execute_plan(plan.input, ctx)
     predicate = ctx.eval(plan.predicate, batch)
     keep = predicate.data.astype(np.bool_)
     if predicate.mask is not None:
         keep = keep & ~predicate.mask
     return batch.filter(keep)
+
+
+def _stream_chain(plan) -> "tuple[list, pp.PScan] | None":
+    """The ``[outermost..innermost]`` streamable-filter chain under
+    ``plan`` down to a base-table scan, or None when the shape does not
+    stream."""
+    filters = []
+    node = plan
+    while isinstance(node, pp.PFilter) and node.streamable:
+        filters.append(node)
+        node = node.input
+    if not isinstance(node, pp.PScan):
+        return None
+    return filters, node
+
+
+def _filter_morsel(filters, morsel: Batch, ctx: ExecContext) -> Batch:
+    """Apply a filter chain to one morsel, innermost predicate first —
+    the same rows each predicate would see in the materialized plan
+    (outer predicates only ever evaluate over inner survivors)."""
+    for f in reversed(filters):
+        predicate = ctx.eval(f.predicate, morsel)
+        keep = predicate.data.astype(np.bool_)
+        if predicate.mask is not None:
+            keep = keep & ~predicate.mask
+        morsel = morsel.filter(keep)
+    return morsel
+
+
+def _streamed_filter(plan: pp.PFilter, ctx: ExecContext) -> "Batch | None":
+    """Fused filter chain over a scan, one morsel at a time: each morsel
+    is sliced (decoding only its zones), filtered, and the survivors
+    concatenated in row order — elementwise predicates commute with
+    concatenation, so the result is bit-identical to the materialized
+    path while the working set stays one morsel plus survivors."""
+    chain = _stream_chain(plan)
+    if chain is None:
+        return None
+    filters, scan = chain
+    version = _scan_version(scan, ctx)
+    if not version.columns:
+        return None
+    n = len(version.columns[0])
+    if n <= SPILL_CHUNK_ROWS:
+        return None  # single morsel: streaming would not bound anything
+    columns = _scan_columns(scan, ctx, version)
+    spans = _scan_spans(scan, ctx, version)
+    if spans is None:
+        spans = [(0, n)]
+    pieces: list[Batch] = []
+    morsels = 0
+    for start, stop in spans:
+        for ms in range(start, stop, SPILL_CHUNK_ROWS):
+            me = min(ms + SPILL_CHUNK_ROWS, stop)
+            morsel = Batch(
+                scan.schema, [c.slice_morsel(ms, me) for c in columns]
+            )
+            morsel = _filter_morsel(filters, morsel, ctx)
+            morsels += 1
+            if morsel.num_rows:
+                pieces.append(morsel)
+    ctx.accountant.note_stream(morsels)
+    if not pieces:
+        return Batch(
+            plan.schema, [Column.empty(c.type) for c in columns]
+        )
+    out = [
+        Column.concat([piece.columns[i] for piece in pieces])
+        for i in range(len(columns))
+    ]
+    return Batch(plan.schema, out)
 
 
 def _exec_project(plan: pp.PProject, ctx: ExecContext) -> Batch:
@@ -267,13 +434,46 @@ def _batch_rows(batch: Batch) -> list[tuple]:
     return list(zip(*(col.to_pylist() for col in batch.columns)))
 
 
+def _gather_streamed(column: Column, indices: np.ndarray) -> Column:
+    """``column.take(indices)`` with bounded decode: a resting-encoded
+    column is gathered zone by zone (sort the indices, decode each
+    touched zone once via ``slice_morsel``, then invert the sort), so a
+    selective gather never materializes the whole column.  Bit-identical
+    to ``take`` — the same values land in the same positions, and the
+    per-zone decodes equal the corresponding full-decode slices."""
+    if column._data is not None or column.encoding is None or len(indices) == 0:
+        return column.take(indices)
+    indices = np.asarray(indices, dtype=np.int64)
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    zones = sorted_idx // ZONE_ROWS
+    n = len(column)
+    bounds = np.concatenate(
+        ([0], np.flatnonzero(np.diff(zones)) + 1, [len(sorted_idx)])
+    )
+    parts = []
+    for i in range(len(bounds) - 1):
+        s, e = int(bounds[i]), int(bounds[i + 1])
+        lo = int(zones[s]) * ZONE_ROWS
+        hi = min(lo + ZONE_ROWS, n)
+        parts.append(column.slice_morsel(lo, hi).take(sorted_idx[s:e] - lo))
+    gathered = Column.concat(parts)
+    inverse = np.empty(len(indices), dtype=np.int64)
+    inverse[order] = np.arange(len(indices), dtype=np.int64)
+    return gathered.take(inverse)
+
+
 def _take_columns(
     columns: list[Column], indices: np.ndarray, ctx: ExecContext
 ) -> list[Column]:
     """Gather each column by ``indices``, one pooled task per column when
     the morsel layer is active (payload gathers dominate wide joins and
     sorts; column granularity parallelizes them without any reordering
-    concern — each task fills exactly one output column)."""
+    concern — each task fills exactly one output column).  Under a
+    memory budget, resting-encoded columns gather zone-at-a-time
+    instead of decoding whole."""
+    if ctx.accountant.active:
+        return [_gather_streamed(c, indices) for c in columns]
     par = ctx.parallel
     if par is None or len(columns) <= 1 or not par.active_for(len(indices)):
         return [c.take(indices) for c in columns]
@@ -308,8 +508,25 @@ def _exec_sort(plan: pp.PSort, ctx: ExecContext) -> Batch:
     keys = [(ctx.eval(key.expr, batch), key.ascending) for key in plan.keys]
     if ctx.vectorized:
         try:
-            order = kernels.sort_order(keys, batch.num_rows, ctx.parallel)
+            order = None
+            if (
+                keys
+                and ctx.accountant.active
+                and ctx.spill_manager is not None
+                and batch.num_rows > SPILL_CHUNK_ROWS
+                and ctx.accountant.decide(
+                    "sort", estimate_batch_bytes(batch.columns)
+                )
+            ):
+                order = _external_sort_order(keys, batch.num_rows, ctx)
+            if order is None:
+                order = kernels.sort_order(keys, batch.num_rows, ctx.parallel)
             ctx.kernel_hit("sort")
+            if ctx.accountant.active and plan.limit is not None:
+                # top-k fusion: the PLimit above slices [offset,
+                # offset+limit), which is a prefix of this truncated
+                # permutation — identical rows, bounded payload gather
+                order = order[: plan.limit]
             if not batch.columns:
                 return batch.take(order)
             return Batch(batch.schema, _take_columns(batch.columns, order, ctx))
@@ -331,10 +548,105 @@ def _exec_sort(plan: pp.PSort, ctx: ExecContext) -> Batch:
     return batch.take(order)
 
 
+def _external_sort_order(
+    keys, n: int, ctx: ExecContext
+) -> "np.ndarray | None":
+    """External merge sort: the sort permutation via sorted on-disk runs.
+
+    Every key column folds into one mixed-radix int64 rank whose stable
+    argsort equals ``kernels.sort_order`` (ties in the rank are ties in
+    every key).  Runs of ``SPILL_CHUNK_ROWS`` rows are stably argsorted
+    and spilled as (rank, row) pairs; runs then merge pairwise in
+    balanced rounds — each merge combines two *adjacent* runs with
+    ``searchsorted``, the earlier run (smaller original row numbers)
+    taking the left side on rank ties, and spills the result back
+    until one run remains.  Stable two-way merge with that tie rule is
+    associative, so the surviving order is the unique stable
+    permutation by (rank, original row) regardless of merge shape —
+    identical to the one-shot stable argsort — while memory stays two
+    runs plus their merge (the final merge drops the rank side
+    entirely).  Returns None when the combined key-code space
+    overflows int64 (callers then lexsort in memory)."""
+    rank = kernels.composite_sort_rank(keys, n, ctx.parallel)
+    if rank is None:
+        return None
+    counters = ctx.accountant.counters
+    runs = []
+    for ms in range(0, n, SPILL_CHUNK_ROWS):
+        me = min(ms + SPILL_CHUNK_ROWS, n)
+        local = np.argsort(rank[ms:me], kind="stable").astype(np.int64)
+        run = ctx.spill_manager.create_file(f"sortrun{len(runs):03d}")
+        run.append_columns(
+            [
+                Column(DataType.BIGINT, rank[ms:me][local]),
+                Column(DataType.BIGINT, local + ms),
+            ]
+        )
+        run.finish()
+        runs.append(run)
+        if counters is not None:
+            counters.note("sort_runs")
+    del rank  # the runs carry it now; keep the merge loop's floor low
+    if not runs:
+        return np.empty(0, dtype=np.int64)
+    try:
+        while len(runs) > 1:
+            next_round = []
+            for i in range(0, len(runs) - 1, 2):
+                a = runs[i].read_columns()
+                runs[i].remove()
+                b = runs[i + 1].read_columns()
+                runs[i + 1].remove()
+                a_rank, a_rows = a[0].data, a[1].data
+                b_rank, b_rows = b[0].data, b[1].data
+                at_a = np.arange(len(a_rank), dtype=np.int64) + (
+                    np.searchsorted(b_rank, a_rank, side="left")
+                )
+                at_b = np.arange(len(b_rank), dtype=np.int64) + (
+                    np.searchsorted(a_rank, b_rank, side="right")
+                )
+                out_rows = np.empty(len(a_rows) + len(b_rows), dtype=np.int64)
+                out_rows[at_a] = a_rows
+                out_rows[at_b] = b_rows
+                if counters is not None:
+                    counters.note("merges")
+                if len(runs) == 2:
+                    runs = []
+                    return out_rows  # final merge: the permutation itself
+                out_rank = np.empty_like(out_rows)
+                out_rank[at_a] = a_rank
+                out_rank[at_b] = b_rank
+                merged = ctx.spill_manager.create_file(
+                    f"sortmerge{len(next_round):03d}"
+                )
+                merged.append_columns(
+                    [
+                        Column(DataType.BIGINT, out_rank),
+                        Column(DataType.BIGINT, out_rows),
+                    ]
+                )
+                merged.finish()
+                next_round.append(merged)
+            if len(runs) % 2:
+                next_round.append(runs[-1])  # odd run rides to the next round
+            runs = next_round
+        columns = runs[0].read_columns()
+        runs[0].remove()
+        runs = []
+        return columns[1].data
+    finally:
+        for run in runs:
+            run.remove()
+
+
 # ---------------------------------------------------------------------------
 # aggregation
 # ---------------------------------------------------------------------------
 def _exec_aggregate(plan: pp.PAggregate, ctx: ExecContext) -> Batch:
+    if plan.streamable and ctx.accountant.active and ctx.vectorized:
+        streamed = _streamed_aggregate(plan, ctx)
+        if streamed is not None:
+            return streamed
     batch = execute_plan(plan.input, ctx)
     n = batch.num_rows
     key_columns = [ctx.eval(e, batch) for e in plan.group_exprs]
@@ -342,6 +654,19 @@ def _exec_aggregate(plan: pp.PAggregate, ctx: ExecContext) -> Batch:
         ctx.eval(a.arg, batch) if a.arg is not None else None for a in plan.aggs
     ]
     if ctx.vectorized:
+        if (
+            key_columns
+            and ctx.accountant.active
+            and ctx.spill_manager is not None
+            and n > SPILL_CHUNK_ROWS
+            and ctx.accountant.decide(
+                "group_by", estimate_batch_bytes(batch.columns)
+            )
+        ):
+            try:
+                return _spilled_aggregate(plan, key_columns, arg_columns, n, ctx)
+            except KernelFallback:
+                pass  # the in-memory paths below handle (and count) it
         try:
             return _vectorized_aggregate(plan, key_columns, arg_columns, n, ctx)
         except KernelFallback as exc:
@@ -419,6 +744,194 @@ def _vectorized_aggregate(
     return Batch(plan.schema, columns)
 
 
+def _streamed_aggregate(plan: pp.PAggregate, ctx: ExecContext) -> "Batch | None":
+    """Fused scan→filter→aggregate over one morsel at a time.
+
+    Only for plans the optimizer marked streamable: ungrouped,
+    non-distinct aggregates whose input is a streamable-filter chain
+    over a base scan, with SUM/AVG restricted to integral arguments.
+    The accumulators mirror the kernels exactly — int64 wrap-around
+    sums (``np.add.reduce`` over any chunking of the same int64 values
+    is associative mod 2^64), AVG as ``float64(sum) / float64(count)``,
+    MIN/MAX as order-independent folds — so the single output row is
+    bit-identical to the materialized kernel path.  Returns None (and
+    the caller materializes) whenever the kernels would fall back:
+    NaN ordering for float MIN/MAX, uncomparable object values."""
+    chain = _stream_chain(plan.input)
+    if chain is None:
+        return None
+    filters, scan = chain
+    version = _scan_version(scan, ctx)
+    if not version.columns:
+        return None
+    n = len(version.columns[0])
+    if n <= SPILL_CHUNK_ROWS:
+        return None  # single morsel: streaming would not bound anything
+    columns = _scan_columns(scan, ctx, version)
+    spans = _scan_spans(scan, ctx, version)
+    if spans is None:
+        spans = [(0, n)]
+    n_aggs = len(plan.aggs)
+    counts = [0] * n_aggs
+    sums = [np.zeros(1, dtype=np.int64) for _ in range(n_aggs)]
+    mins: list = [None] * n_aggs
+    maxs: list = [None] * n_aggs
+    total_rows = 0
+    morsels = 0
+    for start, stop in spans:
+        for ms in range(start, stop, SPILL_CHUNK_ROWS):
+            me = min(ms + SPILL_CHUNK_ROWS, stop)
+            morsel = Batch(
+                scan.schema, [c.slice_morsel(ms, me) for c in columns]
+            )
+            morsel = _filter_morsel(filters, morsel, ctx)
+            morsels += 1
+            total_rows += morsel.num_rows
+            if not morsel.num_rows:
+                continue
+            for j, spec in enumerate(plan.aggs):
+                if spec.func == "count_star":
+                    continue
+                arg = ctx.eval(spec.arg, morsel)
+                data = arg.data
+                if arg.mask is not None:
+                    data = data[~arg.mask]
+                if not len(data):
+                    continue
+                counts[j] += len(data)
+                if spec.func == "count":
+                    continue
+                if spec.func in ("sum", "avg"):
+                    sums[j][0] += data.astype(np.int64, copy=False).sum()
+                    continue
+                if data.dtype.kind == "f" and np.isnan(data).any():
+                    return None  # kernel falls back on NaN ordering
+                if data.dtype == np.dtype(object):
+                    try:
+                        lo, hi = min(data.tolist()), max(data.tolist())
+                    except TypeError:
+                        return None  # uncomparable: kernel falls back too
+                else:
+                    lo, hi = data.min().item(), data.max().item()
+                if spec.func == "min":
+                    mins[j] = lo if mins[j] is None else min(mins[j], lo)
+                else:
+                    maxs[j] = hi if maxs[j] is None else max(maxs[j], hi)
+    values_out: list = []
+    for j, spec in enumerate(plan.aggs):
+        if spec.func == "count_star":
+            values_out.append(total_rows)
+        elif spec.func == "count":
+            values_out.append(counts[j])
+        elif counts[j] == 0:
+            values_out.append(None)
+        elif spec.func == "sum":
+            values_out.append(int(sums[j][0]))
+        elif spec.func == "avg":
+            values_out.append(
+                float(np.float64(sums[j][0]) / np.float64(counts[j]))
+            )
+        elif spec.func == "min":
+            values_out.append(mins[j])
+        else:
+            values_out.append(maxs[j])
+    out_columns = []
+    for col_def, value in zip(plan.schema, values_out):
+        type_ = col_def.type or _infer_output_type([value])
+        column = Column.from_values(type_, [value])
+        if col_def.type is not None and column.type != col_def.type:
+            column = column.cast(col_def.type)
+        out_columns.append(column)
+    ctx.accountant.note_stream(morsels)
+    ctx.kernel_hit("group_by")
+    return Batch(plan.schema, out_columns)
+
+
+def _spilled_aggregate(
+    plan: pp.PAggregate,
+    key_columns: list[Column],
+    arg_columns: list[Optional[Column]],
+    n: int,
+    ctx: ExecContext,
+) -> Batch:
+    """GROUP BY with inputs radix-partitioned into spill files by group
+    id, aggregated one partition at a time through the unchanged
+    kernels.
+
+    Every group's rows land wholly in one partition (``id % parts`` is
+    deterministic) and partition routing preserves row order, so each
+    per-partition kernel run sees exactly the global run's value
+    sequence for its groups — results scatter back by global group id
+    and are bit-identical to the single-shot path, while only one
+    partition's rows are ever decoded at once."""
+    for column in arg_columns:
+        if column is not None and column.type is None:
+            raise KernelFallback("spilled aggregate requires typed arguments")
+    ids, n_groups, first_rows = kernels.group_ids(key_columns, n, ctx.parallel)
+    ctx.kernel_hit("group_by")
+    args_idx = [j for j, c in enumerate(arg_columns) if c is not None]
+    est = estimate_batch_bytes(
+        key_columns + [arg_columns[j] for j in args_idx]
+    )
+    parts = ctx.accountant.partition_count(est)
+    spill = ctx.spill_manager.partitions(parts, "agg")
+    try:
+        for ms in range(0, n, SPILL_CHUNK_ROWS):
+            me = min(ms + SPILL_CHUNK_ROWS, n)
+            chunk_ids = ids[ms:me]
+            cols = [Column(DataType.BIGINT, chunk_ids)]
+            for j in args_idx:
+                cols.append(arg_columns[j].slice_morsel(ms, me))
+            spill.add(chunk_ids % parts, cols)
+        out_aggs: list[list] = [[None] * n_groups for _ in plan.aggs]
+        for part in range(parts):
+            cols = spill.read_partition(part)
+            if cols is None:
+                continue
+            uniq, local = np.unique(
+                cols[0].data, return_inverse=True
+            )
+            local = local.reshape(-1).astype(np.int64, copy=False)
+            part_args = {j: cols[1 + k] for k, j in enumerate(args_idx)}
+            sort_cache = kernels.ArgsortCache()
+            group_rows = None
+            for j, spec in enumerate(plan.aggs):
+                arg_col = part_args.get(j)
+                try:
+                    values = kernels.grouped_aggregate(
+                        spec.func,
+                        spec.distinct,
+                        arg_col,
+                        local,
+                        len(uniq),
+                        sort_cache,
+                        ctx.parallel,
+                    ).to_pylist()
+                except KernelFallback as exc:
+                    ctx.kernel_fallback("aggregate", exc)
+                    if group_rows is None:
+                        group_rows = kernels.group_row_lists(local, len(uniq))
+                    values = [
+                        _compute_agg(spec, arg_col, rows) for rows in group_rows
+                    ]
+                out = out_aggs[j]
+                for g, value in enumerate(values):
+                    out[int(uniq[g])] = value
+    finally:
+        spill.close()
+    out_columns = [_gather_streamed(c, first_rows) for c in key_columns]
+    for j, values in enumerate(out_aggs):
+        position = len(key_columns) + j
+        type_ = plan.schema[position].type or _infer_output_type(values)
+        out_columns.append(Column.from_values(type_, values))
+    columns = []
+    for col_def, column in zip(plan.schema, out_columns):
+        if col_def.type is not None and column.type != col_def.type:
+            column = column.cast(col_def.type)
+        columns.append(column)
+    return Batch(plan.schema, columns)
+
+
 def _compute_agg(spec: lp.AggSpec, arg_col: Optional[Column], rows: list[int]):
     if spec.func == "count_star":
         return len(rows)
@@ -471,9 +984,28 @@ def _guard_degenerate_join(total: int, n: int, m: int) -> None:
 
 
 def _exec_hash_join(plan: pp.PHashJoin, ctx: ExecContext) -> Batch:
-    left = execute_plan(plan.left, ctx)
-    right = execute_plan(plan.right, ctx)
-    if plan.build_left:
+    if plan.probe_zone and ctx.vectorized and ctx.compression:
+        left, right = _exec_join_inputs_zoned(plan, ctx)
+    else:
+        left = execute_plan(plan.left, ctx)
+        right = execute_plan(plan.right, ctx)
+    indices = None
+    if (
+        ctx.vectorized
+        and plan.pairs
+        and ctx.accountant.active
+        and ctx.spill_manager is not None
+        and left.num_rows + right.num_rows > SPILL_CHUNK_ROWS
+        and ctx.accountant.decide(
+            "join",
+            estimate_batch_bytes(left.columns)
+            + estimate_batch_bytes(right.columns),
+        )
+    ):
+        indices = _spilled_hash_join(plan, left, right, ctx)
+    if indices is not None:
+        li, ri = indices
+    elif plan.build_left:
         # build the hash table on the (estimated) smaller left side, then
         # restore the probe-side output order so results are identical to
         # the build-right plan
@@ -492,6 +1024,174 @@ def _exec_hash_join(plan: pp.PHashJoin, ctx: ExecContext) -> Batch:
     if plan.kind == "left":
         joined = _add_unmatched_left(plan, left, joined, li)
     return joined.relabel(plan.schema)
+
+
+def _exec_join_inputs_zoned(plan: pp.PHashJoin, ctx: ExecContext):
+    """Execute the build side first and install its key range as
+    dynamic zone predicates on the probe side's base scan — zone maps
+    pruning join probes, not only pushed-down filters.  Kept morsels
+    stay in row order, so the probe batch is the zone-pruned
+    equivalent of the plain scan and the join output is unchanged
+    (pruned zones cannot contain a matching key).  When the build side
+    is the *right* input, a failing build falls back to executing the
+    left input so the materialized plan's left-then-right error
+    surfacing is preserved."""
+    build_plan, probe_plan = (
+        (plan.left, plan.right) if plan.build_left else (plan.right, plan.left)
+    )
+    base = probe_plan
+    while isinstance(base, pp.PFilter):
+        base = base.input
+    if not isinstance(base, pp.PScan):
+        return execute_plan(plan.left, ctx), execute_plan(plan.right, ctx)
+    if plan.build_left:
+        build = execute_plan(build_plan, ctx)
+    else:
+        try:
+            build = execute_plan(build_plan, ctx)
+        except Exception:
+            # the materialized plan runs left before right: give the
+            # left (probe) input the chance to raise its own error
+            # first, as it would have; if it runs clean, the build
+            # side's failure is the one the plain order reports too
+            execute_plan(probe_plan, ctx)
+            raise
+    preds = []
+    for pair_index, column_name in plan.probe_zone:
+        pair = plan.pairs[pair_index]
+        build_expr = pair[0] if plan.build_left else pair[1]
+        key = ctx.eval(build_expr, build)
+        if key.data.dtype.kind not in "iufb":
+            continue
+        valid = ~key.null_mask()
+        if key.data.dtype.kind == "f":
+            valid &= ~np.isnan(key.data)
+        vals = key.data[valid]
+        if not len(vals):
+            continue  # empty build side: nothing to bound probes by
+        preds.append(
+            ZonePredicate(column_name, ">=", (("lit", vals.min().item()),))
+        )
+        preds.append(
+            ZonePredicate(column_name, "<=", (("lit", vals.max().item()),))
+        )
+    if preds:
+        if ctx.storage_counters is not None:
+            ctx.storage_counters.note_dynamic("join_probe")
+        entry = ctx.dynamic_zones.setdefault(id(base), [])
+        entry.extend(preds)
+        try:
+            probe = execute_plan(probe_plan, ctx)
+        finally:
+            del entry[-len(preds):]
+            if not entry:
+                ctx.dynamic_zones.pop(id(base), None)
+    else:
+        probe = execute_plan(probe_plan, ctx)
+    if plan.build_left:
+        return build, probe
+    return probe, build
+
+
+def _spilled_hash_join(
+    plan: pp.PHashJoin, left: Batch, right: Batch, ctx: ExecContext
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """Equi-join with both inputs' (row, key-code) pairs radix-
+    partitioned into spill files, joined one partition at a time.
+
+    Key codes come from the kernels' shared dictionary (NULLs excluded
+    up front, NaNs coded distinct — never matching, like the in-memory
+    probe), so every matching pair falls in exactly one partition and
+    the union over partitions is exactly the in-memory pair set; the
+    final lexsort restores probe order (ascending left row, ascending
+    right row within), the unique order every in-memory path emits.
+    Returns None when the keys cannot be codified — the caller then
+    runs the unchanged in-memory paths."""
+    left_keys = [ctx.eval(a, left) for a, _ in plan.pairs]
+    right_keys = [ctx.eval(b, right) for _, b in plan.pairs]
+    n_left, n_right = left.num_rows, right.num_rows
+    try:
+        l_ids, r_ids, _radix = kernels._joint_codes(
+            left_keys, right_keys, n_left, n_right, par=ctx.parallel
+        )
+    except KernelFallback:
+        return None
+    left_valid = np.ones(n_left, dtype=np.bool_)
+    for column in left_keys:
+        if column.mask is not None:
+            left_valid &= ~column.mask
+    right_valid = np.ones(n_right, dtype=np.bool_)
+    for column in right_keys:
+        if column.mask is not None:
+            right_valid &= ~column.mask
+    est = estimate_batch_bytes(left.columns) + estimate_batch_bytes(
+        right.columns
+    )
+    parts = ctx.accountant.partition_count(est)
+    lparts = ctx.spill_manager.partitions(parts, "joinl")
+    rparts = ctx.spill_manager.partitions(parts, "joinr")
+    out_li, out_ri = [], []
+    running = 0
+    try:
+        for ids, valid, sink, n in (
+            (l_ids, left_valid, lparts, n_left),
+            (r_ids, right_valid, rparts, n_right),
+        ):
+            for ms in range(0, n, SPILL_CHUNK_ROWS):
+                me = min(ms + SPILL_CHUNK_ROWS, n)
+                sel = np.flatnonzero(valid[ms:me]).astype(np.int64)
+                if not len(sel):
+                    continue
+                codes = ids[ms:me][sel]
+                sink.add(
+                    codes % parts,
+                    [
+                        Column(DataType.BIGINT, sel + ms),
+                        Column(DataType.BIGINT, codes),
+                    ],
+                )
+        # the codes now live in the spill partitions; drop the full-size
+        # id/validity arrays before the per-partition joins allocate
+        del l_ids, r_ids, left_valid, right_valid, left_keys, right_keys
+        for part in range(parts):
+            lcols = lparts.read_partition(part)
+            rcols = rparts.read_partition(part)
+            if lcols is None or rcols is None:
+                continue
+            lrows, lcodes = lcols[0].data, lcols[1].data
+            rrows, rcodes = rcols[0].data, rcols[1].data
+
+            def _part_guard(total, _n, _m, base=running):
+                # cumulative check against the *global* input shape —
+                # monotone in the pair total, so it trips iff the
+                # in-memory join's one-shot guard would
+                _guard_degenerate_join(base + total, n_left, n_right)
+
+            pli, pri = kernels._sorted_equi_join(
+                lcodes,
+                rcodes,
+                np.ones(len(lcodes), dtype=np.bool_),
+                np.ones(len(rcodes), dtype=np.bool_),
+                _part_guard,
+                ctx.parallel,
+            )
+            running += len(pli)
+            if len(pli):
+                out_li.append(lrows[pli])
+                out_ri.append(rrows[pri])
+    finally:
+        lparts.close()
+        rparts.close()
+    if out_li:
+        li = np.concatenate(out_li)
+        ri = np.concatenate(out_ri)
+        order = np.lexsort((ri, li))
+        li, ri = li[order], ri[order]
+    else:
+        li = np.empty(0, dtype=np.int64)
+        ri = np.empty(0, dtype=np.int64)
+    ctx.kernel_hit("join")
+    return li, ri
 
 
 def _apply_residual(residual, joined: Batch, li, ctx: ExecContext):

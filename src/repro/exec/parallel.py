@@ -282,6 +282,18 @@ class ParallelContext:
         return results
 
 
+def map_tasks(pool: "ExecPool | None", op: str, fn: Callable, items) -> list:
+    """Run ``fn(item)`` for every item on ``pool`` (results in input
+    order), inline when the pool cannot parallelize.  The convenience
+    entry for callers holding a bare :class:`ExecPool` (COPY's CSV
+    chunk parsing) rather than a per-statement context."""
+    items = list(items)
+    ctx = pool.context() if pool is not None else None
+    if ctx is None or len(items) <= 1:
+        return [fn(item) for item in items]
+    return ctx.map(op, fn, items)
+
+
 # ---------------------------------------------------------------------------
 # deterministic parallel primitives
 # ---------------------------------------------------------------------------

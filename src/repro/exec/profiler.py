@@ -94,6 +94,9 @@ class Profiler:
         #: Compressed-storage counters (zone-map morsel skipping,
         #: factorize resting-code hits) — set by Database.profile().
         self.storage_stats: dict | None = None
+        #: Memory-budget counters (budget, spill decisions, streamed
+        #: morsels, external-sort runs) — set by Database.profile().
+        self.memory_stats: dict | None = None
         #: ``(operator name, estimated rows, actual rows-per-call)`` for
         #: every operator flagged by :func:`misestimate_ratio` — filled
         #: by :meth:`render`; groundwork for adaptive re-optimization.
@@ -173,6 +176,22 @@ class Profiler:
                 f"{stats.get('morsels_total', 0)} "
                 f"factorize_encodes={fact.get('encodes', 0)} "
                 f"resting_hits={fact.get('resting_hits', 0)}"
+            )
+        if self.memory_stats is not None:
+            stats = self.memory_stats
+            budget = stats.get("memory_budget")
+            decisions = stats.get("decisions", ())
+            spilled = sum(1 for d in decisions if d.get("spill"))
+            lines.append(
+                "memory: "
+                f"budget={'unlimited' if budget is None else budget} "
+                f"query_decisions={len(decisions)} query_spills={spilled} "
+                f"spills={stats.get('spills', 0)} "
+                f"partitions={stats.get('partitions', 0)} "
+                f"streams={stats.get('streams', 0)} "
+                f"stream_morsels={stats.get('stream_morsels', 0)} "
+                f"sort_runs={stats.get('sort_runs', 0)} "
+                f"spill_bytes={stats.get('bytes_written', 0)}"
             )
         return "\n".join(lines)
 

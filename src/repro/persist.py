@@ -264,8 +264,12 @@ def _write_table(version, table_dir: str, compression: bool) -> list:
                 np.save(base + ".mask.npy", mask, allow_pickle=False)
             desc = {
                 "kind": "pack", "n": n, "mask": mask is not None,
-                "lo": enc.lo, "span": enc.span,
+                "lo": 0 if enc.zone_rows else enc.lo, "span": enc.span,
             }
+            if enc.zone_rows:
+                # per-zone frame-of-reference minima ride as their own file
+                np.save(base + ".lo.npy", np.asarray(enc.lo), allow_pickle=False)
+                desc["zone_rows"] = enc.zone_rows
         else:
             data = _strify(column.data) if is_str else column.data
             np.save(base + ".npy", data, allow_pickle=False)
@@ -347,10 +351,12 @@ def _load_column_v4(
             _lazy(mask_path) if mask_path else None, type_,
         )
     elif kind == "pack":
+        zone_rows = int(desc.get("zone_rows", 0))
+        lo = _lazy(base + ".lo.npy") if zone_rows else int(desc["lo"])
         enc = PackedEncoding(
             n, _lazy(base + ".packed.npy"),
             _lazy(base + ".mask.npy") if has_mask else None,
-            int(desc["lo"]), int(desc["span"]), type_.numpy_dtype,
+            lo, int(desc["span"]), type_.numpy_dtype, zone_rows,
         )
     else:
         mask_path = base + ".mask.npy" if has_mask else None
@@ -683,6 +689,17 @@ def _open_database(
             apply_record(db, record)
             replayed += 1
     last_lsn = max(checkpoint_lsn, scan.last_lsn if scan is not None else 0)
+    # leftover spill files from a crashed budgeted run are garbage by
+    # construction (spills never outlive their query) — sweep them and
+    # root this database's spill manager under its own directory
+    from .storage.spill import SpillManager
+
+    swept_spill = SpillManager.sweep(target)
+    db.spill_manager.close()
+    db.spill_manager = SpillManager(
+        directory=os.path.join(target, SpillManager.DIR_NAME),
+        counters=db.spill_counters,
+    )
     db.recovery_info = {
         "directory": target,
         "wal_directory": wal_path,
@@ -697,6 +714,7 @@ def _open_database(
         "truncated_bytes": scan.truncated_bytes if scan is not None else 0,
         "truncate_reason": scan.truncate_reason if scan is not None else None,
         "dropped_segments": scan.dropped_segments if scan is not None else 0,
+        "swept_spill_files": swept_spill,
     }
     if durability != "off":
         wal = WriteAheadLog(

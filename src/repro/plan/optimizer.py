@@ -760,7 +760,22 @@ class _Lowering:
             child.schema,
             est_rows=max(child.est_rows * sel, 0.0),
             est_cost=child.est_cost + child.est_rows,
+            streamable=self.enabled
+            and not _has_subquery(predicate)
+            and self._streams_over_scan(child),
         )
+
+    def _streams_over_scan(self, child) -> bool:
+        """True when ``child`` is a chain of streamable filters over a
+        base-table scan — the shape the budgeted executor can evaluate
+        morsel-at-a-time (elementwise predicates commute with
+        concatenation, so per-morsel filtering is bit-identical)."""
+        node = child
+        while isinstance(node, pp.PFilter):
+            if not node.streamable:
+                return False
+            node = node.input
+        return isinstance(node, pp.PScan)
 
     # -- zone-map pushdown ---------------------------------------------
     def _attach_zone_filter(self, child, predicate):
@@ -841,6 +856,14 @@ class _Lowering:
             return ZonePredicate(
                 column, "notnull" if predicate.negated else "isnull"
             )
+        if isinstance(predicate, bx.BInSubquery) and not predicate.negated:
+            # the plan inside the predicate was already lowered by
+            # self._expr; the executor's resolver runs it and prunes
+            # zones outside the probe values' [min, max] range
+            column = self._zone_column(predicate.operand, table)
+            if column is None:
+                return None
+            return ZonePredicate(column, "insub", (("sub", predicate.plan),))
         return None
 
     def _lower_project(self, node: lp.LProject, required):
@@ -873,7 +896,30 @@ class _Lowering:
             node.schema,
             est_rows=rows,
             est_cost=child.est_cost + child.est_rows,
+            streamable=self.enabled
+            and not group_exprs
+            and bool(aggs)
+            and all(self._streamable_agg(a) for a in aggs)
+            and self._streams_over_scan(child),
         )
+
+    @staticmethod
+    def _streamable_agg(agg) -> bool:
+        """True when the aggregate folds exactly over morsels:
+        count/min/max always combine associatively; sum/avg only over
+        integers (int64 addition is associative mod 2**64, while
+        reassociating float sums changes rounding)."""
+        if agg.distinct:
+            return False
+        if agg.func == "count_star":
+            return True
+        if agg.arg is None or _has_subquery(agg.arg):
+            return False
+        if agg.func in ("count", "min", "max"):
+            return True
+        if agg.func in ("sum", "avg"):
+            return agg.arg.type is not None and agg.arg.type.is_integral
+        return False
 
     def _lower_sort(self, node: lp.LSort, required):
         keys = tuple(replace(k, expr=self._expr(k.expr)) for k in node.keys)
@@ -892,6 +938,17 @@ class _Lowering:
 
     def _lower_limit(self, node: lp.LLimit, required):
         child = self.lower(node.input, required)
+        if (
+            self.enabled
+            and node.limit is not None
+            and isinstance(child, pp.PSort)
+            and child.limit is None
+        ):
+            # top-k fusion hint: the budgeted executor truncates the
+            # sort permutation to limit+offset rows before gathering
+            # payloads; the PLimit below still slices, so results are
+            # unchanged
+            child = replace(child, limit=int(node.limit) + int(node.offset))
         if node.limit is None:
             rows = max(child.est_rows - node.offset, 0.0)
         else:
@@ -956,6 +1013,11 @@ class _Lowering:
                 and node.kind == "inner"
                 and left.est_rows < right.est_rows
             )
+            probe_zone: tuple = ()
+            if self.enabled and node.kind == "inner":
+                probe_zone = self._probe_zone_marks(
+                    tuple(pairs), left, right, build_left
+                )
             return pp.PHashJoin(
                 left,
                 right,
@@ -970,6 +1032,7 @@ class _Lowering:
                 + left.est_rows
                 + right.est_rows
                 + rows,
+                probe_zone=probe_zone,
             )
         return pp.PNestedLoopJoin(
             left,
@@ -980,6 +1043,26 @@ class _Lowering:
             est_rows=rows,
             est_cost=left.est_cost + right.est_cost + cross_rows,
         )
+
+    def _probe_zone_marks(self, pairs, left, right, build_left) -> tuple:
+        """``(pair_index, column_name)`` marks for hash-join keys whose
+        probe side is a (filter chain over a) base-table scan: the
+        executor consults the probe scan's zone maps against the build
+        side's key range (zone maps for join build sides, not just
+        pushed-down filters)."""
+        probe = right if build_left else left
+        base = probe
+        while isinstance(base, pp.PFilter):
+            base = base.input
+        if not isinstance(base, pp.PScan):
+            return ()
+        marks = []
+        for index, (a, b) in enumerate(pairs):
+            probe_expr = b if build_left else a
+            column = self._zone_column(probe_expr, base.table)
+            if column is not None:
+                marks.append((index, column))
+        return tuple(marks)
 
     # -- set operations / CTEs -----------------------------------------
     def _lower_setop(self, node: lp.LSetOp, required):

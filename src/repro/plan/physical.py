@@ -91,11 +91,18 @@ class PCTERef(PhysicalNode):
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class PFilter(PhysicalNode):
+    """``streamable`` marks filters whose predicate is elementwise (no
+    subqueries) sitting on a ``PFilter*`` → ``PScan`` chain: under a
+    memory budget the executor fuses the chain and evaluates it
+    morsel-at-a-time instead of materializing the scan.  Pure hint —
+    the unbudgeted path ignores it."""
+
     input: PhysicalNode
     predicate: BoundExpr
     schema: tuple[PlanColumn, ...]
     est_rows: float = 0.0
     est_cost: float = 0.0
+    streamable: bool = False
 
     @property
     def children(self):
@@ -117,12 +124,19 @@ class PProject(PhysicalNode):
 
 @dataclass(frozen=True)
 class PAggregate(PhysicalNode):
+    """``streamable`` marks ungrouped aggregates over a streamable
+    filter chain whose functions all have exactly-associative
+    accumulators (count/min/max, integer sum/avg): under a memory
+    budget the executor folds morsels into running state without
+    materializing the input.  Pure hint."""
+
     input: PhysicalNode
     group_exprs: tuple[BoundExpr, ...]
     aggs: tuple[AggSpec, ...]
     schema: tuple[PlanColumn, ...]
     est_rows: float = 0.0
     est_cost: float = 0.0
+    streamable: bool = False
 
     @property
     def children(self):
@@ -131,11 +145,18 @@ class PAggregate(PhysicalNode):
 
 @dataclass(frozen=True)
 class PSort(PhysicalNode):
+    """``limit`` is the fused row cap (LIMIT+OFFSET of an enclosing
+    :class:`PLimit`): the budgeted executor truncates the sort
+    permutation before gathering payloads, so a top-k over a huge table
+    never materializes the full sorted output.  The PLimit stays in the
+    plan, so the hint never changes results."""
+
     input: PhysicalNode
     keys: tuple[SortKey, ...]
     schema: tuple[PlanColumn, ...]
     est_rows: float = 0.0
     est_cost: float = 0.0
+    limit: Optional[int] = None
 
     @property
     def children(self):
@@ -176,7 +197,15 @@ class PHashJoin(PhysicalNode):
     """Equi-join: ``pairs`` holds (left expr, right expr) hash keys,
     ``residual`` the non-equi conjuncts evaluated after the probe.
     ``build_left`` selects the build side (chosen by estimated size);
-    LEFT joins always build on the right."""
+    LEFT joins always build on the right.
+
+    ``probe_zone`` lists ``(pair_index, column_name)`` marks for inner
+    joins whose probe side is a filter chain over a base-table scan:
+    the executor runs the build side first, computes each marked key's
+    min/max, and installs them as dynamic zone predicates on the probe
+    scan, so probe morsels outside the build key range are never paged
+    in.  Pruned rows cannot match (inner join), so results are
+    unchanged."""
 
     left: PhysicalNode
     right: PhysicalNode
@@ -187,6 +216,7 @@ class PHashJoin(PhysicalNode):
     schema: tuple[PlanColumn, ...]
     est_rows: float = 0.0
     est_cost: float = 0.0
+    probe_zone: tuple = ()
 
     @property
     def children(self):
@@ -333,9 +363,19 @@ def node_detail(node: PhysicalNode) -> str:
             zones = ", ".join(zf.describe() for zf in node.zone_filters)
             return f" {node.table} [zone-skip: {zones}]"
         return f" {node.table}"
+    if isinstance(node, PFilter):
+        return " [streamable]" if node.streamable else ""
+    if isinstance(node, PAggregate):
+        return " [streamable]" if node.streamable else ""
+    if isinstance(node, PSort):
+        return f" [limit={node.limit}]" if node.limit is not None else ""
     if isinstance(node, PHashJoin):
         build = "left" if node.build_left else "right"
-        return f" [{node.kind}, build={build}, keys={len(node.pairs)}]"
+        probe = ""
+        if node.probe_zone:
+            cols = ", ".join(name for _, name in node.probe_zone)
+            probe = f", zone-probe={cols}"
+        return f" [{node.kind}, build={build}, keys={len(node.pairs)}{probe}]"
     if isinstance(node, PNestedLoopJoin):
         return f" [{node.kind}]"
     if isinstance(node, PSetOp):

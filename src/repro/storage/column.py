@@ -380,6 +380,21 @@ class Column:
         mask = self.mask[start:stop] if self.mask is not None else None
         return Column(self.type, data, mask)
 
+    def slice_morsel(self, start: int, stop: int) -> "Column":
+        """Rows ``[start, stop)`` decoded alone.
+
+        Unlike :meth:`slice`, a resting-encoded or mmapped column never
+        materializes outside the requested range (each encoding decodes
+        just the touched zone; plain mmaps page in only the sliced
+        rows), which is what lets budgeted execution stream a
+        larger-than-memory column morsel-at-a-time.  Values are
+        bit-identical to ``slice(start, stop)``.
+        """
+        if self._data is not None:
+            return self.slice(start, stop)
+        data, mask = self._encoding.materialize_range(start, stop)
+        return Column(self.type, data, mask)
+
     @staticmethod
     def concat(columns: Sequence["Column"]) -> "Column":
         """Stack columns of an identical type end to end."""

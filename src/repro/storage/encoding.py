@@ -33,6 +33,7 @@ import numpy as np
 
 from ..errors import TypeError_
 from .types import DataType
+from .zonemap import ZONE_ROWS as _ZONE_ROWS
 
 #: Encoded representation must be at most this fraction of the plain
 #: bytes to be worth adopting (decode costs a copy; marginal wins lose).
@@ -112,6 +113,14 @@ class Encoding:
         contract, or None when this layout has no shortcut."""
         return None
 
+    def materialize_range(self, start: int, stop: int):
+        """Decode only rows ``[start, stop)`` — the morsel-streaming
+        primitive behind :meth:`Column.slice_morsel`.  The base
+        implementation decodes everything (correct, not lazy);
+        subclasses override with genuinely bounded decodes."""
+        data, mask = self.materialize()
+        return data[start:stop], (mask[start:stop] if mask is not None else None)
+
     def nbytes(self) -> int:
         """Resting payload bytes (decoded arrays excluded)."""
         raise NotImplementedError
@@ -150,6 +159,11 @@ class PlainEncoding(Encoding):
         if m is not None and not m.any():
             m = self._mask = None
         return m
+
+    def materialize_range(self, start: int, stop: int):
+        # slicing an mmapped array yields a view: only touched pages load
+        m = self.null_mask()
+        return self.data[start:stop], (m[start:stop] if m is not None else None)
 
     def nbytes(self) -> int:
         m = self.null_mask()
@@ -213,6 +227,26 @@ class DictEncoding(Encoding):
             return None
         return self.codes == len(self.uniques)
 
+    def materialize_range(self, start: int, stop: int):
+        codes = self.codes[start:stop]
+        uniques = self.uniques
+        k = len(uniques)
+        mask = None
+        if self.has_null:
+            mask = codes == k
+            codes = np.where(mask, 0, codes) if k else codes
+        if k:
+            data = uniques[codes]
+            if data.dtype != self.dtype_:
+                data = data.astype(self.dtype_)
+        elif self.dtype_ == np.dtype(object):
+            data = np.empty(len(codes), dtype=object)
+        else:
+            data = np.zeros(len(codes), dtype=self.dtype_)
+        if mask is not None and not mask.any():
+            mask = None
+        return data, mask
+
     def factorize(self, nan_distinct: bool):
         # NaN-bearing float columns are never dict-encoded, so the
         # nan_distinct flag cannot change the coding.
@@ -238,7 +272,7 @@ class RLEEncoding(Encoding):
     """
 
     kind = "rle"
-    __slots__ = ("_values", "_lengths", "_mask", "col_type")
+    __slots__ = ("_values", "_lengths", "_mask", "col_type", "_ends")
 
     def __init__(self, length: int, values, lengths, mask, col_type: DataType):
         super().__init__(length)
@@ -246,6 +280,7 @@ class RLEEncoding(Encoding):
         self._lengths = lengths
         self._mask = mask
         self.col_type = col_type
+        self._ends = None  # cached cumulative run ends (range decode)
 
     @property
     def values(self) -> np.ndarray:
@@ -277,6 +312,27 @@ class RLEEncoding(Encoding):
         mask = np.repeat(rm, self.lengths)
         return mask if mask.any() else None
 
+    def materialize_range(self, start: int, stop: int):
+        if stop <= start:
+            return self.values[:0], None
+        ends = self._ends
+        if ends is None:
+            ends = self._ends = np.cumsum(self.lengths, dtype=np.int64)
+        i0 = int(np.searchsorted(ends, start, side="right"))
+        i1 = int(np.searchsorted(ends, stop - 1, side="right"))
+        lengths = self.lengths[i0 : i1 + 1].astype(np.int64, copy=True)
+        prev_end = int(ends[i0 - 1]) if i0 > 0 else 0
+        lengths[0] -= start - prev_end
+        lengths[-1] -= int(ends[i1]) - stop
+        data = np.repeat(self.values[i0 : i1 + 1], lengths)
+        rm = self.run_mask
+        mask = None
+        if rm is not None:
+            mask = np.repeat(rm[i0 : i1 + 1], lengths)
+            if not mask.any():
+                mask = None
+        return data, mask
+
     def factorize(self, nan_distinct: bool):
         from .column import Column  # deferred: column.py imports this module
 
@@ -295,25 +351,36 @@ class RLEEncoding(Encoding):
 
 
 class PackedEncoding(Encoding):
-    """Subtract-min bit-packing for narrow integer domains.
+    """Subtract-min (frame-of-reference) bit-packing for narrow integer
+    domains.
 
     ``packed`` stores ``value - lo`` in the smallest unsigned dtype that
     fits the observed span (placeholders in NULL slots included, so the
-    physical array round-trips bit-exactly).  When the column has no
-    NULLs and the span qualifies for the dense-code fast path, the
-    packed bytes *are* the factorize codes.
+    physical array round-trips bit-exactly).  ``lo`` is either one
+    column-wide minimum or — when the domain is locally clustered — a
+    per-zone minima array (``zone_rows`` rows per frame), which packs
+    into a narrower dtype whenever values drift but stay locally tight
+    (timestamps, auto-increment keys after compaction, ...).
+
+    With a scalar ``lo``, no NULLs, and a span narrow enough for the
+    dense-code fast path, the packed bytes *are* the factorize codes;
+    per-zone frames give that up (codes would be frame-relative) and
+    factorize falls back to the plain path.
     """
 
     kind = "pack"
-    __slots__ = ("_packed", "_mask", "lo", "span", "dtype_")
+    __slots__ = ("_packed", "_mask", "_lo", "span", "dtype_", "zone_rows")
 
-    def __init__(self, length: int, packed, mask, lo: int, span: int, dtype_):
+    def __init__(
+        self, length: int, packed, mask, lo, span: int, dtype_, zone_rows: int = 0
+    ):
         super().__init__(length)
         self._packed = packed
         self._mask = mask
-        self.lo = int(lo)
+        self._lo = lo if (callable(lo) or isinstance(lo, np.ndarray)) else int(lo)
         self.span = int(span)
         self.dtype_ = np.dtype(dtype_)
+        self.zone_rows = int(zone_rows)
 
     @property
     def packed(self) -> np.ndarray:
@@ -321,9 +388,41 @@ class PackedEncoding(Encoding):
         self._packed = p
         return p
 
+    @property
+    def lo(self):
+        l = self._resolve(self._lo)
+        self._lo = l
+        return l
+
+    def _frame_base(self, start: int, stop: int) -> np.ndarray:
+        """Per-row frame minimum for rows ``[start, stop)``."""
+        zones = np.arange(start, stop, dtype=np.int64) // self.zone_rows
+        return np.asarray(self.lo, dtype=np.int64)[zones]
+
     def materialize(self):
-        data = (self.packed.astype(np.int64) + self.lo).astype(self.dtype_)
+        packed = self.packed
+        if self.zone_rows:
+            lo = np.asarray(self.lo, dtype=np.int64)
+            sizes = np.full(len(lo), self.zone_rows, dtype=np.int64)
+            sizes[-1] = len(packed) - (len(lo) - 1) * self.zone_rows
+            base = np.repeat(lo, sizes)
+        else:
+            base = self.lo
+        data = (packed.astype(np.int64) + base).astype(self.dtype_)
         return data, self.null_mask()
+
+    def materialize_range(self, start: int, stop: int):
+        packed = self.packed[start:stop]
+        if self.zone_rows:
+            base = self._frame_base(start, start + len(packed))
+        else:
+            base = self.lo
+        data = (packed.astype(np.int64) + base).astype(self.dtype_)
+        m = self.null_mask()
+        mask = m[start:stop] if m is not None else None
+        if mask is not None and not mask.any():
+            mask = None
+        return data, mask
 
     def null_mask(self):
         m = self._resolve(self._mask)
@@ -335,6 +434,8 @@ class PackedEncoding(Encoding):
     def factorize(self, nan_distinct: bool):
         from .column import _dense_span_bound
 
+        if self.zone_rows:
+            return None  # frame-relative bytes are not global codes
         if self.null_mask() is not None:
             return None  # lo covers placeholder slots; codes would skew
         if self.span > _dense_span_bound(self.length):
@@ -345,7 +446,10 @@ class PackedEncoding(Encoding):
 
     def nbytes(self) -> int:
         m = self.null_mask()
-        return int(self.packed.nbytes) + (int(m.nbytes) if m is not None else 0)
+        total = int(self.packed.nbytes) + (int(m.nbytes) if m is not None else 0)
+        if self.zone_rows:
+            total += int(np.asarray(self.lo).nbytes)
+        return total
 
 
 # ----------------------------------------------------------------------
@@ -425,12 +529,32 @@ def choose_encoding(column) -> "Encoding | None":
 
     # -- subtract-min packing -------------------------------------------
     pack_parts = None
+    packz_parts = None
     if dtype.kind in "iu" and dtype.itemsize > 1:
+        mask_bytes = int(mask.nbytes) if mask is not None else 0
         lo = int(data.min())
         hi = int(data.max())
         pack_dtype = _narrow_uint(hi - lo)
-        if pack_dtype is not None and pack_dtype.itemsize < dtype.itemsize:
-            pack_bytes = n * pack_dtype.itemsize + (int(mask.nbytes) if mask is not None else 0)
+        if n > _ZONE_ROWS:
+            # per-zone frame-of-reference: locally-clustered domains pack
+            # narrower against each zone's own minimum than the column's
+            zone_starts = np.arange(0, n, _ZONE_ROWS)
+            zone_lo = np.minimum.reduceat(data, zone_starts).astype(np.int64)
+            zone_hi = np.maximum.reduceat(data, zone_starts).astype(np.int64)
+            zone_span = int((zone_hi - zone_lo).max())
+            zone_dtype = _narrow_uint(zone_span)
+            if (
+                zone_dtype is not None
+                and zone_dtype.itemsize < dtype.itemsize
+                and (pack_dtype is None or zone_dtype.itemsize < pack_dtype.itemsize)
+            ):
+                packz_bytes = (
+                    n * zone_dtype.itemsize + int(zone_lo.nbytes) + mask_bytes
+                )
+                packz_parts = (zone_lo, zone_span + 1, zone_dtype)
+                candidates.append((packz_bytes, "packz"))
+        if packz_parts is None and pack_dtype is not None and pack_dtype.itemsize < dtype.itemsize:
+            pack_bytes = n * pack_dtype.itemsize + mask_bytes
             pack_parts = (lo, hi - lo + 1, pack_dtype)
             candidates.append((pack_bytes, "pack"))
 
@@ -449,6 +573,14 @@ def choose_encoding(column) -> "Encoding | None":
         codes, uniques, code_dtype = dict_parts
         return DictEncoding(
             n, codes.astype(code_dtype), uniques, mask is not None, dtype
+        )
+    if best == "packz":
+        zone_lo, span, pack_dtype = packz_parts
+        sizes = np.diff(np.append(np.arange(0, n, _ZONE_ROWS), n))
+        base = np.repeat(zone_lo, sizes)
+        packed = (data.astype(np.int64) - base).astype(pack_dtype)
+        return PackedEncoding(
+            n, packed, mask, zone_lo, span, dtype, zone_rows=_ZONE_ROWS
         )
     lo, span, pack_dtype = pack_parts
     packed = (data.astype(np.int64) - lo).astype(pack_dtype)

@@ -246,6 +246,7 @@ def read_csv_vectors(
     *,
     header: bool = True,
     delimiter: str = ",",
+    pool=None,
 ) -> list[list]:
     """Read a CSV file into per-column value lists for :func:`bulk_columns`.
 
@@ -253,10 +254,25 @@ def read_csv_vectors(
     (booleans accept true/false/t/f/1/0/yes/no) and the resulting Python
     values take the chunked-coercion path, so a COPY loads bit-identically
     to the equivalent row INSERTs.
+
+    With a multi-worker ``pool`` (the database's shared
+    :class:`~repro.exec.parallel.ExecPool`), files of at least
+    ``REPRO_PARALLEL_CSV_BYTES`` (default 4 MiB) without quoted fields
+    are split at newline boundaries and parsed one chunk per task;
+    chunk results concatenate in file order and errors carry the same
+    global line numbers, so output and failure behavior are identical
+    to the serial read.
     """
     import csv
 
     converters = [_csv_converter(t) for t in types]
+    if pool is not None and getattr(pool, "workers", 1) > 1:
+        parsed = _read_csv_parallel(
+            path, types, converters, header=header, delimiter=delimiter,
+            pool=pool,
+        )
+        if parsed is not None:
+            return parsed
     vectors: list[list] = [[] for _ in types]
     with open(path, newline="") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
@@ -279,6 +295,100 @@ def read_csv_vectors(
                     except ValueError as exc:
                         raise TypeError_(f"CSV row {lineno}: {exc}") from None
     return vectors
+
+
+def _parse_csv_chunk(text: str, types, converters, delimiter: str) -> tuple:
+    """Parse one newline-aligned chunk: ``("ok", raw_rows, None,
+    vectors)`` or the first failing row as ``("badfields"/"badvalue",
+    local_lineno, detail, None)`` — the caller turns local line numbers
+    into the global ones the serial reader reports."""
+    import csv
+    import io
+
+    vectors: list[list] = [[] for _ in types]
+    raw = 0
+    for row in csv.reader(io.StringIO(text, newline=""), delimiter=delimiter):
+        raw += 1
+        if not row:
+            continue
+        if len(row) != len(types):
+            return ("badfields", raw, len(row), None)
+        for out, convert, field in zip(vectors, converters, row):
+            if field == "":
+                out.append(None)
+            else:
+                try:
+                    out.append(convert(field))
+                except ValueError as exc:
+                    return ("badvalue", raw, str(exc), None)
+    return ("ok", raw, None, vectors)
+
+
+def _read_csv_parallel(
+    path: str, types, converters, *, header: bool, delimiter: str, pool
+) -> "list[list] | None":
+    """The chunked COPY fast path, or None when the file should take
+    the serial reader (small file, quoted fields, undecodable bytes)."""
+    import locale
+    import os
+
+    from ..envutil import env_int
+    from ..exec.parallel import map_tasks
+
+    min_bytes = env_int("REPRO_PARALLEL_CSV_BYTES", 4 * 1024 * 1024)
+    try:
+        if min_bytes is None or os.path.getsize(path) < min_bytes:
+            return None
+    except OSError:
+        return None
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if b'"' in data:
+        return None  # quoted fields may span newlines: serial only
+    if header:
+        cut = data.find(b"\n")
+        data = data[cut + 1:] if cut >= 0 else b""
+    if not data:
+        return [[] for _ in types]
+    n_chunks = min(max(int(getattr(pool, "workers", 1)) * 2, 1), 64)
+    approx = max(1, len(data) // n_chunks)
+    starts = [0]
+    while len(starts) < n_chunks:
+        target = starts[-1] + approx
+        if target >= len(data):
+            break
+        cut = data.find(b"\n", target)
+        if cut < 0 or cut + 1 >= len(data):
+            break
+        starts.append(cut + 1)
+    encoding = locale.getpreferredencoding(False)
+    try:
+        texts = [
+            data[start:stop].decode(encoding)
+            for start, stop in zip(starts, starts[1:] + [len(data)])
+        ]
+    except (UnicodeDecodeError, LookupError):
+        return None
+    results = map_tasks(
+        pool,
+        "copy_csv",
+        lambda text: _parse_csv_chunk(text, types, converters, delimiter),
+        texts,
+    )
+    merged: list[list] = [[] for _ in types]
+    base = 0
+    for status, local, detail, vectors in results:
+        if status == "badfields":
+            raise TypeError_(
+                f"CSV row {base + local} has {detail} fields, "
+                f"expected {len(types)}"
+            )
+        if status == "badvalue":
+            raise TypeError_(f"CSV row {base + local}: {detail}")
+        for out, part in zip(merged, vectors):
+            out.extend(part)
+        base += local
+    return merged
 
 
 def read_npz_vectors(path: str) -> dict[str, np.ndarray]:

@@ -1,0 +1,368 @@
+"""Spill-to-disk runs for memory-budgeted execution.
+
+When a :class:`~repro.api.Database` is given a ``memory_budget`` (bytes;
+``REPRO_MEMORY_BUDGET``), operators whose estimated working set exceeds
+the budget partition their inputs into temp *spill files* and process
+one partition at a time (see ``exec/operators.py``).  This module owns
+the disk side of that story:
+
+* :class:`SpillManager` — one per Database, owns the spill directory
+  (``<dbdir>/spill`` for a database opened on a directory, else a
+  process-private temp dir), hands out files, and sweeps everything on
+  ``close()``.  Recovery calls :meth:`SpillManager.sweep` so a crash
+  mid-query never leaks partition files into the next run.
+* :class:`SpillFile` — an append-only run of CRC32-framed numpy blob
+  records, byte-framed exactly like the WAL
+  (``[u32 len][u32 crc32][payload]`` with ``np.save`` blobs), so torn
+  or corrupted spill data is detected, not silently re-read.
+* :class:`SpillPartitions` — routes morsel slices into ``P`` partition
+  runs with bounded in-memory buffering; reading a partition back
+  yields its rows in original row order, which is what keeps
+  partitioned aggregation/join bit-identical to the in-memory kernels.
+* :class:`MemoryAccountant` — the per-query decision maker: morsel and
+  column sizes are known from dtypes, so it can estimate an operator's
+  materialized working set without decoding anything, decide
+  stream/spill, and record the decision for EXPLAIN/profile footers.
+* :class:`SpillCounters` — Database-lifetime counters behind
+  ``Database.memory_stats()`` and the ``\\memory`` shell command
+  (mirrors the ``StorageCounters`` pattern).
+
+The budget is advisory, not an allocator: key-code arrays (8 bytes per
+row) and final result batches still materialize in memory.  What the
+budget bounds is the *payload* working set — decoded column values,
+aggregation inputs, join sides, sort keys — which is what dominates
+larger-than-memory workloads.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import zlib
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from .column import Column
+from .wal import (
+    _RECORD_HEADER,
+    _column_from_parts,
+    _column_parts,
+    _pack_record,
+    _unpack_payload,
+)
+
+#: Rows buffered per partition before flushing one spill record.
+SPILL_CHUNK_ROWS = 65_536
+
+#: Partition-count clamp for radix spilling (power of two).
+MIN_PARTITIONS = 2
+MAX_PARTITIONS = 256
+
+
+class SpillCounters:
+    """Process-lifetime spill/stream tallies (mutex + snapshot, like
+    ``StorageCounters``)."""
+
+    _FIELDS = (
+        "spills",            # operator-level spill decisions taken
+        "partitions",        # partition runs processed
+        "files",             # spill files created
+        "bytes_written",
+        "bytes_read",
+        "streams",           # streamed (fused) pipelines executed
+        "stream_morsels",    # morsels fed through streamed pipelines
+        "sort_runs",         # external-sort runs written
+        "merges",            # external-sort run merges
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for field in self._FIELDS:
+            setattr(self, field, 0)
+
+    def note(self, field: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + delta)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {field: getattr(self, field) for field in self._FIELDS}
+
+
+class MemoryAccountant:
+    """Per-query stream/spill decisions against a byte budget.
+
+    Estimates are computed from row counts and dtypes (no decoding), so
+    asking "would this operator's materialized working set exceed the
+    budget?" is free.  Every decision is recorded; ``Database.profile``
+    and the EXPLAIN footer surface them.
+    """
+
+    def __init__(self, budget: "int | None", counters: "SpillCounters | None"):
+        self.budget = budget
+        self.counters = counters
+        self.decisions: "list[dict]" = []
+
+    @property
+    def active(self) -> bool:
+        return self.budget is not None
+
+    def over_budget(self, nbytes: int) -> bool:
+        return self.budget is not None and nbytes > self.budget
+
+    def decide(self, op: str, est_bytes: int) -> bool:
+        """True when ``op`` should spill given its estimated bytes."""
+        spill = self.over_budget(est_bytes)
+        self.decisions.append(
+            {"op": op, "est_bytes": int(est_bytes), "spill": spill}
+        )
+        if spill and self.counters is not None:
+            self.counters.note("spills")
+        return spill
+
+    def note_stream(self, morsels: int) -> None:
+        self.decisions.append({"op": "stream", "morsels": int(morsels), "spill": False})
+        if self.counters is not None:
+            self.counters.note("streams")
+            self.counters.note("stream_morsels", morsels)
+
+    def partition_count(self, est_bytes: int) -> int:
+        """Power-of-two partition count sized so one partition's payload
+        fits comfortably (~half the budget) inside the budget."""
+        if not self.budget:
+            return MIN_PARTITIONS
+        want = max(1, -(-int(est_bytes) // max(self.budget // 2, 1)))
+        parts = MIN_PARTITIONS
+        while parts < want and parts < MAX_PARTITIONS:
+            parts *= 2
+        return parts
+
+    def snapshot(self) -> dict:
+        return {"budget": self.budget, "decisions": list(self.decisions)}
+
+
+def estimate_column_bytes(column: Column) -> int:
+    """Estimated *materialized* bytes of one column without decoding it
+    (object payloads use a flat per-value estimate)."""
+    n = len(column)
+    dtype = column.type.numpy_dtype
+    per = 56 if dtype == np.dtype(object) else dtype.itemsize
+    total = n * per
+    if column.encoding is not None or column._mask is not None:
+        total += n  # mask byte per row, pessimistic
+    return int(total)
+
+
+def estimate_batch_bytes(columns: Sequence[Column]) -> int:
+    return sum(estimate_column_bytes(c) for c in columns)
+
+
+class SpillFile:
+    """Append-only CRC-framed run of column-set records."""
+
+    def __init__(self, path: str, counters: "SpillCounters | None"):
+        self.path = path
+        self.rows = 0
+        self._counters = counters
+        self._handle = open(path, "wb")
+
+    # -- writing ---------------------------------------------------------
+    def append_columns(self, columns: Sequence[Column]) -> None:
+        """Append one record holding ``columns`` (equal lengths)."""
+        descs, blobs = [], []
+        for column in columns:
+            desc, parts = _column_parts(column)
+            descs.append(desc)
+            blobs.extend(parts)
+        record = _pack_record({"cols": descs}, blobs)
+        self._handle.write(record)
+        self.rows += len(columns[0]) if columns else 0
+        if self._counters is not None:
+            self._counters.note("bytes_written", len(record))
+
+    def finish(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading ---------------------------------------------------------
+    def read_column_sets(self):
+        """Yield each record's column list, verifying CRCs."""
+        self.finish()
+        with open(self.path, "rb") as handle:
+            while True:
+                head = handle.read(_RECORD_HEADER.size)
+                if not head:
+                    return
+                if len(head) < _RECORD_HEADER.size:
+                    raise ReproError(f"torn spill record in {self.path}")
+                length, crc = _RECORD_HEADER.unpack(head)
+                payload = handle.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    raise ReproError(f"corrupted spill record in {self.path}")
+                if self._counters is not None:
+                    self._counters.note("bytes_read", len(head) + length)
+                header, blobs = _unpack_payload(payload)
+                columns, at = [], 0
+                for desc in header["cols"]:
+                    column, at = _column_from_parts(desc, blobs, at)
+                    columns.append(column)
+                yield columns
+
+    def read_columns(self) -> "list[Column] | None":
+        """All records concatenated per position (None when empty)."""
+        sets = list(self.read_column_sets())
+        if not sets:
+            return None
+        return [Column.concat([s[i] for s in sets]) for i in range(len(sets[0]))]
+
+    def remove(self) -> None:
+        self.finish()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class SpillPartitions:
+    """Route morsel slices of one logical input into ``n_parts`` runs.
+
+    ``add(part_ids, columns)`` appends the morsel's rows to their
+    partitions, preserving row order within each partition (radix
+    routing is order-stable, which the bit-identity argument for
+    partitioned aggregation/join rests on).  Buffers at most
+    ``SPILL_CHUNK_ROWS`` rows per partition before flushing to disk.
+    """
+
+    def __init__(self, manager: "SpillManager", n_parts: int, label: str):
+        self.n_parts = n_parts
+        self._files: "list[SpillFile | None]" = [None] * n_parts
+        self._buffers: "list[list[list[Column]]]" = [[] for _ in range(n_parts)]
+        self._buffered_rows = [0] * n_parts
+        self._manager = manager
+        self._label = label
+
+    def add(self, part_ids: np.ndarray, columns: Sequence[Column]) -> None:
+        for part in np.unique(part_ids):
+            part = int(part)
+            sel = part_ids == part
+            self._buffers[part].append([c.filter(sel) for c in columns])
+            self._buffered_rows[part] += int(sel.sum())
+            if self._buffered_rows[part] >= SPILL_CHUNK_ROWS:
+                self._flush(part)
+
+    def _flush(self, part: int) -> None:
+        chunks = self._buffers[part]
+        if not chunks:
+            return
+        merged = [
+            Column.concat([chunk[i] for chunk in chunks])
+            for i in range(len(chunks[0]))
+        ]
+        if self._files[part] is None:
+            self._files[part] = self._manager.create_file(
+                f"{self._label}-p{part:03d}"
+            )
+        self._files[part].append_columns(merged)
+        self._buffers[part] = []
+        self._buffered_rows[part] = 0
+
+    def read_partition(self, part: int) -> "list[Column] | None":
+        """The partition's rows (original order), or None when empty."""
+        self._flush(part)
+        handle = self._files[part]
+        if handle is None:
+            return None
+        columns = handle.read_columns()
+        handle.remove()
+        self._files[part] = None
+        if self._manager.counters is not None:
+            self._manager.counters.note("partitions")
+        return columns
+
+    def close(self) -> None:
+        for part, handle in enumerate(self._files):
+            if handle is not None:
+                handle.remove()
+                self._files[part] = None
+        self._buffers = [[] for _ in range(self.n_parts)]
+
+
+class SpillManager:
+    """Owns the spill directory for one Database.
+
+    ``directory`` is ``<dbdir>/spill`` for a database opened on a
+    directory (recovery sweeps leftovers there), else a lazily-created
+    private temp dir.  ``close()`` removes everything.
+    """
+
+    DIR_NAME = "spill"
+
+    def __init__(
+        self,
+        directory: "str | None" = None,
+        counters: "SpillCounters | None" = None,
+    ):
+        self._configured_dir = directory
+        self._dir: "str | None" = None
+        self._is_temp = directory is None
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.counters = counters
+
+    def _ensure_dir(self) -> str:
+        with self._lock:
+            if self._dir is None:
+                if self._configured_dir is not None:
+                    os.makedirs(self._configured_dir, exist_ok=True)
+                    self._dir = self._configured_dir
+                else:
+                    self._dir = tempfile.mkdtemp(prefix="repro-spill-")
+            return self._dir
+
+    def create_file(self, label: str) -> SpillFile:
+        directory = self._ensure_dir()
+        # a checkpoint save swaps the database directory out from under
+        # a directory-rooted spill dir; recreate it per file, so a
+        # query spilling across a concurrent save still lands its runs
+        os.makedirs(directory, exist_ok=True)
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        path = os.path.join(directory, f"run-{seq:06d}-{label}.spill")
+        if self.counters is not None:
+            self.counters.note("files")
+        return SpillFile(path, self.counters)
+
+    def partitions(self, n_parts: int, label: str) -> SpillPartitions:
+        return SpillPartitions(self, n_parts, label)
+
+    def close(self) -> None:
+        with self._lock:
+            directory, self._dir = self._dir, None
+        if directory is not None and os.path.isdir(directory):
+            shutil.rmtree(directory, ignore_errors=True)
+
+    @staticmethod
+    def sweep(database_dir: str) -> int:
+        """Remove spill debris under a database directory (recovery);
+        returns the number of files swept."""
+        directory = os.path.join(database_dir, SpillManager.DIR_NAME)
+        if not os.path.isdir(directory):
+            return 0
+        swept = 0
+        for entry in os.listdir(directory):
+            try:
+                os.unlink(os.path.join(directory, entry))
+                swept += 1
+            except OSError:
+                pass
+        try:
+            os.rmdir(directory)
+        except OSError:
+            pass
+        return swept

@@ -205,7 +205,11 @@ class ZonePredicate:
     ``operands`` holds ``("lit", value)`` / ``("param", index)`` pairs —
     the plan cache normalizes literals into parameters, so values must
     resolve against the statement's parameter vector at execution time.
-    ``op`` is one of ``= < <= > >= in isnull notnull``.
+    ``op`` is one of ``= < <= > >= in isnull notnull insub``; ``insub``
+    (non-negated ``IN (subquery)``) carries a ``("sub", physical_plan)``
+    operand and is resolved by the executor-supplied callback of
+    :func:`select_zone_spans`, which runs the subquery and reports the
+    probe values' range.
     """
 
     column: str
@@ -239,6 +243,8 @@ class ZonePredicate:
         return values
 
     def describe(self) -> str:
+        if self.op == "insub":
+            return f"{self.column} IN (subquery)"
         if self.op in ("isnull", "notnull"):
             return f"{self.column} IS {'NOT ' if self.op == 'notnull' else ''}NULL"
         rendered = []
@@ -250,13 +256,20 @@ class ZonePredicate:
 
 
 def select_zone_spans(
-    version, zone_filters, params, granularity: int = ZONE_ROWS
+    version, zone_filters, params, granularity: int = ZONE_ROWS, resolver=None
 ) -> "tuple[list[tuple[int, int]] | None, int, int]":
     """Row spans of morsels that survive ``zone_filters``.
 
     Returns ``(spans, skipped, total)`` where ``spans`` is None when no
     morsel can be skipped (callers then scan zero-copy), ``skipped`` /
     ``total`` count morsels for the storage counters.
+
+    ``resolver(zf, col_type)`` decides ``insub`` predicates: it returns
+    ``None`` (undecidable — keep every zone), ``()`` (the probe list has
+    no matchable value, so *no* zone can pass), or a ``(lo, hi)`` bound
+    pair; zones whose min/max range misses ``[lo, hi]`` entirely cannot
+    contain a matching row and are skipped — a conservative superset of
+    the true probe set.
     """
     if not version.columns:
         return None, 0, 0
@@ -274,13 +287,25 @@ def select_zone_spans(
         zm = zone_map_for(column, granularity)
         if zm is None or zm.n_rows != n:
             continue
-        if zf.op in ("isnull", "notnull"):
-            values: "list[Any] | None" = []
+        if zf.op == "insub":
+            if resolver is None:
+                continue
+            bounds = resolver(zf, column.type)
+            if bounds is None:
+                continue
+            if bounds:
+                lo, hi = bounds
+                mask = zm.has_values & (zm.maxs >= lo) & (zm.mins <= hi)
+            else:
+                # empty probe set: IN () is never true, every zone skips
+                mask = np.zeros(zm.n_zones, dtype=np.bool_)
+        elif zf.op in ("isnull", "notnull"):
+            mask = zm.keep_mask(zf.op, [])
         else:
             values = zf.resolve(params, column.type)
             if not values:
                 continue
-        mask = zm.keep_mask(zf.op, values)
+            mask = zm.keep_mask(zf.op, values)
         keep = mask if keep is None else keep & mask
     if keep is None or bool(keep.all()):
         return None, 0, total
@@ -310,6 +335,9 @@ class StorageCounters:
         self.morsels_total = 0
         self.morsels_skipped = 0
         self.by_table: "dict[str, dict[str, int]]" = {}
+        #: runtime-derived zone predicates applied (hash-join build
+        #: ranges, IN-subquery probe ranges), keyed by source
+        self.dynamic: "dict[str, int]" = {}
 
     def note_scan(self, table: str, total: int, skipped: int) -> None:
         with self._lock:
@@ -320,6 +348,10 @@ class StorageCounters:
             entry["morsels"] += total
             entry["skipped"] += skipped
 
+    def note_dynamic(self, source: str) -> None:
+        with self._lock:
+            self.dynamic[source] = self.dynamic.get(source, 0) + 1
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
@@ -327,4 +359,5 @@ class StorageCounters:
                 "morsels_total": self.morsels_total,
                 "morsels_skipped": self.morsels_skipped,
                 "by_table": {t: dict(v) for t, v in self.by_table.items()},
+                "dynamic_zone_filters": dict(self.dynamic),
             }
